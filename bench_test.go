@@ -1,0 +1,348 @@
+package lrm
+
+// One benchmark per table/figure of the paper (BenchmarkFigureN runs the
+// whole sweep at bench scale and reports rows/series on -v), plus the
+// ablation benches DESIGN.md calls out and micro-benchmarks of the
+// numerical substrate. Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// For paper-scale grids use cmd/lrmbench -scale paper.
+
+import (
+	"testing"
+
+	"lrm/internal/compress"
+	"lrm/internal/core"
+	"lrm/internal/experiments"
+	"lrm/internal/hist"
+	"lrm/internal/mat"
+	"lrm/internal/mechanism"
+	"lrm/internal/optimize"
+	"lrm/internal/rng"
+	"lrm/internal/sparse"
+	"lrm/internal/transform"
+	"lrm/internal/workload"
+)
+
+func benchConfig() experiments.Config {
+	return experiments.Config{Scale: experiments.ScaleBench, Trials: 2, Seed: 1, Dataset: "socialnetwork"}
+}
+
+func benchFigure(b *testing.B, fig int) {
+	b.Helper()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Run(fig, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the γ sweep (error & time vs relaxation).
+func BenchmarkFigure2(b *testing.B) { benchFigure(b, 2) }
+
+// BenchmarkFigure3 regenerates the r sweep (error & time vs rank ratio).
+func BenchmarkFigure3(b *testing.B) { benchFigure(b, 3) }
+
+// BenchmarkFigure4 regenerates error vs domain size on WDiscrete
+// (MM/LM/WM/HM/LRM).
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, 4) }
+
+// BenchmarkFigure5 regenerates error vs domain size on WRange.
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, 5) }
+
+// BenchmarkFigure6 regenerates error vs domain size on WRelated.
+func BenchmarkFigure6(b *testing.B) { benchFigure(b, 6) }
+
+// BenchmarkFigure7 regenerates error vs query count on WRange.
+func BenchmarkFigure7(b *testing.B) { benchFigure(b, 7) }
+
+// BenchmarkFigure8 regenerates error vs query count on WRelated.
+func BenchmarkFigure8(b *testing.B) { benchFigure(b, 8) }
+
+// BenchmarkFigure9 regenerates error vs workload rank parameter s.
+func BenchmarkFigure9(b *testing.B) { benchFigure(b, 9) }
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---
+
+func ablationWorkload() *workload.Workload {
+	return workload.Related(64, 128, 8, rng.New(5))
+}
+
+func benchDecompose(b *testing.B, opts core.Options) {
+	b.Helper()
+	w := ablationWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := core.Decompose(w.W, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d.ExpectedSSE(1), "sse/eps1")
+	}
+}
+
+// BenchmarkAblationInnerSolverNesterov measures the paper's Algorithm 2
+// inner solver.
+func BenchmarkAblationInnerSolverNesterov(b *testing.B) {
+	benchDecompose(b, core.Options{Solver: core.SolverNesterov})
+}
+
+// BenchmarkAblationInnerSolverPG swaps in plain projected gradient.
+func BenchmarkAblationInnerSolverPG(b *testing.B) {
+	benchDecompose(b, core.Options{Solver: core.SolverProjectedGradient})
+}
+
+// BenchmarkAblationPenaltyAdaptive uses the residual-driven β schedule.
+func BenchmarkAblationPenaltyAdaptive(b *testing.B) {
+	benchDecompose(b, core.Options{})
+}
+
+// BenchmarkAblationPenaltyFixed10 uses the paper's double-every-10
+// schedule (Algorithm 1 verbatim).
+func BenchmarkAblationPenaltyFixed10(b *testing.B) {
+	benchDecompose(b, core.Options{BetaDoubleEvery: 10})
+}
+
+// BenchmarkAblationPenaltyFrozen never grows β (the fixed-penalty
+// ablation; expect worse feasibility).
+func BenchmarkAblationPenaltyFrozen(b *testing.B) {
+	benchDecompose(b, core.Options{BetaDoubleEvery: -1})
+}
+
+// BenchmarkAblationRestarts1 measures the single-start ALM.
+func BenchmarkAblationRestarts1(b *testing.B) {
+	benchDecompose(b, core.Options{Restarts: 1})
+}
+
+// BenchmarkAblationRestarts4 measures the 4-start ALM (nonconvexity
+// hedge; expect ~4× the time and an equal or lower objective).
+func BenchmarkAblationRestarts4(b *testing.B) {
+	benchDecompose(b, core.Options{Restarts: 4})
+}
+
+// BenchmarkAblationL1ProjectionSort measures the Duchi sort-based
+// projection.
+func BenchmarkAblationL1ProjectionSort(b *testing.B) {
+	benchL1(b, optimize.ProjectL1Ball)
+}
+
+// BenchmarkAblationL1ProjectionPivot measures the expected-O(n) pivot
+// variant used by the inner solver.
+func BenchmarkAblationL1ProjectionPivot(b *testing.B) {
+	benchL1(b, optimize.ProjectL1BallPivot)
+}
+
+func benchL1(b *testing.B, proj func([]float64, float64)) {
+	b.Helper()
+	src := rng.New(9)
+	x := src.NormalVec(4096, 1)
+	buf := make([]float64, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		proj(buf, 1)
+	}
+}
+
+// --- Mechanism answering cost (post-preparation) ---
+
+func benchAnswer(b *testing.B, mech mechanism.Mechanism) {
+	b.Helper()
+	w := workload.Range(64, 1024, rng.New(21))
+	p, err := mech.Prepare(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := rng.New(22).UniformVec(1024, 0, 100)
+	src := rng.New(23)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Answer(x, 0.1, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnswerLaplaceData(b *testing.B)  { benchAnswer(b, mechanism.LaplaceData{}) }
+func BenchmarkAnswerWavelet(b *testing.B)      { benchAnswer(b, mechanism.Wavelet{}) }
+func BenchmarkAnswerHierarchical(b *testing.B) { benchAnswer(b, mechanism.Hierarchical{}) }
+func BenchmarkAnswerLRM(b *testing.B)          { benchAnswer(b, mechanism.LRM{}) }
+
+// --- Numerical substrate micro-benchmarks ---
+
+func BenchmarkMatMul256(b *testing.B) {
+	src := rng.New(31)
+	x := mat.NewFromData(256, 256, src.NormalVec(256*256, 1))
+	y := mat.NewFromData(256, 256, src.NormalVec(256*256, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.Mul(x, y)
+	}
+}
+
+func BenchmarkSVD128x256(b *testing.B) {
+	src := rng.New(32)
+	w := mat.NewFromData(128, 256, src.NormalVec(128*256, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.FactorSVD(w)
+	}
+}
+
+func BenchmarkCholeskySolve128(b *testing.B) {
+	src := rng.New(33)
+	a := mat.NewFromData(160, 128, src.NormalVec(160*128, 1))
+	spd := mat.Gram(a)
+	rhs := mat.NewFromData(64, 128, src.NormalVec(64*128, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mat.SolveRightSPD(rhs, spd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extension benches (related/future-work mechanisms; DESIGN.md
+// §Extensions) ---
+
+// BenchmarkExtraSynopses regenerates the extension table comparing the
+// data-synopsis mechanisms (FPA/CM/NF/SF) with LM, NOR+proj and LRM.
+func BenchmarkExtraSynopses(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Synopses(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAblationInitExactSVD measures the default exact-SVD starting
+// point on the low-rank regime.
+func BenchmarkAblationInitExactSVD(b *testing.B) {
+	benchDecompose(b, core.Options{})
+}
+
+// BenchmarkAblationInitRandomized swaps in the randomized range-finder
+// init (mat.RandSVD); on low-rank workloads it should match the objective
+// at lower preparation cost.
+func BenchmarkAblationInitRandomized(b *testing.B) {
+	benchDecompose(b, core.Options{RandomizedInit: true})
+}
+
+func benchSynopsisAnswer(b *testing.B, mech mechanism.Mechanism) {
+	b.Helper()
+	w := workload.Identity(1024)
+	p, err := mech.Prepare(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := rng.New(41).UniformVec(1024, 0, 100)
+	src := rng.New(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Answer(x, 0.1, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnswerFourier(b *testing.B) { benchSynopsisAnswer(b, mechanism.Fourier{K: 64}) }
+func BenchmarkAnswerCompressive(b *testing.B) {
+	benchSynopsisAnswer(b, mechanism.Compressive{Measurements: 128, Sparsity: 16, Seed: 1})
+}
+func BenchmarkAnswerHistogramNF(b *testing.B) {
+	benchSynopsisAnswer(b, mechanism.Histogram{Buckets: 64})
+}
+
+// BenchmarkRandSVDLowRank measures the randomized SVD on the WRelated
+// regime against BenchmarkSVD128x256's exact Jacobi cost.
+func BenchmarkRandSVDLowRank(b *testing.B) {
+	w := workload.Related(128, 256, 8, rng.New(34)).W
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mat.RandSVD(w, 8, mat.RandSVDOptions{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSparseMulVec measures CSR mat-vec on a range workload against
+// the dense product below.
+func BenchmarkSparseMulVec(b *testing.B) {
+	w := workload.Range(256, 4096, rng.New(35))
+	a := sparse.FromDense(w.W, 0)
+	x := rng.New(36).UniformVec(4096, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(x)
+	}
+}
+
+// BenchmarkDenseMulVec is the dense counterpart of BenchmarkSparseMulVec.
+func BenchmarkDenseMulVec(b *testing.B) {
+	w := workload.Range(256, 4096, rng.New(35))
+	x := rng.New(36).UniformVec(4096, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.MulVec(w.W, x)
+	}
+}
+
+// BenchmarkFFT4096 measures the unitary FFT on a 4096-point histogram.
+func BenchmarkFFT4096(b *testing.B) {
+	x := rng.New(37).NormalVec(4096, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		transform.FFTReal(x)
+	}
+}
+
+// BenchmarkHaar4096 measures the orthonormal Haar transform.
+func BenchmarkHaar4096(b *testing.B) {
+	x := rng.New(38).NormalVec(4096, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		transform.Haar(x)
+	}
+}
+
+// BenchmarkOMP measures sparse recovery of 16 atoms from 128 Gaussian
+// measurements over a 1024 dictionary.
+func BenchmarkOMP(b *testing.B) {
+	src := rng.New(39)
+	k, n := 128, 1024
+	a := mat.NewFromData(k, n, src.NormalVec(k*n, 1))
+	truth := make([]float64, n)
+	for j := 0; j < 16; j++ {
+		truth[src.Intn(n)] = src.Normal() * 10
+	}
+	y := mat.MulVec(a, truth)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compress.OMP(a, y, 16, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVOptimal measures the O(n²B) histogram DP at the default
+// extension-table size.
+func BenchmarkVOptimal(b *testing.B) {
+	x := rng.New(40).UniformVec(512, 0, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := hist.VOptimal(x, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command lrmbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lrmbench -fig 4                       # one figure, light grid
+//	lrmbench -fig all -scale paper        # the full evaluation
+//	lrmbench -fig 5 -dataset nettrace -csv out.csv
+//	lrmbench -params                      # print Table 1
+//
+// Each run prints the same rows/series the paper plots: average squared
+// error per (mechanism, swept parameter value, ε), plus strategy
+// preparation time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"lrm/internal/experiments"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 2-9 or 'all'")
+		scale    = flag.String("scale", "light", "grid size: bench, light or paper")
+		trials   = flag.Int("trials", 0, "randomized executions per point (0 = scale default)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		ds       = flag.String("dataset", "", "restrict to one dataset: searchlogs, nettrace, socialnetwork")
+		csvPath  = flag.String("csv", "", "also write rows as CSV to this file")
+		params   = flag.Bool("params", false, "print Table 1 (the parameter grid) and exit")
+		ablation = flag.Bool("ablation", false, "run the optimizer ablation suite instead of figures")
+		synopses = flag.Bool("synopses", false, "run the extension table: data-synopsis mechanisms (FPA/CM/NF/SF) vs LM/LRM")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, Dataset: *ds}
+	switch *scale {
+	case "bench":
+		cfg.Scale = experiments.ScaleBench
+	case "light":
+		cfg.Scale = experiments.ScaleLight
+	case "paper":
+		cfg.Scale = experiments.ScalePaper
+	default:
+		fatalf("unknown -scale %q (want bench, light or paper)", *scale)
+	}
+
+	if *params {
+		fmt.Print(experiments.DefaultParams(cfg))
+		return
+	}
+	if *ablation || *synopses {
+		var rows []experiments.Row
+		var err error
+		if *ablation {
+			rows, err = experiments.Ablations(cfg)
+		} else {
+			rows, err = experiments.Synopses(cfg)
+		}
+		if err != nil {
+			fatalf("extras: %v", err)
+		}
+		if err := experiments.WriteTable(os.Stdout, rows); err != nil {
+			fatalf("writing table: %v", err)
+		}
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				fatalf("creating %s: %v", *csvPath, err)
+			}
+			defer f.Close()
+			if err := experiments.WriteCSV(f, rows); err != nil {
+				fatalf("writing csv: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+		}
+		return
+	}
+
+	figures := experiments.Figures()
+	if *fig != "all" {
+		n, err := strconv.Atoi(*fig)
+		if err != nil {
+			fatalf("bad -fig %q: %v", *fig, err)
+		}
+		figures = []int{n}
+	}
+
+	var all []experiments.Row
+	for _, f := range figures {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running Figure %d (scale=%s)...\n", f, cfg.Scale)
+		rows, err := experiments.Run(f, cfg)
+		if err != nil {
+			fatalf("figure %d: %v", f, err)
+		}
+		fmt.Fprintf(os.Stderr, "figure %d: %d rows in %.1fs\n", f, len(rows), time.Since(start).Seconds())
+		all = append(all, rows...)
+	}
+
+	if err := experiments.WriteTable(os.Stdout, all); err != nil {
+		fatalf("writing table: %v", err)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatalf("creating %s: %v", *csvPath, err)
+		}
+		defer f.Close()
+		if err := experiments.WriteCSV(f, all); err != nil {
+			fatalf("writing csv: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lrmbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Command lrmrun answers a batch of linear queries over a histogram under
+// ε-differential privacy with a chosen mechanism.
+//
+// Usage:
+//
+//	lrmrun -data counts.csv -workload queries.csv -mech lrm -eps 0.5
+//
+// counts.csv has rows "index,count" (a header line is allowed).
+// queries.csv has one query per line: n comma-separated coefficients.
+// The noisy answers are printed one per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lrm/internal/dataset"
+	"lrm/internal/mechanism"
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "histogram CSV (index,count)")
+		wlPath   = flag.String("workload", "", "workload CSV: one query per row, n coefficients")
+		mechName = flag.String("mech", "lrm", "mechanism: lrm, lm, nor, wm, hm, mm, fpa, cm, nf, sf")
+		eps      = flag.Float64("eps", 1.0, "privacy budget epsilon")
+		seed     = flag.Int64("seed", 0, "noise seed (0 = default stream)")
+		exact    = flag.Bool("exact", false, "also print the exact answers (for debugging; not private!)")
+		project  = flag.Bool("project", false, "post-process: project answers onto the workload's column space")
+		coeffs   = flag.Int("coeffs", 0, "fpa: retained Fourier coefficients / cm: measurements / nf, sf: buckets (0 = mechanism default)")
+		inspect  = flag.Bool("inspect", false, "print workload diagnostics (rank, sensitivity, baseline comparison) and exit")
+	)
+	flag.Parse()
+	if *dataPath == "" || *wlPath == "" {
+		fatalf("both -data and -workload are required")
+	}
+
+	df, err := os.Open(*dataPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer df.Close()
+	ds, err := dataset.ReadCSV("input", df)
+	if err != nil {
+		fatalf("reading data: %v", err)
+	}
+
+	w, err := readWorkload(*wlPath, ds.Len())
+	if err != nil {
+		fatalf("reading workload: %v", err)
+	}
+
+	if *inspect {
+		stats, err := workload.Analyze(w)
+		if err != nil {
+			fatalf("analyzing workload: %v", err)
+		}
+		fmt.Print(stats.Describe())
+		return
+	}
+
+	var mech mechanism.Mechanism
+	switch *mechName {
+	case "lrm":
+		mech = mechanism.LRM{}
+	case "lm":
+		mech = mechanism.LaplaceData{}
+	case "nor":
+		mech = mechanism.LaplaceResults{}
+	case "wm":
+		mech = mechanism.Wavelet{}
+	case "hm":
+		mech = mechanism.Hierarchical{}
+	case "mm":
+		mech = mechanism.MatrixMechanism{}
+	case "fpa":
+		mech = mechanism.Fourier{K: *coeffs}
+	case "cm":
+		mech = mechanism.Compressive{Measurements: *coeffs, Seed: *seed}
+	case "nf":
+		mech = mechanism.Histogram{Buckets: *coeffs}
+	case "sf":
+		mech = mechanism.Histogram{Buckets: *coeffs, StructureFirst: true}
+	default:
+		fatalf("unknown mechanism %q", *mechName)
+	}
+	if *project {
+		mech = mechanism.Consistent{Base: mech}
+	}
+
+	prepared, err := mech.Prepare(w)
+	if err != nil {
+		fatalf("preparing %s: %v", mech.Name(), err)
+	}
+	answers, err := prepared.Answer(ds.Counts, privacy.Epsilon(*eps), rng.New(*seed))
+	if err != nil {
+		fatalf("answering: %v", err)
+	}
+	exactAnswers := w.Answer(ds.Counts)
+	for i, a := range answers {
+		if *exact {
+			fmt.Printf("%g,%g\n", a, exactAnswers[i])
+		} else {
+			fmt.Printf("%g\n", a)
+		}
+	}
+}
+
+func readWorkload(path string, n int) (*workload.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	w, err := workload.ReadCSV("cli", f)
+	if err != nil {
+		return nil, err
+	}
+	if w.Domain() != n {
+		return nil, fmt.Errorf("workload has %d coefficients per query, data has %d counts", w.Domain(), n)
+	}
+	return w, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lrmrun: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,18 @@
+// Package lrm implements the Low-Rank Mechanism (LRM) of Yuan et al.
+// (PVLDB 5(11), 2012) for answering batches of linear counting queries
+// under ε-differential privacy, together with every baseline mechanism
+// evaluated in the paper (Laplace, noise-on-results, Privelet wavelets,
+// hierarchical trees with consistency, and the matrix mechanism), the
+// paper's workload generators, and synthetic stand-ins for its datasets.
+//
+// Beyond the paper's evaluation, the library implements its named
+// related-/future-work directions as extensions: the Fourier perturbation
+// algorithm (reference [24]), the compressive mechanism with OMP
+// reconstruction (reference [17]), bucketized DP histograms (reference
+// [29]), a free consistency projection onto the workload's column space,
+// a sparse (CSR + CGLS) strategy-mechanism path for tree/wavelet
+// strategies, rank tuning, and a Rényi-DP accountant.
+//
+// The root package is a thin facade over the internal packages; see
+// facade.go for the public API and examples/ for runnable programs.
+package lrm

@@ -1,0 +1,102 @@
+package lrm_test
+
+import (
+	"fmt"
+
+	"lrm"
+)
+
+// ExampleAnswerBatch demonstrates the one-call path: build a workload,
+// answer it under ε-differential privacy.
+func ExampleAnswerBatch() {
+	x := []float64{10, 20, 30, 40}
+	w := lrm.PrefixWorkload(4) // q_i = x_0 + … + x_i
+	noisy, err := lrm.AnswerBatch(w, x, lrm.Epsilon(1000), lrm.NewSource(1))
+	if err != nil {
+		panic(err)
+	}
+	// With a huge ε the noise is negligible; round for a stable example.
+	for _, v := range noisy {
+		fmt.Printf("%.0f ", v)
+	}
+	// Output: 10 30 60 100
+}
+
+// ExampleDecompose shows the decomposition API and its error accounting.
+func ExampleDecompose() {
+	// Two disjoint range sums can both be asked at sensitivity 1.
+	w := lrm.MatrixFromRows([][]float64{
+		{1, 1, 0, 0},
+		{0, 0, 1, 1},
+	})
+	d, err := lrm.Decompose(w, lrm.DecomposeOptions{Rank: 2, Gamma: 1e-8})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sensitivity %.0f, expected SSE at eps=1: %.1f\n", d.Sensitivity(), d.ExpectedSSE(1))
+	// Output: sensitivity 1, expected SSE at eps=1: 4.0
+}
+
+// ExampleAnalyzeBounds prints the paper's optimality certificates.
+func ExampleAnalyzeBounds() {
+	b := lrm.AnalyzeBounds(lrm.IdentityWorkload(10).W, 1)
+	fmt.Printf("rank %d, condition number %.0f\n", b.Rank, b.ConditionNumber)
+	// Output: rank 10, condition number 1
+}
+
+// ExampleBudget shows sequential composition accounting.
+func ExampleBudget() {
+	budget, _ := lrm.NewBudget(1.0)
+	_ = budget.Spend(0.7)
+	if err := budget.Spend(0.5); err != nil {
+		fmt.Println("denied")
+	}
+	// Output: denied
+}
+
+// ExampleHistogram demonstrates the bucketized DP histogram of reference
+// [29]: blocky data is published with far less error than per-cell noise.
+func ExampleHistogram() {
+	x := make([]float64, 16)
+	for i := range x {
+		if i < 8 {
+			x[i] = 100
+		} else {
+			x[i] = 20
+		}
+	}
+	res, err := lrm.NoiseFirstHistogram(x, 2, lrm.Epsilon(1e6), lrm.NewSource(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("buckets start at %v, estimate[0] ≈ %.0f, estimate[15] ≈ %.0f\n",
+		res.Boundaries, res.Estimate[0], res.Estimate[15])
+	// Output: buckets start at [0 8], estimate[0] ≈ 100, estimate[15] ≈ 20
+}
+
+// ExampleNewProjector demonstrates the free consistency projection:
+// answers already in col(W) pass through unchanged.
+func ExampleNewProjector() {
+	w := lrm.MatrixFromRows([][]float64{
+		{1, 0},
+		{0, 1},
+		{1, 1}, // the third query is the sum of the first two
+	})
+	p, err := lrm.NewProjector(w)
+	if err != nil {
+		panic(err)
+	}
+	// Inconsistent noisy answers: 10, 20, but "sum" says 36.
+	fixed, err := p.Apply([]float64{10, 20, 36})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f %.0f %.0f\n", fixed[0], fixed[1], fixed[2])
+	// Output: 12 22 34
+}
+
+// ExampleNonNegative demonstrates the count-domain constraint.
+func ExampleNonNegative() {
+	fmt.Println(lrm.NonNegative([]float64{3.2, -1.5, 0}))
+	// Output: [3.2 0 0]
+}

@@ -1,0 +1,68 @@
+// Budget: managing a privacy budget across several releases. A data
+// owner holds a total budget ε = 1 and serves three rounds of analyst
+// queries over the same histogram, spending part of the budget each time
+// under sequential composition. Also shows the advanced-composition
+// accounting for many small releases and the exponential mechanism for a
+// non-numeric choice.
+package main
+
+import (
+	"fmt"
+
+	"lrm"
+)
+
+func main() {
+	x := []float64{120, 340, 560, 230, 90, 410, 280, 150,
+		320, 210, 170, 450, 380, 260, 140, 310}
+
+	budget, err := lrm.NewBudget(1.0)
+	if err != nil {
+		panic(err)
+	}
+	src := lrm.NewSource(99)
+
+	// Three rounds of batches; each spends a chunk of the total ε.
+	rounds := []struct {
+		name string
+		w    *lrm.Workload
+		eps  lrm.Epsilon
+	}{
+		{"quarterly ranges", lrm.RangeWorkload(4, 16, lrm.NewSource(1)), 0.5},
+		{"prefix sums", lrm.PrefixWorkload(16), 0.3},
+		{"grand total", lrm.TotalWorkload(16), 0.2},
+	}
+	for _, r := range rounds {
+		if err := budget.Spend(r.eps); err != nil {
+			fmt.Printf("%-16s DENIED: %v\n", r.name, err)
+			continue
+		}
+		noisy, err := lrm.AnswerBatch(r.w, x, r.eps, src)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-16s ε=%.1f  first answer %.1f (exact %.1f)  remaining ε=%.2f\n",
+			r.name, float64(r.eps), noisy[0], r.w.Answer(x)[0], float64(budget.Remaining()))
+	}
+
+	// A fourth request must be rejected: the budget is exhausted.
+	if err := budget.Spend(0.1); err != nil {
+		fmt.Printf("%-16s DENIED: budget exhausted\n", "extra query")
+	}
+
+	// Advanced composition: 500 tiny releases at ε=0.005 each cost far
+	// less than the basic 2.5 bound.
+	epsTotal, delta, err := lrm.AdvancedComposition(0.005, 0, 500, 1e-9)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\n500 releases at ε=0.005: basic composition ε=2.50, advanced ε=%.3f (δ=%g)\n",
+		float64(epsTotal), delta)
+
+	// Exponential mechanism: privately pick the busiest bucket.
+	idx, err := lrm.ExponentialMechanism(x, 1, 0.5, src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("exponential mechanism picked bucket %d as busiest (true max is bucket 2)\n", idx)
+}

@@ -1,0 +1,56 @@
+// Medical: the paper's Section 1 running example. A health agency
+// publishes statistics over per-state HIV+ patient counts. The query
+// batch is correlated — q1 = 2x_NJ + x_CA + x_WA, q2 = x_NJ + 2x_WA,
+// q3 = x_NY + 2x_CA + 2x_WA — and the example walks through exactly the
+// paper's comparison: noise-on-queries (NOR) has sensitivity 5,
+// noise-on-data (LM) reaches SSE 40/ε², the paper's hand-built strategy
+// reaches 39/ε², and the optimized low-rank decomposition does better
+// still.
+package main
+
+import (
+	"fmt"
+
+	"lrm"
+)
+
+func main() {
+	states := []string{"NY", "NJ", "CA", "WA"}
+	// Unit counts from the paper's Figure 1(b).
+	x := []float64{82700, 19000, 67000, 5900}
+
+	w := lrm.WorkloadFromMatrix("medical", lrm.MatrixFromRows([][]float64{
+		{0, 2, 1, 1}, // q1 = 2·NJ + CA + WA
+		{0, 1, 0, 2}, // q2 = NJ + 2·WA
+		{1, 0, 2, 2}, // q3 = NY + 2·CA + 2·WA
+	}))
+	fmt.Printf("states: %v\n", states)
+	fmt.Printf("workload sensitivity (NOR would use this): %.0f\n", w.Sensitivity())
+
+	eps := lrm.Epsilon(1.0)
+
+	// Analytic expected errors, mirroring the paper's Section 1 numbers.
+	nor, _ := lrm.LaplaceResults{}.Prepare(w)
+	lm, _ := lrm.LaplaceData{}.Prepare(w)
+	fmt.Printf("NOR expected SSE: %.0f/ε²  (2·m·Δ² = 2·3·25)\n", nor.ExpectedSSE(eps))
+	fmt.Printf("LM  expected SSE: %.0f/ε²  (2·ΣWᵢⱼ², the paper's 40)\n", lm.ExpectedSSE(eps))
+
+	d, err := lrm.Decompose(w.W, lrm.DecomposeOptions{Rank: 3, Gamma: 1e-6})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("LRM expected SSE: %.1f/ε² (paper's hand-built strategy: 39)\n", d.ExpectedSSE(1))
+	fmt.Printf("decomposition: residual %.2e, Δ(L) = %.3f, scale Φ = %.2f\n",
+		d.Residual, d.Sensitivity(), d.Scale())
+
+	// One private release.
+	noisy, err := lrm.AnswerBatch(w, x, eps, lrm.NewSource(7))
+	if err != nil {
+		panic(err)
+	}
+	exact := w.Answer(x)
+	fmt.Println("\nquery  exact      private release")
+	for i := range noisy {
+		fmt.Printf("q%d     %9.0f  %12.1f\n", i+1, exact[i], noisy[i])
+	}
+}

@@ -1,0 +1,41 @@
+// Rangequeries: histogram publishing for range counts — the workload the
+// wavelet and hierarchical baselines were designed for. Compares LM, WM,
+// HM and LRM on random range queries over a large synthetic Net Trace
+// histogram, reporting measured average squared error (Monte Carlo, as in
+// the paper's Section 6) and preparation time.
+package main
+
+import (
+	"fmt"
+
+	"lrm"
+)
+
+func main() {
+	const (
+		n      = 512 // domain size
+		m      = 64  // number of range queries
+		trials = 5
+	)
+	eps := lrm.Epsilon(0.1)
+
+	data := lrm.NetTrace(8192, lrm.NewSource(3)).Merge(n)
+	w := lrm.RangeWorkload(m, n, lrm.NewSource(4))
+	fmt.Printf("workload: %d range queries over %d bins (rank %d)\n", m, n, w.Rank())
+
+	for _, mech := range []lrm.Mechanism{
+		lrm.LaplaceData{},
+		lrm.Wavelet{},
+		lrm.Hierarchical{},
+		lrm.LRM{},
+	} {
+		meas, err := lrm.Evaluate(mech, w, data.Counts, eps, trials, lrm.NewSource(5))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-4s  avg squared error %.4g   prepare %.2fs\n",
+			mech.Name(), meas.AvgSquaredError, meas.PrepareSeconds)
+	}
+	fmt.Println("\n(LRM exploits the fact that m = 64 queries over n = 1024 bins")
+	fmt.Println(" span a rank-64 subspace; WM/HM exploit the range structure.)")
+}

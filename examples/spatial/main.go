@@ -1,0 +1,75 @@
+// Spatial: batch queries over a two-dimensional grid. Cross-tabulations
+// (row and column marginals) over a flattened d1×d2 grid are heavily
+// correlated — the situation the paper's introduction motivates with the
+// NY/NJ example — and their workload matrix has rank d1+d2−1 ≪ n, the
+// regime where the low-rank decomposition pays off. A second, over-
+// complete rectangle batch (more queries than cells) shows the free
+// consistency projection: noise-on-results noise orthogonal to the
+// workload's column space is removed by post-processing alone.
+package main
+
+import (
+	"fmt"
+
+	"lrm"
+)
+
+func main() {
+	const trials = 8
+	eps := lrm.Epsilon(0.1)
+
+	// --- Workload A: marginals over a 16×16 grid (rank 31 ≪ 256) ---
+	{
+		const d1, d2 = 16, 16
+		n := d1 * d2
+		data := lrm.SocialNetwork(4096, lrm.NewSource(1)).Merge(n)
+		w := lrm.MarginalWorkload(d1, d2)
+		fmt.Printf("workload %-14s  %4d queries × %d cells, rank %d, sensitivity %.0f\n",
+			"marginals", w.Queries(), w.Domain(), w.Rank(), w.Sensitivity())
+		for _, mech := range []lrm.Mechanism{
+			lrm.LaplaceData{},
+			lrm.LaplaceResults{},
+			// A tight explicit γ: the counts are large, so even a small
+			// residual ‖W−BL‖ would contribute a visible bias (Theorem 3's
+			// data-dependent term).
+			lrm.LRM{Options: lrm.DecomposeOptions{Gamma: 1e-6}},
+		} {
+			meas, err := lrm.Evaluate(mech, w, data.Counts, eps, trials, lrm.NewSource(3))
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("  %-9s avg squared error %.4g\n", mech.Name(), meas.AvgSquaredError)
+		}
+		fmt.Println()
+	}
+
+	// --- Workload B: 160 random rectangles over an 8×8 grid (m > n, so
+	// col(W) is a 64-dimensional subspace of R¹⁶⁰) ---
+	{
+		const d1, d2 = 8, 8
+		n := d1 * d2
+		data := lrm.SocialNetwork(4096, lrm.NewSource(1)).Merge(n)
+		w := lrm.Range2DWorkload(160, d1, d2, lrm.NewSource(2))
+		fmt.Printf("workload %-14s  %4d queries × %d cells, rank %d, sensitivity %.0f\n",
+			w.Name, w.Queries(), w.Domain(), w.Rank(), w.Sensitivity())
+		for _, mech := range []lrm.Mechanism{
+			lrm.LaplaceData{},
+			lrm.LaplaceResults{},
+			lrm.Consistent{Base: lrm.LaplaceResults{}},
+		} {
+			meas, err := lrm.Evaluate(mech, w, data.Counts, eps, trials, lrm.NewSource(3))
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("  %-9s avg squared error %.4g\n", mech.Name(), meas.AvgSquaredError)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Marginals: 32 queries spanning a rank-31 space — LRM's optimizer")
+	fmt.Println("(which always dominates both classical strategies by construction)")
+	fmt.Println("reshapes the noise inside that space and matches or beats the")
+	fmt.Println("better Laplace baseline. Overcomplete rectangles: NOR+proj removes")
+	fmt.Println("the (m−rank)/m fraction of noise-on-results noise lying outside")
+	fmt.Println("col(W) — free post-processing, no extra privacy budget.")
+}

@@ -1,0 +1,272 @@
+package lrm
+
+import (
+	"lrm/internal/compress"
+	"lrm/internal/core"
+	"lrm/internal/dataset"
+	"lrm/internal/hist"
+	"lrm/internal/infer"
+	"lrm/internal/mat"
+	"lrm/internal/mechanism"
+	"lrm/internal/metrics"
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/sparse"
+	"lrm/internal/workload"
+)
+
+// The root package is a facade: it aliases the library's internal types
+// so downstream users get one import path ("lrm") with a compact surface,
+// while the implementation stays factored into internal/ subsystems.
+
+// Matrix is a dense row-major matrix (see NewMatrix, MatrixFromRows).
+type Matrix = mat.Dense
+
+// NewMatrix returns a zero r×c matrix.
+func NewMatrix(r, c int) *Matrix { return mat.New(r, c) }
+
+// MatrixFromRows builds a matrix from rows, copying them.
+func MatrixFromRows(rows [][]float64) *Matrix { return mat.FromRows(rows) }
+
+// Workload is a batch of linear counting queries (its W field is m×n).
+type Workload = workload.Workload
+
+// Workload generators (the paper's three synthetic families plus common
+// extras).
+var (
+	DiscreteWorkload    = workload.Discrete
+	RangeWorkload       = workload.Range
+	RelatedWorkload     = workload.Related
+	IdentityWorkload    = workload.Identity
+	PrefixWorkload      = workload.Prefix
+	MarginalWorkload    = workload.Marginal
+	TotalWorkload       = workload.Total
+	WorkloadFromMatrix  = workload.FromMatrix
+	Range2DWorkload     = workload.Range2D
+	KronWorkload        = workload.Kron
+	PermutationWorkload = workload.PermutationWorkload
+)
+
+// AnalyzeWorkload summarizes the properties that decide which mechanism
+// will serve a workload well (rank, sensitivity, baseline comparison).
+var AnalyzeWorkload = workload.Analyze
+
+// WorkloadStats is the summary returned by AnalyzeWorkload.
+type WorkloadStats = workload.Stats
+
+// Dataset is a histogram of unit counts.
+type Dataset = dataset.Dataset
+
+// Synthetic stand-ins for the paper's evaluation datasets.
+var (
+	SearchLogs    = dataset.SearchLogs
+	NetTrace      = dataset.NetTrace
+	SocialNetwork = dataset.SocialNetwork
+	DatasetByName = dataset.ByName
+)
+
+// Epsilon is a differential-privacy budget.
+type Epsilon = privacy.Epsilon
+
+// Budget tracks sequential composition of privacy spends.
+type Budget = privacy.Budget
+
+// NewBudget returns a budget with the given total ε.
+var NewBudget = privacy.NewBudget
+
+// Source is a seeded random source; all mechanisms take one explicitly so
+// releases are reproducible.
+type Source = rng.Source
+
+// NewSource returns a Source seeded with seed.
+func NewSource(seed int64) *Source { return rng.New(seed) }
+
+// DecomposeOptions configures the workload decomposition; the zero value
+// is the paper's defaults (r = 1.2·rank(W), γ = 1e-4·‖W‖_F).
+type DecomposeOptions = core.Options
+
+// Decomposition is the optimized factorization W ≈ B·L.
+type Decomposition = core.Decomposition
+
+// Decompose runs the ALM workload decomposition (Algorithm 1).
+var Decompose = core.Decompose
+
+// TuneRank sweeps the inner dimension r over multiples of rank(W) and
+// returns the best rank (the programmatic form of the paper's Figure 3
+// guidance).
+var TuneRank = core.TuneRank
+
+// RankTrial reports one candidate rank from TuneRank.
+type RankTrial = core.RankTrial
+
+// ReadDecomposition restores a decomposition persisted with
+// (*Decomposition).Encode, so the one-off optimization can be reused
+// across processes.
+var ReadDecomposition = core.ReadDecomposition
+
+// NewLRMMechanism wraps a decomposition as a query-answering mechanism
+// (Eq. 6 of the paper).
+var NewLRMMechanism = core.NewMechanism
+
+// Bounds carries the paper's optimality certificates (Lemmas 3–4,
+// Theorem 2) for a workload.
+type Bounds = core.Bounds
+
+// AnalyzeBounds computes error upper/lower bounds for a workload matrix.
+var AnalyzeBounds = core.AnalyzeBounds
+
+// Mechanism is the shared interface of all query-answering mechanisms.
+type Mechanism = mechanism.Mechanism
+
+// Prepared is a mechanism bound to one workload, ready to answer.
+type Prepared = mechanism.Prepared
+
+// The mechanisms evaluated in the paper.
+type (
+	// LRM is the Low-Rank Mechanism (the paper's contribution).
+	LRM = mechanism.LRM
+	// LaplaceData is LM: Laplace noise on the unit counts.
+	LaplaceData = mechanism.LaplaceData
+	// LaplaceResults is NOR: Laplace noise on the query answers.
+	LaplaceResults = mechanism.LaplaceResults
+	// Wavelet is WM: the Privelet wavelet mechanism.
+	Wavelet = mechanism.Wavelet
+	// Hierarchical is HM: the Boost tree mechanism with consistency.
+	Hierarchical = mechanism.Hierarchical
+	// MatrixMechanism is MM: Li et al.'s mechanism, Appendix-B form.
+	MatrixMechanism = mechanism.MatrixMechanism
+)
+
+// Mechanisms from the paper's related and future work, implemented as
+// extensions (see DESIGN.md §Extensions).
+type (
+	// Fourier is FPA: the Fourier perturbation algorithm of Rastogi and
+	// Nath (the paper's reference [24]).
+	Fourier = mechanism.Fourier
+	// Compressive is CM: the compressive mechanism of Li et al. (the
+	// paper's reference [17]).
+	Compressive = mechanism.Compressive
+	// Histogram is NF/SF: the bucketized DP histograms of Xu et al. (the
+	// paper's reference [29]).
+	Histogram = mechanism.Histogram
+	// Consistent wraps any mechanism with a free consistency projection
+	// onto the workload's column space.
+	Consistent = mechanism.Consistent
+)
+
+// Histogram-publication primitives underlying the Histogram mechanism.
+var (
+	// VOptimalHistogram computes the exact B-bucket v-optimal histogram.
+	VOptimalHistogram = hist.VOptimal
+	// NoiseFirstHistogram publishes an ε-DP histogram, noise before
+	// structure.
+	NoiseFirstHistogram = hist.NoiseFirst
+	// StructureFirstHistogram publishes an ε-DP histogram, structure
+	// before noise.
+	StructureFirstHistogram = hist.StructureFirst
+)
+
+// StructureFirstOptions configures StructureFirstHistogram.
+type StructureFirstOptions = hist.StructureFirstOptions
+
+// CompressiveSynopsis is the reusable measurement/reconstruction pipeline
+// underlying the Compressive mechanism.
+type CompressiveSynopsis = compress.Synopsis
+
+// NewCompressiveSynopsis builds a synopsis for a power-of-two domain.
+var NewCompressiveSynopsis = compress.NewSynopsis
+
+// Post-processing utilities (free under DP; they only reduce error).
+var (
+	// LeastSquaresEstimate recovers a histogram from noisy strategy
+	// observations.
+	LeastSquaresEstimate = infer.LeastSquaresEstimate
+	// NewProjector builds a consistency projector onto col(W).
+	NewProjector = infer.NewProjector
+	// NonNegative clamps negative counts to zero.
+	NonNegative = infer.NonNegative
+	// RoundCounts rounds to the nearest non-negative integers.
+	RoundCounts = infer.RoundCounts
+)
+
+// Additional ε-DP primitives beyond the batch-query mechanisms.
+var (
+	// ExponentialMechanism selects from scored candidates under ε-DP.
+	ExponentialMechanism = privacy.ExponentialMechanism
+	// GeometricMechanism adds two-sided geometric noise to an integer.
+	GeometricMechanism = privacy.GeometricMechanism
+	// GaussianMechanism adds (ε,δ)-DP Gaussian noise.
+	GaussianMechanism = privacy.GaussianMechanism
+	// AdvancedComposition accounts k-fold composition tightly.
+	AdvancedComposition = privacy.AdvancedComposition
+	// Sensitivity computes the L1 sensitivity of a query matrix.
+	Sensitivity = privacy.Sensitivity
+	// NewSparseVector starts a sparse-vector-technique run.
+	NewSparseVector = privacy.NewSparseVector
+)
+
+// SparseVector is the sparse vector technique: threshold queries that pay
+// budget only for positive answers.
+type SparseVector = privacy.SparseVector
+
+// RDPAccountant composes Gaussian/Laplace releases in Rényi DP and
+// converts to (ε, δ); far tighter than naive composition for iterative
+// releases.
+type RDPAccountant = privacy.RDPAccountant
+
+var (
+	// NewRDPAccountant starts an empty Rényi-DP accountant.
+	NewRDPAccountant = privacy.NewRDPAccountant
+	// GaussianSigmaForBudget calibrates the noise multiplier for k
+	// composed Gaussian releases under an (ε, δ) budget.
+	GaussianSigmaForBudget = privacy.GaussianSigmaForBudget
+	// RandomizedResponse releases one bit under local ε-DP.
+	RandomizedResponse = privacy.RandomizedResponse
+)
+
+// EvaluateDistribution measures a mechanism's full per-trial error
+// distribution (mean, CI, order statistics, per-query errors).
+var EvaluateDistribution = metrics.EvaluateDistribution
+
+// ErrorDistribution summarizes per-trial squared errors with error bars.
+type ErrorDistribution = metrics.Distribution
+
+// Explicit strategy-matrix constructors (the dense equivalents of the
+// wavelet and hierarchical mechanisms).
+var (
+	HaarStrategy = mechanism.HaarStrategy
+	TreeStrategy = mechanism.TreeStrategy
+)
+
+// NewStrategyMechanism answers a workload through an arbitrary strategy
+// matrix A (the matrix-mechanism template).
+var NewStrategyMechanism = mechanism.NewStrategyPrepared
+
+// NewSparseStrategyMechanism is the scalable variant for structurally
+// sparse strategies (tree/wavelet): CSR mat-vecs plus iterative CGLS
+// inference instead of a dense pseudo-inverse.
+var NewSparseStrategyMechanism = mechanism.NewSparseStrategyPrepared
+
+// SparseMatrix is a compressed-sparse-row matrix (see SparseFromDense).
+type SparseMatrix = sparse.CSR
+
+// SparseFromDense converts a dense matrix to CSR, dropping |v| ≤ tol.
+var SparseFromDense = sparse.FromDense
+
+// Measurement reports a mechanism's measured accuracy and timing.
+type Measurement = metrics.Measurement
+
+// Evaluate measures a mechanism's average squared error on a workload by
+// Monte Carlo, as in the paper's experiments.
+var Evaluate = metrics.Evaluate
+
+// AnswerBatch is the one-call happy path: decompose the workload with
+// default options and answer it on x under ε-differential privacy using
+// the Low-Rank Mechanism.
+func AnswerBatch(w *Workload, x []float64, eps Epsilon, src *Source) ([]float64, error) {
+	p, err := LRM{}.Prepare(w)
+	if err != nil {
+		return nil, err
+	}
+	return p.Answer(x, eps, src)
+}

@@ -1,0 +1,226 @@
+package lrm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnswerBatchEndToEnd(t *testing.T) {
+	x := []float64{5, 10, 15, 20, 25, 30, 35, 40}
+	w := RangeWorkload(4, len(x), NewSource(1))
+	noisy, err := AnswerBatch(w, x, 1.0, NewSource(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noisy) != 4 {
+		t.Fatalf("got %d answers", len(noisy))
+	}
+	exact := w.Answer(x)
+	for i := range noisy {
+		if math.Abs(noisy[i]-exact[i]) > 200 {
+			t.Fatalf("answer %d wildly off: %v vs %v", i, noisy[i], exact[i])
+		}
+	}
+}
+
+func TestFacadeMatrixHelpers(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatal("MatrixFromRows wrong")
+	}
+	z := NewMatrix(2, 3)
+	if z.Rows() != 2 || z.Cols() != 3 {
+		t.Fatal("NewMatrix wrong dims")
+	}
+}
+
+func TestFacadeWorkloadGenerators(t *testing.T) {
+	src := NewSource(3)
+	for _, w := range []*Workload{
+		DiscreteWorkload(5, 8, 0.02, src),
+		RangeWorkload(5, 8, src),
+		RelatedWorkload(5, 8, 2, src),
+		IdentityWorkload(8),
+		PrefixWorkload(8),
+		MarginalWorkload(2, 4),
+		TotalWorkload(8),
+	} {
+		if w.Domain() != 8 {
+			t.Fatalf("%s domain = %d", w.Name, w.Domain())
+		}
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	src := NewSource(4)
+	if d := SearchLogs(100, src); d.Len() != 100 {
+		t.Fatal("SearchLogs size")
+	}
+	if d := NetTrace(100, src); d.Len() != 100 {
+		t.Fatal("NetTrace size")
+	}
+	if d := SocialNetwork(100, src); d.Len() != 100 {
+		t.Fatal("SocialNetwork size")
+	}
+	if _, err := DatasetByName("searchlogs", src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDecomposeAndBounds(t *testing.T) {
+	w := RelatedWorkload(10, 12, 2, NewSource(5))
+	d, err := Decompose(w.W, DecomposeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ExpectedSSE(1) <= 0 {
+		t.Fatal("non-positive SSE")
+	}
+	b := AnalyzeBounds(w.W, 1)
+	if b.Rank != 2 {
+		t.Fatalf("bounds rank = %d", b.Rank)
+	}
+}
+
+func TestFacadeBudget(t *testing.T) {
+	bud, err := NewBudget(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bud.Spend(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if bud.Remaining() != 0.5 {
+		t.Fatalf("remaining = %v", float64(bud.Remaining()))
+	}
+}
+
+func TestFacadeEvaluate(t *testing.T) {
+	w := RangeWorkload(6, 16, NewSource(6))
+	x := make([]float64, 16)
+	meas, err := Evaluate(LaplaceData{}, w, x, 1, 10, NewSource(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.AvgSquaredError <= 0 {
+		t.Fatal("no error measured")
+	}
+}
+
+func TestFacadeAllMechanismsPrepare(t *testing.T) {
+	w := RangeWorkload(6, 16, NewSource(8))
+	x := NewSource(9).UniformVec(16, 0, 10)
+	for _, mech := range []Mechanism{
+		LRM{}, LaplaceData{}, LaplaceResults{}, Wavelet{}, Hierarchical{}, MatrixMechanism{MaxIter: 10},
+	} {
+		p, err := mech.Prepare(w)
+		if err != nil {
+			t.Fatalf("%s: %v", mech.Name(), err)
+		}
+		if _, err := p.Answer(x, 0.5, NewSource(10)); err != nil {
+			t.Fatalf("%s answer: %v", mech.Name(), err)
+		}
+	}
+}
+
+func TestFacadeExtensionMechanismsEndToEnd(t *testing.T) {
+	// Every extension mechanism answers a workload through the facade.
+	src := NewSource(11)
+	n := 64
+	w := RangeWorkload(6, n, src)
+	x := src.UniformVec(n, 0, 50)
+	for _, mech := range []Mechanism{
+		Fourier{K: 8},
+		Compressive{Measurements: 16, Sparsity: 4, Seed: 2},
+		Histogram{Buckets: 4},
+		Histogram{Buckets: 4, StructureFirst: true},
+		Consistent{Base: LaplaceResults{}},
+	} {
+		p, err := mech.Prepare(w)
+		if err != nil {
+			t.Fatalf("%s: %v", mech.Name(), err)
+		}
+		got, err := p.Answer(x, 1, src)
+		if err != nil {
+			t.Fatalf("%s: %v", mech.Name(), err)
+		}
+		if len(got) != 6 {
+			t.Fatalf("%s: %d answers", mech.Name(), len(got))
+		}
+		for _, v := range got {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: non-finite answer", mech.Name())
+			}
+		}
+	}
+}
+
+func TestFacadeSpatialWorkloads(t *testing.T) {
+	src := NewSource(12)
+	w2d := Range2DWorkload(5, 4, 6, src)
+	if w2d.Domain() != 24 || w2d.Queries() != 5 {
+		t.Fatalf("Range2D dims %d×%d", w2d.Queries(), w2d.Domain())
+	}
+	kr := KronWorkload("k", PrefixWorkload(2), PrefixWorkload(3))
+	if kr.Domain() != 6 || kr.Queries() != 6 {
+		t.Fatalf("Kron dims %d×%d", kr.Queries(), kr.Domain())
+	}
+	perm := PermutationWorkload(7, src)
+	if perm.Rank() != 7 {
+		t.Fatalf("permutation rank %d", perm.Rank())
+	}
+}
+
+func TestFacadeHistogramPrimitives(t *testing.T) {
+	counts := []float64{5, 5, 9, 9}
+	boundaries, sse, err := VOptimalHistogram(counts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sse != 0 || boundaries[1] != 2 {
+		t.Fatalf("v-optimal: %v sse=%g", boundaries, sse)
+	}
+	src := NewSource(13)
+	if _, err := NoiseFirstHistogram(counts, 2, 1, src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StructureFirstHistogram(counts, StructureFirstOptions{Buckets: 2, MaxCount: 10}, 1, src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCompressiveSynopsis(t *testing.T) {
+	syn, err := NewCompressiveSynopsis(32, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource(14)
+	x := src.UniformVec(32, 0, 10)
+	y, err := syn.Compress(x, 1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != 8 {
+		t.Fatalf("synopsis length %d", len(y))
+	}
+	xhat, err := syn.Reconstruct(y, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xhat) != 32 {
+		t.Fatalf("reconstruction length %d", len(xhat))
+	}
+}
+
+func TestFacadePostProcessing(t *testing.T) {
+	est, err := LeastSquaresEstimate(MatrixFromRows([][]float64{{2, 0}, {0, 4}}), []float64{6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est[0]-3) > 1e-12 || math.Abs(est[1]-2) > 1e-12 {
+		t.Fatalf("estimate %v", est)
+	}
+	if got := RoundCounts([]float64{1.6, -2}); got[0] != 2 || got[1] != 0 {
+		t.Fatalf("RoundCounts %v", got)
+	}
+}

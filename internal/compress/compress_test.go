@@ -1,0 +1,257 @@
+package compress
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/mat"
+	"lrm/internal/rng"
+	"lrm/internal/transform"
+)
+
+func TestOMPExactRecoverySparseSignal(t *testing.T) {
+	// A 3-sparse coefficient vector measured by a 24×64 Gaussian matrix is
+	// recovered exactly (no noise) by OMP.
+	src := rng.New(1)
+	k, n := 24, 64
+	a := mat.New(k, n)
+	for i := range a.RawData() {
+		a.RawData()[i] = src.Normal() / math.Sqrt(float64(k))
+	}
+	truth := make([]float64, n)
+	truth[5], truth[20], truth[41] = 3, -2, 1.5
+	y := mat.MulVec(a, truth)
+	res, err := OMP(a, y, 3, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Expand(n)
+	for j := range truth {
+		if math.Abs(got[j]-truth[j]) > 1e-8 {
+			t.Fatalf("coefficient %d: got %g want %g", j, got[j], truth[j])
+		}
+	}
+	if res.Residual > 1e-8 {
+		t.Fatalf("residual %g", res.Residual)
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("selected %d atoms, want 3", res.Iterations)
+	}
+}
+
+func TestOMPSupportIdentification(t *testing.T) {
+	src := rng.New(2)
+	k, n := 20, 50
+	a := mat.New(k, n)
+	for i := range a.RawData() {
+		a.RawData()[i] = src.Normal()
+	}
+	truth := map[int]float64{7: 4, 33: -5}
+	y := make([]float64, k)
+	for j, v := range truth {
+		col := a.Col(j)
+		for i := range y {
+			y[i] += v * col[i]
+		}
+	}
+	res, err := OMP(a, y, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[int]bool{}
+	for _, j := range res.Support {
+		found[j] = true
+	}
+	for j := range truth {
+		if !found[j] {
+			t.Fatalf("support %v misses true atom %d", res.Support, j)
+		}
+	}
+}
+
+func TestOMPValidation(t *testing.T) {
+	a := mat.New(4, 8)
+	if _, err := OMP(a, make([]float64, 3), 2, 0); err == nil {
+		t.Fatal("want error for measurement length mismatch")
+	}
+	if _, err := OMP(a, make([]float64, 4), 0, 0); err == nil {
+		t.Fatal("want error for zero atom budget")
+	}
+	if _, err := OMP(a, make([]float64, 4), 9, 0); err == nil {
+		t.Fatal("want error for atom budget > n")
+	}
+}
+
+func TestOMPAtomBudgetClampedToMeasurements(t *testing.T) {
+	// maxAtoms > k would make the least-squares fit underdetermined; the
+	// solver clamps it.
+	src := rng.New(3)
+	k, n := 5, 20
+	a := mat.New(k, n)
+	for i := range a.RawData() {
+		a.RawData()[i] = src.Normal()
+	}
+	y := src.NormalVec(k, 1)
+	res, err := OMP(a, y, 15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > k {
+		t.Fatalf("selected %d atoms with only %d measurements", res.Iterations, k)
+	}
+}
+
+func TestOMPZeroSignal(t *testing.T) {
+	a := mat.Eye(6)
+	res, err := OMP(a, make([]float64, 6), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 0 || res.Residual != 0 {
+		t.Fatalf("zero signal should select nothing: %+v", res)
+	}
+}
+
+func TestSynopsisValidation(t *testing.T) {
+	if _, err := NewSynopsis(12, 4, 1); err == nil {
+		t.Fatal("want error for non-power-of-two domain")
+	}
+	if _, err := NewSynopsis(16, 0, 1); err == nil {
+		t.Fatal("want error for zero measurements")
+	}
+	if _, err := NewSynopsis(16, 17, 1); err == nil {
+		t.Fatal("want error for k > n")
+	}
+	s, err := NewSynopsis(16, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Compress(make([]float64, 5), 1, rng.New(1)); err == nil {
+		t.Fatal("want error for bad data length")
+	}
+	if _, err := s.Compress(make([]float64, 16), 0, rng.New(1)); err == nil {
+		t.Fatal("want error for bad epsilon")
+	}
+	if _, err := s.Reconstruct(make([]float64, 3), 2, 0); err == nil {
+		t.Fatal("want error for bad synopsis length")
+	}
+	if _, err := s.MeasureExact(make([]float64, 3)); err == nil {
+		t.Fatal("want error for bad data length")
+	}
+}
+
+func TestSynopsisDeterministicInSeed(t *testing.T) {
+	a, _ := NewSynopsis(32, 8, 7)
+	b, _ := NewSynopsis(32, 8, 7)
+	c, _ := NewSynopsis(32, 8, 8)
+	x := make([]float64, 32)
+	x[3] = 10
+	ya, _ := a.MeasureExact(x)
+	yb, _ := b.MeasureExact(x)
+	yc, _ := c.MeasureExact(x)
+	for i := range ya {
+		if ya[i] != yb[i] {
+			t.Fatal("same seed should give identical measurements")
+		}
+	}
+	same := true
+	for i := range ya {
+		if ya[i] != yc[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different measurement matrices")
+	}
+}
+
+func TestSynopsisSensitivityConcentration(t *testing.T) {
+	// With Φ entries N(0, 1/k), each column's abs sum concentrates near
+	// k·√(2/(πk)) = √(2k/π); the max over n columns sits a modest factor
+	// above. Sanity-check the computed sensitivity is in a plausible band.
+	s, err := NewSynopsis(256, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := math.Sqrt(2 * 64 / math.Pi)
+	if s.Sensitivity() < mean*0.8 || s.Sensitivity() > mean*2.5 {
+		t.Fatalf("sensitivity %g far from expected scale %g", s.Sensitivity(), mean)
+	}
+}
+
+func TestSynopsisNoiselessRecoveryOfWaveletSparseData(t *testing.T) {
+	// A histogram that is 4-sparse in the Haar basis is recovered almost
+	// exactly from a noiseless synopsis of only n/4 measurements.
+	n := 128
+	coeffs := make([]float64, n)
+	coeffs[0], coeffs[1], coeffs[5], coeffs[17] = 40, -12, 6, 3
+	x := transform.IHaar(coeffs)
+	s, err := NewSynopsis(n, n/4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := s.MeasureExact(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xhat, err := s.Reconstruct(y, 4, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(xhat[i]-x[i]) > 1e-6 {
+			t.Fatalf("xhat[%d]=%g want %g", i, xhat[i], x[i])
+		}
+	}
+}
+
+func TestSynopsisNoisyRecoveryBeatsNoiseOnData(t *testing.T) {
+	// On a strongly wavelet-sparse histogram over a large domain, the
+	// compressive pipeline at ε=1 should reconstruct with far less error
+	// than adding Laplace(1/ε) to every one of the n counts (the
+	// noise-on-data baseline) — the whole point of reference [17].
+	n := 256
+	coeffs := make([]float64, n)
+	coeffs[0], coeffs[2], coeffs[9] = 400, -150, 80
+	x := transform.IHaar(coeffs)
+	s, err := NewSynopsis(n, n/4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(99)
+	const eps = 1.0
+	var cmSSE float64
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		y, err := s.Compress(x, eps, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xhat, err := s.Reconstruct(y, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			d := xhat[i] - x[i]
+			cmSSE += d * d
+		}
+	}
+	cmSSE /= trials
+	nodSSE := 2 * float64(n) / (eps * eps) // analytic E‖Lap(1/ε)^n‖²
+	if cmSSE > nodSSE {
+		t.Fatalf("compressive SSE %g should beat noise-on-data %g on sparse data", cmSSE, nodSSE)
+	}
+}
+
+func TestExpandIgnoresOutOfRange(t *testing.T) {
+	r := &OMPResult{Coeffs: []float64{1, 2}, Support: []int{0, 99}}
+	s := r.Expand(4)
+	if s[0] != 1 {
+		t.Fatal("valid atom dropped")
+	}
+	for _, v := range s[1:] {
+		if v != 0 {
+			t.Fatal("out-of-range atom leaked")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package compress implements the compressive mechanism of Li, Zhang,
+// Winslett and Yang (WPES 2011), the paper's reference [17] and one of
+// its named future-work directions ("utilizing the correlations between
+// data values"). The histogram x is assumed sparse in an orthonormal
+// basis Ψ (Haar wavelets here): x = Ψ·s with s mostly zero. A random
+// Gaussian matrix Φ of k ≪ n rows measures y = Φ·x; Laplace noise is
+// injected into the k-dimensional synopsis instead of the n-dimensional
+// data; and the histogram is reconstructed by sparse recovery (orthogonal
+// matching pursuit) from the noisy synopsis.
+package compress
+
+import (
+	"fmt"
+	"math"
+
+	"lrm/internal/mat"
+)
+
+// OMPResult reports a sparse recovery run.
+type OMPResult struct {
+	// Coeffs holds the recovered coefficient for each selected atom.
+	Coeffs []float64
+	// Support holds the selected atom (column) indices, in selection order.
+	Support []int
+	// Residual is the final ‖y − A·ŝ‖₂.
+	Residual float64
+	// Iterations is the number of atoms selected.
+	Iterations int
+}
+
+// OMP solves min ‖s‖₀ s.t. y ≈ A·s greedily: at each step it selects the
+// column of A most correlated with the residual, then re-fits all selected
+// coefficients by least squares. It stops after maxAtoms selections or
+// when the residual norm drops below tol.
+//
+// A is k×n with k typically ≪ n; columns should have comparable norms
+// (the Gaussian measurement ensemble and orthonormal dictionaries both
+// qualify).
+func OMP(a *mat.Dense, y []float64, maxAtoms int, tol float64) (*OMPResult, error) {
+	k, n := a.Dims()
+	if len(y) != k {
+		return nil, fmt.Errorf("compress: OMP measurement length %d != rows %d", len(y), k)
+	}
+	if maxAtoms < 1 || maxAtoms > n {
+		return nil, fmt.Errorf("compress: OMP maxAtoms %d out of range [1,%d]", maxAtoms, n)
+	}
+	if maxAtoms > k {
+		// More atoms than measurements makes the LS fit underdetermined.
+		maxAtoms = k
+	}
+	// Column norms normalize the correlation test so atoms with larger
+	// norms are not preferred spuriously (the dictionary need not have
+	// unit-norm columns).
+	colNorm := make([]float64, n)
+	for i := 0; i < k; i++ {
+		row := a.RawRow(i)
+		for j, v := range row {
+			colNorm[j] += v * v
+		}
+	}
+	for j := range colNorm {
+		colNorm[j] = math.Sqrt(colNorm[j])
+	}
+	res := make([]float64, k)
+	copy(res, y)
+	selected := make([]int, 0, maxAtoms)
+	inSupport := make([]bool, n)
+	var coeffs []float64
+	for iter := 0; iter < maxAtoms; iter++ {
+		if mat.VecNorm2(res) <= tol {
+			break
+		}
+		// Normalized correlation of every column with the residual:
+		// |⟨a_j, res⟩| / ‖a_j‖.
+		corr := mat.MulVecT(a, res)
+		best, bestVal := -1, 0.0
+		for j := 0; j < n; j++ {
+			if inSupport[j] || colNorm[j] == 0 {
+				continue
+			}
+			v := math.Abs(corr[j]) / colNorm[j]
+			if v > bestVal {
+				best, bestVal = j, v
+			}
+		}
+		if best < 0 || bestVal == 0 {
+			break
+		}
+		selected = append(selected, best)
+		inSupport[best] = true
+		// Re-fit on the selected support by least squares.
+		sub := mat.New(k, len(selected))
+		for c, j := range selected {
+			col := a.Col(j)
+			sub.SetCol(c, col)
+		}
+		var err error
+		coeffs, err = mat.LeastSquares(sub, y)
+		if err != nil {
+			return nil, fmt.Errorf("compress: OMP least squares: %w", err)
+		}
+		fit := mat.MulVec(sub, coeffs)
+		for i := range res {
+			res[i] = y[i] - fit[i]
+		}
+	}
+	return &OMPResult{
+		Coeffs:     coeffs,
+		Support:    selected,
+		Residual:   mat.VecNorm2(res),
+		Iterations: len(selected),
+	}, nil
+}
+
+// Expand scatters an OMP result back to a dense length-n coefficient
+// vector.
+func (r *OMPResult) Expand(n int) []float64 {
+	s := make([]float64, n)
+	for i, j := range r.Support {
+		if j >= 0 && j < n && i < len(r.Coeffs) {
+			s[j] = r.Coeffs[i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"lrm/internal/mat"
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+)
+
+// Mechanism is the Low-Rank Mechanism of Eq. (6): given W ≈ B·L, release
+//
+//	M(Q,D) = B·(L·x + Lap(Δ(B,L)/ε)^r)
+//
+// which satisfies ε-differential privacy because L·x is a linear query
+// batch of sensitivity Δ(B,L) and post-processing by B is free.
+type Mechanism struct {
+	d *Decomposition
+}
+
+// NewMechanism wraps a decomposition as a query-answering mechanism.
+func NewMechanism(d *Decomposition) (*Mechanism, error) {
+	if d == nil || d.B == nil || d.L == nil {
+		return nil, errors.New("core: nil decomposition")
+	}
+	if d.B.Cols() != d.L.Rows() {
+		return nil, fmt.Errorf("core: decomposition shape mismatch %d×%d · %d×%d",
+			d.B.Rows(), d.B.Cols(), d.L.Rows(), d.L.Cols())
+	}
+	return &Mechanism{d: d}, nil
+}
+
+// Answer releases ε-differentially-private answers to the workload on the
+// histogram x.
+func (m *Mechanism) Answer(x []float64, eps privacy.Epsilon, src *rng.Source) ([]float64, error) {
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) != m.d.L.Cols() {
+		return nil, fmt.Errorf("core: data length %d != domain %d", len(x), m.d.L.Cols())
+	}
+	intermediate := mat.MulVec(m.d.L, x)
+	noisy, err := privacy.LaplaceMechanism(intermediate, m.d.Sensitivity(), eps, src)
+	if err != nil {
+		return nil, err
+	}
+	return mat.MulVec(m.d.B, noisy), nil
+}
+
+// ExpectedSSE returns the analytic expected sum of squared errors
+// (Lemma 1), excluding structural error from a relaxed decomposition.
+func (m *Mechanism) ExpectedSSE(eps privacy.Epsilon) float64 {
+	return m.d.ExpectedSSE(float64(eps))
+}
+
+// Decomposition returns the underlying factorization.
+func (m *Mechanism) Decomposition() *Decomposition { return m.d }

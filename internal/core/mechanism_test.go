@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/mat"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+func testMechanism(t *testing.T, w *mat.Dense) (*Mechanism, *Decomposition) {
+	t.Helper()
+	d, err := Decompose(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMechanism(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+func TestMechanismUnbiased(t *testing.T) {
+	w := workload.Related(8, 10, 2, rng.New(1))
+	m, _ := testMechanism(t, w.W)
+	x := rng.New(2).UniformVec(10, 0, 100)
+	exact := w.Answer(x)
+	src := rng.New(3)
+	const trials = 20_000
+	sums := make([]float64, len(exact))
+	for i := 0; i < trials; i++ {
+		noisy, err := m.Answer(x, 1, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range noisy {
+			sums[j] += v
+		}
+	}
+	for j, want := range exact {
+		mean := sums[j] / trials
+		// The mechanism is unbiased up to the (tiny) structural residual.
+		if math.Abs(mean-want) > 0.05*math.Abs(want)+2 {
+			t.Fatalf("mean[%d] = %v, exact %v", j, mean, want)
+		}
+	}
+}
+
+func TestMechanismEmpiricalSSEMatchesLemma1(t *testing.T) {
+	w := workload.Related(10, 12, 2, rng.New(4))
+	m, d := testMechanism(t, w.W)
+	x := make([]float64, 12) // zero data isolates the Laplace error term
+	exact := w.Answer(x)
+	src := rng.New(5)
+	const eps = 0.5
+	const trials = 8000
+	var total float64
+	for i := 0; i < trials; i++ {
+		noisy, err := m.Answer(x, eps, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range noisy {
+			dlt := noisy[j] - exact[j]
+			total += dlt * dlt
+		}
+	}
+	got := total / trials
+	want := d.ExpectedSSE(eps)
+	if math.Abs(got-want) > 0.1*want {
+		t.Fatalf("empirical SSE %v vs Lemma 1's %v", got, want)
+	}
+}
+
+func TestMechanismInputValidation(t *testing.T) {
+	w := workload.Range(5, 8, rng.New(6))
+	m, _ := testMechanism(t, w.W)
+	src := rng.New(7)
+	if _, err := m.Answer(make([]float64, 7), 1, src); err == nil {
+		t.Fatal("wrong data length accepted")
+	}
+	if _, err := m.Answer(make([]float64, 8), 0, src); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+}
+
+func TestNewMechanismValidation(t *testing.T) {
+	if _, err := NewMechanism(nil); err == nil {
+		t.Fatal("nil decomposition accepted")
+	}
+	bad := &Decomposition{B: mat.New(3, 2), L: mat.New(3, 4)}
+	if _, err := NewMechanism(bad); err == nil {
+		t.Fatal("mismatched shapes accepted")
+	}
+}
+
+func TestMechanismEpsilonScaling(t *testing.T) {
+	// SSE must scale as 1/ε² (Lemma 1).
+	w := workload.Prefix(10)
+	m, _ := testMechanism(t, w.W)
+	r := m.ExpectedSSE(0.1) / m.ExpectedSSE(1)
+	if math.Abs(r-100) > 1e-6 {
+		t.Fatalf("SSE(0.1)/SSE(1) = %v, want 100", r)
+	}
+}
+
+func TestMechanismDecompositionAccessor(t *testing.T) {
+	w := workload.Prefix(6)
+	m, d := testMechanism(t, w.W)
+	if m.Decomposition() != d {
+		t.Fatal("Decomposition accessor mismatch")
+	}
+}

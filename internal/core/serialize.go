@@ -1,0 +1,66 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"lrm/internal/mat"
+)
+
+// A decomposition is expensive to compute (it is the whole optimization)
+// but depends only on the workload, not the data or ε. Persisting it lets
+// a deployment optimize once and answer forever.
+
+// decompositionWire is the gob wire form of a Decomposition.
+type decompositionWire struct {
+	BRows, BCols int
+	LRows, LCols int
+	BData, LData []float64
+	Residual     float64
+	Outer        int
+	Converged    bool
+}
+
+// Encode serializes the decomposition in a self-contained binary format.
+func (d *Decomposition) Encode(w io.Writer) error {
+	wire := decompositionWire{
+		BRows: d.B.Rows(), BCols: d.B.Cols(),
+		LRows: d.L.Rows(), LCols: d.L.Cols(),
+		BData: d.B.RawData(), LData: d.L.RawData(),
+		Residual: d.Residual, Outer: d.OuterIterations, Converged: d.Converged,
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("core: encoding decomposition: %w", err)
+	}
+	return nil
+}
+
+// ReadDecomposition deserializes a decomposition written by Encode and
+// validates its shape invariants.
+func ReadDecomposition(r io.Reader) (*Decomposition, error) {
+	var wire decompositionWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: decoding decomposition: %w", err)
+	}
+	if wire.BRows < 0 || wire.BCols < 0 || wire.LRows < 0 || wire.LCols < 0 {
+		return nil, fmt.Errorf("core: corrupt decomposition dimensions")
+	}
+	if len(wire.BData) != wire.BRows*wire.BCols || len(wire.LData) != wire.LRows*wire.LCols {
+		return nil, fmt.Errorf("core: corrupt decomposition payload")
+	}
+	if wire.BCols != wire.LRows {
+		return nil, fmt.Errorf("core: decomposition shape mismatch %d vs %d", wire.BCols, wire.LRows)
+	}
+	d := &Decomposition{
+		B:               mat.NewFromData(wire.BRows, wire.BCols, wire.BData),
+		L:               mat.NewFromData(wire.LRows, wire.LCols, wire.LData),
+		Residual:        wire.Residual,
+		OuterIterations: wire.Outer,
+		Converged:       wire.Converged,
+	}
+	if !d.B.IsFinite() || !d.L.IsFinite() {
+		return nil, fmt.Errorf("core: decomposition contains non-finite values")
+	}
+	return d, nil
+}

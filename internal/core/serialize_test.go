@@ -1,0 +1,59 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+func TestDecompositionRoundTrip(t *testing.T) {
+	w := workload.Related(10, 14, 2, rng.New(1))
+	d, err := Decompose(w.W, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDecomposition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.B.EqualApprox(d.B, 0) || !got.L.EqualApprox(d.L, 0) {
+		t.Fatal("round-trip changed the factors")
+	}
+	if got.Residual != d.Residual || got.Converged != d.Converged || got.OuterIterations != d.OuterIterations {
+		t.Fatal("round-trip changed metadata")
+	}
+	// The restored decomposition must still answer queries.
+	m, err := NewMechanism(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Answer(make([]float64, 14), 1, rng.New(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadDecompositionCorrupt(t *testing.T) {
+	if _, err := ReadDecomposition(bytes.NewBufferString("not gob")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated stream.
+	w := workload.Prefix(6)
+	d, err := Decompose(w.W, Options{MaxOuterIter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadDecomposition(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

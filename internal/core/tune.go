@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"lrm/internal/mat"
+)
+
+// RankTrial reports one candidate rank from TuneRank.
+type RankTrial struct {
+	// Ratio is the multiple of rank(W) tried.
+	Ratio float64
+	// Rank is the resulting inner dimension r.
+	Rank int
+	// ExpectedSSE is the decomposition objective 2·Φ·Δ²/ε² at ε = 1.
+	ExpectedSSE float64
+	// Residual is ‖W − BL‖_F of the trial decomposition.
+	Residual float64
+	// Seconds is the decomposition time.
+	Seconds float64
+	// Converged reports feasibility.
+	Converged bool
+}
+
+// TuneRank sweeps the inner dimension r over ratio·rank(W) for the given
+// ratios (nil means the paper's Figure 3 guidance {1.0, 1.2, 1.4}) and
+// returns the rank whose decomposition has the lowest expected error,
+// along with every trial for inspection. This is the programmatic form of
+// the paper's Section 6.1 finding: accuracy collapses for r < rank(W) and
+// flattens beyond ≈1.2·rank(W) while cost keeps growing, so a small sweep
+// just above rank(W) finds the knee.
+//
+// Duplicate ranks arising from rounding are tried once. The sweep costs
+// one full decomposition per distinct rank; use it when the workload is
+// answered many times and the one-off optimization is worth tuning.
+func TuneRank(w *mat.Dense, ratios []float64, opts Options) (best int, trials []RankTrial, err error) {
+	if w == nil || w.Rows() == 0 || w.Cols() == 0 {
+		return 0, nil, errors.New("core: empty workload matrix")
+	}
+	if len(ratios) == 0 {
+		ratios = []float64{1.0, 1.2, 1.4}
+	}
+	baseRank := mat.Rank(w)
+	if baseRank == 0 {
+		return 0, nil, errors.New("core: zero workload matrix")
+	}
+	maxRank := w.Rows()
+	if w.Cols() < maxRank {
+		maxRank = w.Cols()
+	}
+	seen := map[int]bool{}
+	bestSSE := math.Inf(1)
+	for _, ratio := range ratios {
+		if ratio <= 0 {
+			return 0, nil, fmt.Errorf("core: non-positive ratio %g", ratio)
+		}
+		r := int(math.Ceil(ratio * float64(baseRank)))
+		if r < 1 {
+			r = 1
+		}
+		// The inner dimension never needs to exceed min(m, n): B·L of that
+		// shape already spans every possible factorization.
+		if r > maxRank {
+			r = maxRank
+		}
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		o := opts
+		o.Rank = r
+		start := time.Now()
+		d, derr := Decompose(w, o)
+		if derr != nil {
+			return 0, trials, fmt.Errorf("core: rank %d: %w", r, derr)
+		}
+		trial := RankTrial{
+			Ratio:       ratio,
+			Rank:        r,
+			ExpectedSSE: d.ExpectedSSE(1),
+			Residual:    d.Residual,
+			Seconds:     time.Since(start).Seconds(),
+			Converged:   d.Converged,
+		}
+		trials = append(trials, trial)
+		// Prefer feasible trials; among those, the lowest objective.
+		if trial.Converged && trial.ExpectedSSE < bestSSE {
+			bestSSE = trial.ExpectedSSE
+			best = trial.Rank
+		}
+	}
+	if best == 0 {
+		// No trial converged: fall back to the lowest-residual one.
+		bestRes := math.Inf(1)
+		for _, tr := range trials {
+			if tr.Residual < bestRes {
+				bestRes = tr.Residual
+				best = tr.Rank
+			}
+		}
+	}
+	return best, trials, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+func TestTuneRankFindsKnee(t *testing.T) {
+	// Low-rank workload: every ratio ≥ 1 should converge, and the chosen
+	// rank must be at least rank(W) (ratios below 1 produce the Figure 3
+	// cliff and must not win).
+	w := workload.Related(24, 32, 4, rng.New(1))
+	best, trials, err := TuneRank(w.W, []float64{0.5, 1.0, 1.5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 3 {
+		t.Fatalf("%d trials", len(trials))
+	}
+	if best < 4 {
+		t.Fatalf("best rank %d below rank(W) = 4", best)
+	}
+	// The sub-rank trial must be visibly worse (infeasible or high error).
+	var sub, full *RankTrial
+	for i := range trials {
+		switch trials[i].Ratio {
+		case 0.5:
+			sub = &trials[i]
+		case 1.0:
+			full = &trials[i]
+		}
+	}
+	if sub == nil || full == nil {
+		t.Fatal("missing trials")
+	}
+	if sub.Converged && sub.ExpectedSSE < full.ExpectedSSE {
+		t.Fatalf("sub-rank trial should not win: %+v vs %+v", sub, full)
+	}
+}
+
+func TestTuneRankDefaults(t *testing.T) {
+	w := workload.Related(16, 20, 3, rng.New(2))
+	best, trials, err := TuneRank(w.W, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < 3 {
+		t.Fatalf("best %d", best)
+	}
+	if len(trials) == 0 || len(trials) > 3 {
+		t.Fatalf("%d trials with default ratios", len(trials))
+	}
+	for _, tr := range trials {
+		if tr.Seconds < 0 || tr.Rank < 1 {
+			t.Fatalf("bad trial %+v", tr)
+		}
+	}
+}
+
+func TestTuneRankClampsToMinDim(t *testing.T) {
+	// Huge ratios clamp r at min(m, n) and deduplicate.
+	w := workload.Related(10, 8, 6, rng.New(3))
+	_, trials, err := TuneRank(w.W, []float64{5, 10}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 1 {
+		t.Fatalf("expected dedup to one clamped trial, got %d", len(trials))
+	}
+	if trials[0].Rank != 8 {
+		t.Fatalf("clamped rank %d want 8", trials[0].Rank)
+	}
+}
+
+func TestTuneRankValidation(t *testing.T) {
+	if _, _, err := TuneRank(nil, nil, Options{}); err == nil {
+		t.Fatal("want error for nil workload")
+	}
+	w := workload.Related(6, 6, 2, rng.New(4))
+	if _, _, err := TuneRank(w.W, []float64{-1}, Options{}); err == nil {
+		t.Fatal("want error for negative ratio")
+	}
+}

@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"lrm/internal/rng"
+)
+
+func TestStandardCardinalities(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want int
+	}{
+		{"searchlogs", SearchLogsSize},
+		{"nettrace", NetTraceSize},
+		{"socialnetwork", SocialNetworkSize},
+	} {
+		d, err := ByName(tc.name, rng.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Len() != tc.want {
+			t.Fatalf("%s size = %d, want %d", tc.name, d.Len(), tc.want)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("bogus", rng.New(1)); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestNamesCovered(t *testing.T) {
+	for _, n := range Names() {
+		if _, err := ByName(n, rng.New(1)); err != nil {
+			t.Fatalf("Names() lists %q but ByName fails: %v", n, err)
+		}
+	}
+}
+
+func TestCountsNonNegative(t *testing.T) {
+	src := rng.New(2)
+	for _, d := range []*Dataset{
+		SearchLogs(4096, src),
+		NetTrace(4096, src),
+		SocialNetwork(4096, src),
+	} {
+		for i, v := range d.Counts {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s count[%d] = %v", d.Name, i, v)
+			}
+		}
+		if d.Total() <= 0 {
+			t.Fatalf("%s total = %v", d.Name, d.Total())
+		}
+	}
+}
+
+func TestReproducible(t *testing.T) {
+	a := SearchLogs(1000, rng.New(7))
+	b := SearchLogs(1000, rng.New(7))
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+}
+
+func TestMergePreservesTotal(t *testing.T) {
+	d := SearchLogs(4096, rng.New(3))
+	for _, n := range []int{1, 7, 128, 1000, 4096} {
+		m := d.Merge(n)
+		if m.Len() != n {
+			t.Fatalf("Merge(%d) has %d bins", n, m.Len())
+		}
+		if math.Abs(m.Total()-d.Total()) > 1e-6*d.Total() {
+			t.Fatalf("Merge(%d) total %v != %v", n, m.Total(), d.Total())
+		}
+	}
+}
+
+func TestMergeOrderPreserving(t *testing.T) {
+	d := &Dataset{Name: "x", Counts: []float64{1, 2, 3, 4}}
+	m := d.Merge(2)
+	if m.Counts[0] != 3 || m.Counts[1] != 7 {
+		t.Fatalf("Merge = %v, want [3 7]", m.Counts)
+	}
+}
+
+func TestMergeBadSizePanics(t *testing.T) {
+	d := &Dataset{Name: "x", Counts: []float64{1, 2}}
+	for _, n := range []int{0, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Merge(%d) did not panic", n)
+				}
+			}()
+			d.Merge(n)
+		}()
+	}
+}
+
+func TestNetTraceHeavyTail(t *testing.T) {
+	d := NetTrace(20000, rng.New(5))
+	// A heavy-tailed distribution has max far above the mean.
+	mean := d.Total() / float64(d.Len())
+	var maxV float64
+	for _, v := range d.Counts {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV < 50*mean {
+		t.Fatalf("max %v not heavy-tailed relative to mean %v", maxV, mean)
+	}
+}
+
+func TestSocialNetworkDecreasingTrend(t *testing.T) {
+	d := SocialNetwork(2000, rng.New(6))
+	// Power-law degree counts: low degrees dominate high degrees.
+	var head, tail float64
+	for i := 0; i < 100; i++ {
+		head += d.Counts[i]
+	}
+	for i := 1900; i < 2000; i++ {
+		tail += d.Counts[i]
+	}
+	if head <= 10*tail {
+		t.Fatalf("head %v not dominating tail %v", head, tail)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := SearchLogs(100, rng.New(8))
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("SearchLogs", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("round-trip length %d != %d", got.Len(), d.Len())
+	}
+	for i := range d.Counts {
+		if got.Counts[i] != d.Counts[i] {
+			t.Fatalf("round-trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("x", bytes.NewBufferString("")); err == nil {
+		t.Fatal("empty csv accepted")
+	}
+	if _, err := ReadCSV("x", bytes.NewBufferString("index,count\n0,notanumber\n")); err == nil {
+		t.Fatal("bad count accepted")
+	}
+}
+
+func TestSquaredSum(t *testing.T) {
+	d := &Dataset{Counts: []float64{3, 4}}
+	if got := d.SquaredSum(); got != 25 {
+		t.Fatalf("SquaredSum = %v", got)
+	}
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a histogram's shape. The synopsis mechanisms'
+// usefulness depends on exactly these properties (smoothness for FPA,
+// blockiness for NF, concentration for CM), so the harness and datagen
+// expose them next to every dataset.
+type Stats struct {
+	// Len, Total, Mean, Max are the basic magnitudes.
+	Len   int
+	Total float64
+	Mean  float64
+	Max   float64
+	// Median and P99 are order statistics of the counts.
+	Median, P99 float64
+	// Gini is the Gini concentration coefficient in [0,1): 0 for a flat
+	// histogram, →1 when mass concentrates in few bins (heavy tails).
+	Gini float64
+	// Roughness is the mean squared difference of adjacent counts divided
+	// by the count variance — ≈0 for smooth/blocky series, ≈2 for i.i.d.
+	// noise (the first-difference variance ratio).
+	Roughness float64
+}
+
+// Summarize computes the statistics of d.
+func (d *Dataset) Summarize() (*Stats, error) {
+	n := len(d.Counts)
+	if n == 0 {
+		return nil, fmt.Errorf("dataset: empty dataset")
+	}
+	s := &Stats{Len: n}
+	for _, v := range d.Counts {
+		s.Total += v
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = s.Total / float64(n)
+
+	sorted := make([]float64, n)
+	copy(sorted, d.Counts)
+	sort.Float64s(sorted)
+	s.Median = orderStat(sorted, 0.5)
+	s.P99 = orderStat(sorted, 0.99)
+
+	// Gini from the sorted counts: (2·Σ i·x_(i) / (n·Σx)) − (n+1)/n.
+	if s.Total > 0 {
+		var weighted float64
+		for i, v := range sorted {
+			weighted += float64(i+1) * v
+		}
+		s.Gini = 2*weighted/(float64(n)*s.Total) - float64(n+1)/float64(n)
+		if s.Gini < 0 {
+			s.Gini = 0
+		}
+	}
+
+	// Roughness: Var(Δx)/Var(x).
+	var varSum float64
+	for _, v := range d.Counts {
+		dm := v - s.Mean
+		varSum += dm * dm
+	}
+	if n > 1 && varSum > 0 {
+		var diffSum float64
+		for i := 1; i < n; i++ {
+			dd := d.Counts[i] - d.Counts[i-1]
+			diffSum += dd * dd
+		}
+		s.Roughness = (diffSum / float64(n-1)) / (varSum / float64(n))
+	}
+	return s, nil
+}
+
+func orderStat(sorted []float64, q float64) float64 {
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Describe renders a one-paragraph report, used by cmd/datagen -describe.
+func (s *Stats) Describe(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d bins, total %.4g, mean %.4g, median %.4g, p99 %.4g, max %.4g\n",
+		name, s.Len, s.Total, s.Mean, s.Median, s.P99, s.Max)
+	fmt.Fprintf(&b, "  concentration (Gini) %.3f, roughness (Var Δx / Var x) %.3f", s.Gini, s.Roughness)
+	switch {
+	case s.Roughness < 0.5:
+		b.WriteString(" — smooth/blocky: synopsis-friendly")
+	case s.Roughness > 1.5:
+		b.WriteString(" — noise-like: synopses will pay heavy bias")
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

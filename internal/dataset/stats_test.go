@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lrm/internal/rng"
+)
+
+func TestSummarizeFlatHistogram(t *testing.T) {
+	d := &Dataset{Name: "flat", Counts: []float64{5, 5, 5, 5}}
+	s, err := d.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Total != 20 || s.Mean != 5 || s.Max != 5 || s.Median != 5 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.Gini != 0 {
+		t.Fatalf("flat histogram Gini %g want 0", s.Gini)
+	}
+	if s.Roughness != 0 {
+		t.Fatalf("flat histogram roughness %g want 0", s.Roughness)
+	}
+}
+
+func TestSummarizeConcentratedHistogram(t *testing.T) {
+	counts := make([]float64, 100)
+	counts[0] = 1000 // all mass in one bin
+	d := &Dataset{Name: "spike", Counts: counts}
+	s, err := d.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Gini < 0.95 {
+		t.Fatalf("single-bin histogram Gini %g want ≈0.99", s.Gini)
+	}
+	if s.Median != 0 || s.Max != 1000 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestSummarizeRoughnessSeparatesNoiseFromSmooth(t *testing.T) {
+	src := rng.New(1)
+	n := 2048
+	noise := make([]float64, n)
+	smooth := make([]float64, n)
+	for i := range noise {
+		noise[i] = src.Normal()
+		smooth[i] = math.Sin(2 * math.Pi * float64(i) / float64(n))
+	}
+	sn, err := (&Dataset{Counts: noise}).Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := (&Dataset{Counts: smooth}).Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Roughness < 1.5 || sn.Roughness > 2.5 {
+		t.Fatalf("i.i.d. noise roughness %g want ≈2", sn.Roughness)
+	}
+	if ss.Roughness > 0.01 {
+		t.Fatalf("sinusoid roughness %g want ≈0", ss.Roughness)
+	}
+}
+
+func TestSummarizeValidation(t *testing.T) {
+	if _, err := (&Dataset{}).Summarize(); err == nil {
+		t.Fatal("want error for empty dataset")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := SocialNetwork(1024, rng.New(2))
+	s, err := d.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Describe(d.Name)
+	if !strings.Contains(out, "Gini") || !strings.Contains(out, d.Name) {
+		t.Fatalf("describe: %s", out)
+	}
+}

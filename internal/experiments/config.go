@@ -1,0 +1,228 @@
+// Package experiments is the benchmark harness that regenerates every
+// table and figure of the paper's Section 6. Each FigureN function runs
+// the corresponding parameter sweep over the paper's workloads, datasets
+// and mechanisms and returns printable rows; cmd/lrmbench and the root
+// bench_test.go drive it.
+package experiments
+
+import (
+	"fmt"
+
+	"lrm/internal/core"
+	"lrm/internal/dataset"
+	"lrm/internal/rng"
+)
+
+// Scale selects the grid size of every sweep.
+type Scale int
+
+const (
+	// ScaleBench is the smallest meaningful grid, sized so the whole
+	// bench suite finishes in minutes.
+	ScaleBench Scale = iota
+	// ScaleLight is the default CLI grid: the paper's shapes on reduced
+	// domains (n ≤ 1024).
+	ScaleLight
+	// ScalePaper is the full grid of Table 1 (n up to 8192, 20 trials).
+	ScalePaper
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case ScaleBench:
+		return "bench"
+	case ScaleLight:
+		return "light"
+	case ScalePaper:
+		return "paper"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// Config parameterizes a figure run. The zero value is ScaleBench with
+// per-scale defaults.
+type Config struct {
+	Scale Scale
+	// Trials overrides the per-scale trial count (bench 10, light 20,
+	// paper 20).
+	Trials int
+	// Seed makes the whole figure reproducible (default 1).
+	Seed int64
+	// Dataset restricts figures 4–9 to one dataset name; empty runs all
+	// three.
+	Dataset string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trials == 0 {
+		switch c.Scale {
+		case ScalePaper:
+			c.Trials = 20
+		case ScaleLight:
+			c.Trials = 20
+		default:
+			c.Trials = 10
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Grid accessors: every sweep in Section 6 is defined here, per scale.
+
+func (c Config) domainSizes() []int {
+	switch c.Scale {
+	case ScalePaper:
+		return []int{128, 256, 512, 1024, 2048, 4096, 8192}
+	case ScaleLight:
+		return []int{128, 256, 512, 1024}
+	default:
+		return []int{64, 128, 256}
+	}
+}
+
+func (c Config) querySizes() []int {
+	switch c.Scale {
+	case ScalePaper:
+		return []int{64, 128, 256, 512, 1024}
+	case ScaleLight:
+		return []int{64, 128, 256}
+	default:
+		return []int{16, 32, 64}
+	}
+}
+
+// defaultN and defaultM are the fixed values used while another
+// parameter sweeps.
+func (c Config) defaultN() int {
+	switch c.Scale {
+	case ScalePaper:
+		return 1024
+	case ScaleLight:
+		return 512
+	default:
+		return 128
+	}
+}
+
+func (c Config) defaultM() int {
+	switch c.Scale {
+	case ScalePaper:
+		return 256
+	case ScaleLight:
+		return 128
+	default:
+		return 64
+	}
+}
+
+func (c Config) gammaGrid() []float64 {
+	switch c.Scale {
+	case ScalePaper:
+		return []float64{1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+	case ScaleLight:
+		return []float64{1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+	default:
+		return []float64{1e-4, 1e-1, 10}
+	}
+}
+
+func (c Config) rankRatios() []float64 {
+	switch c.Scale {
+	case ScalePaper:
+		return []float64{0.8, 1.0, 1.2, 1.4, 1.7, 2.1, 2.5, 3.0, 3.6}
+	case ScaleLight:
+		return []float64{0.8, 1.0, 1.2, 1.4, 1.7, 2.1}
+	default:
+		return []float64{0.8, 1.2, 2.1}
+	}
+}
+
+func (c Config) sRatios() []float64 {
+	switch c.Scale {
+	case ScalePaper:
+		return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	case ScaleLight:
+		return []float64{0.1, 0.2, 0.4, 0.6, 0.8, 1.0}
+	default:
+		return []float64{0.2, 0.6, 1.0}
+	}
+}
+
+// epsilonsFig23 are the privacy budgets of Figures 2–3.
+func (Config) epsilonsFig23() []float64 { return []float64{1, 0.1, 0.01} }
+
+// epsilonMain is the budget of Figures 4–9.
+func (Config) epsilonMain() float64 { return 0.1 }
+
+// mmMaxDomain caps the domain size at which the (cubic) matrix mechanism
+// is still run, as the paper itself stops reporting it beyond Figure 6.
+func (c Config) mmMaxDomain() int {
+	switch c.Scale {
+	case ScalePaper:
+		return 512
+	case ScaleLight:
+		return 256
+	default:
+		return 128
+	}
+}
+
+// lrmOptions tunes the decomposition iteration caps per scale.
+func (c Config) lrmOptions() core.Options {
+	switch c.Scale {
+	case ScalePaper:
+		return core.Options{MaxOuterIter: 120, MaxInnerIter: 6, MaxNesterovIter: 60}
+	case ScaleLight:
+		return core.Options{MaxOuterIter: 60, MaxInnerIter: 4, MaxNesterovIter: 40}
+	default:
+		return core.Options{MaxOuterIter: 50, MaxInnerIter: 3, MaxNesterovIter: 30}
+	}
+}
+
+// sDefault is the WRelated base size used when s is not the swept
+// parameter: 0.1·min(m,n). The low-rank regime n ≫ s² is where the paper
+// reports LRM's order-of-magnitude advantage (its Figure 9 shows the
+// advantage eroding as s grows toward min(m,n)).
+func sDefault(m, n int) int {
+	s := int(0.1 * float64(min(m, n)))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// datasetsFor returns the datasets a figure iterates over, generated at
+// their paper cardinalities from the run seed.
+func (c Config) datasetsFor() ([]*dataset.Dataset, error) {
+	names := dataset.Names()
+	if c.Dataset != "" {
+		names = []string{c.Dataset}
+	}
+	out := make([]*dataset.Dataset, 0, len(names))
+	for _, name := range names {
+		d, err := dataset.ByName(name, rng.New(c.Seed+int64(len(name))))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// DefaultParams renders Table 1: the parameter grid of the experiments.
+func DefaultParams(c Config) string {
+	c = c.withDefaults()
+	return fmt.Sprintf(`Table 1 — experiment parameters (scale=%s, trials=%d)
+  gamma : %v
+  r     : ratio x rank(W), ratios %v
+  n     : %v (default %d)
+  m     : %v (default %d)
+  s     : ratio x min(m,n), ratios %v
+  eps   : figures 2-3: %v; figures 4-9: %v
+`, c.Scale, c.Trials, c.gammaGrid(), c.rankRatios(), c.domainSizes(), c.defaultN(),
+		c.querySizes(), c.defaultM(), c.sRatios(), c.epsilonsFig23(), c.epsilonMain())
+}

@@ -1,0 +1,390 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"lrm/internal/dataset"
+	"lrm/internal/mechanism"
+	"lrm/internal/metrics"
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// workloadKinds are the paper's three synthetic workload generators.
+var workloadKinds = []string{"WDiscrete", "WRange", "WRelated"}
+
+// maxConcurrentPoints bounds how many sweep points run at once. Each
+// point's decomposition already uses a few cores for its matrix products,
+// so a moderate fan-out saturates the machine without oversubscribing.
+const maxConcurrentPoints = 6
+
+// runPoints executes the sweep-point closures with bounded parallelism
+// and returns the first error. Every closure writes only to its own
+// result slot, so output order (and reproducibility) is unaffected.
+func runPoints(points []func() error) error {
+	sem := make(chan struct{}, maxConcurrentPoints)
+	errc := make(chan error, len(points))
+	for _, p := range points {
+		sem <- struct{}{}
+		go func(p func() error) {
+			defer func() { <-sem }()
+			errc <- p()
+		}(p)
+	}
+	for i := 0; i < cap(sem); i++ {
+		sem <- struct{}{}
+	}
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildWorkload instantiates one of the paper's workloads.
+func buildWorkload(kind string, m, n, s int, src *rng.Source) (*workload.Workload, error) {
+	switch kind {
+	case "WDiscrete":
+		return workload.Discrete(m, n, 0.02, src), nil
+	case "WRange":
+		return workload.Range(m, n, src), nil
+	case "WRelated":
+		return workload.Related(m, n, s, src), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown workload kind %q", kind)
+}
+
+// Figure2 reproduces "Effect of varying relaxation parameter γ with the
+// Search Logs dataset for LRM": error and decomposition time as γ sweeps
+// over [1e-4, 10] for all three workloads and ε ∈ {1, 0.1, 0.01}.
+func Figure2(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	data, err := searchLogsMerged(cfg, cfg.defaultN())
+	if err != nil {
+		return nil, err
+	}
+	grid := cfg.gammaGrid()
+	results := make([][]Row, len(workloadKinds)*len(grid))
+	var points []func() error
+	for ki, kind := range workloadKinds {
+		w, err := buildWorkload(kind, cfg.defaultM(), cfg.defaultN(),
+			sDefault(cfg.defaultM(), cfg.defaultN()), rng.New(cfg.Seed+int64(ki)*31))
+		if err != nil {
+			return nil, err
+		}
+		for gi, gamma := range grid {
+			slot := ki*len(grid) + gi
+			kind, gamma := kind, gamma
+			points = append(points, func() error {
+				opts := cfg.lrmOptions()
+				opts.Gamma = gamma
+				start := time.Now()
+				prepared, err := mechanism.LRM{Options: opts}.Prepare(w)
+				if err != nil {
+					return fmt.Errorf("Figure2 %s γ=%g: %w", kind, gamma, err)
+				}
+				prepSec := time.Since(start).Seconds()
+				for _, eps := range cfg.epsilonsFig23() {
+					m, err := metrics.EvaluatePrepared(prepared, w, data, privacy.Epsilon(eps), cfg.Trials, rng.New(cfg.Seed+7))
+					if err != nil {
+						return err
+					}
+					results[slot] = append(results[slot], Row{
+						Figure: "Fig2", Dataset: "SearchLogs", Workload: kind,
+						Mechanism: "LRM", Param: "gamma", Value: gamma,
+						Epsilon: eps, AvgSqErr: m.AvgSquaredError, Seconds: prepSec,
+					})
+				}
+				return nil
+			})
+		}
+	}
+	if err := runPoints(points); err != nil {
+		return nil, err
+	}
+	return flatten(results), nil
+}
+
+func flatten(results [][]Row) []Row {
+	var rows []Row
+	for _, r := range results {
+		rows = append(rows, r...)
+	}
+	return rows
+}
+
+// Figure3 reproduces "Effect of varying r": error and time as the inner
+// dimension sweeps over ratio·rank(W).
+func Figure3(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	data, err := searchLogsMerged(cfg, cfg.defaultN())
+	if err != nil {
+		return nil, err
+	}
+	ratios := cfg.rankRatios()
+	results := make([][]Row, len(workloadKinds)*len(ratios))
+	var points []func() error
+	for ki, kind := range workloadKinds {
+		w, err := buildWorkload(kind, cfg.defaultM(), cfg.defaultN(),
+			sDefault(cfg.defaultM(), cfg.defaultN()), rng.New(cfg.Seed+int64(ki)*37))
+		if err != nil {
+			return nil, err
+		}
+		rank := w.Rank()
+		for ri, ratio := range ratios {
+			slot := ki*len(ratios) + ri
+			kind, ratio := kind, ratio
+			points = append(points, func() error {
+				r := int(math.Ceil(ratio * float64(rank)))
+				if r < 1 {
+					r = 1
+				}
+				opts := cfg.lrmOptions()
+				opts.Rank = r
+				start := time.Now()
+				prepared, err := mechanism.LRM{Options: opts}.Prepare(w)
+				if err != nil {
+					return fmt.Errorf("Figure3 %s ratio=%g: %w", kind, ratio, err)
+				}
+				prepSec := time.Since(start).Seconds()
+				for _, eps := range cfg.epsilonsFig23() {
+					m, err := metrics.EvaluatePrepared(prepared, w, data, privacy.Epsilon(eps), cfg.Trials, rng.New(cfg.Seed+11))
+					if err != nil {
+						return err
+					}
+					results[slot] = append(results[slot], Row{
+						Figure: "Fig3", Dataset: "SearchLogs", Workload: kind,
+						Mechanism: "LRM", Param: "ratio", Value: ratio,
+						Epsilon: eps, AvgSqErr: m.AvgSquaredError, Seconds: prepSec,
+					})
+				}
+				return nil
+			})
+		}
+	}
+	if err := runPoints(points); err != nil {
+		return nil, err
+	}
+	return flatten(results), nil
+}
+
+// domainSweep is the shared skeleton of Figures 4–6: error vs domain size
+// n for one workload kind across all datasets and mechanisms.
+func domainSweep(cfg Config, figure, kind string) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	datasets, err := cfg.datasetsFor()
+	if err != nil {
+		return nil, err
+	}
+	eps := privacy.Epsilon(cfg.epsilonMain())
+	sizes := cfg.domainSizes()
+	results := make([][]Row, len(datasets)*len(sizes))
+	var points []func() error
+	for di, d := range datasets {
+		for ni, n := range sizes {
+			if n > d.Len() {
+				continue
+			}
+			slot := di*len(sizes) + ni
+			d, n, di, ni := d, n, di, ni
+			points = append(points, func() error {
+				merged := d.Merge(n)
+				m := cfg.defaultM()
+				w, err := buildWorkload(kind, m, n, sDefault(m, n), rng.New(cfg.Seed+int64(di*100+ni)))
+				if err != nil {
+					return err
+				}
+				mechs := []mechanism.Mechanism{
+					mechanism.LaplaceData{},
+					mechanism.Wavelet{},
+					mechanism.Hierarchical{},
+					mechanism.LRM{Options: cfg.lrmOptions()},
+				}
+				if n <= cfg.mmMaxDomain() {
+					mechs = append(mechs, mechanism.MatrixMechanism{MaxIter: 40})
+				}
+				for _, mech := range mechs {
+					meas, err := metrics.Evaluate(mech, w, merged.Counts, eps, cfg.Trials, rng.New(cfg.Seed+13))
+					if err != nil {
+						return fmt.Errorf("%s %s %s n=%d: %w", figure, d.Name, mech.Name(), n, err)
+					}
+					results[slot] = append(results[slot], Row{
+						Figure: figure, Dataset: d.Name, Workload: kind,
+						Mechanism: mech.Name(), Param: "n", Value: float64(n),
+						Epsilon: float64(eps), AvgSqErr: meas.AvgSquaredError, Seconds: meas.PrepareSeconds,
+					})
+				}
+				return nil
+			})
+		}
+	}
+	if err := runPoints(points); err != nil {
+		return nil, err
+	}
+	return flatten(results), nil
+}
+
+// Figure4 reproduces "Effect of varying domain size n on workload
+// WDiscrete with ε = 0.1" across the three datasets and all mechanisms.
+func Figure4(cfg Config) ([]Row, error) { return domainSweep(cfg, "Fig4", "WDiscrete") }
+
+// Figure5 reproduces the domain-size sweep on WRange.
+func Figure5(cfg Config) ([]Row, error) { return domainSweep(cfg, "Fig5", "WRange") }
+
+// Figure6 reproduces the domain-size sweep on WRelated.
+func Figure6(cfg Config) ([]Row, error) { return domainSweep(cfg, "Fig6", "WRelated") }
+
+// querySweep is the shared skeleton of Figures 7–8: error vs batch size m
+// (MM excluded, as in the paper).
+func querySweep(cfg Config, figure, kind string) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	datasets, err := cfg.datasetsFor()
+	if err != nil {
+		return nil, err
+	}
+	eps := privacy.Epsilon(cfg.epsilonMain())
+	n := cfg.defaultN()
+	sizes := cfg.querySizes()
+	results := make([][]Row, len(datasets)*len(sizes))
+	var points []func() error
+	for di, d := range datasets {
+		if n > d.Len() {
+			continue
+		}
+		merged := d.Merge(n)
+		for mi, m := range sizes {
+			slot := di*len(sizes) + mi
+			d, m, di, mi := d, m, di, mi
+			points = append(points, func() error {
+				w, err := buildWorkload(kind, m, n, sDefault(m, n), rng.New(cfg.Seed+int64(di*100+mi)*3))
+				if err != nil {
+					return err
+				}
+				for _, mech := range []mechanism.Mechanism{
+					mechanism.LaplaceData{},
+					mechanism.Wavelet{},
+					mechanism.Hierarchical{},
+					mechanism.LRM{Options: cfg.lrmOptions()},
+				} {
+					meas, err := metrics.Evaluate(mech, w, merged.Counts, eps, cfg.Trials, rng.New(cfg.Seed+17))
+					if err != nil {
+						return fmt.Errorf("%s %s %s m=%d: %w", figure, d.Name, mech.Name(), m, err)
+					}
+					results[slot] = append(results[slot], Row{
+						Figure: figure, Dataset: d.Name, Workload: kind,
+						Mechanism: mech.Name(), Param: "m", Value: float64(m),
+						Epsilon: float64(eps), AvgSqErr: meas.AvgSquaredError, Seconds: meas.PrepareSeconds,
+					})
+				}
+				return nil
+			})
+		}
+	}
+	if err := runPoints(points); err != nil {
+		return nil, err
+	}
+	return flatten(results), nil
+}
+
+// Figure7 reproduces "Effect of number of queries m on workload WRange".
+func Figure7(cfg Config) ([]Row, error) { return querySweep(cfg, "Fig7", "WRange") }
+
+// Figure8 reproduces the query-size sweep on WRelated.
+func Figure8(cfg Config) ([]Row, error) { return querySweep(cfg, "Fig8", "WRelated") }
+
+// Figure9 reproduces "Effect of parameter s": error vs the base size of
+// WRelated, s = ratio·min(m,n), which controls rank(W).
+func Figure9(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	datasets, err := cfg.datasetsFor()
+	if err != nil {
+		return nil, err
+	}
+	eps := privacy.Epsilon(cfg.epsilonMain())
+	n := cfg.defaultN()
+	m := cfg.defaultM()
+	ratios := cfg.sRatios()
+	results := make([][]Row, len(datasets)*len(ratios))
+	var points []func() error
+	for di, d := range datasets {
+		if n > d.Len() {
+			continue
+		}
+		merged := d.Merge(n)
+		for si, ratio := range ratios {
+			slot := di*len(ratios) + si
+			d, ratio, di, si := d, ratio, di, si
+			points = append(points, func() error {
+				s := int(math.Round(ratio * float64(min(m, n))))
+				if s < 1 {
+					s = 1
+				}
+				w, err := buildWorkload("WRelated", m, n, s, rng.New(cfg.Seed+int64(di*100+si)*7))
+				if err != nil {
+					return err
+				}
+				for _, mech := range []mechanism.Mechanism{
+					mechanism.LaplaceData{},
+					mechanism.Wavelet{},
+					mechanism.Hierarchical{},
+					mechanism.LRM{Options: cfg.lrmOptions()},
+				} {
+					meas, err := metrics.Evaluate(mech, w, merged.Counts, eps, cfg.Trials, rng.New(cfg.Seed+19))
+					if err != nil {
+						return fmt.Errorf("Fig9 %s %s s=%d: %w", d.Name, mech.Name(), s, err)
+					}
+					results[slot] = append(results[slot], Row{
+						Figure: "Fig9", Dataset: d.Name, Workload: "WRelated",
+						Mechanism: mech.Name(), Param: "s_ratio", Value: ratio,
+						Epsilon: float64(eps), AvgSqErr: meas.AvgSquaredError, Seconds: meas.PrepareSeconds,
+					})
+				}
+				return nil
+			})
+		}
+	}
+	if err := runPoints(points); err != nil {
+		return nil, err
+	}
+	return flatten(results), nil
+}
+
+// Run dispatches a figure by number (2–9).
+func Run(figure int, cfg Config) ([]Row, error) {
+	switch figure {
+	case 2:
+		return Figure2(cfg)
+	case 3:
+		return Figure3(cfg)
+	case 4:
+		return Figure4(cfg)
+	case 5:
+		return Figure5(cfg)
+	case 6:
+		return Figure6(cfg)
+	case 7:
+		return Figure7(cfg)
+	case 8:
+		return Figure8(cfg)
+	case 9:
+		return Figure9(cfg)
+	}
+	return nil, fmt.Errorf("experiments: no figure %d (want 2-9)", figure)
+}
+
+// Figures lists the figure numbers Run accepts.
+func Figures() []int { return []int{2, 3, 4, 5, 6, 7, 8, 9} }
+
+// searchLogsMerged builds the Search Logs dataset merged to n bins.
+func searchLogsMerged(cfg Config, n int) ([]float64, error) {
+	d := dataset.SearchLogs(dataset.SearchLogsSize, rng.New(cfg.Seed+101))
+	if n > d.Len() {
+		return nil, fmt.Errorf("experiments: n=%d exceeds Search Logs size", n)
+	}
+	return d.Merge(n).Counts, nil
+}

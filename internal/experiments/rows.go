@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"text/tabwriter"
+)
+
+// Row is one measured point of a figure: a (sweep value, mechanism,
+// epsilon) cell with its average squared error and timing.
+type Row struct {
+	Figure    string  // "Fig2" … "Fig9"
+	Dataset   string  // SearchLogs, NetTrace, SocialNetwork
+	Workload  string  // WDiscrete, WRange, WRelated
+	Mechanism string  // LM, NOR, WM, HM, MM, LRM
+	Param     string  // name of the swept parameter (gamma, ratio, n, m, s)
+	Value     float64 // swept value
+	Epsilon   float64
+	AvgSqErr  float64
+	Seconds   float64 // preparation (strategy optimization) time
+}
+
+// WriteTable renders rows as an aligned text table grouped like the
+// paper's figures: one block per (dataset, workload), series per
+// mechanism.
+func WriteTable(w io.Writer, rows []Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "figure\tdataset\tworkload\tmech\tparam\tvalue\teps\tavg_sq_err\tprep_seconds")
+	sorted := append([]Row(nil), rows...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		switch {
+		case a.Figure != b.Figure:
+			return a.Figure < b.Figure
+		case a.Dataset != b.Dataset:
+			return a.Dataset < b.Dataset
+		case a.Workload != b.Workload:
+			return a.Workload < b.Workload
+		case a.Mechanism != b.Mechanism:
+			return a.Mechanism < b.Mechanism
+		case a.Epsilon != b.Epsilon:
+			return a.Epsilon > b.Epsilon
+		default:
+			return a.Value < b.Value
+		}
+	})
+	for _, r := range sorted {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%g\t%g\t%.4g\t%.3f\n",
+			r.Figure, r.Dataset, r.Workload, r.Mechanism, r.Param, r.Value, r.Epsilon, r.AvgSqErr, r.Seconds)
+	}
+	return tw.Flush()
+}
+
+// WriteCSV renders rows as CSV with a header.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "dataset", "workload", "mechanism", "param", "value", "epsilon", "avg_sq_err", "prep_seconds"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Figure, r.Dataset, r.Workload, r.Mechanism, r.Param,
+			strconv.FormatFloat(r.Value, 'g', -1, 64),
+			strconv.FormatFloat(r.Epsilon, 'g', -1, 64),
+			strconv.FormatFloat(r.AvgSqErr, 'g', 6, 64),
+			strconv.FormatFloat(r.Seconds, 'g', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,296 @@
+package hist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lrm/internal/rng"
+)
+
+// bruteVOptimal enumerates every B-bucket split of counts and returns the
+// minimal SSE — the reference for the DP implementation.
+func bruteVOptimal(counts []float64, b int) float64 {
+	n := len(counts)
+	t := newSSETable(counts)
+	best := math.MaxFloat64
+	// Choose b−1 interior boundaries from positions 1..n−1.
+	var rec func(start, left int, acc float64, prev int)
+	rec = func(start, left int, acc float64, prev int) {
+		if left == 0 {
+			total := acc + t.sse(prev, n)
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for p := start; p <= n-left; p++ {
+			rec(p+1, left-1, acc+t.sse(prev, p), p)
+		}
+	}
+	rec(1, b-1, 0, 0)
+	return best
+}
+
+func TestVOptimalMatchesBruteForce(t *testing.T) {
+	src := rng.New(1)
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + src.Intn(8)
+		b := 1 + src.Intn(n)
+		counts := src.UniformVec(n, 0, 20)
+		_, got, err := VOptimal(counts, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteVOptimal(counts, b)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d (n=%d b=%d): DP %g brute %g", trial, n, b, got, want)
+		}
+	}
+}
+
+func TestVOptimalExactBuckets(t *testing.T) {
+	// Piecewise-constant data with 3 segments has zero SSE at B = 3.
+	counts := []float64{5, 5, 5, 9, 9, 2, 2, 2, 2}
+	boundaries, sse, err := VOptimal(counts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sse > 1e-12 {
+		t.Fatalf("SSE %g should be 0 for exact segmentation", sse)
+	}
+	want := []int{0, 3, 5}
+	for i := range want {
+		if boundaries[i] != want[i] {
+			t.Fatalf("boundaries %v want %v", boundaries, want)
+		}
+	}
+}
+
+func TestVOptimalSingleBucket(t *testing.T) {
+	counts := []float64{1, 2, 3, 4}
+	boundaries, sse, err := VOptimal(counts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(boundaries) != 1 || boundaries[0] != 0 {
+		t.Fatalf("boundaries %v", boundaries)
+	}
+	// SSE around mean 2.5: (1.5² + 0.5²)·2 = 5.
+	if math.Abs(sse-5) > 1e-12 {
+		t.Fatalf("sse %g want 5", sse)
+	}
+}
+
+func TestVOptimalNBuckets(t *testing.T) {
+	counts := []float64{7, 1, 9}
+	boundaries, sse, err := VOptimal(counts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sse != 0 {
+		t.Fatalf("one bucket per cell must have zero SSE, got %g", sse)
+	}
+	for i, b := range boundaries {
+		if b != i {
+			t.Fatalf("boundaries %v", boundaries)
+		}
+	}
+}
+
+func TestVOptimalValidation(t *testing.T) {
+	if _, _, err := VOptimal(nil, 1); err == nil {
+		t.Fatal("want error for empty counts")
+	}
+	if _, _, err := VOptimal([]float64{1, 2}, 0); err == nil {
+		t.Fatal("want error for zero buckets")
+	}
+	if _, _, err := VOptimal([]float64{1, 2}, 3); err == nil {
+		t.Fatal("want error for more buckets than cells")
+	}
+}
+
+func TestVOptimalMonotoneInBuckets(t *testing.T) {
+	// Property: optimal SSE is non-increasing in the bucket budget.
+	f := func(seed int64) bool {
+		s := rng.New(seed)
+		n := 4 + s.Intn(12)
+		counts := s.UniformVec(n, 0, 50)
+		prev := math.MaxFloat64
+		for b := 1; b <= n; b++ {
+			_, sse, err := VOptimal(counts, b)
+			if err != nil || sse > prev+1e-9 {
+				return false
+			}
+			prev = sse
+		}
+		return prev < 1e-9 // B = n is exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	counts := []float64{2, 4, 10, 20}
+	out, err := Smooth(counts, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 3, 15, 15}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("Smooth %v want %v", out, want)
+		}
+	}
+	// Smoothing preserves the total.
+	var a, b float64
+	for i := range counts {
+		a += counts[i]
+		b += out[i]
+	}
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("total changed: %g vs %g", a, b)
+	}
+}
+
+func TestSmoothValidation(t *testing.T) {
+	counts := []float64{1, 2, 3}
+	for _, bad := range [][]int{nil, {1}, {0, 0}, {0, 3}, {0, 2, 1}} {
+		if _, err := Smooth(counts, bad); err == nil {
+			t.Fatalf("want error for boundaries %v", bad)
+		}
+	}
+}
+
+func TestNoiseFirstReducesErrorOnBlockyData(t *testing.T) {
+	// Blocky data (few distinct levels over long runs): bucket averaging
+	// should cut the Laplace error well below the per-cell noise floor.
+	n := 128
+	x := make([]float64, n)
+	for i := range x {
+		switch {
+		case i < 40:
+			x[i] = 100
+		case i < 90:
+			x[i] = 30
+		default:
+			x[i] = 70
+		}
+	}
+	src := rng.New(7)
+	const eps = 0.5
+	const trials = 20
+	var histSSE, rawSSE float64
+	for trial := 0; trial < trials; trial++ {
+		res, err := NoiseFirst(x, 8, eps, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			d := res.Estimate[i] - x[i]
+			histSSE += d * d
+			e := src.Laplace(1 / eps)
+			rawSSE += e * e
+		}
+	}
+	if histSSE >= rawSSE/2 {
+		t.Fatalf("NoiseFirst SSE %g should be well below raw Laplace SSE %g", histSSE/trials, rawSSE/trials)
+	}
+}
+
+func TestNoiseFirstValidation(t *testing.T) {
+	src := rng.New(1)
+	if _, err := NoiseFirst(nil, 1, 1, src); err == nil {
+		t.Fatal("want error for empty data")
+	}
+	if _, err := NoiseFirst([]float64{1}, 1, 0, src); err == nil {
+		t.Fatal("want error for zero epsilon")
+	}
+	if _, err := NoiseFirst([]float64{1, 2}, 5, 1, src); err == nil {
+		t.Fatal("want error for too many buckets")
+	}
+}
+
+func TestStructureFirstValidation(t *testing.T) {
+	src := rng.New(1)
+	x := []float64{1, 2, 3, 4}
+	if _, err := StructureFirst(nil, StructureFirstOptions{Buckets: 1}, 1, src); err == nil {
+		t.Fatal("want error for empty data")
+	}
+	if _, err := StructureFirst(x, StructureFirstOptions{Buckets: 0}, 1, src); err == nil {
+		t.Fatal("want error for zero buckets")
+	}
+	if _, err := StructureFirst(x, StructureFirstOptions{Buckets: 2, StructureFraction: 1.5}, 1, src); err == nil {
+		t.Fatal("want error for fraction out of range")
+	}
+	if _, err := StructureFirst(x, StructureFirstOptions{Buckets: 2, MaxCount: -1}, 1, src); err == nil {
+		t.Fatal("want error for negative MaxCount")
+	}
+	if _, err := StructureFirst(x, StructureFirstOptions{Buckets: 2}, 0, src); err == nil {
+		t.Fatal("want error for zero epsilon")
+	}
+}
+
+func TestStructureFirstProducesValidBuckets(t *testing.T) {
+	src := rng.New(9)
+	x := src.UniformVec(64, 0, 100)
+	for _, b := range []int{1, 2, 5, 16} {
+		res, err := StructureFirst(x, StructureFirstOptions{Buckets: b, MaxCount: 100}, 1, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Boundaries) != b {
+			t.Fatalf("got %d boundaries want %d", len(res.Boundaries), b)
+		}
+		if err := validBoundaries(len(x), res.Boundaries); err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Estimate) != len(x) {
+			t.Fatal("estimate length mismatch")
+		}
+		for _, v := range res.Estimate {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("estimate not finite")
+			}
+		}
+	}
+}
+
+func TestStructureFirstFindsBlockStructureAtHighEps(t *testing.T) {
+	// With a large privacy budget the exponential mechanism concentrates
+	// on the true v-optimal boundaries of strongly blocky data.
+	x := make([]float64, 32)
+	for i := range x {
+		if i < 16 {
+			x[i] = 1000
+		}
+	}
+	src := rng.New(11)
+	res, err := StructureFirst(x, StructureFirstOptions{Buckets: 2, MaxCount: 1000}, 1e6, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Boundaries[1] != 16 {
+		t.Fatalf("boundary %v want [0 16]", res.Boundaries)
+	}
+	// Estimates are near-exact at huge ε.
+	if math.Abs(res.Estimate[0]-1000) > 1 || math.Abs(res.Estimate[31]) > 1 {
+		t.Fatalf("estimates %g, %g", res.Estimate[0], res.Estimate[31])
+	}
+}
+
+func TestStructureFirstSingleBucket(t *testing.T) {
+	// B = 1 needs no exponential mechanism and publishes the global mean.
+	x := []float64{10, 20, 30, 40}
+	src := rng.New(3)
+	res, err := StructureFirst(x, StructureFirstOptions{Buckets: 1, MaxCount: 100}, 1e6, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Estimate {
+		if math.Abs(v-25) > 0.5 {
+			t.Fatalf("global mean estimate %g want ≈25", v)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package hist
+
+import (
+	"fmt"
+	"math"
+
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+)
+
+// SelectBuckets chooses the bucket count for NoiseFirst from the noisy
+// counts themselves, so the whole release still costs exactly ε. For each
+// candidate B it estimates the post-smoothing error as
+//
+//	bias ≈ max(0, SSE_B(noisy) − (n−B)·2/ε²)  +  variance ≈ B·2/ε²
+//
+// where SSE_B(noisy) is the v-optimal within-bucket spread of the noisy
+// counts: spread of pure noise contributes ≈ 2/ε² per merged cell, and
+// subtracting that leaves an (unbiased-ish) estimate of the true data's
+// within-bucket spread, the smoothing bias. Averaging inside a bucket
+// keeps one noisy degree of freedom per bucket, the variance term.
+//
+// This is the bucket-count selection step of the NoiseFirst algorithm of
+// Xu et al. (the paper's reference [29]), which publishes with the B
+// minimizing the estimate. Candidates are the powers of two up to n plus
+// n itself (B = n means no smoothing: plain Laplace).
+func SelectBuckets(noisy []float64, eps privacy.Epsilon) (int, error) {
+	if err := eps.Validate(); err != nil {
+		return 0, err
+	}
+	n := len(noisy)
+	if n == 0 {
+		return 0, fmt.Errorf("hist: empty counts")
+	}
+	noiseVar := 2 / (float64(eps) * float64(eps))
+	bestB, bestEst := n, math.Inf(1)
+	for _, b := range candidateBuckets(n) {
+		_, sse, err := VOptimal(noisy, b)
+		if err != nil {
+			return 0, err
+		}
+		bias := sse - float64(n-b)*noiseVar
+		if bias < 0 {
+			bias = 0
+		}
+		est := bias + float64(b)*noiseVar
+		if est < bestEst {
+			bestEst = est
+			bestB = b
+		}
+	}
+	return bestB, nil
+}
+
+// candidateBuckets returns the geometric candidate grid {1, 2, 4, …} ∪
+// {n}.
+func candidateBuckets(n int) []int {
+	var out []int
+	for b := 1; b < n; b *= 2 {
+		out = append(out, b)
+	}
+	out = append(out, n)
+	return out
+}
+
+// NoiseFirstAuto is NoiseFirst with the bucket count selected from the
+// noisy counts (still exactly ε-DP: both the structure and the bucket
+// count are post-processing of one Laplace release).
+func NoiseFirstAuto(x []float64, eps privacy.Epsilon, src *rng.Source) (*Result, error) {
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("hist: empty data")
+	}
+	noisy, err := privacy.LaplaceMechanism(x, 1, eps, src)
+	if err != nil {
+		return nil, err
+	}
+	b, err := SelectBuckets(noisy, eps)
+	if err != nil {
+		return nil, err
+	}
+	boundaries, _, err := VOptimal(noisy, b)
+	if err != nil {
+		return nil, err
+	}
+	est, err := Smooth(noisy, boundaries)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Estimate: est, Boundaries: boundaries}, nil
+}

@@ -1,0 +1,130 @@
+package hist
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/rng"
+)
+
+func TestSelectBucketsPrefersFewOnBlockyData(t *testing.T) {
+	// Two plateaus at low ε: smoothing pays, so the selection should pick
+	// a small B (≥ the 2 true blocks, far below n).
+	n := 128
+	x := make([]float64, n)
+	for i := range x {
+		if i < 64 {
+			x[i] = 500
+		}
+	}
+	src := rng.New(1)
+	eps := 0.1
+	noisy := make([]float64, n)
+	for i := range x {
+		noisy[i] = x[i] + src.Laplace(1/eps)
+	}
+	b, err := SelectBuckets(noisy, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b > 16 {
+		t.Fatalf("selected %d buckets on 2-block data, want few", b)
+	}
+	if b < 2 {
+		t.Fatalf("selected %d buckets, the 2 blocks differ by 500 ≫ noise", b)
+	}
+}
+
+func TestSelectBucketsPrefersManyOnRoughDataHighEps(t *testing.T) {
+	// i.i.d. rough data at large ε: any merging adds bias ≫ the tiny
+	// noise, so the selection should keep (nearly) every cell.
+	src := rng.New(2)
+	n := 64
+	noisy := src.UniformVec(n, 0, 1000) // ~the true rough data, ε huge
+	b, err := SelectBuckets(noisy, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < n/2 {
+		t.Fatalf("selected %d buckets on rough data at huge ε, want ≈n=%d", b, n)
+	}
+}
+
+func TestSelectBucketsValidation(t *testing.T) {
+	if _, err := SelectBuckets(nil, 1); err == nil {
+		t.Fatal("want error for empty counts")
+	}
+	if _, err := SelectBuckets([]float64{1}, 0); err == nil {
+		t.Fatal("want error for zero epsilon")
+	}
+}
+
+func TestNoiseFirstAutoBeatsPlainLaplaceOnBlockyData(t *testing.T) {
+	n := 128
+	x := make([]float64, n)
+	for i := range x {
+		switch {
+		case i < 48:
+			x[i] = 300
+		case i < 96:
+			x[i] = 80
+		default:
+			x[i] = 180
+		}
+	}
+	src := rng.New(3)
+	const eps = 0.2
+	var autoSSE, rawSSE float64
+	const trials = 15
+	for trial := 0; trial < trials; trial++ {
+		res, err := NoiseFirstAuto(x, eps, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			d := res.Estimate[i] - x[i]
+			autoSSE += d * d
+			e := src.Laplace(1 / eps)
+			rawSSE += e * e
+		}
+	}
+	if autoSSE >= rawSSE/2 {
+		t.Fatalf("auto NoiseFirst SSE %g should be well below raw Laplace %g", autoSSE/trials, rawSSE/trials)
+	}
+}
+
+func TestNoiseFirstAutoValidation(t *testing.T) {
+	src := rng.New(4)
+	if _, err := NoiseFirstAuto(nil, 1, src); err == nil {
+		t.Fatal("want error for empty data")
+	}
+	if _, err := NoiseFirstAuto([]float64{1}, 0, src); err == nil {
+		t.Fatal("want error for zero epsilon")
+	}
+}
+
+func TestCandidateBuckets(t *testing.T) {
+	got := candidateBuckets(10)
+	want := []int{1, 2, 4, 8, 10}
+	if len(got) != len(want) {
+		t.Fatalf("candidates %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidates %v want %v", got, want)
+		}
+	}
+	if g := candidateBuckets(1); len(g) != 1 || g[0] != 1 {
+		t.Fatalf("n=1 candidates %v", g)
+	}
+	// Power-of-two n must not duplicate the final entry.
+	g := candidateBuckets(8)
+	for i := 1; i < len(g); i++ {
+		if g[i] == g[i-1] {
+			t.Fatalf("duplicate candidate in %v", g)
+		}
+	}
+	if math.MaxInt == 0 { // keep math imported for future assertions
+		t.Fatal()
+	}
+}

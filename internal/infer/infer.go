@@ -1,0 +1,132 @@
+// Package infer provides the statistical post-processing steps shared by
+// strategy-based mechanisms: least-squares estimation of the histogram
+// from noisy strategy observations (the matrix mechanism's inference
+// step), consistency projection of noisy batch answers onto the column
+// space of the workload, and simple domain constraints (non-negativity,
+// integrality). Everything here operates on already-released noisy
+// values, so by the post-processing property of differential privacy it
+// costs no additional budget — it can only reduce error.
+package infer
+
+import (
+	"fmt"
+	"math"
+
+	"lrm/internal/mat"
+)
+
+// LeastSquaresEstimate recovers a histogram estimate x̂ from noisy
+// observations y of the strategy queries A (y ≈ A·x): the least-squares
+// solution A⁺·y. For a tall full-rank A this is the classic matrix-
+// mechanism inference step; for wide or rank-deficient A it returns the
+// minimum-norm solution.
+func LeastSquaresEstimate(a *mat.Dense, y []float64) ([]float64, error) {
+	r, n := a.Dims()
+	if len(y) != r {
+		return nil, fmt.Errorf("infer: observation length %d != strategy rows %d", len(y), r)
+	}
+	if r >= n {
+		if x, err := mat.LeastSquares(a, y); err == nil && allFinite(x) {
+			return x, nil
+		}
+		// Rank-deficient tall systems fall through to the SVD route.
+	}
+	pinv := mat.PseudoInverse(a)
+	return mat.MulVec(pinv, y), nil
+}
+
+// Projector projects noisy batch answers onto the column space of a
+// workload matrix. Build it once per workload with NewProjector; Apply is
+// then O(m·r) per answer vector.
+//
+// For any mechanism whose noise has components orthogonal to col(W) —
+// noise-on-results most prominently — projection strictly reduces
+// expected squared error: with isotropic noise the reduction factor is
+// rank(W)/m.
+type Projector struct {
+	u *mat.Dense // m×r orthonormal basis of col(W)
+}
+
+// NewProjector builds the projector onto the column space of w.
+func NewProjector(w *mat.Dense) (*Projector, error) {
+	if w == nil || w.Rows() == 0 || w.Cols() == 0 {
+		return nil, fmt.Errorf("infer: empty workload matrix")
+	}
+	if !w.IsFinite() {
+		return nil, fmt.Errorf("infer: workload matrix contains NaN or Inf")
+	}
+	svd := mat.FactorSVD(w)
+	r := svd.Rank()
+	if r == 0 {
+		return nil, fmt.Errorf("infer: zero workload matrix")
+	}
+	return &Projector{u: svd.U.Slice(0, w.Rows(), 0, r)}, nil
+}
+
+// Rank returns the dimension of the space projected onto.
+func (p *Projector) Rank() int { return p.u.Cols() }
+
+// Apply returns the orthogonal projection U·Uᵀ·y of y onto col(W).
+func (p *Projector) Apply(y []float64) ([]float64, error) {
+	if len(y) != p.u.Rows() {
+		return nil, fmt.Errorf("infer: answer length %d != queries %d", len(y), p.u.Rows())
+	}
+	return mat.MulVec(p.u, mat.MulVec(p.u.T(), y)), nil
+}
+
+// NonNegative returns a copy of x with negative entries clamped to zero —
+// the simplest domain constraint for count data.
+func NonNegative(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// RoundCounts returns a copy of x with every entry rounded to the nearest
+// non-negative integer, for releases that must look like real counts.
+func RoundCounts(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		r := math.Round(v)
+		if r > 0 {
+			out[i] = r
+		}
+	}
+	return out
+}
+
+// SumPreservingNonNegative clamps negatives to zero and then rescales the
+// positive entries so the vector total is preserved (a common constraint
+// when the total count is public). If every entry is non-positive the
+// all-zero vector is returned.
+func SumPreservingNonNegative(x []float64) []float64 {
+	var total, posSum float64
+	for _, v := range x {
+		total += v
+		if v > 0 {
+			posSum += v
+		}
+	}
+	out := NonNegative(x)
+	if posSum <= 0 || total <= 0 {
+		return out
+	}
+	scale := total / posSum
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+func allFinite(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

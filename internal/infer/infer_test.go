@@ -1,0 +1,256 @@
+package infer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lrm/internal/mat"
+	"lrm/internal/rng"
+)
+
+func TestLeastSquaresEstimateIdentity(t *testing.T) {
+	y := []float64{3, -1, 4}
+	x, err := LeastSquaresEstimate(mat.Eye(3), y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if math.Abs(x[i]-y[i]) > 1e-12 {
+			t.Fatalf("identity estimate %v", x)
+		}
+	}
+}
+
+func TestLeastSquaresEstimateTallRecoversTruth(t *testing.T) {
+	// Noiseless tall system: exact recovery.
+	src := rng.New(1)
+	a := mat.New(12, 5)
+	for i := range a.RawData() {
+		a.RawData()[i] = src.Normal()
+	}
+	truth := src.NormalVec(5, 1)
+	y := mat.MulVec(a, truth)
+	x, err := LeastSquaresEstimate(a, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(x[i]-truth[i]) > 1e-9 {
+			t.Fatalf("x[%d]=%g want %g", i, x[i], truth[i])
+		}
+	}
+}
+
+func TestLeastSquaresEstimateWideMinNorm(t *testing.T) {
+	// Underdetermined: the minimum-norm solution satisfies A·x = y and has
+	// no component outside the row space.
+	a := mat.FromRows([][]float64{{1, 1, 0}, {0, 0, 1}})
+	y := []float64{4, 5}
+	x, err := LeastSquaresEstimate(a, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := mat.MulVec(a, x)
+	for i := range y {
+		if math.Abs(fit[i]-y[i]) > 1e-10 {
+			t.Fatalf("fit %v want %v", fit, y)
+		}
+	}
+	// Min-norm splits the first constraint evenly.
+	if math.Abs(x[0]-2) > 1e-10 || math.Abs(x[1]-2) > 1e-10 || math.Abs(x[2]-5) > 1e-10 {
+		t.Fatalf("min-norm solution %v want [2 2 5]", x)
+	}
+}
+
+func TestLeastSquaresEstimateValidation(t *testing.T) {
+	if _, err := LeastSquaresEstimate(mat.Eye(3), make([]float64, 2)); err == nil {
+		t.Fatal("want error for length mismatch")
+	}
+}
+
+func TestLeastSquaresEstimateRankDeficientTall(t *testing.T) {
+	// Tall but rank-1: falls through to the pseudo-inverse route and
+	// returns a finite least-squares solution.
+	a := mat.FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	y := []float64{1, 2, 3}
+	x, err := LeastSquaresEstimate(a, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := mat.MulVec(a, x)
+	for i := range y {
+		if math.Abs(fit[i]-y[i]) > 1e-9 {
+			t.Fatalf("fit %v want %v", fit, y)
+		}
+	}
+}
+
+func TestProjectorExactAnswersUnchanged(t *testing.T) {
+	// Exact answers lie in col(W): projection is the identity on them.
+	src := rng.New(2)
+	w := mat.New(10, 6)
+	for i := range w.RawData() {
+		w.RawData()[i] = src.Normal()
+	}
+	p, err := NewProjector(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := src.NormalVec(6, 1)
+	y := mat.MulVec(w, x)
+	got, err := p.Apply(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if math.Abs(got[i]-y[i]) > 1e-9 {
+			t.Fatalf("projection moved an exact answer: %g vs %g", got[i], y[i])
+		}
+	}
+}
+
+func TestProjectorIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		s := rng.New(seed)
+		m := 2 + s.Intn(10)
+		n := 1 + s.Intn(6)
+		w := mat.New(m, n)
+		for i := range w.RawData() {
+			w.RawData()[i] = s.Normal()
+		}
+		p, err := NewProjector(w)
+		if err != nil {
+			return true // zero matrix draw; nothing to check
+		}
+		y := s.NormalVec(m, 1)
+		once, err1 := p.Apply(y)
+		if err1 != nil {
+			return false
+		}
+		twice, err2 := p.Apply(once)
+		if err2 != nil {
+			return false
+		}
+		for i := range once {
+			if math.Abs(once[i]-twice[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectorReducesOrthogonalNoise(t *testing.T) {
+	// Rank-2 workload over 20 queries: isotropic noise should lose about
+	// (m−r)/m = 90% of its energy under projection.
+	src := rng.New(3)
+	m, n, r := 20, 15, 2
+	u := mat.New(m, r)
+	for i := range u.RawData() {
+		u.RawData()[i] = src.Normal()
+	}
+	v := mat.New(r, n)
+	for i := range v.RawData() {
+		v.RawData()[i] = src.Normal()
+	}
+	w := mat.Mul(u, v)
+	p, err := NewProjector(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rank() != r {
+		t.Fatalf("projector rank %d want %d", p.Rank(), r)
+	}
+	var before, after float64
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		noise := src.NormalVec(m, 1)
+		proj, err := p.Apply(noise)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range noise {
+			before += noise[i] * noise[i]
+			after += proj[i] * proj[i]
+		}
+	}
+	ratio := after / before
+	want := float64(r) / float64(m)
+	if math.Abs(ratio-want) > 0.05 {
+		t.Fatalf("energy ratio %g want ≈%g", ratio, want)
+	}
+}
+
+func TestProjectorValidation(t *testing.T) {
+	if _, err := NewProjector(nil); err == nil {
+		t.Fatal("want error for nil matrix")
+	}
+	if _, err := NewProjector(mat.New(0, 3)); err == nil {
+		t.Fatal("want error for empty matrix")
+	}
+	if _, err := NewProjector(mat.New(3, 3)); err == nil {
+		t.Fatal("want error for zero matrix")
+	}
+	bad := mat.Eye(2)
+	bad.Set(0, 0, math.NaN())
+	if _, err := NewProjector(bad); err == nil {
+		t.Fatal("want error for NaN matrix")
+	}
+	p, err := NewProjector(mat.Eye(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply(make([]float64, 2)); err == nil {
+		t.Fatal("want error for wrong answer length")
+	}
+}
+
+func TestNonNegative(t *testing.T) {
+	got := NonNegative([]float64{-1, 0, 2.5, -0.1})
+	want := []float64{0, 0, 2.5, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NonNegative %v want %v", got, want)
+		}
+	}
+}
+
+func TestRoundCounts(t *testing.T) {
+	got := RoundCounts([]float64{-3.2, 0.4, 0.6, 7.5})
+	want := []float64{0, 0, 1, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RoundCounts %v want %v", got, want)
+		}
+	}
+}
+
+func TestSumPreservingNonNegative(t *testing.T) {
+	x := []float64{-2, 4, 8}
+	got := SumPreservingNonNegative(x)
+	var total float64
+	for _, v := range got {
+		if v < 0 {
+			t.Fatal("negative entry survived")
+		}
+		total += v
+	}
+	if math.Abs(total-10) > 1e-12 {
+		t.Fatalf("total %g want 10", total)
+	}
+	// Proportions among positives preserved: 4:8 = 1:2.
+	if math.Abs(got[2]-2*got[1]) > 1e-12 {
+		t.Fatalf("proportions broken: %v", got)
+	}
+	// All non-positive input: zero vector.
+	z := SumPreservingNonNegative([]float64{-1, -2})
+	for _, v := range z {
+		if v != 0 {
+			t.Fatal("expected zero vector")
+		}
+	}
+}

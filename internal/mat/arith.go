@@ -1,0 +1,314 @@
+package mat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// dimPanic reports a dimension mismatch in op between a and b.
+func dimPanic(op string, a, b *Dense) {
+	panic(fmt.Sprintf("mat: %s dimension mismatch %d×%d vs %d×%d", op, a.rows, a.cols, b.rows, b.cols))
+}
+
+// Add returns a + b.
+func Add(a, b *Dense) *Dense {
+	if a.rows != b.rows || a.cols != b.cols {
+		dimPanic("Add", a, b)
+	}
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v + b.data[i]
+	}
+	return out
+}
+
+// Sub returns a - b.
+func Sub(a, b *Dense) *Dense {
+	if a.rows != b.rows || a.cols != b.cols {
+		dimPanic("Sub", a, b)
+	}
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v - b.data[i]
+	}
+	return out
+}
+
+// Scale returns s * a.
+func Scale(s float64, a *Dense) *Dense {
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = s * v
+	}
+	return out
+}
+
+// AddScaled returns a + s*b, the matrix axpy.
+func AddScaled(a *Dense, s float64, b *Dense) *Dense {
+	if a.rows != b.rows || a.cols != b.cols {
+		dimPanic("AddScaled", a, b)
+	}
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v + s*b.data[i]
+	}
+	return out
+}
+
+// ElemMul returns the Hadamard (element-wise) product a ∘ b.
+func ElemMul(a, b *Dense) *Dense {
+	if a.rows != b.rows || a.cols != b.cols {
+		dimPanic("ElemMul", a, b)
+	}
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v * b.data[i]
+	}
+	return out
+}
+
+// parallelThreshold is the amount of multiply work (flops) below which
+// Mul runs single-threaded; fork/join overhead dominates for small
+// products, which the LRM inner loop issues by the thousand.
+const parallelThreshold = 1 << 21
+
+// Mul returns the matrix product a·b.
+//
+// The inner loops are written j-last over b's rows so that both operands
+// stream sequentially (ikj order); rows of the output are computed in
+// parallel when the product is large enough.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		dimPanic("Mul", a, b)
+	}
+	out := New(a.rows, b.cols)
+	mulInto(out, a, b)
+	return out
+}
+
+func mulInto(out, a, b *Dense) {
+	n := b.cols
+	kmax := a.cols
+	rowWork := func(i int) {
+		arow := a.RawRow(i)
+		orow := out.RawRow(i)
+		// Register-blocked over 4 rows of b: one pass over orow applies
+		// four axpy updates, quartering the load/store traffic on the
+		// accumulator row.
+		k := 0
+		for ; k+3 < kmax; k += 4 {
+			a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			b0 := b.data[k*n : k*n+n]
+			b1 := b.data[(k+1)*n : (k+1)*n+n]
+			b2 := b.data[(k+2)*n : (k+2)*n+n]
+			b3 := b.data[(k+3)*n : (k+3)*n+n]
+			for j := range orow {
+				orow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; k < kmax; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*n : k*n+n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	parallelRows(a.rows, a.cols*b.cols, rowWork)
+}
+
+// parallelRows invokes work(i) for i in [0,rows), in parallel when the
+// total work volume rows·workPerRow is large enough to amortize
+// scheduling. Worker count is sized so each worker gets at least ~1M
+// units of work, which keeps fork/join overhead negligible.
+func parallelRows(rows, workPerRow int, work func(i int)) {
+	if rows == 0 {
+		return
+	}
+	total := rows * max(workPerRow, 1)
+	if total < parallelThreshold || rows == 1 {
+		for i := 0; i < rows; i++ {
+			work(i)
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if byWork := total / (1 << 20); workers > byWork {
+		workers = byWork
+	}
+	if workers > rows {
+		workers = rows
+	}
+	if workers < 2 {
+		for i := 0; i < rows; i++ {
+			work(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				work(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MulABt returns a·bᵀ without materializing the transpose.
+func MulABt(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		dimPanic("MulABt", a, b)
+	}
+	out := New(a.rows, b.rows)
+	work := func(i int) {
+		arow := a.RawRow(i)
+		orow := out.RawRow(i)
+		for j := 0; j < b.rows; j++ {
+			brow := b.RawRow(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	parallelRows(a.rows, a.cols*b.rows, work)
+	return out
+}
+
+// MulAtB returns aᵀ·b without materializing the transpose.
+func MulAtB(a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		dimPanic("MulAtB", a, b)
+	}
+	// (aᵀb)ᵢⱼ = Σ_k a[k][i] b[k][j]. Accumulate row-by-row of the inputs;
+	// parallelize over output rows (columns of a) via per-worker passes.
+	out := New(a.cols, b.cols)
+	work := func(i int) {
+		orow := out.RawRow(i)
+		for k := 0; k < a.rows; k++ {
+			av := a.data[k*a.cols+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.RawRow(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	parallelRows(a.cols, a.rows*b.cols, work)
+	return out
+}
+
+// MulVec returns the matrix-vector product a·x.
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %d×%d vs %d", a.rows, a.cols, len(x)))
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.RawRow(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulVecT returns aᵀ·x.
+func MulVecT(a *Dense, x []float64) []float64 {
+	if a.rows != len(x) {
+		panic(fmt.Sprintf("mat: MulVecT dimension mismatch %d×%d vs %d", a.rows, a.cols, len(x)))
+	}
+	out := make([]float64, a.cols)
+	for i := 0; i < a.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := a.RawRow(i)
+		for j, v := range row {
+			out[j] += xi * v
+		}
+	}
+	return out
+}
+
+// Gram returns aᵀ·a, exploiting the symmetry of the result.
+func Gram(a *Dense) *Dense {
+	out := New(a.cols, a.cols)
+	for k := 0; k < a.rows; k++ {
+		row := a.RawRow(k)
+		for i, vi := range row {
+			if vi == 0 {
+				continue
+			}
+			orow := out.RawRow(i)
+			for j := i; j < a.cols; j++ {
+				orow[j] += vi * row[j]
+			}
+		}
+	}
+	for i := 0; i < a.cols; i++ {
+		for j := i + 1; j < a.cols; j++ {
+			out.data[j*a.cols+i] = out.data[i*a.cols+j]
+		}
+	}
+	return out
+}
+
+// GramT returns a·aᵀ, exploiting the symmetry of the result.
+func GramT(a *Dense) *Dense {
+	out := New(a.rows, a.rows)
+	work := func(i int) {
+		ri := a.RawRow(i)
+		orow := out.RawRow(i)
+		for j := i; j < a.rows; j++ {
+			rj := a.RawRow(j)
+			var s float64
+			for k, v := range ri {
+				s += v * rj[k]
+			}
+			orow[j] = s
+		}
+	}
+	parallelRows(a.rows, a.rows*a.cols/2, work)
+	for i := 0; i < a.rows; i++ {
+		for j := i + 1; j < a.rows; j++ {
+			out.data[j*a.rows+i] = out.data[i*a.rows+j]
+		}
+	}
+	return out
+}
+
+// Dot returns the Frobenius inner product ⟨a,b⟩ = Σᵢⱼ aᵢⱼ·bᵢⱼ.
+func Dot(a, b *Dense) float64 {
+	if a.rows != b.rows || a.cols != b.cols {
+		dimPanic("Dot", a, b)
+	}
+	var s float64
+	for i, v := range a.data {
+		s += v * b.data[i]
+	}
+	return s
+}

@@ -1,0 +1,127 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotSPD is returned when a Cholesky factorization is attempted on a
+// matrix that is not symmetric positive definite.
+var ErrNotSPD = errors.New("mat: matrix is not symmetric positive definite")
+
+// Cholesky holds the lower-triangular factor of A = L·Lᵀ.
+type Cholesky struct {
+	l *Dense
+}
+
+// FactorCholesky computes the Cholesky factorization of a symmetric
+// positive definite matrix. Only the lower triangle of a is read.
+func FactorCholesky(a *Dense) (*Cholesky, error) {
+	if a.rows != a.cols {
+		return nil, errors.New("mat: FactorCholesky needs a square matrix")
+	}
+	n := a.rows
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		var d float64 = a.data[j*n+j]
+		lrowj := l.RawRow(j)
+		for k := 0; k < j; k++ {
+			d -= lrowj[k] * lrowj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotSPD
+		}
+		ljj := math.Sqrt(d)
+		lrowj[j] = ljj
+		inv := 1 / ljj
+		for i := j + 1; i < n; i++ {
+			lrowi := l.RawRow(i)
+			s := a.data[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= lrowi[k] * lrowj[k]
+			}
+			lrowi[j] = s * inv
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Dense { return c.l.Clone() }
+
+// SolveVec solves A·x = b using the factorization.
+func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
+	n := c.l.rows
+	if len(b) != n {
+		return nil, errors.New("mat: Cholesky SolveVec length mismatch")
+	}
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := c.l.RawRow(i)
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	// Backward: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.data[k*n+i] * x[k]
+		}
+		x[i] = s / c.l.data[i*n+i]
+	}
+	return x, nil
+}
+
+// Solve solves A·X = B using the factorization.
+func (c *Cholesky) Solve(b *Dense) (*Dense, error) {
+	n := c.l.rows
+	if b.rows != n {
+		return nil, errors.New("mat: Cholesky Solve dimension mismatch")
+	}
+	x := New(n, b.cols)
+	for j := 0; j < b.cols; j++ {
+		col, err := c.SolveVec(b.Col(j))
+		if err != nil {
+			return nil, err
+		}
+		x.SetCol(j, col)
+	}
+	return x, nil
+}
+
+// SolveSPD solves A·X = B for symmetric positive definite A.
+func SolveSPD(a, b *Dense) (*Dense, error) {
+	c, err := FactorCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return c.Solve(b)
+}
+
+// SolveRightSPD solves X·A = B for symmetric positive definite A, i.e.
+// X = B·A⁻¹, by solving Aᵀ·Xᵀ = Bᵀ and exploiting A's symmetry. It is
+// the operation needed by the paper's closed-form B-update (Eq. 9).
+func SolveRightSPD(b, a *Dense) (*Dense, error) {
+	c, err := FactorCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.rows
+	if b.cols != n {
+		return nil, errors.New("mat: SolveRightSPD dimension mismatch")
+	}
+	out := New(b.rows, n)
+	for i := 0; i < b.rows; i++ {
+		row, err := c.SolveVec(b.RawRow(i))
+		if err != nil {
+			return nil, err
+		}
+		copy(out.RawRow(i), row)
+	}
+	return out, nil
+}

@@ -1,0 +1,250 @@
+// Package mat provides the dense linear-algebra substrate used by the
+// whole repository: a row-major matrix type with arithmetic, norms, and
+// the decompositions (LU, Cholesky, QR, SVD, symmetric eigendecomposition)
+// required by the Low-Rank Mechanism and its competitors.
+//
+// The package is self-contained (standard library only) and tuned for the
+// moderate sizes that appear in the paper's experiments (matrices up to a
+// few thousand rows/columns). Matrix products run in parallel across rows.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dense is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty 0×0 matrix. All operations that produce a
+// matrix allocate a fresh result unless documented otherwise.
+type Dense struct {
+	rows, cols int
+	data       []float64 // len == rows*cols, row-major
+}
+
+// New returns a zero-filled r×c matrix.
+func New(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %d×%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewFromData wraps data (row-major, length r*c) in a Dense without
+// copying. The caller must not alias data afterwards.
+func NewFromData(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d does not match %d×%d", len(data), r, c))
+	}
+	return &Dense{rows: r, cols: c, data: data}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows, copying them.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	c := len(rows[0])
+	m := New(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("mat: ragged rows: row 0 has %d cols, row %d has %d", c, i, len(row)))
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diag returns a square matrix with d on the diagonal.
+func Diag(d []float64) *Dense {
+	n := len(d)
+	m := New(n, n)
+	for i, v := range d {
+		m.data[i*n+i] = v
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// Dims returns (rows, cols).
+func (m *Dense) Dims() (int, int) { return m.rows, m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 {
+	m.boundsCheck(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) {
+	m.boundsCheck(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Dense) boundsCheck(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %d×%d", i, j, m.rows, m.cols))
+	}
+}
+
+// RawData returns the underlying row-major backing slice. Mutating it
+// mutates the matrix.
+func (m *Dense) RawData() []float64 { return m.data }
+
+// RawRow returns row i as a slice aliasing the matrix storage.
+func (m *Dense) RawRow(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.RawRow(i))
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: col %d out of range %d", j, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetRow copies v into row i.
+func (m *Dense) SetRow(i int, v []float64) {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("mat: SetRow length %d != cols %d", len(v), m.cols))
+	}
+	copy(m.RawRow(i), v)
+}
+
+// SetCol copies v into column j.
+func (m *Dense) SetCol(j int, v []float64) {
+	if len(v) != m.rows {
+		panic(fmt.Sprintf("mat: SetCol length %d != rows %d", len(v), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+j] = v[i]
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := New(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// CopyFrom overwrites m with the contents of src (same dimensions).
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic(fmt.Sprintf("mat: CopyFrom dimension mismatch %d×%d vs %d×%d", m.rows, m.cols, src.rows, src.cols))
+	}
+	copy(m.data, src.data)
+}
+
+// Slice returns a copy of the submatrix rows [r0,r1) × cols [c0,c1).
+func (m *Dense) Slice(r0, r1, c0, c1 int) *Dense {
+	if r0 < 0 || r1 > m.rows || c0 < 0 || c1 > m.cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("mat: bad slice [%d:%d, %d:%d] of %d×%d", r0, r1, c0, c1, m.rows, m.cols))
+	}
+	out := New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(out.RawRow(i-r0), m.data[i*m.cols+c0:i*m.cols+c1])
+	}
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.RawRow(i)
+		for j, v := range row {
+			out.data[j*m.rows+i] = v
+		}
+	}
+	return out
+}
+
+// Equal reports whether m and n have the same shape and elements.
+func (m *Dense) Equal(n *Dense) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if v != n.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualApprox reports whether m and n have the same shape and all elements
+// within tol of each other.
+func (m *Dense) EqualApprox(n *Dense, tol float64) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-n.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFinite reports whether every element is finite (no NaN or ±Inf).
+func (m *Dense) IsFinite() bool {
+	for _, v := range m.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging; large matrices are elided.
+func (m *Dense) String() string {
+	const maxShow = 8
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dense(%d×%d)[\n", m.rows, m.cols)
+	for i := 0; i < m.rows && i < maxShow; i++ {
+		b.WriteString("  ")
+		for j := 0; j < m.cols && j < maxShow; j++ {
+			fmt.Fprintf(&b, "% .4g ", m.At(i, j))
+		}
+		if m.cols > maxShow {
+			b.WriteString("...")
+		}
+		b.WriteByte('\n')
+	}
+	if m.rows > maxShow {
+		b.WriteString("  ...\n")
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,215 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randDense(rnd *rand.Rand, r, c int) *Dense {
+	m := New(r, c)
+	for i := range m.data {
+		m.data[i] = rnd.NormFloat64()
+	}
+	return m
+}
+
+func TestNewDimensions(t *testing.T) {
+	m := New(3, 5)
+	if r, c := m.Dims(); r != 3 || c != 5 {
+		t.Fatalf("Dims() = (%d,%d), want (3,5)", r, c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("New not zero at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1, 2) did not panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	m := New(4, 4)
+	m.Set(2, 3, 7.5)
+	if got := m.At(2, 3); got != 7.5 {
+		t.Fatalf("At(2,3) = %v, want 7.5", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(2,0) did not panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("dims = %d×%d, want 3×2", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 3 || m.At(2, 1) != 6 {
+		t.Fatalf("unexpected contents: %v", m)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestEye(t *testing.T) {
+	m := Eye(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("Eye(3)[%d,%d] = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDiag(t *testing.T) {
+	m := Diag([]float64{2, 5})
+	if m.At(0, 0) != 2 || m.At(1, 1) != 5 || m.At(0, 1) != 0 {
+		t.Fatalf("Diag wrong: %v", m)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows() != 3 || mt.Cols() != 2 {
+		t.Fatalf("T dims = %d×%d", mt.Rows(), mt.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	m := randDense(rnd, 7, 4)
+	if !m.T().T().Equal(m) {
+		t.Fatal("T∘T is not identity")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestRowColCopies(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(1)
+	r[0] = 99
+	if m.At(1, 0) != 3 {
+		t.Fatal("Row returned aliased storage")
+	}
+	col := m.Col(1)
+	if col[0] != 2 || col[1] != 4 {
+		t.Fatalf("Col(1) = %v", col)
+	}
+	col[0] = 99
+	if m.At(0, 1) != 2 {
+		t.Fatal("Col returned aliased storage")
+	}
+}
+
+func TestSetRowSetCol(t *testing.T) {
+	m := New(2, 3)
+	m.SetRow(0, []float64{1, 2, 3})
+	m.SetCol(2, []float64{7, 8})
+	if m.At(0, 0) != 1 || m.At(0, 2) != 7 || m.At(1, 2) != 8 {
+		t.Fatalf("SetRow/SetCol wrong: %v", m)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s := m.Slice(1, 3, 0, 2)
+	want := FromRows([][]float64{{4, 5}, {7, 8}})
+	if !s.Equal(want) {
+		t.Fatalf("Slice = %v, want %v", s, want)
+	}
+	s.Set(0, 0, 99)
+	if m.At(1, 0) != 4 {
+		t.Fatal("Slice aliased the source")
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{1 + 1e-12, 2}})
+	if !a.EqualApprox(b, 1e-9) {
+		t.Fatal("EqualApprox(1e-9) should hold")
+	}
+	if a.EqualApprox(b, 1e-15) {
+		t.Fatal("EqualApprox(1e-15) should fail")
+	}
+	c := FromRows([][]float64{{1, 2}, {3, 4}})
+	if a.EqualApprox(c, 1) {
+		t.Fatal("EqualApprox with shape mismatch should fail")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	if !m.IsFinite() {
+		t.Fatal("finite matrix reported non-finite")
+	}
+	m.Set(0, 0, math.NaN())
+	if m.IsFinite() {
+		t.Fatal("NaN matrix reported finite")
+	}
+	m.Set(0, 0, math.Inf(1))
+	if m.IsFinite() {
+		t.Fatal("Inf matrix reported finite")
+	}
+}
+
+func TestNewFromDataLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFromData with bad length did not panic")
+		}
+	}()
+	NewFromData(2, 2, []float64{1, 2, 3})
+}
+
+func TestStringElides(t *testing.T) {
+	m := New(20, 20)
+	s := m.String()
+	if len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+}

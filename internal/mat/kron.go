@@ -1,0 +1,29 @@
+package mat
+
+// Kron returns the Kronecker product A ⊗ B: the (ra·rb)×(ca·cb) block
+// matrix whose (i,j) block is Aᵢⱼ·B. Multi-dimensional workloads factor
+// naturally as Kronecker products of per-dimension workloads (a range
+// query on a grid is a row of W₁ ⊗ W₂), which is how the spatial example
+// builds its batches.
+func Kron(a, b *Dense) *Dense {
+	ra, ca := a.Dims()
+	rb, cb := b.Dims()
+	out := New(ra*rb, ca*cb)
+	for i := 0; i < ra; i++ {
+		arow := a.RawRow(i)
+		for k := 0; k < rb; k++ {
+			dst := out.RawRow(i*rb + k)
+			brow := b.RawRow(k)
+			for j, av := range arow {
+				if av == 0 {
+					continue
+				}
+				base := j * cb
+				for l, bv := range brow {
+					dst[base+l] = av * bv
+				}
+			}
+		}
+	}
+	return out
+}

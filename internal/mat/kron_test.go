@@ -1,0 +1,89 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/rng"
+)
+
+func TestKronSmall(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 0}})
+	b := FromRows([][]float64{{0, 5}, {6, 7}})
+	got := Kron(a, b)
+	want := FromRows([][]float64{
+		{0, 5, 0, 10},
+		{6, 7, 12, 14},
+		{0, 15, 0, 0},
+		{18, 21, 0, 0},
+	})
+	if !got.Equal(want) {
+		t.Fatalf("Kron:\n%v\nwant\n%v", got, want)
+	}
+}
+
+func TestKronIdentity(t *testing.T) {
+	// I_a ⊗ I_b = I_{ab}.
+	if !Kron(Eye(3), Eye(4)).Equal(Eye(12)) {
+		t.Fatal("identity Kronecker product")
+	}
+}
+
+func TestKronMixedProductProperty(t *testing.T) {
+	// (A⊗B)(C⊗D) = (AC)⊗(BD).
+	src := rng.New(1)
+	randM := func(r, c int) *Dense {
+		m := New(r, c)
+		for i := range m.data {
+			m.data[i] = src.Normal()
+		}
+		return m
+	}
+	a, b := randM(2, 3), randM(3, 2)
+	c, d := randM(3, 2), randM(2, 4)
+	lhs := Mul(Kron(a, b), Kron(c, d))
+	rhs := Kron(Mul(a, c), Mul(b, d))
+	if !lhs.EqualApprox(rhs, 1e-10) {
+		t.Fatal("mixed-product property violated")
+	}
+}
+
+func TestKronVecIsOuterStructure(t *testing.T) {
+	// (A⊗B)·vec works out to the flattened action on a grid: for
+	// rank-one x = u⊗v, (A⊗B)(u⊗v) = (Au)⊗(Bv).
+	src := rng.New(2)
+	a := New(2, 3)
+	b := New(3, 4)
+	for i := range a.data {
+		a.data[i] = src.Normal()
+	}
+	for i := range b.data {
+		b.data[i] = src.Normal()
+	}
+	u := src.NormalVec(3, 1)
+	v := src.NormalVec(4, 1)
+	x := make([]float64, 12)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			x[i*4+j] = u[i] * v[j]
+		}
+	}
+	got := MulVec(Kron(a, b), x)
+	au := MulVec(a, u)
+	bv := MulVec(b, v)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			want := au[i] * bv[j]
+			if math.Abs(got[i*3+j]-want) > 1e-10 {
+				t.Fatalf("entry (%d,%d): got %g want %g", i, j, got[i*3+j], want)
+			}
+		}
+	}
+}
+
+func TestKronEmpty(t *testing.T) {
+	got := Kron(New(0, 2), Eye(3))
+	if got.Rows() != 0 || got.Cols() != 6 {
+		t.Fatalf("empty Kron dims %d×%d", got.Rows(), got.Cols())
+	}
+}

@@ -1,0 +1,118 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q·R for an m×n matrix with
+// m ≥ n. Q is stored implicitly as Householder reflectors.
+type QR struct {
+	qr   *Dense    // reflectors below the diagonal, R on and above
+	rdia []float64 // diagonal of R
+}
+
+// FactorQR computes the QR factorization of a (rows ≥ cols).
+func FactorQR(a *Dense) (*QR, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, errors.New("mat: FactorQR needs rows >= cols")
+	}
+	qr := a.Clone()
+	rdia := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Householder vector for column k.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.data[i*n+k])
+		}
+		if norm == 0 {
+			rdia[k] = 0
+			continue
+		}
+		if qr.data[k*n+k] < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.data[i*n+k] /= norm
+		}
+		qr.data[k*n+k]++
+		// Apply reflector to remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.data[i*n+k] * qr.data[i*n+j]
+			}
+			s = -s / qr.data[k*n+k]
+			for i := k; i < m; i++ {
+				qr.data[i*n+j] += s * qr.data[i*n+k]
+			}
+		}
+		rdia[k] = -norm
+	}
+	return &QR{qr: qr, rdia: rdia}, nil
+}
+
+// SolveVec solves the least-squares problem min ‖A·x − b‖₂.
+func (f *QR) SolveVec(b []float64) ([]float64, error) {
+	m, n := f.qr.Dims()
+	if len(b) != m {
+		return nil, errors.New("mat: QR SolveVec length mismatch")
+	}
+	y := make([]float64, m)
+	copy(y, b)
+	// Apply Qᵀ to b.
+	for k := 0; k < n; k++ {
+		if f.qr.data[k*n+k] == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += f.qr.data[i*n+k] * y[i]
+		}
+		s = -s / f.qr.data[k*n+k]
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.data[i*n+k]
+		}
+	}
+	// Back-substitute R.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		if f.rdia[i] == 0 {
+			return nil, ErrSingular
+		}
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.data[i*n+j] * x[j]
+		}
+		x[i] = s / f.rdia[i]
+	}
+	return x, nil
+}
+
+// Solve solves min ‖A·X − B‖_F column-by-column.
+func (f *QR) Solve(b *Dense) (*Dense, error) {
+	m, n := f.qr.Dims()
+	if b.rows != m {
+		return nil, errors.New("mat: QR Solve dimension mismatch")
+	}
+	x := New(n, b.cols)
+	for j := 0; j < b.cols; j++ {
+		col, err := f.SolveVec(b.Col(j))
+		if err != nil {
+			return nil, err
+		}
+		x.SetCol(j, col)
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖A·x − b‖₂ for full-column-rank A (m ≥ n);
+// for rank-deficient or wide matrices use PseudoInverse.
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b)
+}

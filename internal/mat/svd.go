@@ -1,0 +1,221 @@
+package mat
+
+import (
+	"math"
+	"sort"
+)
+
+// SVD holds a thin singular value decomposition A = U·diag(S)·Vᵀ with
+// U: m×k, S: k, V: n×k where k = min(m,n). Singular values are sorted in
+// non-increasing order.
+type SVD struct {
+	U *Dense
+	S []float64
+	V *Dense
+}
+
+// svdTol is the relative off-diagonal threshold at which the one-sided
+// Jacobi sweep is considered converged.
+const svdTol = 1e-12
+
+// maxJacobiSweeps bounds the number of Jacobi sweeps; convergence is
+// typically reached in well under 30 sweeps for the sizes used here.
+const maxJacobiSweeps = 60
+
+// FactorSVD computes the thin SVD of a by one-sided Jacobi rotations
+// (Hestenes' method): columns of a working copy of A are orthogonalized
+// pairwise; their final norms are the singular values.
+func FactorSVD(a *Dense) *SVD {
+	m, n := a.Dims()
+	if m >= n {
+		return svdTall(a)
+	}
+	// Wide matrix: factor the transpose and swap U and V.
+	s := svdTall(a.T())
+	return &SVD{U: s.V, S: s.S, V: s.U}
+}
+
+func svdTall(a *Dense) *SVD {
+	m, n := a.Dims()
+	// Work column-major so each column is contiguous during rotations.
+	cols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		cols[j] = a.Col(j)
+	}
+	v := Eye(n)
+	vcols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		vcols[j] = v.Col(j)
+	}
+
+	frob := 0.0
+	for _, c := range cols {
+		for _, x := range c {
+			frob += x * x
+		}
+	}
+	threshold := svdTol * frob
+	if threshold == 0 {
+		threshold = svdTol
+	}
+
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		rotated := false
+		for p := 0; p < n-1; p++ {
+			cp := cols[p]
+			for q := p + 1; q < n; q++ {
+				cq := cols[q]
+				var alpha, beta, gamma float64
+				for i := 0; i < m; i++ {
+					alpha += cp[i] * cp[i]
+					beta += cq[i] * cq[i]
+					gamma += cp[i] * cq[i]
+				}
+				// The absolute floor must sit well below the rank cutoff
+				// (null singular values settle near sqrt of this bound).
+				if gamma*gamma <= threshold*1e-12 || gamma == 0 {
+					continue
+				}
+				// Skip rotations that cannot change anything numerically.
+				if math.Abs(gamma) <= svdTol*math.Sqrt(alpha*beta) {
+					continue
+				}
+				rotated = true
+				zeta := (beta - alpha) / (2 * gamma)
+				var t float64
+				if zeta > 0 {
+					t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+				} else {
+					t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					xp, xq := cp[i], cq[i]
+					cp[i] = c*xp - s*xq
+					cq[i] = s*xp + c*xq
+				}
+				vp, vq := vcols[p], vcols[q]
+				for i := 0; i < n; i++ {
+					xp, xq := vp[i], vq[i]
+					vp[i] = c*xp - s*xq
+					vq[i] = s*xp + c*xq
+				}
+			}
+		}
+		if !rotated {
+			break
+		}
+	}
+
+	// Singular values are column norms; U columns are normalized columns.
+	type colWithNorm struct {
+		idx  int
+		norm float64
+	}
+	order := make([]colWithNorm, n)
+	for j := 0; j < n; j++ {
+		order[j] = colWithNorm{j, VecNorm2(cols[j])}
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].norm > order[j].norm })
+
+	u := New(m, n)
+	vOut := New(n, n)
+	s := make([]float64, n)
+	for k, cw := range order {
+		s[k] = cw.norm
+		src := cols[cw.idx]
+		if cw.norm > 0 {
+			inv := 1 / cw.norm
+			for i := 0; i < m; i++ {
+				u.data[i*n+k] = src[i] * inv
+			}
+		}
+		vc := vcols[cw.idx]
+		for i := 0; i < n; i++ {
+			vOut.data[i*n+k] = vc[i]
+		}
+	}
+	return &SVD{U: u, S: s, V: vOut}
+}
+
+// Reconstruct returns U·diag(S)·Vᵀ, useful for testing.
+func (s *SVD) Reconstruct() *Dense {
+	us := s.U.Clone()
+	_, k := us.Dims()
+	for i := 0; i < us.rows; i++ {
+		row := us.RawRow(i)
+		for j := 0; j < k; j++ {
+			row[j] *= s.S[j]
+		}
+	}
+	return MulABt(us, s.V)
+}
+
+// Rank returns the numerical rank: the number of singular values above
+// max(m,n)·eps·S[0] (the standard LAPACK-style threshold).
+func (s *SVD) Rank() int {
+	if len(s.S) == 0 || s.S[0] == 0 {
+		return 0
+	}
+	tol := s.rankTol()
+	r := 0
+	for _, v := range s.S {
+		if v > tol {
+			r++
+		}
+	}
+	return r
+}
+
+// Rank returns the numerical rank of a via SVD.
+func Rank(a *Dense) int {
+	if a.rows == 0 || a.cols == 0 {
+		return 0
+	}
+	return FactorSVD(a).Rank()
+}
+
+// rankTol is the singular-value cutoff below which values are treated as
+// zero. One-sided Jacobi with our sweep threshold resolves null singular
+// values only to about 1e-11 relative accuracy, so the cutoff is set
+// accordingly (looser than the eps-based LAPACK rule).
+func (s *SVD) rankTol() float64 {
+	if len(s.S) == 0 {
+		return 0
+	}
+	m, _ := s.U.Dims()
+	n, _ := s.V.Dims()
+	return float64(max(m, n)) * 1e-11 * s.S[0]
+}
+
+// PseudoInverse returns the Moore–Penrose pseudo-inverse A⁺ via SVD:
+// A⁺ = V·diag(1/sᵢ)·Uᵀ with small singular values zeroed.
+func PseudoInverse(a *Dense) *Dense {
+	s := FactorSVD(a)
+	k := len(s.S)
+	tol := s.rankTol()
+	// V·diag(inv)·Uᵀ
+	vs := s.V.Clone()
+	for i := 0; i < vs.rows; i++ {
+		row := vs.RawRow(i)
+		for j := 0; j < k; j++ {
+			if s.S[j] > tol {
+				row[j] /= s.S[j]
+			} else {
+				row[j] = 0
+			}
+		}
+	}
+	return MulABt(vs, s.U)
+}
+
+// ConditionNumber returns S[0]/S[r-1], the ratio of largest to smallest
+// nonzero singular value (the paper's constant C in Theorem 2).
+func (s *SVD) ConditionNumber() float64 {
+	r := s.Rank()
+	if r == 0 {
+		return math.Inf(1)
+	}
+	return s.S[0] / s.S[r-1]
+}

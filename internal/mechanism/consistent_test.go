@@ -1,0 +1,105 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+func TestConsistentValidation(t *testing.T) {
+	if _, err := (Consistent{}).Prepare(workload.Identity(4)); err == nil {
+		t.Fatal("want error for missing base")
+	}
+	if _, err := (Consistent{Base: LaplaceResults{}}).Prepare(nil); err == nil {
+		t.Fatal("want error for nil workload")
+	}
+	if (Consistent{}).Name() != "Consistent(?)" {
+		t.Fatal("name without base")
+	}
+	if (Consistent{Base: LaplaceResults{}}).Name() != "NOR+proj" {
+		t.Fatalf("name: %s", Consistent{Base: LaplaceResults{}}.Name())
+	}
+}
+
+func TestConsistentReducesNORErrorOnLowRankWorkload(t *testing.T) {
+	// NOR noise is isotropic in R^m; on a rank-2 workload of 24 queries
+	// the projection should keep only ~2/24 of the noise energy.
+	src := rng.New(1)
+	w := workload.Related(24, 16, 2, src)
+	x := src.UniformVec(16, 0, 100)
+	exact := w.Answer(x)
+
+	measure := func(m Mechanism, seed int64) float64 {
+		p, err := m.Prepare(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := rng.New(seed)
+		var sse float64
+		const trials = 40
+		for trial := 0; trial < trials; trial++ {
+			got, err := p.Answer(x, 1, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				d := got[i] - exact[i]
+				sse += d * d
+			}
+		}
+		return sse / trials
+	}
+	raw := measure(LaplaceResults{}, 7)
+	projected := measure(Consistent{Base: LaplaceResults{}}, 7)
+	// Same seed → same base noise stream; the projection must cut the
+	// error to roughly rank/m ≈ 8%; allow generous slack.
+	if projected > raw/4 {
+		t.Fatalf("projection did not reduce NOR error: %g vs %g", projected, raw)
+	}
+}
+
+func TestConsistentPreservesLRMAnswersApproximately(t *testing.T) {
+	// LRM answers already live (almost) in col(W): projection is a no-op
+	// up to the γ-relaxation residual.
+	src := rng.New(2)
+	w := workload.Related(20, 12, 3, src)
+	x := src.UniformVec(12, 0, 50)
+	base, err := (LRM{}).Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := (Consistent{Base: LRM{}}).Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed: identical noise draw inside.
+	a1, err := base.Answer(x, 1, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := wrapped.Answer(x, 1, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diff, norm float64
+	for i := range a1 {
+		d := a2[i] - a1[i]
+		diff += d * d
+		norm += a1[i] * a1[i]
+	}
+	if diff > 1e-4*(1+norm) {
+		t.Fatalf("projection moved LRM answers: rel diff %g", diff/(1+norm))
+	}
+}
+
+func TestConsistentExpectedSSEIsNaN(t *testing.T) {
+	p, err := (Consistent{Base: LaplaceResults{}}).Prepare(workload.Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(p.ExpectedSSE(1)) {
+		t.Fatal("wrapped mechanism should report no analytic SSE")
+	}
+}

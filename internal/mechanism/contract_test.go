@@ -1,0 +1,164 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// allMechanisms returns one configured instance of every mechanism in the
+// repository (paper baselines + extensions), sized for a power-of-two
+// domain so the synopsis mechanisms are applicable.
+func allMechanisms() []Mechanism {
+	return []Mechanism{
+		LaplaceData{},
+		LaplaceResults{},
+		Wavelet{},
+		Hierarchical{},
+		MatrixMechanism{MaxIter: 10},
+		LRM{},
+		Fourier{K: 8},
+		Compressive{Measurements: 16, Sparsity: 4, Seed: 3},
+		Histogram{Buckets: 4},
+		Histogram{Buckets: 4, StructureFirst: true},
+		Consistent{Base: LaplaceResults{}},
+	}
+}
+
+// TestMechanismContract checks the invariants every Mechanism must obey:
+// nil workloads rejected, answer shape and finiteness, ε validation, data
+// length validation, and reproducibility from a seed.
+func TestMechanismContract(t *testing.T) {
+	src := rng.New(1)
+	const m, n = 6, 32
+	w := workload.Range(m, n, src)
+	x := src.UniformVec(n, 0, 20)
+	for _, mech := range allMechanisms() {
+		mech := mech
+		t.Run(mech.Name(), func(t *testing.T) {
+			if name := mech.Name(); name == "" {
+				t.Fatal("empty name")
+			}
+			if _, err := mech.Prepare(nil); err == nil {
+				t.Fatal("nil workload accepted")
+			}
+			p, err := mech.Prepare(w)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			if _, err := p.Answer(x, 0, rng.New(2)); err == nil {
+				t.Fatal("zero epsilon accepted")
+			}
+			if _, err := p.Answer(x, -1, rng.New(2)); err == nil {
+				t.Fatal("negative epsilon accepted")
+			}
+			if _, err := p.Answer(x[:n-1], 1, rng.New(2)); err == nil {
+				t.Fatal("short data accepted")
+			}
+			got, err := p.Answer(x, 1, rng.New(2))
+			if err != nil {
+				t.Fatalf("answer: %v", err)
+			}
+			if len(got) != m {
+				t.Fatalf("%d answers, want %d", len(got), m)
+			}
+			for i, v := range got {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("answer[%d] = %g", i, v)
+				}
+			}
+			// Reproducibility: same source seed → identical release.
+			again, err := p.Answer(x, 1, rng.New(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != again[i] {
+					t.Fatalf("not reproducible at %d: %g vs %g", i, got[i], again[i])
+				}
+			}
+			// ExpectedSSE is either NaN (no closed form) or positive.
+			if sse := p.ExpectedSSE(1); !math.IsNaN(sse) && sse <= 0 {
+				t.Fatalf("analytic SSE %g", sse)
+			}
+		})
+	}
+}
+
+// TestMechanismNoiseScalesInverselyWithEpsilonSquared verifies the 1/ε²
+// error law on the pure-noise mechanisms (those without a structural bias
+// term): measured SSE at ε = 0.1 should be ≈100× the SSE at ε = 1.
+func TestMechanismNoiseScalesInverselyWithEpsilonSquared(t *testing.T) {
+	src := rng.New(4)
+	const m, n = 8, 64
+	w := workload.Range(m, n, src)
+	x := src.UniformVec(n, 0, 30)
+	exact := w.Answer(x)
+	for _, mech := range []Mechanism{LaplaceData{}, LaplaceResults{}, Wavelet{}, Hierarchical{}} {
+		p, err := mech.Prepare(w)
+		if err != nil {
+			t.Fatalf("%s: %v", mech.Name(), err)
+		}
+		sse := func(eps privacy.Epsilon, seed int64) float64 {
+			s := rng.New(seed)
+			var total float64
+			const trials = 300
+			for trial := 0; trial < trials; trial++ {
+				got, err := p.Answer(x, eps, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range got {
+					d := got[i] - exact[i]
+					total += d * d
+				}
+			}
+			return total / trials
+		}
+		ratio := sse(0.1, 5) / sse(1, 5)
+		if ratio < 50 || ratio > 200 {
+			t.Fatalf("%s: ε-scaling ratio %g, want ≈100", mech.Name(), ratio)
+		}
+	}
+}
+
+// TestMechanismAnalyticSSEMatchesMonteCarlo cross-checks every closed-form
+// error formula against simulation at 15% tolerance.
+func TestMechanismAnalyticSSEMatchesMonteCarlo(t *testing.T) {
+	src := rng.New(6)
+	const m, n = 6, 32
+	w := workload.Range(m, n, src)
+	x := src.UniformVec(n, 0, 10)
+	exact := w.Answer(x)
+	eps := privacy.Epsilon(1)
+	for _, mech := range allMechanisms() {
+		p, err := mech.Prepare(w)
+		if err != nil {
+			t.Fatalf("%s: %v", mech.Name(), err)
+		}
+		want := p.ExpectedSSE(eps)
+		if math.IsNaN(want) {
+			continue // no closed form: nothing to check
+		}
+		s := rng.New(7)
+		var total float64
+		const trials = 2000
+		for trial := 0; trial < trials; trial++ {
+			got, err := p.Answer(x, eps, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				d := got[i] - exact[i]
+				total += d * d
+			}
+		}
+		measured := total / trials
+		if math.Abs(measured-want) > 0.15*want {
+			t.Fatalf("%s: analytic %g vs Monte Carlo %g", mech.Name(), want, measured)
+		}
+	}
+}

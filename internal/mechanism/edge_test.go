@@ -1,0 +1,157 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/mat"
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// Degenerate domains and workloads must not panic or mis-answer.
+
+func TestMechanismsOnSingletonDomain(t *testing.T) {
+	w := workload.Total(1)
+	x := []float64{42}
+	for _, m := range []Mechanism{LaplaceData{}, LaplaceResults{}, Wavelet{}, Hierarchical{}, LRM{}} {
+		p, err := m.Prepare(w)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		out, err := p.Answer(x, 1, rng.New(1))
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if len(out) != 1 || math.IsNaN(out[0]) {
+			t.Fatalf("%s: answer %v", m.Name(), out)
+		}
+		// With huge ε the answer must approach the exact value.
+		outBig, err := p.Answer(x, 1e6, rng.New(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(outBig[0]-42) > 1 {
+			t.Fatalf("%s: eps=1e6 answer %v, want ~42", m.Name(), outBig[0])
+		}
+	}
+}
+
+func TestMechanismsOnZeroWorkloadRow(t *testing.T) {
+	// A query with all-zero coefficients has exact answer 0; mechanisms
+	// must stay unbiased on it.
+	wm := mat.New(3, 4)
+	wm.Set(0, 1, 1) // q0 = x1
+	// rows 1 and 2 are all zeros
+	w := workload.FromMatrix("zeros", wm)
+	for _, m := range []Mechanism{LaplaceData{}, Wavelet{}, Hierarchical{}} {
+		p, err := m.Prepare(w)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		out, err := p.Answer([]float64{1, 2, 3, 4}, 1e6, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(out[0]-2) > 0.5 || math.Abs(out[1]) > 0.5 || math.Abs(out[2]) > 0.5 {
+			t.Fatalf("%s: answers %v, want ~[2 0 0]", m.Name(), out)
+		}
+	}
+}
+
+func TestLaplaceResultsZeroSensitivity(t *testing.T) {
+	// An all-zero workload has sensitivity 0: answers are exact.
+	w := workload.FromMatrix("zero", mat.New(2, 3))
+	p, err := LaplaceResults{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Answer([]float64{1, 2, 3}, 1, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 || out[1] != 0 {
+		t.Fatalf("answers %v, want exact zeros", out)
+	}
+}
+
+func TestWaveletDomainNotPowerOfTwoLarge(t *testing.T) {
+	// 1000 pads to 1024; answers on the true domain only.
+	w := workload.Range(5, 1000, rng.New(5))
+	p, err := Wavelet{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.New(6).UniformVec(1000, 0, 10)
+	out, err := p.Answer(x, 1e5, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := w.Answer(x)
+	for i := range out {
+		if math.Abs(out[i]-exact[i]) > 1 {
+			t.Fatalf("answer %d = %v, exact %v", i, out[i], exact[i])
+		}
+	}
+}
+
+func TestHierarchicalDomainOne(t *testing.T) {
+	w := workload.Identity(1)
+	p, err := Hierarchical{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Answer([]float64{9}, 1e5, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-9) > 0.5 {
+		t.Fatalf("answer %v, want ~9", out[0])
+	}
+}
+
+func TestLRMLargeEpsilonExact(t *testing.T) {
+	// As ε → ∞ LRM's answers converge to W·x up to the (tiny) structural
+	// residual — a regression test that B·L really reconstructs W.
+	w := workload.Related(12, 16, 3, rng.New(9))
+	p, err := LRM{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.New(10).UniformVec(16, 0, 100)
+	out, err := p.Answer(x, 1e9, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := w.Answer(x)
+	for i := range out {
+		if math.Abs(out[i]-exact[i]) > 1e-2*(1+math.Abs(exact[i])) {
+			t.Fatalf("answer %d = %v, exact %v", i, out[i], exact[i])
+		}
+	}
+}
+
+func TestPreparedReuseAcrossEpsilons(t *testing.T) {
+	// One Prepare, many Answers at different ε — the documented usage.
+	w := workload.Range(6, 32, rng.New(12))
+	p, err := LRM{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 32)
+	src := rng.New(13)
+	for _, eps := range []float64{0.01, 0.1, 1, 10} {
+		if _, err := p.Answer(x, privacyEps(eps), src); err != nil {
+			t.Fatalf("eps=%v: %v", eps, err)
+		}
+	}
+	// Error must scale as 1/ε² between two epsilons.
+	r := p.ExpectedSSE(0.1) / p.ExpectedSSE(1)
+	if math.Abs(r-100) > 1e-9*100 {
+		t.Fatalf("SSE ratio %v, want 100", r)
+	}
+}
+
+// privacyEps converts a float to the Epsilon type (test readability).
+func privacyEps(v float64) privacy.Epsilon { return privacy.Epsilon(v) }

@@ -1,0 +1,184 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+func TestFourierPrepareValidation(t *testing.T) {
+	if _, err := (Fourier{}).Prepare(nil); err == nil {
+		t.Fatal("want error for nil workload")
+	}
+	w := workload.Identity(8)
+	if _, err := (Fourier{K: 9}).Prepare(w); err == nil {
+		t.Fatal("want error for K > n")
+	}
+	if _, err := (Fourier{K: -1}).Prepare(w); err == nil {
+		t.Fatal("want error for negative K")
+	}
+	p, err := (Fourier{}).Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.(*fourierPrepared).k != 1 {
+		t.Fatalf("default k for n=8 should be 1, got %d", p.(*fourierPrepared).k)
+	}
+	p, err = (Fourier{}).Prepare(workload.Identity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.(*fourierPrepared).k != 8 {
+		t.Fatalf("default k for n=64 should be 8, got %d", p.(*fourierPrepared).k)
+	}
+}
+
+func TestFourierAnswerValidation(t *testing.T) {
+	p, err := (Fourier{K: 4}).Prepare(workload.Identity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Answer(make([]float64, 5), 1, rng.New(1)); err == nil {
+		t.Fatal("want error for wrong data length")
+	}
+	if _, err := p.Answer(make([]float64, 16), 0, rng.New(1)); err == nil {
+		t.Fatal("want error for non-positive epsilon")
+	}
+}
+
+func TestFourierFullSpectrumIsUnbiased(t *testing.T) {
+	// With K = n and huge ε the mechanism is a near-exact round trip.
+	n := 16
+	w := workload.Identity(n)
+	p, err := (Fourier{K: n}).Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(3)
+	x := src.UniformVec(n, 0, 100)
+	got, err := p.Answer(x, privacy.Epsilon(1e9), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(got[i]-x[i]) > 1e-3 {
+			t.Fatalf("near-noiseless full-spectrum answer differs: got[%d]=%g want %g", i, got[i], x[i])
+		}
+	}
+}
+
+func TestFourierSmoothSignalLowBias(t *testing.T) {
+	// A single low-frequency sinusoid is captured exactly by small K.
+	n := 64
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 100 + 50*math.Cos(2*math.Pi*float64(i)/float64(n))
+	}
+	p, err := (Fourier{K: 4}).Prepare(workload.Identity(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bias, err := p.(*fourierPrepared).ReconstructionBias(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bias > 1e-18*sumSq(x) {
+		t.Fatalf("smooth signal should have ~zero tail, got %g", bias)
+	}
+	// High-frequency content is NOT captured: bias must be large.
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = float64(1 - 2*(i%2)) // Nyquist-rate alternation
+	}
+	biasY, err := p.(*fourierPrepared).ReconstructionBias(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if biasY < 0.9*sumSq(y) {
+		t.Fatalf("alternating signal should be almost all tail, got %g of %g", biasY, sumSq(y))
+	}
+}
+
+func TestFourierAnswerIsRealAndFinite(t *testing.T) {
+	src := rng.New(4)
+	for _, n := range []int{8, 12, 16, 30} { // includes non-power-of-two (Bluestein)
+		w := workload.Range(5, n, src)
+		p, err := (Fourier{K: n / 2}).Prepare(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := src.UniformVec(n, 0, 10)
+		got, err := p.Answer(x, 1, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != w.Queries() {
+			t.Fatalf("n=%d: got %d answers want %d", n, len(got), w.Queries())
+		}
+		for i, v := range got {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("n=%d: answer[%d] not finite: %g", n, i, v)
+			}
+		}
+	}
+}
+
+func TestFourierNoiseScalesWithK(t *testing.T) {
+	// On a zero histogram the answer is pure noise; K=n should carry more
+	// noise energy than K=1 at the same ε (scale √(2K) per coefficient,
+	// K coefficients).
+	n := 64
+	w := workload.Identity(n)
+	x := make([]float64, n)
+	sse := func(k int, seed int64) float64 {
+		p, err := (Fourier{K: k}).Prepare(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(seed)
+		var total float64
+		for trial := 0; trial < 30; trial++ {
+			got, err := p.Answer(x, 1, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += sumSq(got)
+		}
+		return total / 30
+	}
+	small, large := sse(1, 5), sse(n, 6)
+	if large < 10*small {
+		t.Fatalf("noise should grow strongly with K: K=1 → %g, K=n → %g", small, large)
+	}
+}
+
+func TestFourierExpectedSSEIsNaN(t *testing.T) {
+	p, err := (Fourier{K: 2}).Prepare(workload.Identity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(p.ExpectedSSE(1)) {
+		t.Fatal("FPA should report no analytic SSE")
+	}
+}
+
+func TestFourierBiasValidation(t *testing.T) {
+	p, err := (Fourier{K: 2}).Prepare(workload.Identity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.(*fourierPrepared).ReconstructionBias(make([]float64, 3)); err == nil {
+		t.Fatal("want error for wrong length")
+	}
+}
+
+func sumSq(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}

@@ -1,0 +1,94 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"lrm/internal/hist"
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// Histogram adapts the bucketized histogram publication of Xu et al.
+// (ICDE 2012, the paper's reference [29]) to the batch-query interface:
+// the histogram is published once under ε-DP with bucket smoothing, and
+// the workload is answered on the published estimate.
+type Histogram struct {
+	// Buckets is B, the bucket budget; zero picks max(1, n/16).
+	Buckets int
+	// StructureFirst selects the Xu et al. StructureFirst variant
+	// (exponential-mechanism boundaries + noisy bucket sums) instead of
+	// the default NoiseFirst.
+	StructureFirst bool
+	// Auto selects the NoiseFirst bucket count from the noisy counts at
+	// answer time (hist.NoiseFirstAuto) — still exactly ε-DP. Ignored
+	// when StructureFirst is set; Buckets is ignored when Auto is set.
+	Auto bool
+	// Options tunes the StructureFirst variant; ignored by NoiseFirst.
+	Options hist.StructureFirstOptions
+}
+
+// Name implements Mechanism.
+func (h Histogram) Name() string {
+	if h.StructureFirst {
+		return "SF"
+	}
+	return "NF"
+}
+
+// Prepare implements Mechanism.
+func (h Histogram) Prepare(w *workload.Workload) (Prepared, error) {
+	if w == nil || w.W == nil {
+		return nil, fmt.Errorf("mechanism: nil workload")
+	}
+	n := w.Domain()
+	b := h.Buckets
+	if b == 0 {
+		b = n / 16
+		if b < 1 {
+			b = 1
+		}
+	}
+	if b < 1 || b > n {
+		return nil, fmt.Errorf("mechanism: histogram buckets %d out of range [1,%d]", b, n)
+	}
+	opt := h.Options
+	opt.Buckets = b
+	return &histogramPrepared{w: w, buckets: b, structureFirst: h.StructureFirst, auto: h.Auto, opt: opt}, nil
+}
+
+type histogramPrepared struct {
+	w              *workload.Workload
+	buckets        int
+	structureFirst bool
+	auto           bool
+	opt            hist.StructureFirstOptions
+}
+
+// Answer implements Prepared.
+func (p *histogramPrepared) Answer(x []float64, eps privacy.Epsilon, src *rng.Source) ([]float64, error) {
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) != p.w.Domain() {
+		return nil, fmt.Errorf("mechanism: data length %d != domain %d", len(x), p.w.Domain())
+	}
+	var res *hist.Result
+	var err error
+	switch {
+	case p.structureFirst:
+		res, err = hist.StructureFirst(x, p.opt, eps, src)
+	case p.auto:
+		res, err = hist.NoiseFirstAuto(x, eps, src)
+	default:
+		res, err = hist.NoiseFirst(x, p.buckets, eps, src)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return p.w.Answer(res.Estimate), nil
+}
+
+// ExpectedSSE implements Prepared: bucket bias is data-dependent, so no
+// closed form exists.
+func (p *histogramPrepared) ExpectedSSE(eps privacy.Epsilon) float64 { return NoAnalyticSSE() }

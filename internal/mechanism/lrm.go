@@ -1,0 +1,54 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"lrm/internal/core"
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// LRM adapts the Low-Rank Mechanism (internal/core) to the shared
+// Mechanism interface used by the experiment harness.
+type LRM struct {
+	// Options configures the workload decomposition; the zero value uses
+	// the paper's defaults (r = 1.2·rank(W), γ = 1e-4·‖W‖_F).
+	Options core.Options
+}
+
+// Name implements Mechanism.
+func (LRM) Name() string { return "LRM" }
+
+// Prepare implements Mechanism: it runs the ALM workload decomposition.
+func (l LRM) Prepare(w *workload.Workload) (Prepared, error) {
+	if w == nil || w.W == nil {
+		return nil, fmt.Errorf("mechanism: nil workload")
+	}
+	d, err := core.Decompose(w.W, l.Options)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewMechanism(d)
+	if err != nil {
+		return nil, err
+	}
+	return &lrmPrepared{m: m}, nil
+}
+
+type lrmPrepared struct {
+	m *core.Mechanism
+}
+
+func (p *lrmPrepared) Answer(x []float64, eps privacy.Epsilon, src *rng.Source) ([]float64, error) {
+	return p.m.Answer(x, eps, src)
+}
+
+func (p *lrmPrepared) ExpectedSSE(eps privacy.Epsilon) float64 {
+	return p.m.ExpectedSSE(eps)
+}
+
+// Decomposition exposes the underlying factorization for diagnostics.
+func (p *lrmPrepared) Decomposition() *core.Decomposition {
+	return p.m.Decomposition()
+}

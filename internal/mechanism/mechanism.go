@@ -1,0 +1,36 @@
+// Package mechanism implements every query-answering mechanism evaluated
+// in the paper's Section 6: the Laplace mechanism on data (LM), noise on
+// results (NOR), the wavelet mechanism (WM, Privelet), the hierarchical
+// mechanism (HM, Boost with consistency), the matrix mechanism (MM,
+// Appendix B), and an adapter for the Low-Rank Mechanism itself — all
+// behind one interface so the experiment harness treats them uniformly.
+package mechanism
+
+import (
+	"math"
+
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// Mechanism prepares workload-specific state (e.g. a strategy matrix)
+// once, after which the returned Prepared can answer many times cheaply.
+type Mechanism interface {
+	// Name is the short label used in the paper's figures (LM, WM, …).
+	Name() string
+	// Prepare performs the workload-dependent optimization/setup.
+	Prepare(w *workload.Workload) (Prepared, error)
+}
+
+// Prepared answers a fixed workload under ε-differential privacy.
+type Prepared interface {
+	// Answer releases private answers for the histogram x.
+	Answer(x []float64, eps privacy.Epsilon, src *rng.Source) ([]float64, error)
+	// ExpectedSSE returns the analytic expected sum of squared errors at
+	// eps, or NaN when no closed form is implemented.
+	ExpectedSSE(eps privacy.Epsilon) float64
+}
+
+// NoAnalyticSSE is returned by mechanisms without a closed-form error.
+func NoAnalyticSSE() float64 { return math.NaN() }

@@ -1,0 +1,338 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/mat"
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// empiricalSSE estimates the expected SSE of a prepared mechanism by
+// Monte Carlo.
+func empiricalSSE(t *testing.T, p Prepared, w *workload.Workload, x []float64, eps privacy.Epsilon, trials int, src *rng.Source) float64 {
+	t.Helper()
+	exact := w.Answer(x)
+	var total float64
+	for i := 0; i < trials; i++ {
+		noisy, err := p.Answer(x, eps, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range noisy {
+			d := noisy[j] - exact[j]
+			total += d * d
+		}
+	}
+	return total / float64(trials)
+}
+
+func TestLaplaceDataAnalyticVsEmpirical(t *testing.T) {
+	w := workload.Range(20, 32, rng.New(1))
+	p, err := LaplaceData{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.New(2).UniformVec(32, 0, 50)
+	got := empiricalSSE(t, p, w, x, 1, 3000, rng.New(3))
+	want := p.ExpectedSSE(1)
+	if math.Abs(got-want) > 0.1*want {
+		t.Fatalf("empirical %v vs analytic %v", got, want)
+	}
+}
+
+func TestLaplaceResultsAnalyticVsEmpirical(t *testing.T) {
+	w := workload.Range(20, 32, rng.New(4))
+	p, err := LaplaceResults{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.New(5).UniformVec(32, 0, 50)
+	got := empiricalSSE(t, p, w, x, 0.5, 3000, rng.New(6))
+	want := p.ExpectedSSE(0.5)
+	if math.Abs(got-want) > 0.1*want {
+		t.Fatalf("empirical %v vs analytic %v", got, want)
+	}
+}
+
+func TestLaplaceCrossover(t *testing.T) {
+	// Section 3.2: NOR beats LM iff m·max_j ΣᵢWᵢⱼ² < ΣᵢⱼWᵢⱼ², which can
+	// only happen for m < n. Verify both regimes.
+	few := workload.FromMatrix("few", mat.FromRows([][]float64{
+		{1, 1, 1, 1, 1, 1, 1, 1}, // single total query: NOR wins
+	}))
+	pd, _ := LaplaceData{}.Prepare(few)
+	pr, _ := LaplaceResults{}.Prepare(few)
+	if pr.ExpectedSSE(1) >= pd.ExpectedSSE(1) {
+		t.Fatal("NOR should beat LM on a single total query")
+	}
+	many := workload.AllRanges(6) // m=21 > n=6: LM wins
+	pd2, _ := LaplaceData{}.Prepare(many)
+	pr2, _ := LaplaceResults{}.Prepare(many)
+	if pd2.ExpectedSSE(1) >= pr2.ExpectedSSE(1) {
+		t.Fatal("LM should beat NOR when m >> n")
+	}
+}
+
+func TestWaveletUnbiased(t *testing.T) {
+	w := workload.Range(10, 24, rng.New(7)) // non-power-of-two domain
+	p, err := Wavelet{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.New(8).UniformVec(24, 0, 100)
+	exact := w.Answer(x)
+	src := rng.New(9)
+	const trials = 20_000
+	sums := make([]float64, len(exact))
+	for i := 0; i < trials; i++ {
+		noisy, err := p.Answer(x, 1, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range noisy {
+			sums[j] += v
+		}
+	}
+	for j, want := range exact {
+		mean := sums[j] / trials
+		if math.Abs(mean-want) > 0.03*math.Abs(want)+3 {
+			t.Fatalf("mean[%d] = %v, exact %v", j, mean, want)
+		}
+	}
+}
+
+func TestWaveletAnalyticVsEmpirical(t *testing.T) {
+	w := workload.Range(16, 32, rng.New(10))
+	p, err := Wavelet{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 32)
+	got := empiricalSSE(t, p, w, x, 1, 4000, rng.New(11))
+	want := p.ExpectedSSE(1)
+	if math.IsNaN(want) {
+		t.Fatal("wavelet analytic SSE is NaN")
+	}
+	if math.Abs(got-want) > 0.12*want {
+		t.Fatalf("empirical %v vs analytic %v", got, want)
+	}
+}
+
+func TestWaveletBeatsLaplaceOnLargeRangeWorkload(t *testing.T) {
+	// Privelet's regime: range queries over a large domain.
+	n := 2048
+	w := workload.Range(64, n, rng.New(12))
+	wm, err := Wavelet{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := LaplaceData{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm.ExpectedSSE(1) >= lm.ExpectedSSE(1) {
+		t.Fatalf("WM %v not better than LM %v at n=%d", wm.ExpectedSSE(1), lm.ExpectedSSE(1), n)
+	}
+}
+
+func TestHierarchicalUnbiased(t *testing.T) {
+	w := workload.Range(8, 20, rng.New(13)) // padding exercised (20 < 32)
+	p, err := Hierarchical{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.New(14).UniformVec(20, 0, 100)
+	exact := w.Answer(x)
+	src := rng.New(15)
+	const trials = 20_000
+	sums := make([]float64, len(exact))
+	for i := 0; i < trials; i++ {
+		noisy, err := p.Answer(x, 1, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range noisy {
+			sums[j] += v
+		}
+	}
+	for j, want := range exact {
+		mean := sums[j] / trials
+		if math.Abs(mean-want) > 0.03*math.Abs(want)+5 {
+			t.Fatalf("mean[%d] = %v, exact %v", j, mean, want)
+		}
+	}
+}
+
+func TestHierarchicalConsistencyReducesError(t *testing.T) {
+	// The consistency step is a least-squares projection, so the total
+	// error on the identity workload must not exceed the naive leaf-only
+	// estimate (which costs the same budget but ignores internal nodes).
+	n := 64
+	w := workload.Identity(n)
+	p, err := Hierarchical{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	hmSSE := empiricalSSE(t, p, w, x, 1, 2000, rng.New(16))
+	// Naive: each leaf with Lap(ℓ/ε), ℓ = log2(64)+1 = 7 levels.
+	levels := 7.0
+	naive := 2 * float64(n) * levels * levels
+	if hmSSE >= naive {
+		t.Fatalf("consistency SSE %v not below naive per-leaf %v", hmSSE, naive)
+	}
+}
+
+func TestHierarchicalBranchingFactor(t *testing.T) {
+	w := workload.Range(10, 27, rng.New(17))
+	for _, b := range []int{2, 3, 4} {
+		p, err := Hierarchical{Branch: b}.Prepare(w)
+		if err != nil {
+			t.Fatalf("branch %d: %v", b, err)
+		}
+		if _, err := p.Answer(make([]float64, 27), 1, rng.New(18)); err != nil {
+			t.Fatalf("branch %d: %v", b, err)
+		}
+	}
+	if _, err := (Hierarchical{Branch: 1}).Prepare(w); err == nil {
+		t.Fatal("branch 1 accepted")
+	}
+}
+
+func TestStrategyPreparedIdentityMatchesLaplaceData(t *testing.T) {
+	// With strategy A = I the generic template degenerates to LM.
+	w := workload.Range(12, 16, rng.New(19))
+	sp, err := NewStrategyPrepared(w, mat.Eye(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := LaplaceData{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp.ExpectedSSE(1)-lm.ExpectedSSE(1)) > 1e-6*lm.ExpectedSSE(1) {
+		t.Fatalf("strategy-I SSE %v != LM SSE %v", sp.ExpectedSSE(1), lm.ExpectedSSE(1))
+	}
+}
+
+func TestStrategyPreparedEmpiricalMatchesAnalytic(t *testing.T) {
+	w := workload.Range(10, 12, rng.New(20))
+	// A random full-rank strategy.
+	src := rng.New(21)
+	a := mat.New(12, 12)
+	for i := range a.RawData() {
+		a.RawData()[i] = src.Normal()
+	}
+	sp, err := NewStrategyPrepared(w, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 12)
+	got := empiricalSSE(t, sp, w, x, 1, 4000, rng.New(22))
+	want := sp.ExpectedSSE(1)
+	if math.Abs(got-want) > 0.12*want {
+		t.Fatalf("empirical %v vs analytic %v", got, want)
+	}
+}
+
+func TestStrategyRejectsBadInput(t *testing.T) {
+	w := workload.Identity(4)
+	if _, err := NewStrategyPrepared(w, mat.New(3, 5)); err == nil {
+		t.Fatal("mismatched strategy accepted")
+	}
+	if _, err := NewStrategyPrepared(w, mat.New(4, 4)); err == nil {
+		t.Fatal("zero strategy accepted")
+	}
+}
+
+func TestMatrixMechanismRuns(t *testing.T) {
+	w := workload.Range(8, 16, rng.New(23))
+	p, err := MatrixMechanism{MaxIter: 30}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sse := p.ExpectedSSE(1)
+	if math.IsNaN(sse) || math.IsInf(sse, 0) || sse <= 0 {
+		t.Fatalf("MM SSE = %v", sse)
+	}
+	x := rng.New(24).UniformVec(16, 0, 10)
+	out, err := p.Answer(x, 1, rng.New(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("answer length %d", len(out))
+	}
+}
+
+func TestMatrixMechanismWorseThanLRMOnLowRank(t *testing.T) {
+	// The paper's headline: MM is not competitive with LRM.
+	w := workload.Related(16, 16, 2, rng.New(26))
+	mm, err := MatrixMechanism{MaxIter: 40}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrm, err := LRM{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrm.ExpectedSSE(1) >= mm.ExpectedSSE(1) {
+		t.Fatalf("LRM %v not better than MM %v", lrm.ExpectedSSE(1), mm.ExpectedSSE(1))
+	}
+}
+
+func TestLRMAdapterMatchesCore(t *testing.T) {
+	w := workload.Related(12, 14, 2, rng.New(27))
+	p, err := LRM{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 14)
+	got := empiricalSSE(t, p, w, x, 1, 3000, rng.New(28))
+	want := p.ExpectedSSE(1)
+	if math.Abs(got-want) > 0.15*want {
+		t.Fatalf("empirical %v vs analytic %v", got, want)
+	}
+}
+
+func TestMechanismNames(t *testing.T) {
+	for _, tc := range []struct {
+		m    Mechanism
+		want string
+	}{
+		{LaplaceData{}, "LM"},
+		{LaplaceResults{}, "NOR"},
+		{Wavelet{}, "WM"},
+		{Hierarchical{}, "HM"},
+		{MatrixMechanism{}, "MM"},
+		{LRM{}, "LRM"},
+	} {
+		if got := tc.m.Name(); got != tc.want {
+			t.Fatalf("Name = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestPrepareNilWorkload(t *testing.T) {
+	for _, m := range []Mechanism{LaplaceData{}, LaplaceResults{}, Wavelet{}, Hierarchical{}, MatrixMechanism{}, LRM{}} {
+		if _, err := m.Prepare(nil); err == nil {
+			t.Fatalf("%s accepted nil workload", m.Name())
+		}
+	}
+}
+
+func TestAnswerWrongLength(t *testing.T) {
+	w := workload.Identity(8)
+	for _, m := range []Mechanism{LaplaceData{}, LaplaceResults{}, Wavelet{}, Hierarchical{}} {
+		p, err := m.Prepare(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Answer(make([]float64, 7), 1, rng.New(1)); err == nil {
+			t.Fatalf("%s accepted wrong data length", m.Name())
+		}
+	}
+}

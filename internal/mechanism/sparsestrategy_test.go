@@ -1,0 +1,108 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/rng"
+	"lrm/internal/sparse"
+	"lrm/internal/workload"
+)
+
+func TestSparseStrategyValidation(t *testing.T) {
+	w := workload.Identity(8)
+	if _, err := NewSparseStrategyPrepared(nil, sparse.Identity(8), 0); err == nil {
+		t.Fatal("want error for nil workload")
+	}
+	if _, err := NewSparseStrategyPrepared(w, sparse.Identity(4), 0); err == nil {
+		t.Fatal("want error for column mismatch")
+	}
+	zero, _ := sparse.FromTriplets(2, 8, nil)
+	if _, err := NewSparseStrategyPrepared(w, zero, 0); err == nil {
+		t.Fatal("want error for zero strategy")
+	}
+}
+
+func TestSparseStrategyMatchesDenseTemplate(t *testing.T) {
+	// Identical strategy, same noise stream: the sparse CGLS path and the
+	// dense pseudo-inverse path must agree to solver tolerance.
+	src := rng.New(1)
+	n := 16
+	w := workload.Range(5, n, src)
+	strat, err := TreeStrategy(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := NewStrategyPrepared(w, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewSparseStrategyPrepared(w, sparse.FromDense(strat, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := src.UniformVec(n, 0, 20)
+	a1, err := dense.Answer(x, 1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := sp.Answer(x, 1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if math.Abs(a1[i]-a2[i]) > 1e-6*(1+math.Abs(a1[i])) {
+			t.Fatalf("answer %d: dense %g sparse %g", i, a1[i], a2[i])
+		}
+	}
+	if sp.Sensitivity() != dense.delta {
+		t.Fatalf("sensitivity %g vs %g", sp.Sensitivity(), dense.delta)
+	}
+}
+
+func TestSparseStrategyAnswerValidation(t *testing.T) {
+	w := workload.Identity(8)
+	sp, err := NewSparseStrategyPrepared(w, sparse.Identity(8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Answer(make([]float64, 3), 1, rng.New(1)); err == nil {
+		t.Fatal("want error for data length")
+	}
+	if _, err := sp.Answer(make([]float64, 8), 0, rng.New(1)); err == nil {
+		t.Fatal("want error for zero epsilon")
+	}
+	if !math.IsNaN(sp.ExpectedSSE(1)) {
+		t.Fatal("sparse strategy reports no analytic SSE")
+	}
+}
+
+func TestSparseStrategyLargeDomainTree(t *testing.T) {
+	// The point of the sparse path: a 4096-cell hierarchical strategy
+	// (nnz ≈ n·log n ≈ 53k vs n² = 16.8M dense entries) prepares and
+	// answers quickly and accurately at huge ε.
+	n := 4096
+	w := workload.Total(n)
+	strat, err := TreeStrategy(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sparse.FromDense(strat, 0)
+	if a.Density() > 0.01 {
+		t.Fatalf("tree strategy not sparse: density %g", a.Density())
+	}
+	sp, err := NewSparseStrategyPrepared(w, a, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(3)
+	x := src.UniformVec(n, 0, 10)
+	got, err := sp.Answer(x, 1e9, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.Answer(x)[0]
+	if math.Abs(got[0]-want) > 1e-3*want {
+		t.Fatalf("total %g want %g", got[0], want)
+	}
+}

@@ -1,0 +1,85 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"lrm/internal/mat"
+)
+
+// This file builds the explicit strategy matrices behind the fast WM and
+// HM implementations. They are used by tests to prove the O(n log n)
+// transform paths agree with the generic strategy template, and are
+// exported for users who want to compose or inspect strategies directly.
+
+// HaarStrategy returns the weighted Haar strategy matrix over a domain of
+// size n (padded internally to a power of two; columns beyond n are
+// dropped). Rows are scaled so that uniform Laplace noise on A·x followed
+// by least squares reproduces exactly Privelet's per-level noise
+// calibration: the first row is all ones (the base coefficient times n)
+// and each internal tree node contributes a +1/−1 split row. The matrix
+// has max column L1 norm 1+log₂(padded n).
+func HaarStrategy(n int) (*mat.Dense, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mechanism: HaarStrategy domain %d < 1", n)
+	}
+	padded := 1
+	for padded < n {
+		padded *= 2
+	}
+	rows := padded // 1 base row + (padded−1) internal nodes
+	a := mat.New(rows, n)
+	for j := 0; j < n; j++ {
+		a.Set(0, j, 1)
+	}
+	// Internal nodes in heap order: node i covers a contiguous block.
+	row := 1
+	for i := 1; i < padded; i++ {
+		size := padded / sizeIndex(i)
+		start := (i - sizeIndex(i)) * size
+		half := size / 2
+		for j := start; j < start+half && j < n; j++ {
+			a.Set(row, j, 1)
+		}
+		for j := start + half; j < start+size && j < n; j++ {
+			a.Set(row, j, -1)
+		}
+		row++
+	}
+	return a, nil
+}
+
+// TreeStrategy returns the explicit b-ary hierarchical strategy matrix
+// over a domain of size n: one 0/1 indicator row per tree node (root
+// included, domain padded to a power of b with the padding columns
+// dropped). Uniform Laplace noise on A·x followed by least squares is
+// exactly the Boost mechanism with Hay et al.'s consistency step.
+func TreeStrategy(n, b int) (*mat.Dense, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mechanism: TreeStrategy domain %d < 1", n)
+	}
+	if b < 2 {
+		return nil, fmt.Errorf("mechanism: TreeStrategy branch %d < 2", b)
+	}
+	padded, levels := 1, 1
+	for padded < n {
+		padded *= b
+		levels++
+	}
+	total := 0
+	for lev := 0; lev < levels; lev++ {
+		total += pow(b, lev)
+	}
+	a := mat.New(total, n)
+	row := 0
+	for lev := 0; lev < levels; lev++ {
+		nodes := pow(b, lev)
+		span := padded / nodes
+		for i := 0; i < nodes; i++ {
+			for j := i * span; j < (i+1)*span && j < n; j++ {
+				a.Set(row, j, 1)
+			}
+			row++
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,200 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/rng"
+	"lrm/internal/transform"
+	"lrm/internal/workload"
+)
+
+func TestCompressivePrepareValidation(t *testing.T) {
+	if _, err := (Compressive{}).Prepare(nil); err == nil {
+		t.Fatal("want error for nil workload")
+	}
+	// Non-power-of-two domain is rejected (Haar dictionary).
+	if _, err := (Compressive{}).Prepare(workload.Identity(12)); err == nil {
+		t.Fatal("want error for non-power-of-two domain")
+	}
+	if _, err := (Compressive{Measurements: 99}).Prepare(workload.Identity(16)); err == nil {
+		t.Fatal("want error for k > n")
+	}
+	p, err := (Compressive{}).Prepare(workload.Identity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil {
+		t.Fatal("nil prepared")
+	}
+}
+
+func TestCompressiveAnswerShapeAndFinite(t *testing.T) {
+	src := rng.New(1)
+	w := workload.Range(10, 64, src)
+	p, err := (Compressive{Measurements: 16, Sparsity: 4, Seed: 5}).Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := src.UniformVec(64, 0, 50)
+	got, err := p.Answer(x, 1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d answers want 10", len(got))
+	}
+	for _, v := range got {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite answer")
+		}
+	}
+	if _, err := p.Answer(x[:3], 1, src); err == nil {
+		t.Fatal("want error for wrong data length")
+	}
+	if _, err := p.Answer(x, 0, src); err == nil {
+		t.Fatal("want error for zero epsilon")
+	}
+	if !math.IsNaN(p.ExpectedSSE(1)) {
+		t.Fatal("compressive should report no analytic SSE")
+	}
+}
+
+func TestCompressiveAccurateOnSparseDataHighEps(t *testing.T) {
+	// Wavelet-sparse data, huge ε: answers should be near exact.
+	n := 128
+	coeffs := make([]float64, n)
+	coeffs[0], coeffs[3] = 200, 50
+	x := transform.IHaar(coeffs)
+	w := workload.Total(n)
+	p, err := (Compressive{Measurements: 32, Sparsity: 2, Seed: 9}).Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(2)
+	got, err := p.Answer(x, 1e9, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.Answer(x)[0]
+	if math.Abs(got[0]-want) > 1e-3*math.Abs(want) {
+		t.Fatalf("total %g want %g", got[0], want)
+	}
+}
+
+func TestHistogramPrepareValidation(t *testing.T) {
+	if _, err := (Histogram{}).Prepare(nil); err == nil {
+		t.Fatal("want error for nil workload")
+	}
+	if _, err := (Histogram{Buckets: 100}).Prepare(workload.Identity(8)); err == nil {
+		t.Fatal("want error for buckets > n")
+	}
+	p, err := (Histogram{}).Prepare(workload.Identity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.(*histogramPrepared).buckets != 4 {
+		t.Fatalf("default buckets for n=64 should be 4, got %d", p.(*histogramPrepared).buckets)
+	}
+}
+
+func TestHistogramNames(t *testing.T) {
+	if (Histogram{}).Name() != "NF" {
+		t.Fatal("NoiseFirst variant should be named NF")
+	}
+	if (Histogram{StructureFirst: true}).Name() != "SF" {
+		t.Fatal("StructureFirst variant should be named SF")
+	}
+	if (Compressive{}).Name() != "CM" {
+		t.Fatal("compressive should be named CM")
+	}
+	if (Fourier{}).Name() != "FPA" {
+		t.Fatal("Fourier should be named FPA")
+	}
+}
+
+func TestHistogramAnswerBothVariants(t *testing.T) {
+	src := rng.New(3)
+	w := workload.Range(8, 64, src)
+	x := make([]float64, 64)
+	for i := range x {
+		if i < 32 {
+			x[i] = 40
+		} else {
+			x[i] = 10
+		}
+	}
+	for _, m := range []Mechanism{
+		Histogram{Buckets: 4},
+		Histogram{Buckets: 4, StructureFirst: true},
+	} {
+		p, err := m.Prepare(w)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		got, err := p.Answer(x, 1, src)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if len(got) != 8 {
+			t.Fatalf("%s: got %d answers", m.Name(), len(got))
+		}
+		for _, v := range got {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: non-finite answer", m.Name())
+			}
+		}
+		if _, err := p.Answer(x[:3], 1, src); err == nil {
+			t.Fatalf("%s: want error for wrong data length", m.Name())
+		}
+		if _, err := p.Answer(x, 0, src); err == nil {
+			t.Fatalf("%s: want error for zero epsilon", m.Name())
+		}
+		if !math.IsNaN(p.ExpectedSSE(1)) {
+			t.Fatalf("%s: should report no analytic SSE", m.Name())
+		}
+	}
+}
+
+func TestHistogramNoiseFirstBeatsLaplaceOnBlockyData(t *testing.T) {
+	// The headline claim of reference [29]: on blocky data, bucket
+	// averaging beats per-cell Laplace noise for range queries.
+	src := rng.New(4)
+	n := 128
+	x := make([]float64, n)
+	for i := range x {
+		if i/32%2 == 0 {
+			x[i] = 500
+		} else {
+			x[i] = 100
+		}
+	}
+	w := workload.Range(20, n, src)
+	exact := w.Answer(x)
+
+	sse := func(m Mechanism, seed int64) float64 {
+		p, err := m.Prepare(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := rng.New(seed)
+		var total float64
+		const trials = 15
+		for trial := 0; trial < trials; trial++ {
+			got, err := p.Answer(x, 0.1, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				d := got[i] - exact[i]
+				total += d * d
+			}
+		}
+		return total / trials
+	}
+	nf := sse(Histogram{Buckets: 8}, 5)
+	lm := sse(LaplaceData{}, 6)
+	if nf >= lm {
+		t.Fatalf("NoiseFirst SSE %g should beat Laplace-on-data %g on blocky data", nf, lm)
+	}
+}

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lrm/internal/mechanism"
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// Distribution summarizes the spread of per-trial squared errors, beyond
+// the paper's single average: published comparisons should carry error
+// bars, and heavy-tailed Laplace noise makes the spread substantial at
+// small trial counts.
+type Distribution struct {
+	// Mean is the average squared error (same value Evaluate reports).
+	Mean float64
+	// StdDev is the sample standard deviation of per-trial SSE.
+	StdDev float64
+	// StdErr is StdDev/√trials, the standard error of Mean.
+	StdErr float64
+	// Min, Median, P90, Max are order statistics of per-trial SSE.
+	Min, Median, P90, Max float64
+	// PerQueryMean[j] is the mean squared error of query j alone,
+	// revealing which queries a strategy serves well or poorly.
+	PerQueryMean []float64
+	// Trials is the number of randomized executions summarized.
+	Trials int
+}
+
+// ConfidenceInterval returns the normal-approximation 95% interval for
+// the mean squared error.
+func (d *Distribution) ConfidenceInterval() (lo, hi float64) {
+	const z95 = 1.96
+	return d.Mean - z95*d.StdErr, d.Mean + z95*d.StdErr
+}
+
+// String renders a one-line summary.
+func (d *Distribution) String() string {
+	lo, hi := d.ConfidenceInterval()
+	return fmt.Sprintf("mean %.4g (95%% CI [%.4g, %.4g]), median %.4g, p90 %.4g, %d trials",
+		d.Mean, lo, hi, d.Median, d.P90, d.Trials)
+}
+
+// EvaluateDistribution measures a mechanism like Evaluate but returns the
+// full per-trial and per-query error distribution. Trials run
+// sequentially (the per-query accumulation is cheap relative to the
+// mechanisms measured this way).
+func EvaluateDistribution(mech mechanism.Mechanism, w *workload.Workload, x []float64, eps privacy.Epsilon, trials int, src *rng.Source) (*Distribution, error) {
+	if trials < 2 {
+		return nil, fmt.Errorf("metrics: distribution needs >= 2 trials, got %d", trials)
+	}
+	p, err := mech.Prepare(w)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: preparing %s: %w", mech.Name(), err)
+	}
+	return EvaluatePreparedDistribution(p, w, x, eps, trials, src)
+}
+
+// EvaluatePreparedDistribution is EvaluateDistribution for an
+// already-prepared mechanism.
+func EvaluatePreparedDistribution(p mechanism.Prepared, w *workload.Workload, x []float64, eps privacy.Epsilon, trials int, src *rng.Source) (*Distribution, error) {
+	if trials < 2 {
+		return nil, fmt.Errorf("metrics: distribution needs >= 2 trials, got %d", trials)
+	}
+	exact := w.Answer(x)
+	m := w.Queries()
+	sses := make([]float64, trials)
+	perQuery := make([]float64, m)
+	for t := 0; t < trials; t++ {
+		noisy, err := p.Answer(x, eps, src)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: trial %d: %w", t, err)
+		}
+		var sse float64
+		for j := range exact {
+			d := noisy[j] - exact[j]
+			sse += d * d
+			perQuery[j] += d * d
+		}
+		sses[t] = sse
+	}
+	for j := range perQuery {
+		perQuery[j] /= float64(trials)
+	}
+
+	var mean float64
+	for _, v := range sses {
+		mean += v
+	}
+	mean /= float64(trials)
+	var varSum float64
+	for _, v := range sses {
+		d := v - mean
+		varSum += d * d
+	}
+	std := math.Sqrt(varSum / float64(trials-1))
+
+	sorted := make([]float64, trials)
+	copy(sorted, sses)
+	sort.Float64s(sorted)
+	return &Distribution{
+		Mean:         mean,
+		StdDev:       std,
+		StdErr:       std / math.Sqrt(float64(trials)),
+		Min:          sorted[0],
+		Median:       quantile(sorted, 0.5),
+		P90:          quantile(sorted, 0.9),
+		Max:          sorted[trials-1],
+		PerQueryMean: perQuery,
+		Trials:       trials,
+	}, nil
+}
+
+// quantile interpolates the q-th quantile of sorted values.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

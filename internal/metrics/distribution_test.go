@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/mat"
+	"lrm/internal/mechanism"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+func TestEvaluateDistributionBasics(t *testing.T) {
+	src := rng.New(1)
+	w := workload.Identity(16)
+	x := src.UniformVec(16, 0, 10)
+	d, err := EvaluateDistribution(mechanism.LaplaceData{}, w, x, 1, 200, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Trials != 200 {
+		t.Fatalf("trials %d", d.Trials)
+	}
+	// Analytic mean for LM on the identity: 2n/ε² = 32.
+	if math.Abs(d.Mean-32) > 8 {
+		t.Fatalf("mean %g want ≈32", d.Mean)
+	}
+	if d.Min > d.Median || d.Median > d.P90 || d.P90 > d.Max {
+		t.Fatalf("order statistics inconsistent: %+v", d)
+	}
+	if d.StdDev <= 0 || d.StdErr <= 0 || d.StdErr >= d.StdDev {
+		t.Fatalf("spread stats inconsistent: std %g stderr %g", d.StdDev, d.StdErr)
+	}
+	lo, hi := d.ConfidenceInterval()
+	if lo >= d.Mean || hi <= d.Mean {
+		t.Fatalf("CI [%g,%g] does not bracket mean %g", lo, hi, d.Mean)
+	}
+	if len(d.PerQueryMean) != 16 {
+		t.Fatalf("per-query length %d", len(d.PerQueryMean))
+	}
+	// Per-query means sum to the overall mean.
+	var total float64
+	for _, v := range d.PerQueryMean {
+		total += v
+	}
+	if math.Abs(total-d.Mean) > 1e-9*d.Mean {
+		t.Fatalf("per-query sum %g vs mean %g", total, d.Mean)
+	}
+	if d.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestEvaluateDistributionValidation(t *testing.T) {
+	src := rng.New(2)
+	w := workload.Identity(4)
+	if _, err := EvaluateDistribution(mechanism.LaplaceData{}, w, make([]float64, 4), 1, 1, src); err == nil {
+		t.Fatal("want error for 1 trial")
+	}
+	p, _ := mechanism.LaplaceData{}.Prepare(w)
+	if _, err := EvaluatePreparedDistribution(p, w, make([]float64, 4), 1, 0, src); err == nil {
+		t.Fatal("want error for 0 trials")
+	}
+}
+
+func TestEvaluateDistributionPerQueryRevealsStructure(t *testing.T) {
+	// NOR noise is i.i.d. per query, so a query batch whose rows differ in
+	// scale still gets equal per-query noise; LM noise instead scales with
+	// the row's squared sum. Check LM's per-query means track row energy.
+	wl := workload.FromMatrix("two-rows", mat.FromRows([][]float64{
+		{1, 0, 0, 0},
+		{1, 1, 1, 1},
+	}))
+	src := rng.New(3)
+	d, err := EvaluateDistribution(mechanism.LaplaceData{}, wl, []float64{1, 2, 3, 4}, 1, 400, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 1 has 4× the squared sum of row 0: per-query error ratio ≈ 4.
+	ratio := d.PerQueryMean[1] / d.PerQueryMean[0]
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("per-query ratio %g want ≈4", ratio)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	if q := quantile(sorted, 0); q != 1 {
+		t.Fatalf("q0 %g", q)
+	}
+	if q := quantile(sorted, 1); q != 5 {
+		t.Fatalf("q1 %g", q)
+	}
+	if q := quantile(sorted, 0.5); q != 3 {
+		t.Fatalf("q.5 %g", q)
+	}
+	if q := quantile(sorted, 0.25); q != 2 {
+		t.Fatalf("q.25 %g", q)
+	}
+	if !math.IsNaN(quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}

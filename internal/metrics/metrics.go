@@ -1,0 +1,118 @@
+// Package metrics measures mechanism accuracy the way the paper's
+// Section 6 does: the Average Squared Error of a query batch is the sum of
+// squared differences between exact and noisy answers, averaged over
+// repeated randomized runs (the paper averages 20 executions).
+package metrics
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"lrm/internal/mechanism"
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// SquaredError returns Σⱼ (noisy[j] − exact[j])².
+func SquaredError(exact, noisy []float64) float64 {
+	if len(exact) != len(noisy) {
+		panic(fmt.Sprintf("metrics: length mismatch %d vs %d", len(exact), len(noisy)))
+	}
+	var s float64
+	for j, e := range exact {
+		d := noisy[j] - e
+		s += d * d
+	}
+	return s
+}
+
+// Measurement is the outcome of evaluating one prepared mechanism.
+type Measurement struct {
+	// AvgSquaredError is the squared error averaged over trials.
+	AvgSquaredError float64
+	// PrepareSeconds is the one-off setup cost (strategy optimization).
+	PrepareSeconds float64
+	// AnswerSeconds is the total time spent answering all trials.
+	AnswerSeconds float64
+	// Trials is the number of randomized executions averaged.
+	Trials int
+}
+
+// Evaluate prepares mech for w (timed) and measures its average squared
+// error on x over the given number of trials, run in parallel with
+// independent sub-streams of src.
+func Evaluate(mech mechanism.Mechanism, w *workload.Workload, x []float64, eps privacy.Epsilon, trials int, src *rng.Source) (Measurement, error) {
+	if trials < 1 {
+		return Measurement{}, fmt.Errorf("metrics: trials must be >= 1, got %d", trials)
+	}
+	start := time.Now()
+	prepared, err := mech.Prepare(w)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("metrics: preparing %s: %w", mech.Name(), err)
+	}
+	prepSec := time.Since(start).Seconds()
+
+	m, err := EvaluatePrepared(prepared, w, x, eps, trials, src)
+	if err != nil {
+		return Measurement{}, err
+	}
+	m.PrepareSeconds = prepSec
+	return m, nil
+}
+
+// EvaluatePrepared measures an already-prepared mechanism.
+func EvaluatePrepared(p mechanism.Prepared, w *workload.Workload, x []float64, eps privacy.Epsilon, trials int, src *rng.Source) (Measurement, error) {
+	exact := w.Answer(x)
+	sources := make([]*rng.Source, trials)
+	for i := range sources {
+		sources[i] = src.Split()
+	}
+	errs := make([]error, trials)
+	sses := make([]float64, trials)
+
+	start := time.Now()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < trials; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				noisy, err := p.Answer(x, eps, sources[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				sses[i] = SquaredError(exact, noisy)
+			}
+		}()
+	}
+	wg.Wait()
+	ansSec := time.Since(start).Seconds()
+
+	var total float64
+	for i := 0; i < trials; i++ {
+		if errs[i] != nil {
+			return Measurement{}, fmt.Errorf("metrics: trial %d: %w", i, errs[i])
+		}
+		total += sses[i]
+	}
+	return Measurement{
+		AvgSquaredError: total / float64(trials),
+		AnswerSeconds:   ansSec,
+		Trials:          trials,
+	}, nil
+}

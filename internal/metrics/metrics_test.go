@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/mechanism"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+func TestSquaredError(t *testing.T) {
+	if got := SquaredError([]float64{1, 2}, []float64{2, 4}); got != 5 {
+		t.Fatalf("SquaredError = %v, want 5", got)
+	}
+	if got := SquaredError([]float64{1}, []float64{1}); got != 0 {
+		t.Fatalf("SquaredError = %v, want 0", got)
+	}
+}
+
+func TestSquaredErrorMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	SquaredError([]float64{1}, []float64{1, 2})
+}
+
+func TestEvaluateMatchesAnalytic(t *testing.T) {
+	w := workload.Range(16, 32, rng.New(1))
+	x := rng.New(2).UniformVec(32, 0, 20)
+	m, err := Evaluate(mechanism.LaplaceData{}, w, x, 1, 4000, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := mechanism.LaplaceData{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.ExpectedSSE(1)
+	if math.Abs(m.AvgSquaredError-want) > 0.1*want {
+		t.Fatalf("measured %v, analytic %v", m.AvgSquaredError, want)
+	}
+	if m.Trials != 4000 {
+		t.Fatalf("trials = %d", m.Trials)
+	}
+	if m.PrepareSeconds < 0 || m.AnswerSeconds <= 0 {
+		t.Fatalf("timings: %+v", m)
+	}
+}
+
+func TestEvaluateReproducible(t *testing.T) {
+	w := workload.Range(8, 16, rng.New(4))
+	x := make([]float64, 16)
+	a, err := Evaluate(mechanism.LaplaceData{}, w, x, 1, 50, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(mechanism.LaplaceData{}, w, x, 1, 50, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgSquaredError != b.AvgSquaredError {
+		t.Fatalf("same seed gave %v and %v", a.AvgSquaredError, b.AvgSquaredError)
+	}
+}
+
+func TestEvaluateRejectsBadTrials(t *testing.T) {
+	w := workload.Identity(4)
+	if _, err := Evaluate(mechanism.LaplaceData{}, w, make([]float64, 4), 1, 0, rng.New(1)); err == nil {
+		t.Fatal("trials=0 accepted")
+	}
+}

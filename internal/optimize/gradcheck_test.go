@@ -1,0 +1,71 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Finite-difference check of SmoothMaxGrad against SmoothMax.
+func TestSmoothMaxGradFiniteDifference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		mu := 0.1 + r.Float64()
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = r.NormFloat64() * 3
+		}
+		grad := make([]float64, n)
+		SmoothMaxGrad(v, mu, grad)
+		const h = 1e-6
+		for i := range v {
+			vp := append([]float64(nil), v...)
+			vm := append([]float64(nil), v...)
+			vp[i] += h
+			vm[i] -= h
+			fd := (SmoothMax(vp, mu) - SmoothMax(vm, mu)) / (2 * h)
+			if math.Abs(fd-grad[i]) > 1e-4*(1+math.Abs(fd)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The Nesterov and SPG solvers must agree with each other on a strongly
+// convex constrained problem (they solve the same program).
+func TestSolversAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		target := make([]float64, n)
+		for i := range target {
+			target[i] = r.NormFloat64() * 2
+		}
+		radius := 0.2 + r.Float64()
+		a := NesterovPG(quadProblem(target, radius), make([]float64, n), NesterovOptions{MaxIter: 2000})
+		b := SPG(quadProblem(target, radius), make([]float64, n), SPGOptions{MaxIter: 2000})
+		return math.Abs(a.Value-b.Value) < 1e-5*(1+math.Abs(a.Value))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FixedLipschitz mode must reach the same optimum as backtracking when
+// given a valid bound.
+func TestFixedLipschitzAgreesWithBacktracking(t *testing.T) {
+	target := []float64{4, -3, 2, 1}
+	p := quadProblem(target, 1.5)
+	bt := NesterovPG(p, make([]float64, 4), NesterovOptions{MaxIter: 3000})
+	// The quadratic ½‖x−t‖² has Lipschitz constant exactly 1.
+	fl := NesterovPG(p, make([]float64, 4), NesterovOptions{MaxIter: 3000, Lipschitz0: 1.0, FixedLipschitz: true})
+	if math.Abs(bt.Value-fl.Value) > 1e-6*(1+math.Abs(bt.Value)) {
+		t.Fatalf("fixed-Lipschitz %v vs backtracking %v", fl.Value, bt.Value)
+	}
+}

@@ -1,0 +1,222 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func l1norm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+func TestProjectL1BallAlreadyFeasible(t *testing.T) {
+	x := []float64{0.2, -0.3}
+	orig := append([]float64(nil), x...)
+	ProjectL1Ball(x, 1)
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatal("feasible point was modified")
+		}
+	}
+}
+
+func TestProjectL1BallKnown(t *testing.T) {
+	// Projecting (3,0) onto the unit L1 ball gives (1,0).
+	x := []float64{3, 0}
+	ProjectL1Ball(x, 1)
+	if math.Abs(x[0]-1) > 1e-12 || x[1] != 0 {
+		t.Fatalf("got %v, want [1 0]", x)
+	}
+	// Projecting (1,1) onto the unit ball gives (0.5,0.5).
+	y := []float64{1, 1}
+	ProjectL1Ball(y, 1)
+	if math.Abs(y[0]-0.5) > 1e-12 || math.Abs(y[1]-0.5) > 1e-12 {
+		t.Fatalf("got %v, want [0.5 0.5]", y)
+	}
+}
+
+func TestProjectL1BallSigns(t *testing.T) {
+	x := []float64{-3, 2}
+	ProjectL1Ball(x, 1)
+	if x[0] >= 0 {
+		t.Fatalf("sign flipped: %v", x)
+	}
+	if math.Abs(l1norm(x)-1) > 1e-10 {
+		t.Fatalf("norm = %v", l1norm(x))
+	}
+}
+
+func TestProjectL1BallZeroRadius(t *testing.T) {
+	x := []float64{1, -2, 3}
+	ProjectL1Ball(x, 0)
+	for _, v := range x {
+		if v != 0 {
+			t.Fatalf("got %v, want zeros", x)
+		}
+	}
+}
+
+func TestProjectL1BallNegativeRadiusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative radius did not panic")
+		}
+	}()
+	ProjectL1Ball([]float64{1}, -1)
+}
+
+// Property: the projection is feasible and is a fixed point (idempotent).
+func TestProjectL1BallProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		radius := r.Float64()*3 + 0.01
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64() * 3
+		}
+		ProjectL1Ball(x, radius)
+		if l1norm(x) > radius+1e-9 {
+			return false
+		}
+		y := append([]float64(nil), x...)
+		ProjectL1Ball(y, radius)
+		for i := range x {
+			if math.Abs(x[i]-y[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the projection is the nearest feasible point — no random
+// feasible point may be closer.
+func TestProjectL1BallOptimality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		radius := r.Float64()*2 + 0.05
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64() * 2
+		}
+		proj := append([]float64(nil), x...)
+		ProjectL1Ball(proj, radius)
+		var dProj float64
+		for i := range x {
+			dProj += (x[i] - proj[i]) * (x[i] - proj[i])
+		}
+		// Generate random feasible candidates; none may beat proj.
+		for trial := 0; trial < 50; trial++ {
+			c := make([]float64, n)
+			for i := range c {
+				c[i] = r.NormFloat64()
+			}
+			ProjectL1Ball(c, radius) // guarantees feasibility
+			var dc float64
+			for i := range x {
+				dc += (x[i] - c[i]) * (x[i] - c[i])
+			}
+			if dc < dProj-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the pivot-based projection agrees with the sort-based one.
+func TestProjectL1BallPivotAgrees(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		radius := r.Float64()*4 + 0.01
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64() * 3
+		}
+		a := append([]float64(nil), x...)
+		b := append([]float64(nil), x...)
+		ProjectL1Ball(a, radius)
+		ProjectL1BallPivot(b, radius)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectColumnsL1(t *testing.T) {
+	// 2×3 matrix, project each column onto unit L1 ball.
+	data := []float64{
+		3, 0.2, -1,
+		1, 0.3, -1,
+	}
+	ProjectColumnsL1(data, 2, 3, 1)
+	// Column 0: (3,1) -> (1.5,-?) ... check feasibility per column.
+	for j := 0; j < 3; j++ {
+		s := math.Abs(data[j]) + math.Abs(data[3+j])
+		if s > 1+1e-9 {
+			t.Fatalf("column %d has L1 norm %v", j, s)
+		}
+	}
+	// Column 1 was already feasible and must be unchanged.
+	if data[1] != 0.2 || data[4] != 0.3 {
+		t.Fatalf("feasible column changed: %v", data)
+	}
+}
+
+func TestSmoothMaxBounds(t *testing.T) {
+	v := []float64{1, 5, 3}
+	mu := 0.1
+	f := SmoothMax(v, mu)
+	if f < 5 || f > 5+mu*math.Log(3)+1e-12 {
+		t.Fatalf("SmoothMax = %v outside [5, 5+μ·log3]", f)
+	}
+}
+
+func TestSmoothMaxGradSimplex(t *testing.T) {
+	v := []float64{2, 8, 5, 8}
+	grad := make([]float64, 4)
+	SmoothMaxGrad(v, 0.5, grad)
+	var sum float64
+	for _, g := range grad {
+		if g < 0 {
+			t.Fatalf("negative gradient component %v", g)
+		}
+		sum += g
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("gradient sums to %v, want 1", sum)
+	}
+	// Largest inputs dominate.
+	if grad[1] < grad[0] || grad[3] < grad[2] {
+		t.Fatalf("gradient not ordered with inputs: %v", grad)
+	}
+}
+
+func TestSmoothMaxLargeValuesStable(t *testing.T) {
+	v := []float64{1e8, 1e8 - 1}
+	f := SmoothMax(v, 0.01)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		t.Fatalf("SmoothMax overflowed: %v", f)
+	}
+}

@@ -1,0 +1,176 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+// quadProblem builds min ½‖x − target‖² over the L1 ball of given radius.
+// Its exact solution is the projection of target onto the ball.
+func quadProblem(target []float64, radius float64) Problem {
+	n := len(target)
+	return Problem{
+		Dim: n,
+		Value: func(x []float64) float64 {
+			var s float64
+			for i, v := range x {
+				d := v - target[i]
+				s += d * d
+			}
+			return 0.5 * s
+		},
+		Grad: func(x, g []float64) {
+			for i, v := range x {
+				g[i] = v - target[i]
+			}
+		},
+		Project: func(x []float64) { ProjectL1Ball(x, radius) },
+	}
+}
+
+func TestNesterovSolvesProjection(t *testing.T) {
+	target := []float64{3, -2, 0.5, 1}
+	want := append([]float64(nil), target...)
+	ProjectL1Ball(want, 1.5)
+	res := NesterovPG(quadProblem(target, 1.5), make([]float64, 4), NesterovOptions{MaxIter: 500})
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want %v (res=%+v)", i, res.X[i], want[i], res)
+		}
+	}
+}
+
+func TestNesterovUnconstrainedQuadratic(t *testing.T) {
+	// min ½xᵀAx − bᵀx with A = diag(1, 10): solution A⁻¹b.
+	a := []float64{1, 10}
+	b := []float64{2, 30}
+	p := Problem{
+		Dim: 2,
+		Value: func(x []float64) float64 {
+			return 0.5*(a[0]*x[0]*x[0]+a[1]*x[1]*x[1]) - b[0]*x[0] - b[1]*x[1]
+		},
+		Grad: func(x, g []float64) {
+			g[0] = a[0]*x[0] - b[0]
+			g[1] = a[1]*x[1] - b[1]
+		},
+	}
+	res := NesterovPG(p, []float64{0, 0}, NesterovOptions{MaxIter: 2000, Tol: 1e-10})
+	if math.Abs(res.X[0]-2) > 1e-4 || math.Abs(res.X[1]-3) > 1e-4 {
+		t.Fatalf("solution = %v, want [2 3]", res.X)
+	}
+}
+
+func TestNesterovComparableToPG(t *testing.T) {
+	// Both solvers must converge on an ill-conditioned quadratic to the
+	// same optimum; relative speed is measured by the ablation benchmark
+	// on the real LRM subproblem, not asserted here (backtracking makes
+	// either one win depending on problem geometry).
+	n := 20
+	target := make([]float64, n)
+	for i := range target {
+		target[i] = float64(i%5) - 2
+	}
+	diag := make([]float64, n)
+	for i := range diag {
+		diag[i] = 1 + float64(i)*10
+	}
+	mk := func() Problem {
+		return Problem{
+			Dim: n,
+			Value: func(x []float64) float64 {
+				var s float64
+				for i, v := range x {
+					d := v - target[i]
+					s += diag[i] * d * d
+				}
+				return 0.5 * s
+			},
+			Grad: func(x, g []float64) {
+				for i, v := range x {
+					g[i] = diag[i] * (v - target[i])
+				}
+			},
+			Project: func(x []float64) { ProjectL1Ball(x, 3) },
+		}
+	}
+	tol := 1e-9
+	resN := NesterovPG(mk(), make([]float64, n), NesterovOptions{MaxIter: 5000, Tol: tol})
+	resP := ProjectedGradient(mk(), make([]float64, n), NesterovOptions{MaxIter: 5000, Tol: tol})
+	if !resN.Converged {
+		t.Fatalf("Nesterov did not converge: %+v", resN)
+	}
+	if !resP.Converged {
+		t.Fatalf("plain PG did not converge: %+v", resP)
+	}
+	if math.Abs(resN.Value-resP.Value) > 1e-6*(1+math.Abs(resP.Value)) {
+		t.Fatalf("solvers disagree: Nesterov %v vs PG %v", resN.Value, resP.Value)
+	}
+}
+
+func TestProjectedGradientSolvesProjection(t *testing.T) {
+	target := []float64{2, 2}
+	want := append([]float64(nil), target...)
+	ProjectL1Ball(want, 1)
+	res := ProjectedGradient(quadProblem(target, 1), make([]float64, 2), NesterovOptions{MaxIter: 2000})
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-6 {
+			t.Fatalf("x = %v, want %v", res.X, want)
+		}
+	}
+}
+
+func TestSPGQuadratic(t *testing.T) {
+	target := []float64{5, -1, 2}
+	res := SPG(quadProblem(target, 2), make([]float64, 3), SPGOptions{MaxIter: 500})
+	want := append([]float64(nil), target...)
+	ProjectL1Ball(want, 2)
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-5 {
+			t.Fatalf("x = %v, want %v", res.X, want)
+		}
+	}
+}
+
+func TestSPGIllConditioned(t *testing.T) {
+	// Rosenbrock-like ill conditioning via diagonal quadratic with
+	// condition number 1e4; SPG should still converge quickly.
+	n := 30
+	diag := make([]float64, n)
+	for i := range diag {
+		diag[i] = math.Pow(10, 4*float64(i)/float64(n-1))
+	}
+	p := Problem{
+		Dim: n,
+		Value: func(x []float64) float64 {
+			var s float64
+			for i, v := range x {
+				s += diag[i] * (v - 1) * (v - 1)
+			}
+			return 0.5 * s
+		},
+		Grad: func(x, g []float64) {
+			for i, v := range x {
+				g[i] = diag[i] * (v - 1)
+			}
+		},
+	}
+	res := SPG(p, make([]float64, n), SPGOptions{MaxIter: 2000, Tol: 1e-10})
+	for i, v := range res.X {
+		if math.Abs(v-1) > 1e-4 {
+			t.Fatalf("x[%d] = %v, want 1 (iters=%d)", i, v, res.Iterations)
+		}
+	}
+}
+
+func TestResultFeasible(t *testing.T) {
+	target := []float64{10, 10, 10}
+	for _, res := range []Result{
+		NesterovPG(quadProblem(target, 1), make([]float64, 3), NesterovOptions{}),
+		ProjectedGradient(quadProblem(target, 1), make([]float64, 3), NesterovOptions{}),
+		SPG(quadProblem(target, 1), make([]float64, 3), SPGOptions{}),
+	} {
+		if l1norm(res.X) > 1+1e-6 {
+			t.Fatalf("infeasible result %v", res.X)
+		}
+	}
+}

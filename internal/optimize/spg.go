@@ -1,0 +1,125 @@
+package optimize
+
+import "math"
+
+// SPGOptions configures the nonmonotone spectral projected gradient
+// method.
+type SPGOptions struct {
+	// MaxIter bounds the iterations (default 200).
+	MaxIter int
+	// Tol stops when the projected gradient step moves less than Tol in
+	// Euclidean norm (default 1e-8).
+	Tol float64
+	// Memory is the nonmonotone window M of Grippo–Lampariello–Lucidi
+	// line search (default 10).
+	Memory int
+}
+
+// SPG minimizes p with the nonmonotone spectral projected gradient method
+// of Birgin, Martínez and Raydan (SIAM J. Optim. 2000) — the solver the
+// paper's Appendix B prescribes for the matrix mechanism's semidefinite
+// program. The spectral (Barzilai–Borwein) step length makes it far more
+// effective than plain projected gradient on ill-conditioned problems.
+func SPG(p Problem, x0 []float64, opt SPGOptions) Result {
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 200
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-8
+	}
+	if opt.Memory == 0 {
+		opt.Memory = 10
+	}
+	const (
+		alphaMin = 1e-10
+		alphaMax = 1e10
+		gammaLS  = 1e-4
+	)
+
+	d := p.Dim
+	x := make([]float64, d)
+	copy(x, x0)
+	if p.Project != nil {
+		p.Project(x)
+	}
+	g := make([]float64, d)
+	p.Grad(x, g)
+	f := p.Value(x)
+
+	hist := make([]float64, 0, opt.Memory)
+	hist = append(hist, f)
+
+	alpha := 1.0
+	xNew := make([]float64, d)
+	gNew := make([]float64, d)
+	ddir := make([]float64, d)
+
+	iters := 0
+	converged := false
+	for t := 1; t <= opt.MaxIter; t++ {
+		iters = t
+		// Projected gradient direction with spectral step.
+		for i := range ddir {
+			ddir[i] = x[i] - alpha*g[i]
+		}
+		if p.Project != nil {
+			p.Project(ddir)
+		}
+		var stepNorm float64
+		for i := range ddir {
+			ddir[i] -= x[i]
+			stepNorm += ddir[i] * ddir[i]
+		}
+		if math.Sqrt(stepNorm) < opt.Tol {
+			converged = true
+			break
+		}
+		// Nonmonotone line search against the window max.
+		fMax := hist[0]
+		for _, v := range hist[1:] {
+			if v > fMax {
+				fMax = v
+			}
+		}
+		var gd float64
+		for i := range ddir {
+			gd += g[i] * ddir[i]
+		}
+		lambda := 1.0
+		var fNew float64
+		for ls := 0; ls < 50; ls++ {
+			for i := range xNew {
+				xNew[i] = x[i] + lambda*ddir[i]
+			}
+			fNew = p.Value(xNew)
+			if fNew <= fMax+gammaLS*lambda*gd {
+				break
+			}
+			lambda *= 0.5
+		}
+		p.Grad(xNew, gNew)
+		// Barzilai–Borwein step: α = ⟨s,s⟩/⟨s,y⟩.
+		var ss, sy float64
+		for i := range x {
+			s := xNew[i] - x[i]
+			y := gNew[i] - g[i]
+			ss += s * s
+			sy += s * y
+		}
+		if sy <= 0 {
+			alpha = alphaMax
+		} else {
+			alpha = math.Min(alphaMax, math.Max(alphaMin, ss/sy))
+		}
+		copy(x, xNew)
+		copy(g, gNew)
+		f = fNew
+		if len(hist) == opt.Memory {
+			copy(hist, hist[1:])
+			hist[len(hist)-1] = f
+		} else {
+			hist = append(hist, f)
+		}
+	}
+	return Result{X: x, Value: p.Value(x), Iterations: iters, Converged: converged}
+}

@@ -1,0 +1,122 @@
+// Package privacy provides the ε-differential-privacy primitives shared by
+// all mechanisms: privacy budgets, L1 sensitivity of a linear query matrix,
+// the Laplace mechanism on a vector of exact answers, and composition
+// accounting.
+//
+// Throughout the repository, the database is a histogram x ∈ ℝⁿ of unit
+// counts and neighboring databases differ by ±1 in a single coordinate, so
+// the sensitivity of the identity workload is 1 and the sensitivity of a
+// query matrix A is its maximum column L1 norm (the paper's Section 3).
+package privacy
+
+import (
+	"errors"
+	"fmt"
+
+	"lrm/internal/mat"
+	"lrm/internal/rng"
+)
+
+// ErrBudgetExhausted is returned when a Budget cannot cover a requested
+// spend.
+var ErrBudgetExhausted = errors.New("privacy: budget exhausted")
+
+// Epsilon is a privacy budget value. Smaller is more private.
+type Epsilon float64
+
+// Validate returns an error unless e is strictly positive and finite.
+func (e Epsilon) Validate() error {
+	if !(e > 0) || e > 1e12 {
+		return fmt.Errorf("privacy: invalid epsilon %v", float64(e))
+	}
+	return nil
+}
+
+// Budget tracks sequential composition: spends accumulate and may not
+// exceed the total. The zero value is an empty budget.
+type Budget struct {
+	total Epsilon
+	spent Epsilon
+}
+
+// NewBudget returns a budget with the given total ε.
+func NewBudget(total Epsilon) (*Budget, error) {
+	if err := total.Validate(); err != nil {
+		return nil, err
+	}
+	return &Budget{total: total}, nil
+}
+
+// Spend consumes eps from the budget, or returns ErrBudgetExhausted.
+func (b *Budget) Spend(eps Epsilon) error {
+	if err := eps.Validate(); err != nil {
+		return err
+	}
+	if b.spent+eps > b.total+1e-12 {
+		return fmt.Errorf("%w: spent %v + requested %v > total %v",
+			ErrBudgetExhausted, float64(b.spent), float64(eps), float64(b.total))
+	}
+	b.spent += eps
+	return nil
+}
+
+// Remaining returns the unspent budget.
+func (b *Budget) Remaining() Epsilon { return b.total - b.spent }
+
+// Total returns the full budget.
+func (b *Budget) Total() Epsilon { return b.total }
+
+// Sensitivity returns the L1 sensitivity of the linear query matrix A over
+// unit-count histograms: max_j Σ_i |A_ij| (Eq. 2 specialized to linear
+// queries, as in Section 3.2 of the paper).
+func Sensitivity(a *mat.Dense) float64 {
+	return mat.MaxColAbsSum(a)
+}
+
+// LaplaceMechanism perturbs the exact answers with i.i.d. Laplace noise of
+// scale sensitivity/ε, the generic ε-DP release of Dwork et al. (Eq. 3).
+// It returns a fresh slice.
+func LaplaceMechanism(exact []float64, sensitivity float64, eps Epsilon, src *rng.Source) ([]float64, error) {
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
+	if sensitivity < 0 {
+		return nil, fmt.Errorf("privacy: negative sensitivity %v", sensitivity)
+	}
+	scale := sensitivity / float64(eps)
+	out := make([]float64, len(exact))
+	for i, v := range exact {
+		out[i] = v + src.Laplace(scale)
+	}
+	return out, nil
+}
+
+// LaplaceExpectedSSE returns the expected sum of squared errors of the
+// Laplace mechanism on m answers: 2·m·(sensitivity/ε)². Each Laplace
+// variable of scale s has variance 2s².
+func LaplaceExpectedSSE(m int, sensitivity float64, eps Epsilon) float64 {
+	s := sensitivity / float64(eps)
+	return 2 * float64(m) * s * s
+}
+
+// ComposeSequential returns the total ε consumed by releasing each of the
+// given mechanisms once on the same data (sequential composition).
+func ComposeSequential(epsilons ...Epsilon) Epsilon {
+	var sum Epsilon
+	for _, e := range epsilons {
+		sum += e
+	}
+	return sum
+}
+
+// ComposeParallel returns the ε consumed when mechanisms run on disjoint
+// partitions of the data: the maximum of the parts.
+func ComposeParallel(epsilons ...Epsilon) Epsilon {
+	var best Epsilon
+	for _, e := range epsilons {
+		if e > best {
+			best = e
+		}
+	}
+	return best
+}

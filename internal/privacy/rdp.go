@@ -1,0 +1,153 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"lrm/internal/rng"
+)
+
+// defaultRDPOrders is the standard grid of Rényi orders the accountant
+// tracks; the (ε, δ) conversion minimizes over it.
+var defaultRDPOrders = []float64{
+	1.25, 1.5, 1.75, 2, 2.5, 3, 3.5, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 48, 64,
+	128, 256, 512, 1024, 2048,
+}
+
+// RDPAccountant composes mechanisms in Rényi differential privacy and
+// converts the total to (ε, δ)-DP. For many-fold composition of Gaussian
+// (and, less dramatically, Laplace) mechanisms this is much tighter than
+// both naive sequential composition and the advanced composition theorem,
+// which is why it is the accountant of choice for iterative releases.
+//
+// RDP composes by simple addition per order α; the conversion to (ε, δ)
+// is ε = min_α [ ε_α + log(1/δ)/(α−1) ] (Mironov 2017).
+type RDPAccountant struct {
+	orders []float64
+	eps    []float64 // accumulated ε_α per order
+}
+
+// NewRDPAccountant returns an accountant over the standard order grid.
+func NewRDPAccountant() *RDPAccountant {
+	a := &RDPAccountant{orders: defaultRDPOrders}
+	a.eps = make([]float64, len(a.orders))
+	return a
+}
+
+// AddGaussian accounts one release of a Gaussian mechanism with the given
+// noise standard deviation and L2 sensitivity: ε_α = α·Δ²/(2σ²) for every
+// order.
+func (a *RDPAccountant) AddGaussian(sigma, l2Sensitivity float64) error {
+	if sigma <= 0 {
+		return fmt.Errorf("privacy: sigma must be positive, got %g", sigma)
+	}
+	if l2Sensitivity < 0 {
+		return fmt.Errorf("privacy: negative sensitivity %g", l2Sensitivity)
+	}
+	r := l2Sensitivity * l2Sensitivity / (2 * sigma * sigma)
+	for i, alpha := range a.orders {
+		a.eps[i] += alpha * r
+	}
+	return nil
+}
+
+// AddLaplace accounts one release of a Laplace mechanism with scale b and
+// L1 sensitivity Δ, using Mironov's closed form for the Rényi divergence
+// of two Laplace distributions at distance Δ:
+//
+//	ε_α = 1/(α−1) · log( α/(2α−1)·e^{(α−1)Δ/b} + (α−1)/(2α−1)·e^{−αΔ/b} )
+func (a *RDPAccountant) AddLaplace(b, l1Sensitivity float64) error {
+	if b <= 0 {
+		return fmt.Errorf("privacy: Laplace scale must be positive, got %g", b)
+	}
+	if l1Sensitivity < 0 {
+		return fmt.Errorf("privacy: negative sensitivity %g", l1Sensitivity)
+	}
+	t := l1Sensitivity / b
+	for i, alpha := range a.orders {
+		// log-sum-exp of the two terms, guarding overflow at large α·t.
+		la := math.Log(alpha/(2*alpha-1)) + (alpha-1)*t
+		lb := math.Log((alpha-1)/(2*alpha-1)) - alpha*t
+		hi := math.Max(la, lb)
+		a.eps[i] += (hi + math.Log(math.Exp(la-hi)+math.Exp(lb-hi))) / (alpha - 1)
+	}
+	return nil
+}
+
+// Compose folds another accountant's spends into this one (same grid).
+func (a *RDPAccountant) Compose(other *RDPAccountant) {
+	for i := range a.eps {
+		a.eps[i] += other.eps[i]
+	}
+}
+
+// Epsilon converts the accumulated RDP budget to an ε at the given δ,
+// minimizing over the tracked orders.
+func (a *RDPAccountant) Epsilon(delta float64) (Epsilon, error) {
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("privacy: delta must be in (0,1), got %g", delta)
+	}
+	best := math.Inf(1)
+	logInvDelta := math.Log(1 / delta)
+	for i, alpha := range a.orders {
+		e := a.eps[i] + logInvDelta/(alpha-1)
+		if e < best {
+			best = e
+		}
+	}
+	return Epsilon(best), nil
+}
+
+// GaussianSigmaForBudget returns the smallest noise multiplier σ (per unit
+// L2 sensitivity) such that k composed Gaussian releases stay within
+// (eps, delta)-DP under RDP accounting, found by bisection.
+func GaussianSigmaForBudget(eps Epsilon, delta float64, k int) (float64, error) {
+	if err := eps.Validate(); err != nil {
+		return 0, err
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("privacy: delta must be in (0,1), got %g", delta)
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("privacy: k must be >= 1, got %d", k)
+	}
+	within := func(sigma float64) bool {
+		a := NewRDPAccountant()
+		for i := 0; i < k; i++ {
+			if err := a.AddGaussian(sigma, 1); err != nil {
+				return false
+			}
+		}
+		got, err := a.Epsilon(delta)
+		return err == nil && got <= eps
+	}
+	lo, hi := 1e-3, 1e-2
+	for !within(hi) {
+		hi *= 2
+		if hi > 1e9 {
+			return 0, fmt.Errorf("privacy: no feasible sigma below 1e9")
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-9*hi; i++ {
+		mid := (lo + hi) / 2
+		if within(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// GaussianMechanismRDP adds N(0, σ²) noise to each coordinate and records
+// the spend in the accountant — the iterative-release workhorse.
+func GaussianMechanismRDP(a *RDPAccountant, exact []float64, l2Sensitivity, sigma float64, src *rng.Source) ([]float64, error) {
+	if err := a.AddGaussian(sigma, l2Sensitivity); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(exact))
+	for i, v := range exact {
+		out[i] = v + src.Normal()*sigma
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/rng"
+)
+
+func TestRDPGaussianSingleRelease(t *testing.T) {
+	// One Gaussian release at σ = Δ·√(2·ln(1.25/δ))/ε must account to at
+	// most ε (the classical calibration is looser than RDP, so the RDP ε
+	// should come out smaller).
+	const eps, delta = 1.0, 1e-5
+	sigma := math.Sqrt(2*math.Log(1.25/delta)) / eps
+	a := NewRDPAccountant()
+	if err := a.AddGaussian(sigma, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Epsilon(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For a single release the simple RDP→(ε,δ) conversion carries a small
+	// overhead over the classical calibration; it must stay within a few
+	// percent (the accountant's payoff is at composition, tested below).
+	if float64(got) > 1.05*eps {
+		t.Fatalf("RDP ε %g exceeds classical calibration %g by too much", got, eps)
+	}
+	if float64(got) <= 0 {
+		t.Fatalf("ε must be positive, got %g", got)
+	}
+}
+
+func TestRDPBeatsNaiveCompositionForManyRounds(t *testing.T) {
+	// k = 100 Gaussian releases: naive composition scales ε linearly with
+	// k, RDP with √k. The accountant must report far less than k·ε₁.
+	const k = 100
+	const sigma = 10.0
+	const delta = 1e-5
+	single := NewRDPAccountant()
+	if err := single.AddGaussian(sigma, 1); err != nil {
+		t.Fatal(err)
+	}
+	eps1, err := single.Epsilon(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many := NewRDPAccountant()
+	for i := 0; i < k; i++ {
+		if err := many.AddGaussian(sigma, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epsK, err := many.Epsilon(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(epsK) > 0.5*float64(k)*float64(eps1) {
+		t.Fatalf("RDP composition %g not clearly better than naive %g", epsK, float64(k)*float64(eps1))
+	}
+	if float64(epsK) < float64(eps1) {
+		t.Fatalf("composition cannot cost less than one release: %g < %g", epsK, eps1)
+	}
+}
+
+func TestRDPLaplaceConsistentWithPureDP(t *testing.T) {
+	// A Laplace release at scale b = Δ/ε is ε-DP, hence (ε, δ)-DP for any
+	// δ; the RDP bound must not exceed ε by more than numerical slack,
+	// and should be strictly smaller for δ > 0.
+	const eps = 1.0
+	a := NewRDPAccountant()
+	if err := a.AddLaplace(1/eps, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Epsilon(1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(got) > eps*1.05 {
+		t.Fatalf("RDP ε %g far above pure-DP ε %g", got, eps)
+	}
+}
+
+func TestRDPAccountantValidation(t *testing.T) {
+	a := NewRDPAccountant()
+	if err := a.AddGaussian(0, 1); err == nil {
+		t.Fatal("want error for zero sigma")
+	}
+	if err := a.AddGaussian(1, -1); err == nil {
+		t.Fatal("want error for negative sensitivity")
+	}
+	if err := a.AddLaplace(0, 1); err == nil {
+		t.Fatal("want error for zero scale")
+	}
+	if err := a.AddLaplace(1, -1); err == nil {
+		t.Fatal("want error for negative sensitivity")
+	}
+	if _, err := a.Epsilon(0); err == nil {
+		t.Fatal("want error for delta 0")
+	}
+	if _, err := a.Epsilon(1); err == nil {
+		t.Fatal("want error for delta 1")
+	}
+}
+
+func TestRDPCompose(t *testing.T) {
+	a := NewRDPAccountant()
+	b := NewRDPAccountant()
+	if err := a.AddGaussian(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddGaussian(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	a.Compose(b)
+	two := NewRDPAccountant()
+	for i := 0; i < 2; i++ {
+		if err := two.AddGaussian(5, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ea, _ := a.Epsilon(1e-5)
+	et, _ := two.Epsilon(1e-5)
+	if math.Abs(float64(ea-et)) > 1e-12 {
+		t.Fatalf("Compose != sequential adds: %g vs %g", ea, et)
+	}
+}
+
+func TestGaussianSigmaForBudget(t *testing.T) {
+	const eps, delta, k = 1.0, 1e-5, 50
+	sigma, err := GaussianSigmaForBudget(eps, delta, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the returned sigma actually fits the budget...
+	a := NewRDPAccountant()
+	for i := 0; i < k; i++ {
+		if err := a.AddGaussian(sigma, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := a.Epsilon(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(got) > eps {
+		t.Fatalf("calibrated sigma %g overspends: ε = %g", sigma, got)
+	}
+	// ...and is nearly tight: 1% less noise must overspend.
+	b := NewRDPAccountant()
+	for i := 0; i < k; i++ {
+		if err := b.AddGaussian(sigma*0.99, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	over, err := b.Epsilon(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(over) <= eps {
+		t.Fatalf("sigma not tight: 0.99σ still fits (ε = %g)", over)
+	}
+	// More rounds need more noise.
+	sigma2, err := GaussianSigmaForBudget(eps, delta, 2*k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sigma2 <= sigma {
+		t.Fatalf("σ(2k)=%g should exceed σ(k)=%g", sigma2, sigma)
+	}
+}
+
+func TestGaussianSigmaForBudgetValidation(t *testing.T) {
+	if _, err := GaussianSigmaForBudget(0, 1e-5, 1); err == nil {
+		t.Fatal("want error for zero eps")
+	}
+	if _, err := GaussianSigmaForBudget(1, 0, 1); err == nil {
+		t.Fatal("want error for zero delta")
+	}
+	if _, err := GaussianSigmaForBudget(1, 1e-5, 0); err == nil {
+		t.Fatal("want error for zero rounds")
+	}
+}
+
+func TestGaussianMechanismRDP(t *testing.T) {
+	a := NewRDPAccountant()
+	src := rng.New(1)
+	exact := []float64{10, 20, 30}
+	noisy, err := GaussianMechanismRDP(a, exact, 1, 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noisy) != 3 {
+		t.Fatalf("%d outputs", len(noisy))
+	}
+	for i := range noisy {
+		if math.Abs(noisy[i]-exact[i]) > 20 {
+			t.Fatalf("noise implausibly large at σ=2: %g vs %g", noisy[i], exact[i])
+		}
+	}
+	// The spend was recorded.
+	eps, err := a.Epsilon(1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps <= 0 {
+		t.Fatal("no spend recorded")
+	}
+	if _, err := GaussianMechanismRDP(a, exact, 1, 0, src); err == nil {
+		t.Fatal("want error for zero sigma")
+	}
+}

@@ -1,0 +1,46 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"lrm/internal/rng"
+)
+
+// RandomizedResponse releases one sensitive bit under ε-differential
+// privacy by Warner's classic protocol: the true bit is reported with
+// probability e^ε/(1+e^ε) and flipped otherwise. It is the local-model
+// primitive underlying frequency estimation and is provided alongside
+// the central-model mechanisms for completeness.
+func RandomizedResponse(bit bool, eps Epsilon, src *rng.Source) (bool, error) {
+	if err := eps.Validate(); err != nil {
+		return false, err
+	}
+	pTruth := math.Exp(float64(eps)) / (1 + math.Exp(float64(eps)))
+	if src.Float64() < pTruth {
+		return bit, nil
+	}
+	return !bit, nil
+}
+
+// RandomizedResponseEstimate debiases the mean of k randomized responses:
+// given the observed fraction of "true" answers, it inverts the response
+// distribution to estimate the true fraction (clamped to [0,1]).
+func RandomizedResponseEstimate(observedFraction float64, eps Epsilon) (float64, error) {
+	if err := eps.Validate(); err != nil {
+		return 0, err
+	}
+	if observedFraction < 0 || observedFraction > 1 {
+		return 0, fmt.Errorf("privacy: observed fraction %g outside [0,1]", observedFraction)
+	}
+	e := math.Exp(float64(eps))
+	p := e / (1 + e)
+	est := (observedFraction - (1 - p)) / (2*p - 1)
+	if est < 0 {
+		est = 0
+	}
+	if est > 1 {
+		est = 1
+	}
+	return est, nil
+}

@@ -1,0 +1,98 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/rng"
+)
+
+func TestRandomizedResponseValidation(t *testing.T) {
+	if _, err := RandomizedResponse(true, 0, rng.New(1)); err == nil {
+		t.Fatal("want error for zero epsilon")
+	}
+	if _, err := RandomizedResponseEstimate(0.5, -1); err == nil {
+		t.Fatal("want error for negative epsilon")
+	}
+	if _, err := RandomizedResponseEstimate(1.5, 1); err == nil {
+		t.Fatal("want error for fraction > 1")
+	}
+	if _, err := RandomizedResponseEstimate(-0.1, 1); err == nil {
+		t.Fatal("want error for fraction < 0")
+	}
+}
+
+func TestRandomizedResponseTruthProbability(t *testing.T) {
+	// At ε = ln(3), truth is reported with probability 3/4.
+	src := rng.New(2)
+	eps := Epsilon(math.Log(3))
+	const trials = 20000
+	truths := 0
+	for i := 0; i < trials; i++ {
+		b, err := RandomizedResponse(true, eps, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b {
+			truths++
+		}
+	}
+	got := float64(truths) / trials
+	if math.Abs(got-0.75) > 0.02 {
+		t.Fatalf("truth rate %g want ≈0.75", got)
+	}
+}
+
+func TestRandomizedResponseHighEpsilonIsHonest(t *testing.T) {
+	src := rng.New(3)
+	for i := 0; i < 100; i++ {
+		b, err := RandomizedResponse(false, 50, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b {
+			t.Fatal("at huge ε the response should be (almost surely) honest")
+		}
+	}
+}
+
+func TestRandomizedResponseEstimateDebiases(t *testing.T) {
+	// Simulate a population with 30% true bits and check the estimator
+	// recovers the fraction.
+	src := rng.New(4)
+	eps := Epsilon(1)
+	const n = 50000
+	observed := 0
+	for i := 0; i < n; i++ {
+		bit := src.Float64() < 0.3
+		r, err := RandomizedResponse(bit, eps, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r {
+			observed++
+		}
+	}
+	est, err := RandomizedResponseEstimate(float64(observed)/n, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-0.3) > 0.02 {
+		t.Fatalf("estimate %g want ≈0.3", est)
+	}
+}
+
+func TestRandomizedResponseEstimateClamps(t *testing.T) {
+	// Extreme observed fractions clamp into [0,1].
+	lo, err := RandomizedResponseEstimate(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := RandomizedResponseEstimate(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 || hi != 1 {
+		t.Fatalf("clamps: %g, %g", lo, hi)
+	}
+}

@@ -1,0 +1,68 @@
+package privacy
+
+import (
+	"errors"
+	"fmt"
+
+	"lrm/internal/rng"
+)
+
+// SparseVector implements the sparse vector technique (SVT): a stream of
+// threshold comparisons that answers "is query i above the threshold?"
+// and pays privacy budget only for the (at most c) positive answers.
+// The calibration follows the standard analysis (Dwork & Roth, 2014,
+// Algorithm 2): the threshold is perturbed once with Lap(2c·Δ/ε) and each
+// query with Lap(4c·Δ/ε).
+type SparseVector struct {
+	src         *rng.Source
+	noisyThresh float64
+	queryScale  float64
+	remaining   int
+	sensitivity float64
+	done        bool
+}
+
+// ErrSVTExhausted is returned once the positive-answer budget is used up.
+var ErrSVTExhausted = errors.New("privacy: sparse vector exhausted")
+
+// NewSparseVector prepares an SVT run with the given threshold, per-query
+// sensitivity, total budget eps, and cap c on positive answers.
+func NewSparseVector(threshold, sensitivity float64, eps Epsilon, c int, src *rng.Source) (*SparseVector, error) {
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
+	if sensitivity <= 0 {
+		return nil, fmt.Errorf("privacy: SVT needs positive sensitivity, got %v", sensitivity)
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("privacy: SVT needs c >= 1, got %d", c)
+	}
+	threshScale := 2 * float64(c) * sensitivity / float64(eps)
+	return &SparseVector{
+		src:         src,
+		noisyThresh: threshold + src.Laplace(threshScale),
+		queryScale:  4 * float64(c) * sensitivity / float64(eps),
+		remaining:   c,
+		sensitivity: sensitivity,
+	}, nil
+}
+
+// Above tests whether the exact query answer is above the threshold,
+// under the SVT's privacy accounting. After c positive answers every
+// further call returns ErrSVTExhausted.
+func (s *SparseVector) Above(answer float64) (bool, error) {
+	if s.done {
+		return false, ErrSVTExhausted
+	}
+	if answer+s.src.Laplace(s.queryScale) >= s.noisyThresh {
+		s.remaining--
+		if s.remaining == 0 {
+			s.done = true
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// Remaining reports how many positive answers may still be given.
+func (s *SparseVector) Remaining() int { return s.remaining }

@@ -1,0 +1,90 @@
+package privacy
+
+import (
+	"errors"
+	"testing"
+
+	"lrm/internal/rng"
+)
+
+func TestSparseVectorBasicFlow(t *testing.T) {
+	src := rng.New(1)
+	// Huge ε makes the noise negligible, so the comparisons are crisp.
+	sv, err := NewSparseVector(50, 1, 1e6, 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := sv.Above(10); got {
+		t.Fatal("10 reported above 50")
+	}
+	if got, _ := sv.Above(90); !got {
+		t.Fatal("90 reported below 50")
+	}
+	if sv.Remaining() != 1 {
+		t.Fatalf("remaining = %d", sv.Remaining())
+	}
+	if got, _ := sv.Above(70); !got {
+		t.Fatal("70 reported below 50")
+	}
+	if _, err := sv.Above(100); !errors.Is(err, ErrSVTExhausted) {
+		t.Fatalf("exhausted error = %v", err)
+	}
+}
+
+func TestSparseVectorNegativesAreFree(t *testing.T) {
+	src := rng.New(2)
+	sv, err := NewSparseVector(1000, 1, 1e6, 1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		above, err := sv.Above(float64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if above {
+			t.Fatalf("query %d above threshold 1000", i)
+		}
+	}
+	if sv.Remaining() != 1 {
+		t.Fatal("negative answers consumed budget")
+	}
+}
+
+func TestSparseVectorAccuracy(t *testing.T) {
+	// At moderate ε, answers far from the threshold must be classified
+	// correctly with high probability.
+	correct := 0
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		src := rng.New(int64(100 + i))
+		sv, err := NewSparseVector(0, 1, 5, 1, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Query at +20: noise scales are 2/5·... far below 20.
+		above, err := sv.Above(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if above {
+			correct++
+		}
+	}
+	if float64(correct)/trials < 0.95 {
+		t.Fatalf("only %d/%d far-above queries classified correctly", correct, trials)
+	}
+}
+
+func TestSparseVectorValidation(t *testing.T) {
+	src := rng.New(3)
+	if _, err := NewSparseVector(0, 0, 1, 1, src); err == nil {
+		t.Fatal("zero sensitivity accepted")
+	}
+	if _, err := NewSparseVector(0, 1, 0, 1, src); err == nil {
+		t.Fatal("zero epsilon accepted")
+	}
+	if _, err := NewSparseVector(0, 1, 1, 0, src); err == nil {
+		t.Fatal("c=0 accepted")
+	}
+}

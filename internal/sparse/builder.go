@@ -1,0 +1,67 @@
+package sparse
+
+import "fmt"
+
+// Builder accumulates rows of a CSR matrix in order. It is the cheap path
+// for generators that know their non-zeros row by row (range workloads,
+// tree strategies) and avoids the sort in FromTriplets.
+type Builder struct {
+	cols   int
+	rowPtr []int
+	colIdx []int
+	val    []float64
+	// lastCol guards the column-sorted invariant within the current row.
+	lastCol int
+}
+
+// NewBuilder starts a builder for matrices with c columns.
+func NewBuilder(c int) *Builder {
+	if c < 0 {
+		panic(fmt.Sprintf("sparse: negative column count %d", c))
+	}
+	return &Builder{cols: c, rowPtr: []int{0}, lastCol: -1}
+}
+
+// Append adds a non-zero at column j of the current row. Columns must be
+// strictly increasing within a row; zeros are dropped.
+func (b *Builder) Append(j int, v float64) {
+	if j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("sparse: column %d out of range %d", j, b.cols))
+	}
+	if j <= b.lastCol {
+		panic(fmt.Sprintf("sparse: columns must be strictly increasing within a row (got %d after %d)", j, b.lastCol))
+	}
+	b.lastCol = j
+	if v == 0 {
+		return
+	}
+	b.colIdx = append(b.colIdx, j)
+	b.val = append(b.val, v)
+}
+
+// AppendRange adds value v at every column in [lo, hi) of the current row.
+func (b *Builder) AppendRange(lo, hi int, v float64) {
+	if lo < 0 || hi > b.cols || lo > hi {
+		panic(fmt.Sprintf("sparse: bad range [%d,%d) of %d", lo, hi, b.cols))
+	}
+	for j := lo; j < hi; j++ {
+		b.Append(j, v)
+	}
+}
+
+// EndRow finishes the current row and starts the next.
+func (b *Builder) EndRow() {
+	b.rowPtr = append(b.rowPtr, len(b.val))
+	b.lastCol = -1
+}
+
+// Build finalizes the matrix. The builder must not be reused afterwards.
+func (b *Builder) Build() *CSR {
+	return &CSR{
+		rows:   len(b.rowPtr) - 1,
+		cols:   b.cols,
+		rowPtr: b.rowPtr,
+		colIdx: b.colIdx,
+		val:    b.val,
+	}
+}

@@ -1,0 +1,102 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/mat"
+	"lrm/internal/rng"
+)
+
+func TestCGLSSquareSystem(t *testing.T) {
+	// A well-conditioned square system: CGLS solves it exactly.
+	d := mat.FromRows([][]float64{
+		{4, 1, 0},
+		{1, 3, 1},
+		{0, 1, 5},
+	})
+	a := FromDense(d, 0)
+	truth := []float64{1, -2, 0.5}
+	b := a.MulVec(truth)
+	res, err := CGLS(a, b, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	for i := range truth {
+		if math.Abs(res.X[i]-truth[i]) > 1e-8 {
+			t.Fatalf("x[%d]=%g want %g", i, res.X[i], truth[i])
+		}
+	}
+}
+
+func TestCGLSMatchesDenseLeastSquares(t *testing.T) {
+	src := rng.New(1)
+	for trial := 0; trial < 10; trial++ {
+		m := 10 + src.Intn(10)
+		n := 3 + src.Intn(5)
+		d := randomDense(m, n, 0.6, src)
+		if mat.Rank(d) < n {
+			continue // CGLS min-norm vs QR pivoting differ when deficient
+		}
+		a := FromDense(d, 0)
+		b := src.NormalVec(m, 1)
+		want, err := mat.LeastSquares(d, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CGLS(a, b, 0, 1e-13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(res.X[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d: x[%d]=%g want %g", trial, i, res.X[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCGLSZeroRHS(t *testing.T) {
+	a := Identity(4)
+	res, err := CGLS(a, make([]float64, 4), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 0 {
+		t.Fatalf("zero rhs: %+v", res)
+	}
+	for _, v := range res.X {
+		if v != 0 {
+			t.Fatal("nonzero solution for zero rhs")
+		}
+	}
+}
+
+func TestCGLSValidation(t *testing.T) {
+	a := Identity(3)
+	if _, err := CGLS(a, make([]float64, 2), 0, 0); err == nil {
+		t.Fatal("want error for rhs length mismatch")
+	}
+}
+
+func TestCGLSIterationCap(t *testing.T) {
+	// With maxIter = 1 on a non-trivial system, CGLS stops early and
+	// reports non-convergence.
+	src := rng.New(2)
+	d := randomDense(20, 10, 0.8, src)
+	a := FromDense(d, 0)
+	b := src.NormalVec(20, 1)
+	res, err := CGLS(a, b, 1, 1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("cannot converge to 1e-15 in one iteration")
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("iterations %d", res.Iterations)
+	}
+}

@@ -1,0 +1,299 @@
+// Package sparse provides a compressed sparse row (CSR) matrix used for
+// the structurally sparse objects in this repository: range-query
+// workloads (each row touches one interval), hierarchical and wavelet
+// strategy matrices (O(log n) non-zeros per column), and the measurement
+// matrices of the synopsis mechanisms. CSR keeps the per-answer cost of a
+// mechanism proportional to the number of non-zeros instead of m·n.
+//
+// The package mirrors the dense API of internal/mat where the operations
+// coincide, and every operation is cross-checked against its dense
+// counterpart in the tests.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lrm/internal/mat"
+)
+
+// CSR is an immutable sparse matrix in compressed sparse row form.
+//
+// For row i, the non-zero columns are colIdx[rowPtr[i]:rowPtr[i+1]] with
+// values val[rowPtr[i]:rowPtr[i+1]], sorted by column. Construct one with
+// FromDense, FromTriplets or a Builder; the zero value is an empty 0×0
+// matrix.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int // len rows+1
+	colIdx     []int // len nnz
+	val        []float64
+}
+
+// Rows returns the number of rows.
+func (a *CSR) Rows() int { return a.rows }
+
+// Cols returns the number of columns.
+func (a *CSR) Cols() int { return a.cols }
+
+// Dims returns (rows, cols).
+func (a *CSR) Dims() (int, int) { return a.rows, a.cols }
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.val) }
+
+// Density returns NNZ / (rows·cols), the fill fraction.
+func (a *CSR) Density() float64 {
+	if a.rows == 0 || a.cols == 0 {
+		return 0
+	}
+	return float64(a.NNZ()) / (float64(a.rows) * float64(a.cols))
+}
+
+// Triplet is one explicit (row, col, value) entry.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// FromTriplets builds an r×c CSR matrix from entries. Duplicate (row, col)
+// pairs are summed; explicit zeros are dropped.
+func FromTriplets(r, c int, entries []Triplet) (*CSR, error) {
+	if r < 0 || c < 0 {
+		return nil, fmt.Errorf("sparse: negative dimension %d×%d", r, c)
+	}
+	for _, t := range entries {
+		if t.Row < 0 || t.Row >= r || t.Col < 0 || t.Col >= c {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of range %d×%d", t.Row, t.Col, r, c)
+		}
+	}
+	sorted := make([]Triplet, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	a := &CSR{rows: r, cols: c, rowPtr: make([]int, r+1)}
+	for i := 0; i < len(sorted); {
+		j := i
+		v := 0.0
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		if v != 0 {
+			a.colIdx = append(a.colIdx, sorted[i].Col)
+			a.val = append(a.val, v)
+			a.rowPtr[sorted[i].Row+1]++
+		}
+		i = j
+	}
+	for i := 0; i < r; i++ {
+		a.rowPtr[i+1] += a.rowPtr[i]
+	}
+	return a, nil
+}
+
+// FromDense converts a dense matrix to CSR, dropping entries with
+// |v| <= tol (pass 0 to keep every non-zero bit pattern).
+func FromDense(d *mat.Dense, tol float64) *CSR {
+	r, c := d.Dims()
+	a := &CSR{rows: r, cols: c, rowPtr: make([]int, r+1)}
+	for i := 0; i < r; i++ {
+		row := d.RawRow(i)
+		for j, v := range row {
+			if math.Abs(v) > tol {
+				a.colIdx = append(a.colIdx, j)
+				a.val = append(a.val, v)
+			}
+		}
+		a.rowPtr[i+1] = len(a.val)
+	}
+	return a
+}
+
+// Identity returns the n×n sparse identity.
+func Identity(n int) *CSR {
+	a := &CSR{rows: n, cols: n, rowPtr: make([]int, n+1), colIdx: make([]int, n), val: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		a.rowPtr[i+1] = i + 1
+		a.colIdx[i] = i
+		a.val[i] = 1
+	}
+	return a
+}
+
+// ToDense expands the matrix into a fresh dense matrix.
+func (a *CSR) ToDense() *mat.Dense {
+	d := mat.New(a.rows, a.cols)
+	for i := 0; i < a.rows; i++ {
+		row := d.RawRow(i)
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			row[a.colIdx[k]] = a.val[k]
+		}
+	}
+	return d
+}
+
+// At returns the element at (i, j) by binary search within row i.
+func (a *CSR) At(i, j int) float64 {
+	if i < 0 || i >= a.rows || j < 0 || j >= a.cols {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of range %d×%d", i, j, a.rows, a.cols))
+	}
+	lo, hi := a.rowPtr[i], a.rowPtr[i+1]
+	k := lo + sort.SearchInts(a.colIdx[lo:hi], j)
+	if k < hi && a.colIdx[k] == j {
+		return a.val[k]
+	}
+	return 0
+}
+
+// MulVec computes y = A·x.
+func (a *CSR) MulVec(x []float64) []float64 {
+	if len(x) != a.cols {
+		panic(fmt.Sprintf("sparse: MulVec length %d != cols %d", len(x), a.cols))
+	}
+	y := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		var s float64
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			s += a.val[k] * x[a.colIdx[k]]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MulVecT computes y = Aᵀ·x without forming the transpose.
+func (a *CSR) MulVecT(x []float64) []float64 {
+	if len(x) != a.rows {
+		panic(fmt.Sprintf("sparse: MulVecT length %d != rows %d", len(x), a.rows))
+	}
+	y := make([]float64, a.cols)
+	for i := 0; i < a.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			y[a.colIdx[k]] += a.val[k] * xi
+		}
+	}
+	return y
+}
+
+// MulDense computes A·B for a dense B, returning a dense rows×B.Cols()
+// result. Cost is O(nnz(A)·B.Cols()).
+func (a *CSR) MulDense(b *mat.Dense) *mat.Dense {
+	if a.cols != b.Rows() {
+		panic(fmt.Sprintf("sparse: MulDense %d×%d by %d×%d", a.rows, a.cols, b.Rows(), b.Cols()))
+	}
+	out := mat.New(a.rows, b.Cols())
+	for i := 0; i < a.rows; i++ {
+		dst := out.RawRow(i)
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			v := a.val[k]
+			src := b.RawRow(a.colIdx[k])
+			for j, bv := range src {
+				dst[j] += v * bv
+			}
+		}
+	}
+	return out
+}
+
+// T returns the transpose as a new CSR matrix.
+func (a *CSR) T() *CSR {
+	t := &CSR{rows: a.cols, cols: a.rows,
+		rowPtr: make([]int, a.cols+1),
+		colIdx: make([]int, a.NNZ()),
+		val:    make([]float64, a.NNZ()),
+	}
+	for _, j := range a.colIdx {
+		t.rowPtr[j+1]++
+	}
+	for j := 0; j < a.cols; j++ {
+		t.rowPtr[j+1] += t.rowPtr[j]
+	}
+	next := make([]int, a.cols)
+	copy(next, t.rowPtr[:a.cols])
+	for i := 0; i < a.rows; i++ {
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			j := a.colIdx[k]
+			p := next[j]
+			t.colIdx[p] = i
+			t.val[p] = a.val[k]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// Scale returns s·A as a new matrix.
+func (a *CSR) Scale(s float64) *CSR {
+	out := &CSR{rows: a.rows, cols: a.cols, rowPtr: a.rowPtr, colIdx: a.colIdx, val: make([]float64, len(a.val))}
+	for i, v := range a.val {
+		out.val[i] = s * v
+	}
+	return out
+}
+
+// MaxColAbsSum returns max_j Σᵢ |Aᵢⱼ|: the L1 sensitivity of A viewed as a
+// query matrix (Definition 2 of the paper).
+func (a *CSR) MaxColAbsSum() float64 {
+	col := make([]float64, a.cols)
+	for k, j := range a.colIdx {
+		col[j] += math.Abs(a.val[k])
+	}
+	var best float64
+	for _, v := range col {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// SquaredSum returns ΣAᵢⱼ² (the query scale Φ when A plays the role of B).
+func (a *CSR) SquaredSum() float64 {
+	var s float64
+	for _, v := range a.val {
+		s += v * v
+	}
+	return s
+}
+
+// FrobeniusNorm returns ‖A‖_F.
+func (a *CSR) FrobeniusNorm() float64 { return math.Sqrt(a.SquaredSum()) }
+
+// RowNNZ returns the number of stored entries in row i.
+func (a *CSR) RowNNZ(i int) int {
+	if i < 0 || i >= a.rows {
+		panic(fmt.Sprintf("sparse: row %d out of range %d", i, a.rows))
+	}
+	return a.rowPtr[i+1] - a.rowPtr[i]
+}
+
+// Range iterates the stored entries of row i in column order, calling f
+// for each (col, val).
+func (a *CSR) Range(i int, f func(j int, v float64)) {
+	if i < 0 || i >= a.rows {
+		panic(fmt.Sprintf("sparse: row %d out of range %d", i, a.rows))
+	}
+	for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+		f(a.colIdx[k], a.val[k])
+	}
+}
+
+// IsFinite reports whether every stored value is finite.
+func (a *CSR) IsFinite() bool {
+	for _, v := range a.val {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,317 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lrm/internal/mat"
+	"lrm/internal/rng"
+)
+
+// randomDense returns an r×c dense matrix with roughly density·r·c
+// non-zero standard-normal entries.
+func randomDense(r, c int, density float64, src *rng.Source) *mat.Dense {
+	d := mat.New(r, c)
+	for i := 0; i < r; i++ {
+		row := d.RawRow(i)
+		for j := range row {
+			if src.Float64() < density {
+				row[j] = src.Normal()
+			}
+		}
+	}
+	return d
+}
+
+func TestFromDenseRoundTrip(t *testing.T) {
+	src := rng.New(1)
+	for _, dims := range [][2]int{{1, 1}, {3, 7}, {16, 16}, {20, 5}, {5, 20}} {
+		d := randomDense(dims[0], dims[1], 0.3, src)
+		a := FromDense(d, 0)
+		if !a.ToDense().Equal(d) {
+			t.Fatalf("round trip mismatch for %dx%d", dims[0], dims[1])
+		}
+	}
+}
+
+func TestFromDenseTolerance(t *testing.T) {
+	d := mat.FromRows([][]float64{{1e-12, 1}, {-1e-12, 2}})
+	a := FromDense(d, 1e-9)
+	if a.NNZ() != 2 {
+		t.Fatalf("tolerance should drop tiny entries: nnz=%d", a.NNZ())
+	}
+	if a.At(0, 1) != 1 || a.At(1, 1) != 2 {
+		t.Fatal("kept entries wrong")
+	}
+	if a.At(0, 0) != 0 {
+		t.Fatal("dropped entry should read as zero")
+	}
+}
+
+func TestFromTriplets(t *testing.T) {
+	a, err := FromTriplets(3, 4, []Triplet{
+		{Row: 2, Col: 3, Val: 5},
+		{Row: 0, Col: 1, Val: 2},
+		{Row: 0, Col: 1, Val: 3}, // duplicate: summed
+		{Row: 1, Col: 2, Val: 1},
+		{Row: 1, Col: 0, Val: -1},
+		{Row: 2, Col: 0, Val: 4},
+		{Row: 2, Col: 2, Val: 0}, // explicit zero: dropped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mat.FromRows([][]float64{
+		{0, 5, 0, 0},
+		{-1, 0, 1, 0},
+		{4, 0, 0, 5},
+	})
+	if !a.ToDense().Equal(want) {
+		t.Fatalf("got\n%v\nwant\n%v", a.ToDense(), want)
+	}
+	if a.NNZ() != 5 {
+		t.Fatalf("nnz=%d want 5", a.NNZ())
+	}
+}
+
+func TestFromTripletsOutOfRange(t *testing.T) {
+	if _, err := FromTriplets(2, 2, []Triplet{{Row: 2, Col: 0, Val: 1}}); err == nil {
+		t.Fatal("want error for out-of-range row")
+	}
+	if _, err := FromTriplets(2, 2, []Triplet{{Row: 0, Col: -1, Val: 1}}); err == nil {
+		t.Fatal("want error for negative col")
+	}
+	if _, err := FromTriplets(-1, 2, nil); err == nil {
+		t.Fatal("want error for negative dims")
+	}
+}
+
+func TestMulVecMatchesDense(t *testing.T) {
+	src := rng.New(2)
+	for trial := 0; trial < 20; trial++ {
+		r := 1 + src.Intn(30)
+		c := 1 + src.Intn(30)
+		d := randomDense(r, c, 0.25, src)
+		a := FromDense(d, 0)
+		x := src.NormalVec(c, 1)
+		got := a.MulVec(x)
+		want := mat.MulVec(d, x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("trial %d: MulVec[%d]=%g want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulVecTMatchesDense(t *testing.T) {
+	src := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		r := 1 + src.Intn(30)
+		c := 1 + src.Intn(30)
+		d := randomDense(r, c, 0.25, src)
+		a := FromDense(d, 0)
+		x := src.NormalVec(r, 1)
+		got := a.MulVecT(x)
+		want := mat.MulVec(d.T(), x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("trial %d: MulVecT[%d]=%g want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulDenseMatchesDense(t *testing.T) {
+	src := rng.New(4)
+	a := randomDense(9, 13, 0.3, src)
+	b := randomDense(13, 6, 1.0, src)
+	got := FromDense(a, 0).MulDense(b)
+	want := mat.Mul(a, b)
+	if !got.EqualApprox(want, 1e-12) {
+		t.Fatal("MulDense disagrees with dense product")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	src := rng.New(5)
+	d := randomDense(11, 17, 0.2, src)
+	a := FromDense(d, 0)
+	if !a.T().ToDense().Equal(d.T()) {
+		t.Fatal("transpose mismatch")
+	}
+	// (Aᵀ)ᵀ = A.
+	if !a.T().T().ToDense().Equal(d) {
+		t.Fatal("double transpose mismatch")
+	}
+}
+
+func TestTransposeProperty(t *testing.T) {
+	// Property: for random sparse A and vectors x, y: yᵀ(Ax) = (Aᵀy)ᵀx.
+	src := rng.New(6)
+	f := func(seed int64) bool {
+		s := rng.New(seed)
+		r := 1 + s.Intn(20)
+		c := 1 + s.Intn(20)
+		a := FromDense(randomDense(r, c, 0.3, s), 0)
+		x := s.NormalVec(c, 1)
+		y := s.NormalVec(r, 1)
+		ax := a.MulVec(x)
+		aty := a.MulVecT(y)
+		var lhs, rhs float64
+		for i := range y {
+			lhs += y[i] * ax[i]
+		}
+		for j := range x {
+			rhs += aty[j] * x[j]
+		}
+		return math.Abs(lhs-rhs) <= 1e-9*(1+math.Abs(lhs))
+	}
+	cfg := &quick.Config{MaxCount: 50, Values: nil}
+	_ = src
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	d := mat.FromRows([][]float64{
+		{1, -2, 0},
+		{0, 3, -4},
+	})
+	a := FromDense(d, 0)
+	if got := a.MaxColAbsSum(); got != 5 {
+		t.Fatalf("MaxColAbsSum=%g want 5", got)
+	}
+	if got := a.SquaredSum(); got != 1+4+9+16 {
+		t.Fatalf("SquaredSum=%g want 30", got)
+	}
+	if got := a.FrobeniusNorm(); math.Abs(got-math.Sqrt(30)) > 1e-15 {
+		t.Fatalf("FrobeniusNorm=%g", got)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	a := Identity(5)
+	if !a.ToDense().Equal(mat.Eye(5)) {
+		t.Fatal("Identity mismatch")
+	}
+	x := []float64{1, 2, 3, 4, 5}
+	y := a.MulVec(x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatal("identity MulVec changed vector")
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	d := mat.FromRows([][]float64{{1, 0}, {0, -2}})
+	a := FromDense(d, 0).Scale(3)
+	want := mat.FromRows([][]float64{{3, 0}, {0, -6}})
+	if !a.ToDense().Equal(want) {
+		t.Fatal("Scale mismatch")
+	}
+}
+
+func TestRowAccessors(t *testing.T) {
+	d := mat.FromRows([][]float64{{0, 7, 0, 8}, {0, 0, 0, 0}})
+	a := FromDense(d, 0)
+	if a.RowNNZ(0) != 2 || a.RowNNZ(1) != 0 {
+		t.Fatal("RowNNZ wrong")
+	}
+	var cols []int
+	var vals []float64
+	a.Range(0, func(j int, v float64) {
+		cols = append(cols, j)
+		vals = append(vals, v)
+	})
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 3 || vals[0] != 7 || vals[1] != 8 {
+		t.Fatalf("Range visited %v %v", cols, vals)
+	}
+	if a.Density() != 2.0/8.0 {
+		t.Fatalf("Density=%g", a.Density())
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	a := FromDense(mat.FromRows([][]float64{{1, 2}}), 0)
+	if !a.IsFinite() {
+		t.Fatal("finite matrix reported non-finite")
+	}
+	b, err := FromTriplets(1, 2, []Triplet{{Row: 0, Col: 0, Val: math.NaN()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.IsFinite() {
+		t.Fatal("NaN matrix reported finite")
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	a := Identity(2)
+	assertPanics(t, func() { a.At(2, 0) })
+	assertPanics(t, func() { a.At(0, -1) })
+	assertPanics(t, func() { a.MulVec([]float64{1}) })
+	assertPanics(t, func() { a.MulVecT([]float64{1, 2, 3}) })
+	assertPanics(t, func() { a.RowNNZ(5) })
+	assertPanics(t, func() { a.Range(-1, func(int, float64) {}) })
+}
+
+func TestBuilder(t *testing.T) {
+	b := NewBuilder(5)
+	b.Append(1, 2)
+	b.Append(4, -1)
+	b.EndRow()
+	b.EndRow() // empty row
+	b.AppendRange(0, 3, 1)
+	b.EndRow()
+	a := b.Build()
+	want := mat.FromRows([][]float64{
+		{0, 2, 0, 0, -1},
+		{0, 0, 0, 0, 0},
+		{1, 1, 1, 0, 0},
+	})
+	if !a.ToDense().Equal(want) {
+		t.Fatalf("builder result mismatch:\n%v", a.ToDense())
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	assertPanics(t, func() { NewBuilder(-1) })
+	b := NewBuilder(3)
+	b.Append(1, 1)
+	assertPanics(t, func() { b.Append(1, 2) }) // non-increasing column
+	assertPanics(t, func() { b.Append(0, 2) })
+	assertPanics(t, func() { b.Append(3, 2) }) // out of range
+	assertPanics(t, func() { b.AppendRange(2, 1, 1) })
+}
+
+func TestBuilderDropsZeros(t *testing.T) {
+	b := NewBuilder(3)
+	b.Append(0, 0)
+	b.Append(2, 1)
+	b.EndRow()
+	a := b.Build()
+	if a.NNZ() != 1 {
+		t.Fatalf("nnz=%d want 1", a.NNZ())
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	var a CSR
+	if a.Rows() != 0 || a.Cols() != 0 || a.NNZ() != 0 || a.Density() != 0 {
+		t.Fatal("zero value not empty")
+	}
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,73 @@
+package sparse
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// csrWire is the gob wire form of a CSR matrix.
+type csrWire struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// Encode writes the matrix to w in gob form, so precomputed sparse
+// strategies can be persisted alongside gob-encoded decompositions.
+func (a *CSR) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(csrWire{
+		Rows: a.rows, Cols: a.cols,
+		RowPtr: a.rowPtr, ColIdx: a.colIdx, Val: a.val,
+	})
+}
+
+// Read restores a matrix written by Encode, validating the structural
+// invariants so a corrupted stream cannot produce an inconsistent matrix.
+func Read(r io.Reader) (*CSR, error) {
+	var wire csrWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("sparse: decoding: %w", err)
+	}
+	if wire.Rows < 0 || wire.Cols < 0 {
+		return nil, fmt.Errorf("sparse: negative dimensions %d×%d", wire.Rows, wire.Cols)
+	}
+	if len(wire.RowPtr) != wire.Rows+1 {
+		return nil, fmt.Errorf("sparse: row pointer length %d for %d rows", len(wire.RowPtr), wire.Rows)
+	}
+	if len(wire.ColIdx) != len(wire.Val) {
+		return nil, fmt.Errorf("sparse: %d column indices vs %d values", len(wire.ColIdx), len(wire.Val))
+	}
+	if wire.Rows > 0 {
+		if wire.RowPtr[0] != 0 || wire.RowPtr[wire.Rows] != len(wire.Val) {
+			return nil, fmt.Errorf("sparse: row pointers do not span the value array")
+		}
+	} else if len(wire.Val) != 0 {
+		return nil, fmt.Errorf("sparse: values without rows")
+	}
+	prev := 0
+	for i, p := range wire.RowPtr {
+		if p < prev {
+			return nil, fmt.Errorf("sparse: row pointer %d decreases", i)
+		}
+		prev = p
+	}
+	for i := 0; i < wire.Rows; i++ {
+		last := -1
+		for k := wire.RowPtr[i]; k < wire.RowPtr[i+1]; k++ {
+			j := wire.ColIdx[k]
+			if j < 0 || j >= wire.Cols {
+				return nil, fmt.Errorf("sparse: column %d out of range %d", j, wire.Cols)
+			}
+			if j <= last {
+				return nil, fmt.Errorf("sparse: row %d columns not strictly increasing", i)
+			}
+			last = j
+		}
+	}
+	return &CSR{
+		rows: wire.Rows, cols: wire.Cols,
+		rowPtr: wire.RowPtr, colIdx: wire.ColIdx, val: wire.Val,
+	}, nil
+}

@@ -1,0 +1,110 @@
+package transform
+
+import "math"
+
+// DCT2 returns the orthonormal DCT-II of x:
+//
+//	X[k] = s(k) Σ_j x[j]·cos(π(2j+1)k / 2n)
+//
+// with s(0) = √(1/n) and s(k) = √(2/n) otherwise. The orthonormal scaling
+// makes DCT3 its exact inverse and preserves the L2 norm.
+//
+// The implementation is the direct O(n²) sum: the synopsis mechanisms
+// only transform vectors up to a few thousand entries once per release,
+// where the quadratic cost is negligible next to the mechanism itself.
+func DCT2(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	inv2n := math.Pi / float64(2*n)
+	for k := 0; k < n; k++ {
+		var s float64
+		for j, v := range x {
+			s += v * math.Cos(float64((2*j+1)*k)*inv2n)
+		}
+		out[k] = s * dctScale(k, n)
+	}
+	return out
+}
+
+// DCT3 returns the orthonormal DCT-III of x, the inverse of DCT2.
+func DCT3(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	inv2n := math.Pi / float64(2*n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for k, v := range x {
+			s += v * dctScale(k, n) * math.Cos(float64((2*j+1)*k)*inv2n)
+		}
+		out[j] = s
+	}
+	return out
+}
+
+func dctScale(k, n int) float64 {
+	if k == 0 {
+		return math.Sqrt(1 / float64(n))
+	}
+	return math.Sqrt(2 / float64(n))
+}
+
+// Haar returns the orthonormal Haar wavelet transform of x, whose length
+// must be a power of two. Coefficient layout: out[0] is the scaling
+// coefficient; out[2^j .. 2^{j+1}) hold the detail coefficients of level
+// j, coarsest first — the standard Mallat ordering.
+func Haar(x []float64) []float64 {
+	n := len(x)
+	if n&(n-1) != 0 || n == 0 {
+		panic("transform: Haar requires power-of-two length")
+	}
+	out := make([]float64, n)
+	copy(out, x)
+	buf := make([]float64, n)
+	inv := 1 / math.Sqrt2
+	for length := n; length > 1; length /= 2 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			buf[i] = (out[2*i] + out[2*i+1]) * inv
+			buf[half+i] = (out[2*i] - out[2*i+1]) * inv
+		}
+		copy(out[:length], buf[:length])
+	}
+	return out
+}
+
+// IHaar inverts Haar: IHaar(Haar(x)) == x up to rounding.
+func IHaar(c []float64) []float64 {
+	n := len(c)
+	if n&(n-1) != 0 || n == 0 {
+		panic("transform: IHaar requires power-of-two length")
+	}
+	out := make([]float64, n)
+	copy(out, c)
+	buf := make([]float64, n)
+	inv := 1 / math.Sqrt2
+	for length := 2; length <= n; length *= 2 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			buf[2*i] = (out[i] + out[half+i]) * inv
+			buf[2*i+1] = (out[i] - out[half+i]) * inv
+		}
+		copy(out[:length], buf[:length])
+	}
+	return out
+}
+
+// HaarBasisColumn returns column j of the inverse Haar transform matrix
+// Ψ (n×n, orthonormal), i.e. the signal whose Haar coefficients are the
+// j-th standard basis vector. The compressive mechanism's reconstruction
+// builds its dictionary from these columns lazily.
+func HaarBasisColumn(n, j int) []float64 {
+	e := make([]float64, n)
+	e[j] = 1
+	return IHaar(e)
+}

@@ -1,0 +1,182 @@
+// Package transform implements the orthonormal transforms used by the
+// synopsis-based mechanisms: the discrete Fourier transform (radix-2 FFT
+// with a Bluestein fallback for arbitrary lengths), the DCT-II/III pair,
+// and the orthonormal Haar wavelet transform. All transforms here are
+// unitary/orthonormal, so Parseval's identity holds exactly: ‖T(x)‖₂ =
+// ‖x‖₂. That property is what makes the DP sensitivity analysis of the
+// Fourier perturbation algorithm and the compressive mechanism go
+// through, and it is property-tested.
+package transform
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT returns the unitary discrete Fourier transform of x:
+//
+//	X[k] = (1/√n) Σ_j x[j]·exp(−2πi·jk/n)
+//
+// Any length is accepted; powers of two use the in-place radix-2
+// algorithm, other lengths use Bluestein's chirp-z reduction to a
+// power-of-two convolution. The input slice is not modified.
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, false)
+	scale := complex(1/math.Sqrt(float64(len(x))), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// IFFT inverts FFT: IFFT(FFT(x)) == x up to rounding.
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, true)
+	scale := complex(1/math.Sqrt(float64(len(x))), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// FFTReal transforms a real vector, returning the full complex spectrum
+// under the same unitary normalization as FFT.
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	fftInPlace(c, false)
+	scale := complex(1/math.Sqrt(float64(len(x))), 0)
+	for i := range c {
+		c[i] *= scale
+	}
+	return c
+}
+
+// IFFTReal inverts FFTReal, discarding the (numerically tiny) imaginary
+// residue. It is only correct when the spectrum came from a real signal.
+func IFFTReal(spec []complex128) []float64 {
+	c := IFFT(spec)
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// fftInPlace computes the unnormalized DFT (or inverse when inv) of x.
+func fftInPlace(x []complex128, inv bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inv)
+		return
+	}
+	bluestein(x, inv)
+}
+
+// radix2 is the iterative Cooley-Tukey FFT for power-of-two lengths.
+func radix2(x []complex128, inv bool) {
+	n := len(x)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inv {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := sign * 2 * math.Pi / float64(size)
+		wn := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wn
+			}
+		}
+	}
+}
+
+// bluestein reduces an arbitrary-length DFT to a power-of-two circular
+// convolution (chirp-z transform).
+func bluestein(x []complex128, inv bool) {
+	n := len(x)
+	sign := -1.0
+	if inv {
+		sign = 1.0
+	}
+	// Chirp factors w[j] = exp(sign·πi·j²/n). j² mod 2n avoids overflow
+	// and keeps the angle exact for large j.
+	w := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		jj := (int64(j) * int64(j)) % int64(2*n)
+		w[j] = cmplx.Exp(complex(0, sign*math.Pi*float64(jj)/float64(n)))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for j := 0; j < n; j++ {
+		a[j] = x[j] * w[j]
+		b[j] = cmplx.Conj(w[j])
+	}
+	for j := 1; j < n; j++ {
+		b[m-j] = cmplx.Conj(w[j])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for j := range a {
+		a[j] *= b[j]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for j := 0; j < n; j++ {
+		x[j] = a[j] * scale * w[j]
+	}
+}
+
+// Convolve returns the circular convolution of two equal-length real
+// vectors via the FFT. Used by the tests as an independent check of the
+// transform and exported because synopsis code occasionally needs it.
+func Convolve(a, b []float64) ([]float64, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("transform: Convolve length mismatch %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n == 0 {
+		return nil, nil
+	}
+	fa := FFTReal(a)
+	fb := FFTReal(b)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	out := IFFTReal(fa)
+	// Two unitary forward transforms and one inverse leave a residual
+	// factor of √n relative to the plain convolution.
+	s := math.Sqrt(float64(n))
+	for i := range out {
+		out[i] *= s
+	}
+	return out, nil
+}

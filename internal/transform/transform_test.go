@@ -1,0 +1,306 @@
+package transform
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"lrm/internal/rng"
+)
+
+// naiveDFT is the O(n²) reference implementation with the same unitary
+// normalization as FFT.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j, v := range x {
+			ang := -2 * math.Pi * float64(j*k) / float64(n)
+			s += v * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s / complex(math.Sqrt(float64(n)), 0)
+	}
+	return out
+}
+
+func complexClose(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	src := rng.New(1)
+	// Mix of power-of-two and awkward lengths (Bluestein path).
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 100, 128} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(src.Normal(), src.Normal())
+		}
+		if !complexClose(FFT(x), naiveDFT(x), 1e-9) {
+			t.Fatalf("FFT disagrees with naive DFT at n=%d", n)
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	src := rng.New(2)
+	for _, n := range []int{1, 2, 6, 8, 15, 64, 100} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(src.Normal(), src.Normal())
+		}
+		back := IFFT(FFT(x))
+		if !complexClose(back, x, 1e-10) {
+			t.Fatalf("IFFT(FFT(x)) != x at n=%d", n)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Unitary transform: ‖FFT(x)‖₂ == ‖x‖₂.
+	f := func(seed int64) bool {
+		s := rng.New(seed)
+		n := 1 + s.Intn(80)
+		x := make([]complex128, n)
+		var nx float64
+		for i := range x {
+			x[i] = complex(s.Normal(), s.Normal())
+			nx += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		y := FFT(x)
+		var ny float64
+		for _, v := range y {
+			ny += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(nx-ny) <= 1e-9*(1+nx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	src := rng.New(3)
+	n := 32
+	x := make([]complex128, n)
+	y := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(src.Normal(), 0)
+		y[i] = complex(src.Normal(), 0)
+	}
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = 2*x[i] + 3*y[i]
+	}
+	fx, fy, fs := FFT(x), FFT(y), FFT(sum)
+	for i := range fs {
+		want := 2*fx[i] + 3*fy[i]
+		if cmplx.Abs(fs[i]-want) > 1e-10 {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}
+
+func TestFFTRealRoundTrip(t *testing.T) {
+	src := rng.New(4)
+	for _, n := range []int{1, 2, 9, 16, 33, 128} {
+		x := src.NormalVec(n, 1)
+		back := IFFTReal(FFTReal(x))
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-10 {
+				t.Fatalf("real round trip failed at n=%d i=%d", n, i)
+			}
+		}
+	}
+}
+
+func TestFFTRealConjugateSymmetry(t *testing.T) {
+	src := rng.New(5)
+	n := 16
+	spec := FFTReal(src.NormalVec(n, 1))
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(spec[k]-cmplx.Conj(spec[n-k])) > 1e-10 {
+			t.Fatalf("spectrum of real signal not conjugate-symmetric at k=%d", k)
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// DFT of a unit impulse is flat with value 1/√n.
+	n := 8
+	x := make([]complex128, n)
+	x[0] = 1
+	y := FFT(x)
+	want := 1 / math.Sqrt(float64(n))
+	for k := range y {
+		if math.Abs(real(y[k])-want) > 1e-12 || math.Abs(imag(y[k])) > 1e-12 {
+			t.Fatalf("impulse spectrum wrong at %d: %v", k, y[k])
+		}
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	// Small circular convolution against the direct O(n²) sum.
+	a := []float64{1, 2, 3, 4}
+	b := []float64{0.5, -1, 0, 2}
+	got, err := Convolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(a)
+	for k := 0; k < n; k++ {
+		var want float64
+		for j := 0; j < n; j++ {
+			want += a[j] * b[(k-j+n)%n]
+		}
+		if math.Abs(got[k]-want) > 1e-10 {
+			t.Fatalf("Convolve[%d]=%g want %g", k, got[k], want)
+		}
+	}
+	if _, err := Convolve(a, b[:2]); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+}
+
+func TestDCTRoundTrip(t *testing.T) {
+	src := rng.New(6)
+	for _, n := range []int{1, 2, 5, 16, 50} {
+		x := src.NormalVec(n, 1)
+		back := DCT3(DCT2(x))
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-10 {
+				t.Fatalf("DCT round trip failed at n=%d i=%d", n, i)
+			}
+		}
+	}
+}
+
+func TestDCTParseval(t *testing.T) {
+	src := rng.New(7)
+	x := src.NormalVec(33, 1)
+	y := DCT2(x)
+	var nx, ny float64
+	for i := range x {
+		nx += x[i] * x[i]
+		ny += y[i] * y[i]
+	}
+	if math.Abs(nx-ny) > 1e-9*(1+nx) {
+		t.Fatalf("DCT not orthonormal: %g vs %g", nx, ny)
+	}
+}
+
+func TestDCTConstantSignal(t *testing.T) {
+	// A constant signal concentrates all energy in coefficient 0.
+	n := 16
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 3
+	}
+	y := DCT2(x)
+	if math.Abs(y[0]-3*math.Sqrt(float64(n))) > 1e-10 {
+		t.Fatalf("DC coefficient %g", y[0])
+	}
+	for k := 1; k < n; k++ {
+		if math.Abs(y[k]) > 1e-10 {
+			t.Fatalf("non-zero AC coefficient at %d: %g", k, y[k])
+		}
+	}
+}
+
+func TestHaarRoundTrip(t *testing.T) {
+	src := rng.New(8)
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := src.NormalVec(n, 1)
+		back := IHaar(Haar(x))
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-10 {
+				t.Fatalf("Haar round trip failed at n=%d i=%d", n, i)
+			}
+		}
+	}
+}
+
+func TestHaarOrthonormal(t *testing.T) {
+	// Columns of the basis are orthonormal: ⟨ψi, ψj⟩ = δij.
+	n := 16
+	basis := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		basis[j] = HaarBasisColumn(n, j)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var dot float64
+			for k := 0; k < n; k++ {
+				dot += basis[i][k] * basis[j][k]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-10 {
+				t.Fatalf("⟨ψ%d,ψ%d⟩=%g want %g", i, j, dot, want)
+			}
+		}
+	}
+}
+
+func TestHaarParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s := rng.New(seed)
+		n := 1 << (1 + s.Intn(7))
+		x := s.NormalVec(n, 1)
+		y := Haar(x)
+		var nx, ny float64
+		for i := range x {
+			nx += x[i] * x[i]
+			ny += y[i] * y[i]
+		}
+		return math.Abs(nx-ny) <= 1e-9*(1+nx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaarPanicsOnBadLength(t *testing.T) {
+	for _, f := range []func(){
+		func() { Haar(make([]float64, 3)) },
+		func() { Haar(nil) },
+		func() { IHaar(make([]float64, 6)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHaarConstantSignal(t *testing.T) {
+	n := 8
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 2
+	}
+	y := Haar(x)
+	if math.Abs(y[0]-2*math.Sqrt(float64(n))) > 1e-12 {
+		t.Fatalf("scaling coefficient %g", y[0])
+	}
+	for k := 1; k < n; k++ {
+		if math.Abs(y[k]) > 1e-12 {
+			t.Fatalf("detail coefficient %d non-zero: %g", k, y[k])
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"lrm/internal/mat"
+)
+
+// WriteCSV writes the workload matrix as CSV: one query per row, n
+// coefficient columns. The format round-trips through ReadCSV and is the
+// format cmd/lrmrun consumes.
+func (w *Workload) WriteCSV(out io.Writer) error {
+	cw := csv.NewWriter(out)
+	rec := make([]string, w.Domain())
+	for i := 0; i < w.Queries(); i++ {
+		row := w.W.RawRow(i)
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a workload written by WriteCSV. Every row must have the
+// same number of coefficients.
+func ReadCSV(name string, in io.Reader) (*Workload, error) {
+	cr := csv.NewReader(in)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("workload: empty csv")
+	}
+	n := len(records[0])
+	w := mat.New(len(records), n)
+	for i, rec := range records {
+		if len(rec) != n {
+			return nil, fmt.Errorf("workload: row %d has %d columns, want %d", i, len(rec), n)
+		}
+		for j, s := range rec {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: row %d column %d: %w", i, j, err)
+			}
+			w.Set(i, j, v)
+		}
+	}
+	return FromMatrix(name, w), nil
+}

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lrm/internal/rng"
+)
+
+func TestWorkloadCSVRoundTrip(t *testing.T) {
+	w := Related(6, 9, 2, rng.New(1))
+	var buf bytes.Buffer
+	if err := w.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("roundtrip", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.W.EqualApprox(w.W, 0) {
+		t.Fatal("round-trip changed the workload")
+	}
+	if got.Name != "roundtrip" {
+		t.Fatalf("name = %q", got.Name)
+	}
+}
+
+func TestWorkloadReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("x", strings.NewReader("")); err == nil {
+		t.Fatal("empty csv accepted")
+	}
+	if _, err := ReadCSV("x", strings.NewReader("1,2\n3,oops\n")); err == nil {
+		t.Fatal("bad float accepted")
+	}
+	// csv.Reader reports ragged rows itself.
+	if _, err := ReadCSV("x", strings.NewReader("1,2\n3\n")); err == nil {
+		t.Fatal("ragged csv accepted")
+	}
+}
+
+func TestWorkloadCSVIntegerPrecision(t *testing.T) {
+	w := Range(4, 7, rng.New(2))
+	var buf bytes.Buffer
+	if err := w.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// 0/1 coefficients must serialize without decimal noise.
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	for _, tok := range strings.Split(first, ",") {
+		if tok != "0" && tok != "1" {
+			t.Fatalf("unexpected token %q", tok)
+		}
+	}
+}

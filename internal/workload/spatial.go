@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"fmt"
+
+	"lrm/internal/mat"
+	"lrm/internal/rng"
+)
+
+// Range2D generates m random axis-aligned rectangle-count queries over a
+// d1×d2 grid flattened row-major into n = d1·d2 cells: each query picks
+// an interval on each axis uniformly (the 2-D analogue of the paper's
+// WRange). Rectangle batches over grids are strongly column-correlated,
+// which is the regime the paper's introduction motivates.
+func Range2D(m, d1, d2 int, src *rng.Source) *Workload {
+	if m < 1 || d1 < 1 || d2 < 1 {
+		panic(fmt.Sprintf("workload: Range2D needs m,d1,d2 >= 1, got %d,%d,%d", m, d1, d2))
+	}
+	w := mat.New(m, d1*d2)
+	for i := 0; i < m; i++ {
+		r1, r2 := randInterval(d1, src)
+		c1, c2 := randInterval(d2, src)
+		row := w.RawRow(i)
+		for r := r1; r <= r2; r++ {
+			for c := c1; c <= c2; c++ {
+				row[r*d2+c] = 1
+			}
+		}
+	}
+	return &Workload{W: w, Name: "WRange2D"}
+}
+
+func randInterval(d int, src *rng.Source) (lo, hi int) {
+	lo, hi = src.Intn(d), src.Intn(d)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo, hi
+}
+
+// Kron combines two per-dimension workloads into the product workload
+// W₁ ⊗ W₂ over the flattened d1·d2 grid: query (i,j) of the result asks
+// query i of w1 on the rows crossed with query j of w2 on the columns.
+// All-ranges-per-dimension Kronecker batches are the classic
+// multi-dimensional benchmark in the matrix-mechanism literature.
+func Kron(name string, w1, w2 *Workload) *Workload {
+	return &Workload{W: mat.Kron(w1.W, w2.W), Name: name}
+}
+
+// PermutationWorkload returns a random permutation matrix as a workload:
+// every unit count is asked exactly once in scrambled order. Its rank is
+// n and its sensitivity 1, making it a useful full-rank control in the
+// experiments (LRM can do no better than noise-on-data here).
+func PermutationWorkload(n int, src *rng.Source) *Workload {
+	checkDims(1, n)
+	w := mat.New(n, n)
+	for i, j := range src.Perm(n) {
+		w.Set(i, j, 1)
+	}
+	return &Workload{W: w, Name: "Permutation"}
+}

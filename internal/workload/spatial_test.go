@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"testing"
+
+	"lrm/internal/mat"
+	"lrm/internal/rng"
+)
+
+func TestRange2DShapeAndEntries(t *testing.T) {
+	src := rng.New(1)
+	w := Range2D(12, 5, 7, src)
+	if w.Queries() != 12 || w.Domain() != 35 {
+		t.Fatalf("dims %d×%d", w.Queries(), w.Domain())
+	}
+	for i := 0; i < w.Queries(); i++ {
+		row := w.W.RawRow(i)
+		ones := 0
+		for _, v := range row {
+			if v != 0 && v != 1 {
+				t.Fatalf("entry %g not in {0,1}", v)
+			}
+			if v == 1 {
+				ones++
+			}
+		}
+		if ones == 0 {
+			t.Fatalf("query %d selects nothing", i)
+		}
+	}
+}
+
+func TestRange2DIsRectangle(t *testing.T) {
+	// Every query's support must be a full rectangle: the count of
+	// selected cells equals (#selected rows)×(#selected cols).
+	src := rng.New(2)
+	d1, d2 := 6, 9
+	w := Range2D(30, d1, d2, src)
+	for i := 0; i < w.Queries(); i++ {
+		row := w.W.RawRow(i)
+		rows := map[int]bool{}
+		cols := map[int]bool{}
+		total := 0
+		for idx, v := range row {
+			if v == 1 {
+				rows[idx/d2] = true
+				cols[idx%d2] = true
+				total++
+			}
+		}
+		if total != len(rows)*len(cols) {
+			t.Fatalf("query %d support is not a rectangle: %d cells, %d×%d box", i, total, len(rows), len(cols))
+		}
+	}
+}
+
+func TestRange2DPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Range2D(0, 2, 2, rng.New(1))
+}
+
+func TestKronWorkload(t *testing.T) {
+	// Total ⊗ Total over a 3×4 grid is the single all-cells query.
+	w := Kron("grid-total", Total(3), Total(4))
+	if w.Queries() != 1 || w.Domain() != 12 {
+		t.Fatalf("dims %d×%d", w.Queries(), w.Domain())
+	}
+	for _, v := range w.W.RawRow(0) {
+		if v != 1 {
+			t.Fatal("grid total should select every cell with weight 1")
+		}
+	}
+	// Identity ⊗ Identity is the grid identity.
+	wi := Kron("grid-id", Identity(2), Identity(3))
+	if !wi.W.Equal(mat.Eye(6)) {
+		t.Fatal("identity ⊗ identity should be the 6×6 identity")
+	}
+}
+
+func TestKronMatchesManualRectangle(t *testing.T) {
+	// Row i⊗j of W1⊗W2 answers (rows in query i) × (cols in query j).
+	w1 := Prefix(3) // rows 0..i
+	w2 := Prefix(4)
+	w := Kron("prefix2d", w1, w2)
+	if w.Queries() != 12 || w.Domain() != 12 {
+		t.Fatalf("dims %d×%d", w.Queries(), w.Domain())
+	}
+	// Query (i=1, j=2) covers rows {0,1} × cols {0,1,2} of the 3×4 grid.
+	row := w.W.RawRow(1*4 + 2)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			want := 0.0
+			if r <= 1 && c <= 2 {
+				want = 1
+			}
+			if row[r*4+c] != want {
+				t.Fatalf("cell (%d,%d): got %g want %g", r, c, row[r*4+c], want)
+			}
+		}
+	}
+}
+
+func TestPermutationWorkload(t *testing.T) {
+	src := rng.New(3)
+	w := PermutationWorkload(8, src)
+	if w.Queries() != 8 || w.Domain() != 8 {
+		t.Fatalf("dims %d×%d", w.Queries(), w.Domain())
+	}
+	if w.Sensitivity() != 1 {
+		t.Fatalf("sensitivity %g want 1", w.Sensitivity())
+	}
+	if w.Rank() != 8 {
+		t.Fatalf("rank %d want 8", w.Rank())
+	}
+	// Each row and each column has exactly one 1.
+	for i := 0; i < 8; i++ {
+		var rowSum float64
+		for j := 0; j < 8; j++ {
+			rowSum += w.W.At(i, j)
+		}
+		if rowSum != 1 {
+			t.Fatalf("row %d sum %g", i, rowSum)
+		}
+	}
+	// Answers are a permutation of the data.
+	x := []float64{10, 20, 30, 40, 50, 60, 70, 80}
+	got := w.Answer(x)
+	seen := map[float64]int{}
+	for _, v := range got {
+		seen[v]++
+	}
+	for _, v := range x {
+		if seen[v] != 1 {
+			t.Fatalf("answer is not a permutation: %v", got)
+		}
+	}
+}

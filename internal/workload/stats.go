@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"lrm/internal/mat"
+)
+
+// Stats summarizes the properties of a workload that determine which
+// mechanism will serve it well: the decision inputs of the paper's
+// Section 3.2 (the LM-vs-NOR comparison) and Section 4 (the low-rank
+// regime LRM exploits).
+type Stats struct {
+	// Queries and Domain are m and n.
+	Queries, Domain int
+	// Rank is the numerical rank of W; Rank ≪ min(m,n) is LRM's regime.
+	Rank int
+	// Sensitivity is Δ' = max_j Σᵢ|Wᵢⱼ| (drives noise-on-results).
+	Sensitivity float64
+	// SquaredSum is ΣWᵢⱼ² (drives noise-on-data).
+	SquaredSum float64
+	// ConditionNumber is λ₁/λᵣ over the non-zero spectrum — the paper's C
+	// in Theorem 2; near 1 means the LRM approximation bound is tight.
+	ConditionNumber float64
+	// LaplaceSSE and ResultsSSE are the analytic expected errors of the
+	// two baselines at ε = 1: 2·ΣW² and 2m·Δ'².
+	LaplaceSSE, ResultsSSE float64
+}
+
+// Analyze computes the summary for w (one SVD, reused for rank and
+// condition number).
+func Analyze(w *Workload) (*Stats, error) {
+	if w == nil || w.W == nil || w.W.Rows() == 0 || w.W.Cols() == 0 {
+		return nil, fmt.Errorf("workload: empty workload")
+	}
+	if !w.W.IsFinite() {
+		return nil, fmt.Errorf("workload: matrix contains NaN or Inf")
+	}
+	svd := mat.FactorSVD(w.W)
+	delta := w.Sensitivity()
+	sq := w.SquaredSum()
+	m := w.Queries()
+	return &Stats{
+		Queries:         m,
+		Domain:          w.Domain(),
+		Rank:            svd.Rank(),
+		Sensitivity:     delta,
+		SquaredSum:      sq,
+		ConditionNumber: svd.ConditionNumber(),
+		LaplaceSSE:      2 * sq,
+		ResultsSSE:      2 * float64(m) * delta * delta,
+	}, nil
+}
+
+// LowRank reports whether the workload is in LRM's favourable regime:
+// rank below 80% of min(m, n).
+func (s *Stats) LowRank() bool {
+	minDim := s.Queries
+	if s.Domain < minDim {
+		minDim = s.Domain
+	}
+	return float64(s.Rank) < 0.8*float64(minDim)
+}
+
+// BetterBaseline names the cheaper of the two classical baselines,
+// per the Section 3.2 comparison (noise-on-results wins iff
+// m·Δ'² < ΣW²).
+func (s *Stats) BetterBaseline() string {
+	if s.ResultsSSE < s.LaplaceSSE {
+		return "noise-on-results"
+	}
+	return "noise-on-data"
+}
+
+// Describe renders a human-readable report, used by cmd/lrmrun -inspect.
+func (s *Stats) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "queries m=%d  domain n=%d  rank %d", s.Queries, s.Domain, s.Rank)
+	if s.LowRank() {
+		b.WriteString(" (low-rank: LRM's favourable regime)")
+	}
+	fmt.Fprintf(&b, "\nsensitivity Δ' = %g   ΣW² = %g   condition number C = %.3g\n", s.Sensitivity, s.SquaredSum, s.ConditionNumber)
+	fmt.Fprintf(&b, "baseline expected SSE at ε=1: noise-on-data %g, noise-on-results %g → %s wins\n",
+		s.LaplaceSSE, s.ResultsSSE, s.BetterBaseline())
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lrm/internal/rng"
+)
+
+func TestAnalyzeIdentity(t *testing.T) {
+	s, err := Analyze(Identity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Queries != 8 || s.Domain != 8 || s.Rank != 8 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.Sensitivity != 1 || s.SquaredSum != 8 {
+		t.Fatalf("stats %+v", s)
+	}
+	if math.Abs(s.ConditionNumber-1) > 1e-9 {
+		t.Fatalf("identity condition number %g", s.ConditionNumber)
+	}
+	// LM and NOR coincide on the identity: 2n = 2m·Δ'².
+	if math.Abs(s.LaplaceSSE-s.ResultsSSE) > 1e-12 {
+		t.Fatalf("LM %g vs NOR %g on identity", s.LaplaceSSE, s.ResultsSSE)
+	}
+	if s.LowRank() {
+		t.Fatal("identity must not be low-rank")
+	}
+}
+
+func TestAnalyzeLowRankRegime(t *testing.T) {
+	w := Related(30, 40, 3, rng.New(1))
+	s, err := Analyze(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rank != 3 {
+		t.Fatalf("rank %d want 3", s.Rank)
+	}
+	if !s.LowRank() {
+		t.Fatal("rank-3 of min 30 must report low-rank")
+	}
+	if !strings.Contains(s.Describe(), "favourable") {
+		t.Fatalf("describe: %s", s.Describe())
+	}
+}
+
+func TestAnalyzeBaselineComparison(t *testing.T) {
+	// Marginal workloads have small sensitivity but large squared sum:
+	// noise-on-results must win (the Section 3.2 inequality).
+	s, err := Analyze(Marginal(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BetterBaseline() != "noise-on-results" {
+		t.Fatalf("marginals: %s (NOR %g vs LM %g)", s.BetterBaseline(), s.ResultsSSE, s.LaplaceSSE)
+	}
+	// WDiscrete (dense ±1) has huge sensitivity: noise-on-data wins.
+	s, err = Analyze(Discrete(16, 32, 0.02, rng.New(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BetterBaseline() != "noise-on-data" {
+		t.Fatalf("discrete: %s", s.BetterBaseline())
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Fatal("want error for nil workload")
+	}
+	w := Identity(2)
+	w.W.Set(0, 0, math.Inf(1))
+	if _, err := Analyze(w); err == nil {
+		t.Fatal("want error for non-finite matrix")
+	}
+}

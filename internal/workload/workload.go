@@ -1,0 +1,202 @@
+// Package workload constructs batch linear-query workloads: the workload
+// matrix W of Section 3.2 and the paper's three synthetic generators
+// (WDiscrete, WRange, WRelated), plus a few extra workload families used
+// by the examples.
+package workload
+
+import (
+	"fmt"
+
+	"lrm/internal/mat"
+	"lrm/internal/rng"
+)
+
+// Workload is a batch of m linear counting queries over n unit counts,
+// represented by its m×n matrix W. Row i holds the coefficients of query
+// qᵢ; the exact batch answer is W·x.
+type Workload struct {
+	W    *mat.Dense
+	Name string
+}
+
+// Queries returns m, the number of queries.
+func (w *Workload) Queries() int { return w.W.Rows() }
+
+// Domain returns n, the number of unit counts.
+func (w *Workload) Domain() int { return w.W.Cols() }
+
+// Answer computes the exact (non-private) batch answer W·x.
+func (w *Workload) Answer(x []float64) []float64 {
+	if len(x) != w.Domain() {
+		panic(fmt.Sprintf("workload: data length %d != domain %d", len(x), w.Domain()))
+	}
+	return mat.MulVec(w.W, x)
+}
+
+// Sensitivity returns the L1 sensitivity max_j Σᵢ|Wᵢⱼ| of the workload.
+func (w *Workload) Sensitivity() float64 { return mat.MaxColAbsSum(w.W) }
+
+// Rank returns the numerical rank of the workload matrix.
+func (w *Workload) Rank() int { return mat.Rank(w.W) }
+
+// SquaredSum returns ΣWᵢⱼ². The noise-on-data baseline's expected SSE is
+// 2·SquaredSum()/ε².
+func (w *Workload) SquaredSum() float64 { return mat.SquaredSum(w.W) }
+
+// Stack concatenates workloads over the same domain into one batch.
+func Stack(name string, ws ...*Workload) *Workload {
+	if len(ws) == 0 {
+		panic("workload: Stack of nothing")
+	}
+	n := ws[0].Domain()
+	total := 0
+	for _, w := range ws {
+		if w.Domain() != n {
+			panic(fmt.Sprintf("workload: Stack domain mismatch %d vs %d", w.Domain(), n))
+		}
+		total += w.Queries()
+	}
+	out := mat.New(total, n)
+	row := 0
+	for _, w := range ws {
+		for i := 0; i < w.Queries(); i++ {
+			copy(out.RawRow(row), w.W.RawRow(i))
+			row++
+		}
+	}
+	return &Workload{W: out, Name: name}
+}
+
+// Discrete generates the paper's WDiscrete workload: each coefficient is
+// +1 with probability p (the paper uses p = 0.02) and −1 otherwise.
+func Discrete(m, n int, p float64, src *rng.Source) *Workload {
+	checkDims(m, n)
+	w := mat.New(m, n)
+	data := w.RawData()
+	for i := range data {
+		if src.Float64() < p {
+			data[i] = 1
+		} else {
+			data[i] = -1
+		}
+	}
+	return &Workload{W: w, Name: "WDiscrete"}
+}
+
+// Range generates the paper's WRange workload: m range-count queries with
+// endpoints a ≤ b drawn uniformly from the domain; Wᵢⱼ = 1 for a ≤ j ≤ b.
+func Range(m, n int, src *rng.Source) *Workload {
+	checkDims(m, n)
+	w := mat.New(m, n)
+	for i := 0; i < m; i++ {
+		a := src.Intn(n)
+		b := src.Intn(n)
+		if a > b {
+			a, b = b, a
+		}
+		row := w.RawRow(i)
+		for j := a; j <= b; j++ {
+			row[j] = 1
+		}
+	}
+	return &Workload{W: w, Name: "WRange"}
+}
+
+// Related generates the paper's WRelated workload: W = C·A where
+// A is s×n and C is m×s, both with i.i.d. standard normal entries. The
+// resulting workload has rank ≤ s (exactly s almost surely), which is the
+// low-rank regime LRM exploits.
+func Related(m, n, s int, src *rng.Source) *Workload {
+	checkDims(m, n)
+	if s < 1 {
+		panic(fmt.Sprintf("workload: Related needs s >= 1, got %d", s))
+	}
+	a := mat.New(s, n)
+	for i := range a.RawData() {
+		a.RawData()[i] = src.Normal()
+	}
+	c := mat.New(m, s)
+	for i := range c.RawData() {
+		c.RawData()[i] = src.Normal()
+	}
+	return &Workload{W: mat.Mul(c, a), Name: "WRelated"}
+}
+
+// Identity returns the n-query workload asking each unit count, the
+// strategy implicit in the noise-on-data baseline.
+func Identity(n int) *Workload {
+	return &Workload{W: mat.Eye(n), Name: "Identity"}
+}
+
+// Total returns the single query summing the whole domain.
+func Total(n int) *Workload {
+	w := mat.New(1, n)
+	for j := 0; j < n; j++ {
+		w.Set(0, j, 1)
+	}
+	return &Workload{W: w, Name: "Total"}
+}
+
+// AllRanges returns every contiguous range query over a (small) domain:
+// n(n+1)/2 queries. Useful for tests and the examples.
+func AllRanges(n int) *Workload {
+	m := n * (n + 1) / 2
+	w := mat.New(m, n)
+	i := 0
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			row := w.RawRow(i)
+			for j := a; j <= b; j++ {
+				row[j] = 1
+			}
+			i++
+		}
+	}
+	return &Workload{W: w, Name: "AllRanges"}
+}
+
+// Prefix returns the n prefix-sum queries q_i = x_0 + … + x_i, a classic
+// workload in the matrix-mechanism literature.
+func Prefix(n int) *Workload {
+	w := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		row := w.RawRow(i)
+		for j := 0; j <= i; j++ {
+			row[j] = 1
+		}
+	}
+	return &Workload{W: w, Name: "Prefix"}
+}
+
+// Marginal returns the two-way marginal workload over a d1×d2 grid
+// flattened row-major into n = d1·d2 cells: d1 row sums followed by d2
+// column sums. It exhibits the strong column correlation the paper's
+// introduction motivates.
+func Marginal(d1, d2 int) *Workload {
+	n := d1 * d2
+	w := mat.New(d1+d2, n)
+	for i := 0; i < d1; i++ {
+		row := w.RawRow(i)
+		for j := 0; j < d2; j++ {
+			row[i*d2+j] = 1
+		}
+	}
+	for j := 0; j < d2; j++ {
+		row := w.RawRow(d1 + j)
+		for i := 0; i < d1; i++ {
+			row[i*d2+j] = 1
+		}
+	}
+	return &Workload{W: w, Name: "Marginal"}
+}
+
+// FromMatrix wraps an arbitrary coefficient matrix as a workload.
+func FromMatrix(name string, w *mat.Dense) *Workload {
+	return &Workload{W: w, Name: name}
+}
+
+func checkDims(m, n int) {
+	if m < 1 || n < 1 {
+		panic(fmt.Sprintf("workload: need m,n >= 1, got m=%d n=%d", m, n))
+	}
+}

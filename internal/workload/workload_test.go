@@ -1,0 +1,248 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lrm/internal/mat"
+	"lrm/internal/rng"
+)
+
+func TestDiscreteEntries(t *testing.T) {
+	w := Discrete(50, 80, 0.02, rng.New(1))
+	if w.Queries() != 50 || w.Domain() != 80 {
+		t.Fatalf("dims = %d×%d", w.Queries(), w.Domain())
+	}
+	plus, minus := 0, 0
+	for _, v := range w.W.RawData() {
+		switch v {
+		case 1:
+			plus++
+		case -1:
+			minus++
+		default:
+			t.Fatalf("WDiscrete entry %v not in {−1, +1}", v)
+		}
+	}
+	frac := float64(plus) / float64(plus+minus)
+	if frac > 0.06 {
+		t.Fatalf("fraction of +1 entries = %v, want ~0.02", frac)
+	}
+}
+
+func TestDiscreteReproducible(t *testing.T) {
+	a := Discrete(10, 10, 0.02, rng.New(9))
+	b := Discrete(10, 10, 0.02, rng.New(9))
+	if !a.W.Equal(b.W) {
+		t.Fatal("same seed produced different workloads")
+	}
+}
+
+func TestRangeRowsAreIntervals(t *testing.T) {
+	w := Range(100, 64, rng.New(2))
+	for i := 0; i < w.Queries(); i++ {
+		row := w.W.RawRow(i)
+		// Row must be 0…0 1…1 0…0 with at least one 1.
+		first, last := -1, -1
+		for j, v := range row {
+			if v != 0 && v != 1 {
+				t.Fatalf("row %d has entry %v", i, v)
+			}
+			if v == 1 {
+				if first < 0 {
+					first = j
+				}
+				last = j
+			}
+		}
+		if first < 0 {
+			t.Fatalf("row %d is empty", i)
+		}
+		for j := first; j <= last; j++ {
+			if row[j] != 1 {
+				t.Fatalf("row %d not contiguous", i)
+			}
+		}
+	}
+}
+
+func TestRelatedRank(t *testing.T) {
+	for _, s := range []int{1, 3, 8} {
+		w := Related(40, 30, s, rng.New(3))
+		if got := w.Rank(); got != s {
+			t.Fatalf("rank(WRelated s=%d) = %d", s, got)
+		}
+	}
+}
+
+func TestIdentityTotalPrefix(t *testing.T) {
+	id := Identity(4)
+	if !id.W.Equal(mat.Eye(4)) {
+		t.Fatal("Identity workload is not I")
+	}
+	tot := Total(4)
+	if got := tot.Answer([]float64{1, 2, 3, 4}); got[0] != 10 {
+		t.Fatalf("Total answer = %v", got)
+	}
+	pre := Prefix(3)
+	ans := pre.Answer([]float64{1, 2, 3})
+	if ans[0] != 1 || ans[1] != 3 || ans[2] != 6 {
+		t.Fatalf("Prefix answers = %v", ans)
+	}
+	if got := pre.Sensitivity(); got != 3 {
+		t.Fatalf("Prefix sensitivity = %v, want 3", got)
+	}
+}
+
+func TestAllRanges(t *testing.T) {
+	w := AllRanges(4)
+	if w.Queries() != 10 {
+		t.Fatalf("AllRanges(4) has %d queries, want 10", w.Queries())
+	}
+	// Every row distinct and a valid interval.
+	seen := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		key := ""
+		for _, v := range w.W.RawRow(i) {
+			if v == 1 {
+				key += "1"
+			} else {
+				key += "0"
+			}
+		}
+		if seen[key] {
+			t.Fatalf("duplicate range row %q", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestMarginal(t *testing.T) {
+	w := Marginal(2, 3)
+	if w.Queries() != 5 || w.Domain() != 6 {
+		t.Fatalf("dims = %d×%d", w.Queries(), w.Domain())
+	}
+	x := []float64{1, 2, 3, 4, 5, 6} // grid [[1,2,3],[4,5,6]]
+	ans := w.Answer(x)
+	want := []float64{6, 15, 5, 7, 9}
+	for i := range want {
+		if math.Abs(ans[i]-want[i]) > 1e-12 {
+			t.Fatalf("marginal answers = %v, want %v", ans, want)
+		}
+	}
+	// Each cell appears in exactly one row sum and one column sum.
+	if got := w.Sensitivity(); got != 2 {
+		t.Fatalf("Marginal sensitivity = %v, want 2", got)
+	}
+}
+
+func TestAnswerLengthPanics(t *testing.T) {
+	w := Identity(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Answer with wrong data length did not panic")
+		}
+	}()
+	w.Answer([]float64{1, 2})
+}
+
+func TestBadDimsPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Discrete(0, 5, 0.02, rng.New(1)) },
+		func() { Range(5, 0, rng.New(1)) },
+		func() { Related(5, 5, 0, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad dims did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: workload sensitivity is the max column L1 norm, so scaling a
+// workload by c scales sensitivity by |c|.
+func TestSensitivityScaleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		w := Discrete(4+src.Intn(10), 4+src.Intn(10), 0.1, src)
+		c := 0.5 + src.Float64()*4
+		scaled := FromMatrix("scaled", mat.Scale(c, w.W))
+		return math.Abs(scaled.Sensitivity()-c*w.Sensitivity()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rank(WRelated) ≤ s always, and answers are linear in the data.
+func TestAnswerLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		n := 4 + src.Intn(8)
+		w := Range(6, n, src)
+		x := src.NormalVec(n, 1)
+		y := src.NormalVec(n, 1)
+		xy := make([]float64, n)
+		for i := range xy {
+			xy[i] = x[i] + y[i]
+		}
+		ax := w.Answer(x)
+		ay := w.Answer(y)
+		axy := w.Answer(xy)
+		for i := range axy {
+			if math.Abs(axy[i]-ax[i]-ay[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSquaredSum(t *testing.T) {
+	w := FromMatrix("x", mat.FromRows([][]float64{{3, 4}}))
+	if got := w.SquaredSum(); got != 25 {
+		t.Fatalf("SquaredSum = %v", got)
+	}
+}
+
+func TestStack(t *testing.T) {
+	a := Identity(3)
+	b := Total(3)
+	s := Stack("combo", a, b)
+	if s.Queries() != 4 || s.Domain() != 3 {
+		t.Fatalf("dims %d×%d", s.Queries(), s.Domain())
+	}
+	ans := s.Answer([]float64{1, 2, 3})
+	want := []float64{1, 2, 3, 6}
+	for i := range want {
+		if ans[i] != want[i] {
+			t.Fatalf("answers %v", ans)
+		}
+	}
+}
+
+func TestStackMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Stack did not panic")
+		}
+	}()
+	Stack("bad", Identity(3), Identity(4))
+}
+
+func TestStackEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty Stack did not panic")
+		}
+	}()
+	Stack("empty")
+}
