@@ -1,0 +1,3 @@
+module lrm
+
+go 1.24

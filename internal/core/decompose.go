@@ -385,13 +385,111 @@ func rotateInit(b, l *mat.Dense, seed int64) (*mat.Dense, *mat.Dense) {
 	return mat.MulABt(b, q), mat.Mul(q, l)
 }
 
+// almState owns every buffer the ALM outer/inner loops touch. All
+// scratch is sized once at construction, so the alternating B/L updates
+// — executed up to MaxOuterIter·MaxInnerIter times per decomposition —
+// perform no per-iteration heap allocation (pinned by a
+// testing.AllocsPerRun regression test).
+type almState struct {
+	w     *mat.Dense
+	o     Options
+	gamma float64
+	beta  float64
+
+	b     *mat.Dense // current B, m×r (overwritten in place by updateB)
+	l     *mat.Dense // current L, r×n
+	lPrev *mat.Dense // previous L (ping-pongs with l across updateL calls)
+	pi    *mat.Dense // Lagrange multiplier π, m×n
+
+	pw    *mat.Dense // π + β·W, m×n
+	diff  *mat.Dense // W − B·L, m×n
+	rhs   *mat.Dense // (π+βW)·Lᵀ, m×r
+	sys   *mat.Dense // β·LLᵀ + I, r×r
+	lwork *mat.Dense // Cholesky factor scratch, r×r
+	btb   *mat.Dense // BᵀB, r×r
+	kmat  *mat.Dense // Bᵀ(π+βW), r×n
+	gm    *mat.Dense // BᵀB·L gradient scratch, r×n
+	lmHdr *mat.Dense // reusable header wrapping solver iterates, r×n
+
+	x0         []float64 // inner-solver starting point, r·n
+	powX, powY []float64 // power-iteration scratch, r
+	projBuf    []float64 // column-projection scratch, 2·r
+
+	nwork   *optimize.Workspace
+	problem optimize.Problem
+}
+
+// newALMState clones the starting point into solver-owned buffers and
+// builds the L-subproblem closures once, so nothing is re-created per
+// iteration.
+func newALMState(w *mat.Dense, o Options, gamma float64, b0, l0 *mat.Dense) *almState {
+	m, n := w.Dims()
+	r := l0.Rows()
+	s := &almState{
+		w:     w,
+		o:     o,
+		gamma: gamma,
+		beta:  o.Beta0,
+		b:     b0.Clone(),
+		l:     l0.Clone(),
+		lPrev: mat.New(r, n),
+		pi:    mat.New(m, n),
+		pw:    mat.New(m, n),
+		diff:  mat.New(m, n),
+		rhs:   mat.New(m, r),
+		sys:   mat.New(r, r),
+		lwork: mat.New(r, r),
+		btb:   mat.New(r, r),
+		kmat:  mat.New(r, n),
+		gm:    mat.New(r, n),
+		lmHdr: mat.New(0, 0),
+
+		x0:      make([]float64, r*n),
+		powX:    make([]float64, r),
+		powY:    make([]float64, r),
+		projBuf: make([]float64, 2*r),
+
+		nwork: optimize.NewWorkspace(),
+	}
+	// The quadratic subproblem of Formula (10):
+	//	G(L) = β/2·tr(LᵀBᵀBL) − tr((βW+π)ᵀBL)
+	//	∇G  = β·BᵀB·L − Bᵀ·(βW+π)
+	// btb and kmat are refreshed by updateL before each solve; beta is
+	// read through the state so the closures track the penalty schedule.
+	s.problem = optimize.Problem{
+		Dim: r * n,
+		Value: func(x []float64) float64 {
+			s.lmHdr.Reuse(r, n, x)
+			mat.MulTo(s.gm, s.btb, s.lmHdr)
+			return 0.5*s.beta*mat.Dot(s.lmHdr, s.gm) - mat.Dot(s.kmat, s.lmHdr)
+		},
+		Grad: func(x, g []float64) {
+			s.lmHdr.Reuse(r, n, x)
+			mat.MulTo(s.gm, s.btb, s.lmHdr)
+			gd, kd := s.gm.RawData(), s.kmat.RawData()
+			for i := range g {
+				g[i] = s.beta*gd[i] - kd[i]
+			}
+		},
+		Project: func(x []float64) {
+			optimize.ProjectColumnsL1Buf(x, r, n, 1, s.projBuf)
+		},
+	}
+	return s
+}
+
+// residual recomputes W − B·L into s.diff and returns its Frobenius norm.
+func (s *almState) residual() float64 {
+	mat.MulTo(s.diff, s.b, s.l)
+	mat.SubTo(s.diff, s.w, s.diff)
+	return mat.FrobeniusNorm(s.diff)
+}
+
 // runALM executes Algorithm 1 from the given starting point on the
 // normalized workload, returning the best feasible iterate found (seeded
 // with the start itself when feasible).
-func runALM(w *mat.Dense, o Options, gamma float64, b, l *mat.Dense) (outB, outL *mat.Dense, residualOut float64, outer int, converged bool) {
-	m, n := w.Dims()
-	beta := o.Beta0
-	pi := mat.New(m, n) // Lagrange multiplier π
+func runALM(w *mat.Dense, o Options, gamma float64, b0, l0 *mat.Dense) (outB, outL *mat.Dense, residualOut float64, outer int, converged bool) {
+	s := newALMState(w, o, gamma, b0, l0)
 	residual := math.Inf(1)
 
 	// Track the best feasible iterate by objective: once the residual
@@ -404,10 +502,10 @@ func runALM(w *mat.Dense, o Options, gamma float64, b, l *mat.Dense) (outB, outL
 	// The SVD starting point is itself feasible whenever its truncation
 	// error fits in γ; seeding the tracker with it guarantees the result
 	// never falls above Lemma 3's bound however the trajectory wanders.
-	if initRes := mat.FrobeniusNorm(mat.Sub(w, mat.Mul(b, l))); initRes <= gamma {
-		bestB = b.Clone()
-		bestL = l.Clone()
-		bestObj = mat.SquaredSum(b)
+	if initRes := s.residual(); initRes <= gamma {
+		bestB = s.b.Clone()
+		bestL = s.l.Clone()
+		bestObj = mat.SquaredSum(s.b)
 		bestResidual = initRes
 	}
 	const stallWindow = 15
@@ -419,30 +517,31 @@ func runALM(w *mat.Dense, o Options, gamma float64, b, l *mat.Dense) (outB, outL
 		outer = k
 		// Approximately solve the subproblem by alternating B and L.
 		for inner := 0; inner < o.MaxInnerIter; inner++ {
-			nb, err := updateB(w, l, pi, beta)
-			if err != nil {
+			if err := s.updateB(); err != nil {
 				// The system βLLᵀ+I is SPD by construction, so a solve
 				// failure only means catastrophic numerics; keep the
 				// previous iterate and stop this run.
-				return b, l, residual, k, converged
+				return s.b, s.l, residual, k, converged
 			}
-			b = nb
-			prev := l
-			l = updateL(w, b, l, pi, beta, o)
+			s.updateL()
 			// Early exit when the inner alternation has stalled.
-			if mat.FrobeniusNorm(mat.Sub(l, prev)) < 1e-10*(1+mat.FrobeniusNorm(prev)) {
+			if mat.FrobeniusDist(s.l, s.lPrev) < 1e-10*(1+mat.FrobeniusNorm(s.lPrev)) {
 				break
 			}
 		}
 
-		diff := mat.Sub(w, mat.Mul(b, l))
-		residual = mat.FrobeniusNorm(diff)
+		residual = s.residual()
 		if residual <= gamma {
 			converged = true
-			if obj := mat.SquaredSum(b); obj < bestObj {
+			if obj := mat.SquaredSum(s.b); obj < bestObj {
 				bestObj = obj
-				bestB = b.Clone()
-				bestL = l.Clone()
+				if bestB == nil {
+					bestB = s.b.Clone()
+					bestL = s.l.Clone()
+				} else {
+					bestB.CopyFrom(s.b)
+					bestL.CopyFrom(s.l)
+				}
 				bestResidual = residual
 			}
 			// Stop once the feasible objective has stopped improving.
@@ -458,13 +557,13 @@ func runALM(w *mat.Dense, o Options, gamma float64, b, l *mat.Dense) (outB, outL
 			stallAge = 0
 			stallRef = math.Inf(1)
 		}
-		if beta >= o.BetaMax {
+		if s.beta >= o.BetaMax {
 			break
 		}
 		switch {
 		case o.BetaDoubleEvery > 0:
 			if k%o.BetaDoubleEvery == 0 {
-				beta *= 2
+				s.beta *= 2
 			}
 		case o.BetaDoubleEvery == 0:
 			// Adaptive: escalate the penalty only while infeasible and
@@ -472,19 +571,19 @@ func runALM(w *mat.Dense, o Options, gamma float64, b, l *mat.Dense) (outB, outL
 			// ever-larger penalties the subproblem degenerates into pure
 			// fitting and the tr(BᵀB) objective stops descending.
 			if residual > gamma && residual > 0.7*prevResidual {
-				beta *= 2
+				s.beta *= 2
 			}
 		}
 		prevResidual = residual
-		// π(k+1) = π(k) + β·(W − B·L).
-		pi = mat.AddScaled(pi, beta, diff)
+		// π(k+1) = π(k) + β·(W − B·L). s.diff still holds the residual
+		// matrix computed above.
+		mat.AddScaledTo(s.pi, s.pi, s.beta, s.diff)
 	}
 
 	if bestB != nil {
-		b, l, residual = bestB, bestL, bestResidual
-		converged = true // a feasible iterate was found and kept
+		return bestB, bestL, bestResidual, outer, true // a feasible iterate was found and kept
 	}
-	return b, l, residual, outer, converged
+	return s.b, s.l, residual, outer, converged
 }
 
 // initDecomposition builds the SVD-based feasible starting point from the
@@ -520,67 +619,54 @@ func initDecomposition(w *mat.Dense, r int, svd *mat.SVD) (b, l *mat.Dense) {
 }
 
 // updateB applies the closed-form solution of Eq. (9):
-// B = (βW+π)·Lᵀ·(βLLᵀ+I)⁻¹, an r×r SPD solve.
-func updateB(w, l, pi *mat.Dense, beta float64) (*mat.Dense, error) {
-	r := l.Rows()
-	rhs := mat.MulABt(mat.AddScaled(pi, beta, w), l) // (βW+π)Lᵀ, m×r
-	sys := mat.Scale(beta, mat.GramT(l))             // βLLᵀ
+// B = (βW+π)·Lᵀ·(βLLᵀ+I)⁻¹, an r×r SPD solve. It overwrites s.b in
+// place (the update does not read the previous B) and leaves π+βW in
+// s.pw for updateL to reuse.
+func (s *almState) updateB() error {
+	mat.AddScaledTo(s.pw, s.pi, s.beta, s.w)
+	mat.MulABtTo(s.rhs, s.pw, s.l) // (βW+π)Lᵀ, m×r
+	mat.GramTTo(s.sys, s.l)        // LLᵀ
+	mat.ScaleTo(s.sys, s.beta, s.sys)
+	r := s.sys.Rows()
 	for i := 0; i < r; i++ {
-		sys.Set(i, i, sys.At(i, i)+1)
+		s.sys.Set(i, i, s.sys.At(i, i)+1)
 	}
-	return mat.SolveRightSPD(rhs, sys)
+	return mat.SolveRightSPDTo(s.b, s.rhs, s.sys, s.lwork)
 }
 
 // updateL minimizes the quadratic G(L) of Formula (10) over the per-column
-// L1 balls (Formula 11) using the configured inner solver.
-//
-//	G(L) = β/2·tr(LᵀBᵀBL) − tr((βW+π)ᵀBL)
-//	∇G  = β·BᵀB·L − Bᵀ·(βW+π)
-func updateL(w, b, l0, pi *mat.Dense, beta float64, o Options) *mat.Dense {
-	r, n := l0.Dims()
-	btb := mat.Gram(b)                                // r×r
-	kMat := mat.MulAtB(b, mat.AddScaled(pi, beta, w)) // Bᵀ(βW+π), r×n
-
-	asMat := func(x []float64) *mat.Dense { return mat.NewFromData(r, n, x) }
-	problem := optimize.Problem{
-		Dim: r * n,
-		Value: func(x []float64) float64 {
-			lm := asMat(x)
-			bl := mat.Mul(btb, lm)
-			return 0.5*beta*mat.Dot(lm, bl) - mat.Dot(kMat, lm)
-		},
-		Grad: func(x, g []float64) {
-			lm := asMat(x)
-			gm := mat.Mul(btb, lm)
-			for i := range g {
-				g[i] = beta*gm.RawData()[i] - kMat.RawData()[i]
-			}
-		},
-		Project: func(x []float64) {
-			optimize.ProjectColumnsL1(x, r, n, 1)
-		},
-	}
-	x0 := make([]float64, r*n)
-	copy(x0, l0.RawData())
+// L1 balls (Formula 11) using the configured inner solver, writing the
+// new iterate into s.l (the previous one lands in s.lPrev). It relies on
+// s.pw holding π+βW from the updateB call of the same alternation pass.
+func (s *almState) updateL() {
+	mat.GramTo(s.btb, s.b)          // BᵀB, r×r
+	mat.MulAtBTo(s.kmat, s.b, s.pw) // Bᵀ(βW+π), r×n
+	copy(s.x0, s.l.RawData())
 	var res optimize.Result
-	if o.Solver == SolverProjectedGradient {
+	if s.o.Solver == SolverProjectedGradient {
 		// Ablation baseline: plain projected gradient with backtracking.
 		nopt := optimize.NesterovOptions{
-			MaxIter:    o.MaxNesterovIter,
-			Lipschitz0: beta*mat.FrobeniusNorm(btb) + 1,
+			MaxIter:    s.o.MaxNesterovIter,
+			Lipschitz0: s.beta*mat.FrobeniusNorm(s.btb) + 1,
+			Work:       s.nwork,
 		}
-		res = optimize.ProjectedGradient(problem, x0, nopt)
+		res = optimize.ProjectedGradient(s.problem, s.x0, nopt)
 	} else {
 		// G is quadratic with ∇G exactly β·λmax(BᵀB)-Lipschitz, so a
 		// certified constant (power iteration plus 5% headroom) lets
 		// Nesterov skip line search: one gradient product per iteration.
-		lip := beta*mat.LambdaMaxSym(btb, 100)*1.05 + 1e-12
+		lip := s.beta*mat.LambdaMaxSymBuf(s.btb, 100, s.powX, s.powY)*1.05 + 1e-12
 		nopt := optimize.NesterovOptions{
-			MaxIter:        o.MaxNesterovIter,
+			MaxIter:        s.o.MaxNesterovIter,
 			Lipschitz0:     lip,
 			FixedLipschitz: true,
+			Work:           s.nwork,
 		}
-		res = optimize.NesterovPG(problem, x0, nopt)
+		res = optimize.NesterovPG(s.problem, s.x0, nopt)
 	}
-	return mat.NewFromData(r, n, res.X)
+	// res.X aliases workspace memory: copy it into the ping-pong buffer
+	// and retire it before the next solver call reuses the workspace.
+	s.l, s.lPrev = s.lPrev, s.l
+	copy(s.l.RawData(), res.X)
+	s.nwork.Put(res.X)
 }

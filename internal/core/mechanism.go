@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"lrm/internal/mat"
 	"lrm/internal/privacy"
@@ -17,9 +18,19 @@ import (
 // batch of sensitivity Δ(B,L) and post-processing by B is free.
 type Mechanism struct {
 	d *Decomposition
+	// delta caches Δ(B,L): the decomposition is immutable once wrapped,
+	// and recomputing the column scan on every Answer call would dominate
+	// the O(r·(n+m)) answering cost itself.
+	delta float64
+	// scratch pools the r-length intermediate buffer so concurrent
+	// Answer calls (the evaluation harness fans trials across goroutines)
+	// each reuse one instead of allocating twice per call.
+	scratch sync.Pool
 }
 
-// NewMechanism wraps a decomposition as a query-answering mechanism.
+// NewMechanism wraps a decomposition as a query-answering mechanism. The
+// decomposition must not be mutated afterwards (its sensitivity is
+// cached).
 func NewMechanism(d *Decomposition) (*Mechanism, error) {
 	if d == nil || d.B == nil || d.L == nil {
 		return nil, errors.New("core: nil decomposition")
@@ -28,11 +39,17 @@ func NewMechanism(d *Decomposition) (*Mechanism, error) {
 		return nil, fmt.Errorf("core: decomposition shape mismatch %d×%d · %d×%d",
 			d.B.Rows(), d.B.Cols(), d.L.Rows(), d.L.Cols())
 	}
-	return &Mechanism{d: d}, nil
+	r := d.L.Rows()
+	m := &Mechanism{d: d, delta: d.Sensitivity()}
+	m.scratch.New = func() any {
+		buf := make([]float64, r)
+		return &buf
+	}
+	return m, nil
 }
 
 // Answer releases ε-differentially-private answers to the workload on the
-// histogram x.
+// histogram x. The only per-call allocation is the returned answer slice.
 func (m *Mechanism) Answer(x []float64, eps privacy.Epsilon, src *rng.Source) ([]float64, error) {
 	if err := eps.Validate(); err != nil {
 		return nil, err
@@ -40,12 +57,16 @@ func (m *Mechanism) Answer(x []float64, eps privacy.Epsilon, src *rng.Source) ([
 	if len(x) != m.d.L.Cols() {
 		return nil, fmt.Errorf("core: data length %d != domain %d", len(x), m.d.L.Cols())
 	}
-	intermediate := mat.MulVec(m.d.L, x)
-	noisy, err := privacy.LaplaceMechanism(intermediate, m.d.Sensitivity(), eps, src)
-	if err != nil {
+	bufp := m.scratch.Get().(*[]float64)
+	y := *bufp // L·x, then its noisy release, r-length
+	mat.MulVecTo(y, m.d.L, x)
+	if err := privacy.AddLaplaceNoise(y, m.delta, eps, src); err != nil {
+		m.scratch.Put(bufp)
 		return nil, err
 	}
-	return mat.MulVec(m.d.B, noisy), nil
+	out := mat.MulVecTo(make([]float64, m.d.B.Rows()), m.d.B, y)
+	m.scratch.Put(bufp)
+	return out, nil
 }
 
 // ExpectedSSE returns the analytic expected sum of squared errors

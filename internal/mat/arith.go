@@ -16,11 +16,7 @@ func Add(a, b *Dense) *Dense {
 	if a.rows != b.rows || a.cols != b.cols {
 		dimPanic("Add", a, b)
 	}
-	out := New(a.rows, a.cols)
-	for i, v := range a.data {
-		out.data[i] = v + b.data[i]
-	}
-	return out
+	return AddTo(New(a.rows, a.cols), a, b)
 }
 
 // Sub returns a - b.
@@ -28,20 +24,12 @@ func Sub(a, b *Dense) *Dense {
 	if a.rows != b.rows || a.cols != b.cols {
 		dimPanic("Sub", a, b)
 	}
-	out := New(a.rows, a.cols)
-	for i, v := range a.data {
-		out.data[i] = v - b.data[i]
-	}
-	return out
+	return SubTo(New(a.rows, a.cols), a, b)
 }
 
 // Scale returns s * a.
 func Scale(s float64, a *Dense) *Dense {
-	out := New(a.rows, a.cols)
-	for i, v := range a.data {
-		out.data[i] = s * v
-	}
-	return out
+	return ScaleTo(New(a.rows, a.cols), s, a)
 }
 
 // AddScaled returns a + s*b, the matrix axpy.
@@ -49,11 +37,7 @@ func AddScaled(a *Dense, s float64, b *Dense) *Dense {
 	if a.rows != b.rows || a.cols != b.cols {
 		dimPanic("AddScaled", a, b)
 	}
-	out := New(a.rows, a.cols)
-	for i, v := range a.data {
-		out.data[i] = v + s*b.data[i]
-	}
-	return out
+	return AddScaledTo(New(a.rows, a.cols), a, s, b)
 }
 
 // ElemMul returns the Hadamard (element-wise) product a ∘ b.
@@ -61,17 +45,15 @@ func ElemMul(a, b *Dense) *Dense {
 	if a.rows != b.rows || a.cols != b.cols {
 		dimPanic("ElemMul", a, b)
 	}
-	out := New(a.rows, a.cols)
-	for i, v := range a.data {
-		out.data[i] = v * b.data[i]
-	}
-	return out
+	return ElemMulTo(New(a.rows, a.cols), a, b)
 }
 
 // parallelThreshold is the amount of multiply work (flops) below which
 // Mul runs single-threaded; fork/join overhead dominates for small
-// products, which the LRM inner loop issues by the thousand.
-const parallelThreshold = 1 << 21
+// products, which the LRM inner loop issues by the thousand. It is a
+// variable (not a const) only so tests can force the serial path and
+// prove both paths agree bit-for-bit.
+var parallelThreshold = 1 << 21
 
 // Mul returns the matrix product a·b.
 //
@@ -88,40 +70,57 @@ func Mul(a, b *Dense) *Dense {
 }
 
 func mulInto(out, a, b *Dense) {
+	if serialRows(a.rows, a.cols*b.cols) {
+		for i := 0; i < a.rows; i++ {
+			mulRow(out, a, b, i)
+		}
+		return
+	}
+	parallelRows(a.rows, a.cols*b.cols, func(i int) { mulRow(out, a, b, i) })
+}
+
+// mulRow accumulates row i of a·b into out. It is a named function (not
+// a closure) so the serial dispatch path allocates nothing; the closure
+// wrapping it is only built for products large enough to fork.
+func mulRow(out, a, b *Dense, i int) {
 	n := b.cols
 	kmax := a.cols
-	rowWork := func(i int) {
-		arow := a.RawRow(i)
-		orow := out.RawRow(i)
-		// Register-blocked over 4 rows of b: one pass over orow applies
-		// four axpy updates, quartering the load/store traffic on the
-		// accumulator row.
-		k := 0
-		for ; k+3 < kmax; k += 4 {
-			a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
-			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
-				continue
-			}
-			b0 := b.data[k*n : k*n+n]
-			b1 := b.data[(k+1)*n : (k+1)*n+n]
-			b2 := b.data[(k+2)*n : (k+2)*n+n]
-			b3 := b.data[(k+3)*n : (k+3)*n+n]
-			for j := range orow {
-				orow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
-			}
+	arow := a.RawRow(i)
+	orow := out.RawRow(i)
+	// Register-blocked over 4 rows of b: one pass over orow applies
+	// four axpy updates, quartering the load/store traffic on the
+	// accumulator row.
+	k := 0
+	for ; k+3 < kmax; k += 4 {
+		a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+		if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+			continue
 		}
-		for ; k < kmax; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*n : k*n+n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
+		b0 := b.data[k*n : k*n+n]
+		b1 := b.data[(k+1)*n : (k+1)*n+n]
+		b2 := b.data[(k+2)*n : (k+2)*n+n]
+		b3 := b.data[(k+3)*n : (k+3)*n+n]
+		for j := range orow {
+			orow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
 		}
 	}
-	parallelRows(a.rows, a.cols*b.cols, rowWork)
+	for ; k < kmax; k++ {
+		av := arow[k]
+		if av == 0 {
+			continue
+		}
+		brow := b.data[k*n : k*n+n]
+		for j, bv := range brow {
+			orow[j] += av * bv
+		}
+	}
+}
+
+// serialRows reports whether a rows×workPerRow job is too small to be
+// worth forking; it mirrors parallelRows' own fallback so dispatchers can
+// skip building the per-row closure entirely on the serial path.
+func serialRows(rows, workPerRow int) bool {
+	return rows <= 1 || rows*max(workPerRow, 1) < parallelThreshold
 }
 
 // parallelRows invokes work(i) for i in [0,rows), in parallel when the
@@ -177,20 +176,31 @@ func MulABt(a, b *Dense) *Dense {
 		dimPanic("MulABt", a, b)
 	}
 	out := New(a.rows, b.rows)
-	work := func(i int) {
-		arow := a.RawRow(i)
-		orow := out.RawRow(i)
-		for j := 0; j < b.rows; j++ {
-			brow := b.RawRow(j)
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			orow[j] = s
-		}
-	}
-	parallelRows(a.rows, a.cols*b.rows, work)
+	mulABtInto(out, a, b)
 	return out
+}
+
+func mulABtInto(out, a, b *Dense) {
+	if serialRows(a.rows, a.cols*b.rows) {
+		for i := 0; i < a.rows; i++ {
+			mulABtRow(out, a, b, i)
+		}
+		return
+	}
+	parallelRows(a.rows, a.cols*b.rows, func(i int) { mulABtRow(out, a, b, i) })
+}
+
+func mulABtRow(out, a, b *Dense, i int) {
+	arow := a.RawRow(i)
+	orow := out.RawRow(i)
+	for j := 0; j < b.rows; j++ {
+		brow := b.RawRow(j)
+		var s float64
+		for k, av := range arow {
+			s += av * brow[k]
+		}
+		orow[j] = s
+	}
 }
 
 // MulAtB returns aᵀ·b without materializing the transpose.
@@ -198,24 +208,36 @@ func MulAtB(a, b *Dense) *Dense {
 	if a.rows != b.rows {
 		dimPanic("MulAtB", a, b)
 	}
-	// (aᵀb)ᵢⱼ = Σ_k a[k][i] b[k][j]. Accumulate row-by-row of the inputs;
-	// parallelize over output rows (columns of a) via per-worker passes.
 	out := New(a.cols, b.cols)
-	work := func(i int) {
-		orow := out.RawRow(i)
-		for k := 0; k < a.rows; k++ {
-			av := a.data[k*a.cols+i]
-			if av == 0 {
-				continue
-			}
-			brow := b.RawRow(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
+	mulAtBInto(out, a, b)
+	return out
+}
+
+// mulAtBInto accumulates aᵀ·b into out, which must be zeroed.
+// (aᵀb)ᵢⱼ = Σ_k a[k][i] b[k][j]. Accumulate row-by-row of the inputs;
+// parallelize over output rows (columns of a) via per-worker passes.
+func mulAtBInto(out, a, b *Dense) {
+	if serialRows(a.cols, a.rows*b.cols) {
+		for i := 0; i < a.cols; i++ {
+			mulAtBRow(out, a, b, i)
+		}
+		return
+	}
+	parallelRows(a.cols, a.rows*b.cols, func(i int) { mulAtBRow(out, a, b, i) })
+}
+
+func mulAtBRow(out, a, b *Dense, i int) {
+	orow := out.RawRow(i)
+	for k := 0; k < a.rows; k++ {
+		av := a.data[k*a.cols+i]
+		if av == 0 {
+			continue
+		}
+		brow := b.RawRow(k)
+		for j, bv := range brow {
+			orow[j] += av * bv
 		}
 	}
-	parallelRows(a.cols, a.rows*b.cols, work)
-	return out
 }
 
 // MulVec returns the matrix-vector product a·x.
@@ -223,16 +245,7 @@ func MulVec(a *Dense, x []float64) []float64 {
 	if a.cols != len(x) {
 		panic(fmt.Sprintf("mat: MulVec dimension mismatch %d×%d vs %d", a.rows, a.cols, len(x)))
 	}
-	out := make([]float64, a.rows)
-	for i := 0; i < a.rows; i++ {
-		row := a.RawRow(i)
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
-		}
-		out[i] = s
-	}
-	return out
+	return MulVecTo(make([]float64, a.rows), a, x)
 }
 
 // MulVecT returns aᵀ·x.
@@ -240,23 +253,18 @@ func MulVecT(a *Dense, x []float64) []float64 {
 	if a.rows != len(x) {
 		panic(fmt.Sprintf("mat: MulVecT dimension mismatch %d×%d vs %d", a.rows, a.cols, len(x)))
 	}
-	out := make([]float64, a.cols)
-	for i := 0; i < a.rows; i++ {
-		xi := x[i]
-		if xi == 0 {
-			continue
-		}
-		row := a.RawRow(i)
-		for j, v := range row {
-			out[j] += xi * v
-		}
-	}
-	return out
+	return MulVecTTo(make([]float64, a.cols), a, x)
 }
 
 // Gram returns aᵀ·a, exploiting the symmetry of the result.
 func Gram(a *Dense) *Dense {
 	out := New(a.cols, a.cols)
+	gramInto(out, a)
+	return out
+}
+
+// gramInto accumulates aᵀ·a into out, which must be zeroed.
+func gramInto(out, a *Dense) {
 	for k := 0; k < a.rows; k++ {
 		row := a.RawRow(k)
 		for i, vi := range row {
@@ -274,31 +282,41 @@ func Gram(a *Dense) *Dense {
 			out.data[j*a.cols+i] = out.data[i*a.cols+j]
 		}
 	}
-	return out
 }
 
 // GramT returns a·aᵀ, exploiting the symmetry of the result.
 func GramT(a *Dense) *Dense {
 	out := New(a.rows, a.rows)
-	work := func(i int) {
-		ri := a.RawRow(i)
-		orow := out.RawRow(i)
-		for j := i; j < a.rows; j++ {
-			rj := a.RawRow(j)
-			var s float64
-			for k, v := range ri {
-				s += v * rj[k]
-			}
-			orow[j] = s
+	gramTInto(out, a)
+	return out
+}
+
+func gramTInto(out, a *Dense) {
+	if serialRows(a.rows, a.rows*a.cols/2) {
+		for i := 0; i < a.rows; i++ {
+			gramTRow(out, a, i)
 		}
+	} else {
+		parallelRows(a.rows, a.rows*a.cols/2, func(i int) { gramTRow(out, a, i) })
 	}
-	parallelRows(a.rows, a.rows*a.cols/2, work)
 	for i := 0; i < a.rows; i++ {
 		for j := i + 1; j < a.rows; j++ {
 			out.data[j*a.rows+i] = out.data[i*a.rows+j]
 		}
 	}
-	return out
+}
+
+func gramTRow(out, a *Dense, i int) {
+	ri := a.RawRow(i)
+	orow := out.RawRow(i)
+	for j := i; j < a.rows; j++ {
+		rj := a.RawRow(j)
+		var s float64
+		for k, v := range ri {
+			s += v * rj[k]
+		}
+		orow[j] = s
+	}
 }
 
 // Dot returns the Frobenius inner product ⟨a,b⟩ = Σᵢⱼ aᵢⱼ·bᵢⱼ.

@@ -20,8 +20,32 @@ func FactorCholesky(a *Dense) (*Cholesky, error) {
 	if a.rows != a.cols {
 		return nil, errors.New("mat: FactorCholesky needs a square matrix")
 	}
+	return FactorCholeskyTo(New(a.rows, a.rows), a)
+}
+
+// FactorCholeskyTo is FactorCholesky with caller-provided n×n factor
+// storage, so hot loops can refactor without allocating. dst must not
+// alias a; the returned Cholesky wraps dst and is valid until dst is
+// next reused.
+func FactorCholeskyTo(dst, a *Dense) (*Cholesky, error) {
+	if err := factorCholeskyInto(dst, a); err != nil {
+		return nil, err
+	}
+	return &Cholesky{l: dst}, nil
+}
+
+// factorCholeskyInto writes the lower-triangular factor of a into dst
+// without allocating (the value-typed Cholesky{l: dst} wrapper stays on
+// the caller's stack).
+func factorCholeskyInto(dst, a *Dense) error {
+	if a.rows != a.cols {
+		return errors.New("mat: FactorCholeskyTo needs a square matrix")
+	}
+	checkShape("FactorCholeskyTo", dst, a.rows, a.rows)
+	noAlias("FactorCholeskyTo", dst, a)
 	n := a.rows
-	l := New(n, n)
+	l := dst
+	zero(l.data)
 	for j := 0; j < n; j++ {
 		var d float64 = a.data[j*n+j]
 		lrowj := l.RawRow(j)
@@ -29,7 +53,7 @@ func FactorCholesky(a *Dense) (*Cholesky, error) {
 			d -= lrowj[k] * lrowj[k]
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotSPD
+			return ErrNotSPD
 		}
 		ljj := math.Sqrt(d)
 		lrowj[j] = ljj
@@ -43,7 +67,7 @@ func FactorCholesky(a *Dense) (*Cholesky, error) {
 			lrowi[j] = s * inv
 		}
 	}
-	return &Cholesky{l: l}, nil
+	return nil
 }
 
 // L returns a copy of the lower-triangular factor.
@@ -55,26 +79,33 @@ func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
 	if len(b) != n {
 		return nil, errors.New("mat: Cholesky SolveVec length mismatch")
 	}
+	x := make([]float64, n)
+	copy(x, b)
+	c.solveVecInPlace(x)
+	return x, nil
+}
+
+// solveVecInPlace overwrites x with A⁻¹·x. Both triangular sweeps write
+// each element after its last read, so no scratch is needed.
+func (c *Cholesky) solveVecInPlace(x []float64) {
+	n := c.l.rows
 	// Forward: L·y = b.
-	y := make([]float64, n)
 	for i := 0; i < n; i++ {
 		row := c.l.RawRow(i)
-		s := b[i]
+		s := x[i]
 		for k := 0; k < i; k++ {
-			s -= row[k] * y[k]
+			s -= row[k] * x[k]
 		}
-		y[i] = s / row[i]
+		x[i] = s / row[i]
 	}
 	// Backward: Lᵀ·x = y.
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
-		s := y[i]
+		s := x[i]
 		for k := i + 1; k < n; k++ {
 			s -= c.l.data[k*n+i] * x[k]
 		}
 		x[i] = s / c.l.data[i*n+i]
 	}
-	return x, nil
 }
 
 // Solve solves A·X = B using the factorization.
@@ -107,21 +138,32 @@ func SolveSPD(a, b *Dense) (*Dense, error) {
 // X = B·A⁻¹, by solving Aᵀ·Xᵀ = Bᵀ and exploiting A's symmetry. It is
 // the operation needed by the paper's closed-form B-update (Eq. 9).
 func SolveRightSPD(b, a *Dense) (*Dense, error) {
-	c, err := FactorCholesky(a)
-	if err != nil {
+	out := New(b.rows, a.rows)
+	if err := SolveRightSPDTo(out, b, a, New(a.rows, a.rows)); err != nil {
 		return nil, err
 	}
-	n := a.rows
-	if b.cols != n {
-		return nil, errors.New("mat: SolveRightSPD dimension mismatch")
-	}
-	out := New(b.rows, n)
-	for i := 0; i < b.rows; i++ {
-		row, err := c.SolveVec(b.RawRow(i))
-		if err != nil {
-			return nil, err
-		}
-		copy(out.RawRow(i), row)
-	}
 	return out, nil
+}
+
+// SolveRightSPDTo is SolveRightSPD writing into dst (shaped like b) with
+// caller-provided n×n Cholesky factor storage lwork, performing no
+// allocation. dst may alias b (rows are solved in place); lwork must not
+// alias a.
+func SolveRightSPDTo(dst, b, a, lwork *Dense) error {
+	if b.cols != a.rows {
+		return errors.New("mat: SolveRightSPDTo dimension mismatch")
+	}
+	checkShape("SolveRightSPDTo", dst, b.rows, b.cols)
+	if err := factorCholeskyInto(lwork, a); err != nil {
+		return err
+	}
+	c := Cholesky{l: lwork}
+	for i := 0; i < b.rows; i++ {
+		row := dst.RawRow(i)
+		if !sharesStorage(dst, b) {
+			copy(row, b.RawRow(i))
+		}
+		c.solveVecInPlace(row)
+	}
+	return nil
 }

@@ -180,14 +180,19 @@ func (m *Dense) Slice(r0, r1, c0, c1 int) *Dense {
 
 // T returns the transpose of m as a new matrix.
 func (m *Dense) T() *Dense {
-	out := New(m.cols, m.rows)
-	for i := 0; i < m.rows; i++ {
-		row := m.RawRow(i)
-		for j, v := range row {
-			out.data[j*m.rows+i] = v
-		}
+	return TransposeTo(New(m.cols, m.rows), m)
+}
+
+// Reuse repoints m at the given row-major backing slice (length r*c)
+// without copying, replacing its previous shape and storage. It lets a
+// long-lived header wrap solver-owned buffers without allocating a new
+// Dense per wrap; the caller must not alias data through two headers
+// into kernels that forbid aliasing.
+func (m *Dense) Reuse(r, c int, data []float64) {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: Reuse data length %d does not match %d×%d", len(data), r, c))
 	}
-	return out
+	m.rows, m.cols, m.data = r, c, data
 }
 
 // Equal reports whether m and n have the same shape and elements.

@@ -2,6 +2,7 @@ package mat
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -162,13 +163,26 @@ func LambdaMaxSym(a *Dense, iters int) float64 {
 	if n == 0 {
 		return 0
 	}
-	x := make([]float64, n)
+	return LambdaMaxSymBuf(a, iters, make([]float64, n), make([]float64, n))
+}
+
+// LambdaMaxSymBuf is LambdaMaxSym with caller-provided length-n scratch
+// vectors, so iterative solvers can re-estimate spectral norms without
+// allocating. x and y must not alias.
+func LambdaMaxSymBuf(a *Dense, iters int, x, y []float64) float64 {
+	n := a.Rows()
+	if n == 0 {
+		return 0
+	}
+	if len(x) != n || len(y) != n {
+		panic(fmt.Sprintf("mat: LambdaMaxSymBuf scratch lengths %d,%d, need %d", len(x), len(y), n))
+	}
 	for i := range x {
 		x[i] = 1 / math.Sqrt(float64(n))
 	}
 	lam := 0.0
 	for it := 0; it < iters; it++ {
-		y := MulVec(a, x)
+		MulVecTo(y, a, x)
 		ny := VecNorm2(y)
 		if ny == 0 {
 			return 0
@@ -176,7 +190,7 @@ func LambdaMaxSym(a *Dense, iters int) float64 {
 		for i := range y {
 			y[i] /= ny
 		}
-		x = y
+		x, y = y, x
 		if math.Abs(ny-lam) <= 1e-10*ny {
 			return ny
 		}

@@ -14,6 +14,22 @@ func Trace(a *Dense) float64 {
 	return s
 }
 
+// TraceMul returns tr(a·b) = Σᵢⱼ aᵢⱼ·bⱼᵢ without forming the product,
+// turning an O(n³) trace-of-product into O(n²).
+func TraceMul(a, b *Dense) float64 {
+	if a.cols != b.rows || a.rows != b.cols {
+		panic("mat: TraceMul needs a (m×n)·(n×m) pair")
+	}
+	var s float64
+	for i := 0; i < a.rows; i++ {
+		row := a.RawRow(i)
+		for j, v := range row {
+			s += v * b.data[j*b.cols+i]
+		}
+	}
+	return s
+}
+
 // FrobeniusNorm returns ‖a‖_F = sqrt(Σ aᵢⱼ²).
 func FrobeniusNorm(a *Dense) float64 {
 	return math.Sqrt(SquaredSum(a))

@@ -57,19 +57,30 @@ func (m MatrixMechanism) Prepare(w *workload.Workload) (Prepared, error) {
 		floor = 1e-6 * (mat.Trace(wtw)/float64(n) + 1)
 	}
 
+	// Scratch shared by the closures below: SPG calls Value/Grad once or
+	// more per iteration, so per-call temporaries are hoisted out. The
+	// remaining per-iteration allocations are inside Inverse and
+	// ProjectPSD (LU and eigendecomposition working storage), whose O(n³)
+	// arithmetic dwarfs them. tr(WᵀW·M⁻¹) goes through TraceMul, which
+	// skips materializing the O(n³) product entirely.
+	mM := mat.New(0, 0) // header reused to view solver iterates
+	diag := make([]float64, n)
+	dmax := make([]float64, n)
+	t1 := mat.New(n, n)
+	t2 := mat.New(n, n)
 	problem := optimize.Problem{
 		Dim: n * n,
 		Value: func(x []float64) float64 {
-			mM := mat.NewFromData(n, n, x)
+			mM.Reuse(n, n, x)
 			inv, err := mat.Inverse(mM)
 			if err != nil {
 				return math.Inf(1)
 			}
-			diag := diagOf(mM)
-			return optimize.SmoothMax(diag, mu) * mat.Trace(mat.Mul(wtw, inv))
+			diagInto(diag, mM)
+			return optimize.SmoothMax(diag, mu) * mat.TraceMul(wtw, inv)
 		},
 		Grad: func(x, g []float64) {
-			mM := mat.NewFromData(n, n, x)
+			mM.Reuse(n, n, x)
 			inv, err := mat.Inverse(mM)
 			if err != nil {
 				for i := range g {
@@ -77,20 +88,21 @@ func (m MatrixMechanism) Prepare(w *workload.Workload) (Prepared, error) {
 				}
 				return
 			}
-			diag := diagOf(mM)
+			diagInto(diag, mM)
 			fmax := optimize.SmoothMax(diag, mu)
-			trTerm := mat.Trace(mat.Mul(wtw, inv))
-			dmax := make([]float64, n)
+			trTerm := mat.TraceMul(wtw, inv)
 			optimize.SmoothMaxGrad(diag, mu, dmax)
 			// ∇[fmax]·tr + fmax·∇[tr], with ∇tr = −M⁻¹WᵀWM⁻¹.
-			grad := mat.Scale(-fmax, mat.Mul(mat.Mul(inv, wtw), inv))
+			mat.MulTo(t1, inv, wtw)
+			mat.MulTo(t2, t1, inv)
+			mat.ScaleTo(t2, -fmax, t2)
 			for i := 0; i < n; i++ {
-				grad.Set(i, i, grad.At(i, i)+trTerm*dmax[i])
+				t2.Set(i, i, t2.At(i, i)+trTerm*dmax[i])
 			}
-			copy(g, grad.RawData())
+			copy(g, t2.RawData())
 		},
 		Project: func(x []float64) {
-			mM := mat.NewFromData(n, n, x)
+			mM.Reuse(n, n, x)
 			proj, err := mat.ProjectPSD(mM, floor)
 			if err == nil {
 				copy(x, proj.RawData())
@@ -100,7 +112,7 @@ func (m MatrixMechanism) Prepare(w *workload.Workload) (Prepared, error) {
 
 	// Initialize at a scaled identity matched to the workload magnitude.
 	x0 := mat.Scale(mat.Trace(wtw)/float64(n)/math.Sqrt(float64(n))+1, mat.Eye(n)).RawData()
-	res := optimize.SPG(problem, x0, optimize.SPGOptions{MaxIter: maxIter, Tol: 1e-7})
+	res := optimize.SPG(problem, x0, optimize.SPGOptions{MaxIter: maxIter, Tol: 1e-7, Work: optimize.NewWorkspace()})
 
 	mOpt := mat.NewFromData(n, n, res.X)
 	a, err := mat.SqrtPSD(mOpt)
@@ -110,11 +122,8 @@ func (m MatrixMechanism) Prepare(w *workload.Workload) (Prepared, error) {
 	return NewStrategyPrepared(w, a)
 }
 
-func diagOf(m *mat.Dense) []float64 {
-	n := m.Rows()
-	d := make([]float64, n)
-	for i := 0; i < n; i++ {
-		d[i] = m.At(i, i)
+func diagInto(dst []float64, m *mat.Dense) {
+	for i := range dst {
+		dst[i] = m.At(i, i)
 	}
-	return d
 }

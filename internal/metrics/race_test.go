@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+
+	"lrm/internal/mechanism"
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// TestEvaluateParallelTrials exercises the worker-pool trial runner with
+// many goroutines; under -race it proves the per-trial RNG sub-streams
+// and result slots never collide, and that the LRM answer path's pooled
+// scratch buffers are safe under concurrent Answer calls.
+func TestEvaluateParallelTrials(t *testing.T) {
+	w := workload.Related(12, 16, 3, rng.New(3))
+	x := rng.New(4).UniformVec(16, 0, 50)
+
+	for _, mech := range []mechanism.Mechanism{mechanism.LaplaceData{}, mechanism.LRM{}} {
+		m, err := Evaluate(mech, w, x, privacy.Epsilon(1), 32, rng.New(5))
+		if err != nil {
+			t.Fatalf("%s: %v", mech.Name(), err)
+		}
+		if m.Trials != 32 || m.AvgSquaredError <= 0 {
+			t.Errorf("%s: implausible measurement %+v", mech.Name(), m)
+		}
+	}
+}
+
+// TestPreparedConcurrentAnswer hammers a single prepared LRM from many
+// goroutines directly (the serving pattern, not the harness pattern);
+// with -race it pins down that Answer is safe for concurrent use.
+func TestPreparedConcurrentAnswer(t *testing.T) {
+	w := workload.Related(12, 16, 3, rng.New(13))
+	p, err := mechanism.LRM{}.Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rng.New(14).UniformVec(16, 0, 50)
+	exact := w.Answer(x)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		src := rng.New(int64(100 + g))
+		go func(src *rng.Source) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				noisy, err := p.Answer(x, privacy.Epsilon(1), src)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(noisy) != len(exact) {
+					t.Errorf("answer length %d, want %d", len(noisy), len(exact))
+					return
+				}
+			}
+		}(src)
+	}
+	wg.Wait()
+}

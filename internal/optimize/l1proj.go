@@ -74,7 +74,13 @@ func ProjectL1BallPivot(x []float64, radius float64) {
 		}
 		return
 	}
-	mags := make([]float64, len(x))
+	projectL1BallPivotBuf(x, radius, make([]float64, len(x)))
+}
+
+// projectL1BallPivotBuf is ProjectL1BallPivot with caller-provided
+// magnitude scratch (len(x)); the feasibility fast path has already been
+// taken by the caller.
+func projectL1BallPivotBuf(x []float64, radius float64, mags []float64) {
 	for i, v := range x {
 		mags[i] = math.Abs(v)
 	}
@@ -172,14 +178,40 @@ func softThreshold(x []float64, theta float64) {
 // Formula (11) of the paper: the constraint set of the L-subproblem
 // decouples into per-column L1 balls.
 func ProjectColumnsL1(data []float64, rows, cols int, radius float64) {
-	col := make([]float64, rows)
+	ProjectColumnsL1Buf(data, rows, cols, radius, make([]float64, 2*rows))
+}
+
+// ProjectColumnsL1Buf is ProjectColumnsL1 with caller-provided scratch of
+// length at least 2·rows, so the inner solver's projection step (run once
+// per iteration on every column) performs no allocation.
+func ProjectColumnsL1Buf(data []float64, rows, cols int, radius float64, scratch []float64) {
+	if radius < 0 {
+		panic("optimize: negative L1 radius")
+	}
+	if len(scratch) < 2*rows {
+		panic("optimize: ProjectColumnsL1Buf scratch shorter than 2*rows")
+	}
+	col := scratch[:rows]
+	mags := scratch[rows : 2*rows]
 	for j := 0; j < cols; j++ {
+		var norm float64
 		for i := 0; i < rows; i++ {
-			col[i] = data[i*cols+j]
+			v := data[i*cols+j]
+			col[i] = v
+			norm += math.Abs(v)
+		}
+		if norm <= radius {
+			continue // already feasible; nothing to write back
+		}
+		if radius == 0 {
+			for i := 0; i < rows; i++ {
+				data[i*cols+j] = 0
+			}
+			continue
 		}
 		// The pivot-based projection avoids the per-column sort; this
 		// routine runs once per inner-solver iteration on every column.
-		ProjectL1BallPivot(col, radius)
+		projectL1BallPivotBuf(col, radius, mags)
 		for i := 0; i < rows; i++ {
 			data[i*cols+j] = col[i]
 		}

@@ -36,6 +36,10 @@ type NesterovOptions struct {
 	// costs one gradient evaluation and one projection — no objective
 	// evaluations at all.
 	FixedLipschitz bool
+	// Work, when non-nil, supplies all solver scratch so a call performs
+	// no heap allocation. Result.X then aliases Work memory: the caller
+	// must copy it out and Put it back before the workspace is reused.
+	Work *Workspace
 }
 
 // Result reports the outcome of an optimization run.
@@ -64,17 +68,24 @@ func NesterovPG(p Problem, x0 []float64, opt NesterovOptions) Result {
 
 	d := p.Dim
 	// L(t) and L(t−1) in the paper's notation.
-	cur := make([]float64, d)
+	cur := workGet(opt.Work, d)
 	copy(cur, x0)
 	if p.Project != nil {
 		p.Project(cur)
 	}
-	prev := make([]float64, d)
+	prev := workGet(opt.Work, d)
 	copy(prev, cur)
 
-	s := make([]float64, d)    // extrapolated point S
-	grad := make([]float64, d) // ∇G(S)
-	u := make([]float64, d)    // candidate update
+	s := workGet(opt.Work, d)    // extrapolated point S
+	grad := workGet(opt.Work, d) // ∇G(S)
+	u := workGet(opt.Work, d)    // candidate update
+	defer func() {
+		// cur is returned as Result.X; everything else goes back.
+		workPut(opt.Work, prev)
+		workPut(opt.Work, s)
+		workPut(opt.Work, grad)
+		workPut(opt.Work, u)
+	}()
 	deltaPrev, delta := 0.0, 1.0
 
 	converged := false
@@ -181,13 +192,17 @@ func ProjectedGradient(p Problem, x0 []float64, opt NesterovOptions) Result {
 		omega = 1
 	}
 	d := p.Dim
-	cur := make([]float64, d)
+	cur := workGet(opt.Work, d)
 	copy(cur, x0)
 	if p.Project != nil {
 		p.Project(cur)
 	}
-	grad := make([]float64, d)
-	u := make([]float64, d)
+	grad := workGet(opt.Work, d)
+	u := workGet(opt.Work, d)
+	defer func() {
+		workPut(opt.Work, grad)
+		workPut(opt.Work, u)
+	}()
 
 	converged := false
 	iters := 0

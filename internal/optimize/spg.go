@@ -13,6 +13,10 @@ type SPGOptions struct {
 	// Memory is the nonmonotone window M of Grippo–Lampariello–Lucidi
 	// line search (default 10).
 	Memory int
+	// Work, when non-nil, supplies all solver scratch so a call performs
+	// no heap allocation. Result.X then aliases Work memory: the caller
+	// must copy it out and Put it back before the workspace is reused.
+	Work *Workspace
 }
 
 // SPG minimizes p with the nonmonotone spectral projected gradient method
@@ -37,22 +41,29 @@ func SPG(p Problem, x0 []float64, opt SPGOptions) Result {
 	)
 
 	d := p.Dim
-	x := make([]float64, d)
+	x := workGet(opt.Work, d)
 	copy(x, x0)
 	if p.Project != nil {
 		p.Project(x)
 	}
-	g := make([]float64, d)
+	g := workGet(opt.Work, d)
 	p.Grad(x, g)
 	f := p.Value(x)
 
-	hist := make([]float64, 0, opt.Memory)
+	hist := workGet(opt.Work, opt.Memory)[:0]
 	hist = append(hist, f)
 
 	alpha := 1.0
-	xNew := make([]float64, d)
-	gNew := make([]float64, d)
-	ddir := make([]float64, d)
+	xNew := workGet(opt.Work, d)
+	gNew := workGet(opt.Work, d)
+	ddir := workGet(opt.Work, d)
+	defer func() {
+		workPut(opt.Work, g)
+		workPut(opt.Work, hist[:cap(hist)])
+		workPut(opt.Work, xNew)
+		workPut(opt.Work, gNew)
+		workPut(opt.Work, ddir)
+	}()
 
 	iters := 0
 	converged := false

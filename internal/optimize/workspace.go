@@ -1,0 +1,60 @@
+package optimize
+
+// Workspace is a free-list of float64 slices that lets the solvers in
+// this package run without heap allocation when invoked repeatedly with
+// the same problem size — the usage pattern of the ALM outer loop, which
+// calls NesterovPG hundreds of times per decomposition. A Workspace is
+// not safe for concurrent use; give each solver loop its own.
+type Workspace struct {
+	free [][]float64
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Get returns a zeroed length-n slice, reusing retired capacity when a
+// large-enough buffer is available.
+func (w *Workspace) Get(n int) []float64 {
+	best := -1
+	for i, b := range w.free {
+		if cap(b) >= n && (best < 0 || cap(b) < cap(w.free[best])) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return make([]float64, n)
+	}
+	buf := w.free[best][:n]
+	last := len(w.free) - 1
+	w.free[best] = w.free[last]
+	w.free[last] = nil
+	w.free = w.free[:last]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// Put retires a slice obtained from Get. The caller must not use buf
+// afterwards.
+func (w *Workspace) Put(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	w.free = append(w.free, buf)
+}
+
+// workGet and workPut let the solvers treat a nil workspace as plain
+// allocation.
+func workGet(w *Workspace, n int) []float64 {
+	if w == nil {
+		return make([]float64, n)
+	}
+	return w.Get(n)
+}
+
+func workPut(w *Workspace, buf []float64) {
+	if w != nil {
+		w.Put(buf)
+	}
+}

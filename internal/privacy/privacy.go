@@ -77,18 +77,29 @@ func Sensitivity(a *mat.Dense) float64 {
 // scale sensitivity/ε, the generic ε-DP release of Dwork et al. (Eq. 3).
 // It returns a fresh slice.
 func LaplaceMechanism(exact []float64, sensitivity float64, eps Epsilon, src *rng.Source) ([]float64, error) {
-	if err := eps.Validate(); err != nil {
+	out := make([]float64, len(exact))
+	copy(out, exact)
+	if err := AddLaplaceNoise(out, sensitivity, eps, src); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// AddLaplaceNoise perturbs vals in place with i.i.d. Laplace noise of
+// scale sensitivity/ε — the allocation-free core of LaplaceMechanism for
+// hot answering paths that own their buffers.
+func AddLaplaceNoise(vals []float64, sensitivity float64, eps Epsilon, src *rng.Source) error {
+	if err := eps.Validate(); err != nil {
+		return err
+	}
 	if sensitivity < 0 {
-		return nil, fmt.Errorf("privacy: negative sensitivity %v", sensitivity)
+		return fmt.Errorf("privacy: negative sensitivity %v", sensitivity)
 	}
 	scale := sensitivity / float64(eps)
-	out := make([]float64, len(exact))
-	for i, v := range exact {
-		out[i] = v + src.Laplace(scale)
+	for i := range vals {
+		vals[i] += src.Laplace(scale)
 	}
-	return out, nil
+	return nil
 }
 
 // LaplaceExpectedSSE returns the expected sum of squared errors of the
