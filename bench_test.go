@@ -14,6 +14,7 @@ import (
 
 	"lrm/internal/compress"
 	"lrm/internal/core"
+	"lrm/internal/engine"
 	"lrm/internal/experiments"
 	"lrm/internal/hist"
 	"lrm/internal/mat"
@@ -179,6 +180,38 @@ func BenchmarkAnswerHierarchical(b *testing.B) { benchAnswer(b, mechanism.Hierar
 // BenchmarkAnswerLRM pre-refactor baseline (2026-07-26, Xeon 2.70GHz):
 // 127236 ns/op, 9984 B/op, 4 allocs/op.
 func BenchmarkAnswerLRM(b *testing.B) { benchAnswer(b, mechanism.LRM{}) }
+
+// BenchmarkEngineAnswer measures the engine's cache-hit serving path on
+// the BenchmarkAnswerLRM workload. After the first request the engine
+// must do no decomposition work: the only costs over the bare Prepared
+// are the cache lookup and the answer-batch bookkeeping (the acceptance
+// bar is allocs/op within 2× of BenchmarkAnswerLRM). Baseline
+// (2026-07-26, Xeon 2.70GHz): engine 68071 ns/op, 536 B/op, 2 allocs/op
+// vs bare Prepared 56918 ns/op, 516 B/op, 1 allocs/op.
+func BenchmarkEngineAnswer(b *testing.B) {
+	e, err := engine.New(engine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	w := workload.Range(64, 1024, rng.New(21))
+	x := rng.New(22).UniformVec(1024, 0, 100)
+	req := engine.Request{Workload: w, Histograms: [][]float64{x}, Eps: 0.1, Seed: 23}
+	if _, err := e.Answer(req); err != nil { // warm the cache: one Prepare
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Answer(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := e.Stats(); st.Prepares != 1 {
+		b.Fatalf("cache-hit path ran %d prepares, want 1", st.Prepares)
+	}
+}
 
 // --- Numerical substrate micro-benchmarks ---
 

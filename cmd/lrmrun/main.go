@@ -63,30 +63,9 @@ func main() {
 		return
 	}
 
-	var mech mechanism.Mechanism
-	switch *mechName {
-	case "lrm":
-		mech = mechanism.LRM{}
-	case "lm":
-		mech = mechanism.LaplaceData{}
-	case "nor":
-		mech = mechanism.LaplaceResults{}
-	case "wm":
-		mech = mechanism.Wavelet{}
-	case "hm":
-		mech = mechanism.Hierarchical{}
-	case "mm":
-		mech = mechanism.MatrixMechanism{}
-	case "fpa":
-		mech = mechanism.Fourier{K: *coeffs}
-	case "cm":
-		mech = mechanism.Compressive{Measurements: *coeffs, Seed: *seed}
-	case "nf":
-		mech = mechanism.Histogram{Buckets: *coeffs}
-	case "sf":
-		mech = mechanism.Histogram{Buckets: *coeffs, StructureFirst: true}
-	default:
-		fatalf("unknown mechanism %q", *mechName)
+	mech, err := mechanism.ByName(*mechName, mechanism.Config{Coeffs: *coeffs, Seed: *seed})
+	if err != nil {
+		fatalf("%v", err)
 	}
 	if *project {
 		mech = mechanism.Consistent{Base: mech}

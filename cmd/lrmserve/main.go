@@ -1,0 +1,231 @@
+// Command lrmserve serves ε-differentially-private batch query answering
+// over HTTP, fronting the repository's concurrent answering engine
+// (internal/engine): workload decompositions are prepared once, cached in
+// memory (LRU, singleflight) and optionally on disk, then amortized over
+// every subsequent request.
+//
+// Usage:
+//
+//	lrmserve -addr :8080 -mech lrm -cache-dir /var/cache/lrm
+//
+// Endpoints:
+//
+//	POST /answer
+//	    Request body (JSON):
+//	        {
+//	          "workload":   [[...], ...],   // m×n query matrix W
+//	          "histograms": [[...], ...],   // one or more length-n databases
+//	          "eps":        0.5,            // per-histogram release budget
+//	          "budget":     1.0,            // optional total ε cap for the request
+//	          "seed":       7               // optional: pins the noise stream (debug/audit
+//	                                        // only — omit in production; known seeds are
+//	                                        // subtractable)
+//	        }
+//	    Response body: {"answers": [[...], ...], "fingerprint": "..."}
+//	GET /stats
+//	    Engine counter snapshot (cache hits/misses, prepares, evictions,
+//	    disk traffic, requests, answers) plus the serving mechanism.
+//	GET /healthz
+//	    200 once serving.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: listeners stop,
+// in-flight requests finish, then the engine's worker pool is released.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lrm/internal/core"
+	"lrm/internal/engine"
+	"lrm/internal/mat"
+	"lrm/internal/mechanism"
+	"lrm/internal/privacy"
+	"lrm/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		mechName  = flag.String("mech", "lrm", "serving mechanism: lrm, lm, nor, wm, hm, mm, fpa, cm, nf, sf")
+		coeffs    = flag.Int("coeffs", 0, "fpa: retained Fourier coefficients / cm: measurements / nf, sf: buckets (0 = mechanism default)")
+		cacheDir  = flag.String("cache-dir", "", "directory for persisted decompositions (empty = memory only)")
+		cacheSize = flag.Int("cache-size", 64, "max prepared workloads resident in memory")
+		workers   = flag.Int("workers", 0, "answering worker pool size (0 = GOMAXPROCS)")
+		maxBody   = flag.Int64("max-body", 64<<20, "maximum request body size in bytes")
+	)
+	flag.Parse()
+
+	mech, err := mechanism.ByName(*mechName, mechanism.Config{Coeffs: *coeffs})
+	if err != nil {
+		log.Fatalf("lrmserve: %v", err)
+	}
+	eng, err := engine.New(engine.Options{
+		Mechanism: mech,
+		CacheSize: *cacheSize,
+		CacheDir:  *cacheDir,
+		Workers:   *workers,
+	})
+	if err != nil {
+		log.Fatalf("lrmserve: %v", err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(eng, mech.Name(), *maxBody),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("lrmserve: serving %s on %s (cache %d, dir %q)", mech.Name(), *addr, *cacheSize, *cacheDir)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("lrmserve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("lrmserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("lrmserve: shutdown: %v", err)
+	}
+	eng.Close()
+}
+
+// answerRequest is the POST /answer JSON body.
+type answerRequest struct {
+	Workload   [][]float64 `json:"workload"`
+	Histograms [][]float64 `json:"histograms"`
+	Eps        float64     `json:"eps"`
+	Budget     float64     `json:"budget"`
+	Seed       int64       `json:"seed"`
+}
+
+// answerResponse is the POST /answer JSON response.
+type answerResponse struct {
+	Answers     [][]float64 `json:"answers"`
+	Fingerprint string      `json:"fingerprint"`
+}
+
+// statsResponse is the GET /stats JSON response.
+type statsResponse struct {
+	Mechanism string       `json:"mechanism"`
+	Engine    engine.Stats `json:"engine"`
+}
+
+// newHandler builds the HTTP mux over an engine. Split from main so tests
+// can drive it with httptest.
+func newHandler(eng *engine.Engine, mechName string, maxBody int64) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/answer", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		var req answerRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		wl, err := workloadFromJSON(req.Workload)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// Hash once, up front: the engine reuses it for cache keying (a
+		// fresh per-request matrix would defeat its pointer memo) and the
+		// response echoes it so clients can correlate with /stats.
+		fp := core.Fingerprint(wl.W)
+		answers, err := eng.Answer(engine.Request{
+			Workload:    wl,
+			Histograms:  req.Histograms,
+			Eps:         privacy.Epsilon(req.Eps),
+			Budget:      privacy.Epsilon(req.Budget),
+			Seed:        req.Seed,
+			Fingerprint: fp,
+		})
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, privacy.ErrBudgetExhausted) {
+				status = http.StatusTooManyRequests
+			}
+			httpError(w, status, "%v", err)
+			return
+		}
+		writeJSON(w, answerResponse{Answers: answers, Fingerprint: fp})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		writeJSON(w, statsResponse{Mechanism: mechName, Engine: eng.Stats()})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+// workloadFromJSON validates and converts the wire matrix. The engine
+// caches by content fingerprint, so a fresh matrix per request still
+// shares the cached preparation with every identical predecessor.
+func workloadFromJSON(rows [][]float64) (*workload.Workload, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("workload matrix is empty")
+	}
+	n := len(rows[0])
+	if n == 0 {
+		return nil, errors.New("workload matrix has empty rows")
+	}
+	for i, row := range rows {
+		if len(row) != n {
+			return nil, fmt.Errorf("workload row %d has %d entries, row 0 has %d", i, len(row), n)
+		}
+	}
+	w := &workload.Workload{W: mat.FromRows(rows), Name: "http"}
+	if !w.W.IsFinite() {
+		return nil, errors.New("workload matrix contains non-finite values")
+	}
+	return w, nil
+}
+
+// writeJSON encodes into a buffer before touching the ResponseWriter, so
+// an encode failure (e.g. ±Inf answers, which encoding/json rejects) can
+// still become a 500 instead of a 200 with an empty body.
+func writeJSON(w http.ResponseWriter, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	body = append(body, '\n')
+	if _, err := w.Write(body); err != nil {
+		log.Printf("lrmserve: writing response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	msg := fmt.Sprintf(format, args...)
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": msg}); err != nil {
+		log.Printf("lrmserve: writing error response: %v", err)
+	}
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"lrm/internal/core"
+	"lrm/internal/engine"
+	"lrm/internal/mechanism"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	eng, err := engine.New(engine.Options{
+		Mechanism: mechanism.LRM{Options: core.Options{MaxOuterIter: 5, MaxInnerIter: 2, MaxNesterovIter: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(eng, "LRM", 1<<20))
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	return srv, eng
+}
+
+func postAnswer(t *testing.T, url string, body answerRequest) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/answer", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestServeAnswer(t *testing.T) {
+	srv, eng := newTestServer(t)
+	req := answerRequest{
+		Workload:   [][]float64{{1, 0, 0}, {1, 1, 0}, {1, 1, 1}},
+		Histograms: [][]float64{{10, 20, 30}, {5, 5, 5}},
+		Eps:        0.5,
+		Seed:       3,
+	}
+	resp, body := postAnswer(t, srv.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out answerResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	if len(out.Answers) != 2 || len(out.Answers[0]) != 3 {
+		t.Fatalf("answers shape %v, want 2×3", out.Answers)
+	}
+	if len(out.Fingerprint) != 64 {
+		t.Fatalf("fingerprint %q, want 64 hex chars", out.Fingerprint)
+	}
+	// Identical request: cache hit, bit-identical release at the same seed.
+	resp2, body2 := postAnswer(t, srv.URL, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, body2)
+	}
+	var out2 answerResponse
+	if err := json.Unmarshal(body2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, out2) {
+		t.Fatal("identical seeded requests produced different releases")
+	}
+	if st := eng.Stats(); st.Prepares != 1 || st.Hits < 1 {
+		t.Fatalf("stats = %+v, want one prepare and a cache hit", st)
+	}
+}
+
+func TestServeAnswerErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+	cases := []struct {
+		name   string
+		req    answerRequest
+		status int
+	}{
+		{"empty workload", answerRequest{Histograms: [][]float64{{1}}, Eps: 1}, http.StatusBadRequest},
+		{"ragged workload", answerRequest{Workload: [][]float64{{1, 2}, {3}}, Histograms: [][]float64{{1, 2}}, Eps: 1}, http.StatusBadRequest},
+		{"bad eps", answerRequest{Workload: [][]float64{{1}}, Histograms: [][]float64{{1}}, Eps: 0}, http.StatusBadRequest},
+		{"wrong histogram length", answerRequest{Workload: [][]float64{{1, 2}}, Histograms: [][]float64{{1}}, Eps: 1}, http.StatusBadRequest},
+		{"budget exhausted", answerRequest{
+			Workload:   [][]float64{{1, 0}},
+			Histograms: [][]float64{{1, 2}, {3, 4}, {5, 6}},
+			Eps:        0.5, Budget: 1.0,
+		}, http.StatusTooManyRequests},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postAnswer(t, srv.URL, tc.req)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d (%s), want %d", resp.StatusCode, body, tc.status)
+			}
+			var e map[string]string
+			if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+				t.Fatalf("error body %s not {\"error\": ...}", body)
+			}
+		})
+	}
+	// Unknown fields are rejected (catches schema typos like "epsilon").
+	resp, err := http.Post(srv.URL+"/answer", "application/json",
+		bytes.NewReader([]byte(`{"workload":[[1]],"histograms":[[1]],"epsilon":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServeStatsAndHealth(t *testing.T) {
+	srv, _ := newTestServer(t)
+	postAnswer(t, srv.URL, answerRequest{
+		Workload:   [][]float64{{1, 1}},
+		Histograms: [][]float64{{2, 3}},
+		Eps:        1,
+	})
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mechanism != "LRM" || st.Engine.Requests != 1 || st.Engine.Answers != 1 {
+		t.Fatalf("stats = %+v, want LRM with one answered request", st)
+	}
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hresp.StatusCode)
+	}
+	// Method checks.
+	mresp, err := http.Get(srv.URL + "/answer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /answer status %d, want 405", mresp.StatusCode)
+	}
+}

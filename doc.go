@@ -13,6 +13,11 @@
 // a sparse (CSR + CGLS) strategy-mechanism path for tree/wavelet
 // strategies, rank tuning, and a Rényi-DP accountant.
 //
+// For serving, the Engine (NewEngine) amortizes workload decompositions
+// across concurrent answer traffic — LRU-cached prepared workloads,
+// singleflight preparation, an optional on-disk decomposition cache, and
+// per-request budget accounting — and cmd/lrmserve exposes it over HTTP.
+//
 // The root package is a thin facade over the internal packages; see
 // facade.go for the public API and examples/ for runnable programs.
 package lrm

@@ -4,6 +4,7 @@ import (
 	"lrm/internal/compress"
 	"lrm/internal/core"
 	"lrm/internal/dataset"
+	"lrm/internal/engine"
 	"lrm/internal/hist"
 	"lrm/internal/infer"
 	"lrm/internal/mat"
@@ -259,6 +260,32 @@ type Measurement = metrics.Measurement
 // Evaluate measures a mechanism's average squared error on a workload by
 // Monte Carlo, as in the paper's experiments.
 var Evaluate = metrics.Evaluate
+
+// Engine is the serving layer: a long-lived, goroutine-safe answering
+// service that caches prepared workloads (LRU + singleflight), persists
+// LRM decompositions to a cache directory, and answers histogram batches
+// through a bounded worker pool with per-request budget accounting. See
+// internal/engine for the full semantics and cmd/lrmserve for the HTTP
+// front end.
+type Engine = engine.Engine
+
+// EngineOptions configures NewEngine; the zero value serves the LRM with
+// an in-memory cache.
+type EngineOptions = engine.Options
+
+// EngineRequest is one Engine.Answer call: a workload, histograms, and
+// the release's privacy parameters.
+type EngineRequest = engine.Request
+
+// EngineStats is the counter snapshot returned by Engine.Stats.
+type EngineStats = engine.Stats
+
+// NewEngine starts an answering engine. Close it to stop its workers.
+var NewEngine = engine.New
+
+// WorkloadFingerprint returns the content hash the engine keys caches by
+// (hex SHA-256 over the matrix dimensions and data).
+func WorkloadFingerprint(w *Workload) string { return core.Fingerprint(w.W) }
 
 // AnswerBatch is the one-call happy path: decompose the workload with
 // default options and answer it on x under ε-differential privacy using

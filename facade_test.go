@@ -23,6 +23,36 @@ func TestAnswerBatchEndToEnd(t *testing.T) {
 	}
 }
 
+func TestFacadeEngine(t *testing.T) {
+	e, err := NewEngine(EngineOptions{CacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	x := []float64{5, 10, 15, 20, 25, 30, 35, 40}
+	w := RangeWorkload(4, len(x), NewSource(1))
+	out, err := e.Answer(EngineRequest{
+		Workload:   w,
+		Histograms: [][]float64{x, x},
+		Eps:        0.5,
+		Budget:     1.0,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || len(out[0]) != 4 {
+		t.Fatalf("answers shape %v, want 2×4", out)
+	}
+	st := e.Stats()
+	if st.Prepares != 1 || st.Answers != 2 {
+		t.Fatalf("stats = %+v, want one prepare, two answers", st)
+	}
+	if fp := WorkloadFingerprint(w); len(fp) != 64 {
+		t.Fatalf("fingerprint %q, want 64 hex chars", fp)
+	}
+}
+
 func TestFacadeMatrixHelpers(t *testing.T) {
 	m := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
 	if m.At(1, 0) != 3 {

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"lrm/internal/mat"
+)
+
+// Fingerprint returns a stable content hash of a workload matrix: SHA-256
+// over its dimensions and the IEEE-754 bits of every entry, hex-encoded.
+// Two matrices fingerprint equal iff they have the same shape and
+// bit-identical data, so the fingerprint can key caches of
+// workload-derived state (decompositions, prepared mechanisms) both in
+// memory and on disk — it is filename-safe by construction.
+func Fingerprint(w *mat.Dense) string {
+	h := sha256.New()
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(w.Rows()))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(w.Cols()))
+	h.Write(hdr[:])
+	var chunk [1024]byte
+	data := w.RawData()
+	for len(data) > 0 {
+		n := len(chunk) / 8
+		if n > len(data) {
+			n = len(data)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(chunk[i*8:], math.Float64bits(data[i]))
+		}
+		h.Write(chunk[:n*8])
+		data = data[n:]
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

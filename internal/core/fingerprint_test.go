@@ -1,0 +1,42 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lrm/internal/mat"
+)
+
+func TestFingerprint(t *testing.T) {
+	a := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	b := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("equal matrices fingerprint differently")
+	}
+	c := mat.FromRows([][]float64{{1, 2}, {3, 5}})
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Fatal("different data fingerprints equal")
+	}
+	// Same data, different shape: a 1×4 and a 4×1 must not collide.
+	row := mat.NewFromData(1, 4, []float64{1, 2, 3, 4})
+	col := mat.NewFromData(4, 1, []float64{1, 2, 3, 4})
+	if Fingerprint(row) == Fingerprint(col) {
+		t.Fatal("shape not part of the fingerprint")
+	}
+	fp := Fingerprint(a)
+	if len(fp) != 64 || strings.ToLower(fp) != fp {
+		t.Fatalf("fingerprint %q is not lowercase hex of a SHA-256", fp)
+	}
+	// Larger than the internal chunk buffer: exercise the chunk loop.
+	big := mat.New(40, 40)
+	big.Set(17, 23, 1)
+	big2 := mat.New(40, 40)
+	big2.Set(17, 23, 1)
+	if Fingerprint(big) != Fingerprint(big2) {
+		t.Fatal("chunked fingerprint not deterministic")
+	}
+	big2.Set(39, 39, 1e-300)
+	if Fingerprint(big) == Fingerprint(big2) {
+		t.Fatal("trailing-chunk change not detected")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 
 	"lrm/internal/mat"
 )
@@ -43,14 +44,31 @@ func ReadDecomposition(r io.Reader) (*Decomposition, error) {
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("core: decoding decomposition: %w", err)
 	}
+	// The payload is untrusted (a cache directory a misbehaving writer or
+	// an attacker may have touched): every invariant the rest of the
+	// repository assumes must be re-established here, or a crafted file
+	// poisons every subsequent answer.
 	if wire.BRows < 0 || wire.BCols < 0 || wire.LRows < 0 || wire.LCols < 0 {
 		return nil, fmt.Errorf("core: corrupt decomposition dimensions")
+	}
+	// Oversized dimensions would overflow rows*cols and slip past the
+	// length check below (e.g. 2³²×2³² wraps to 0, matching empty data),
+	// then panic deep inside the answer path instead of failing here.
+	const maxDim = 1 << 24
+	if wire.BRows > maxDim || wire.BCols > maxDim || wire.LRows > maxDim || wire.LCols > maxDim {
+		return nil, fmt.Errorf("core: decomposition dimensions exceed %d", maxDim)
 	}
 	if len(wire.BData) != wire.BRows*wire.BCols || len(wire.LData) != wire.LRows*wire.LCols {
 		return nil, fmt.Errorf("core: corrupt decomposition payload")
 	}
 	if wire.BCols != wire.LRows {
 		return nil, fmt.Errorf("core: decomposition shape mismatch %d vs %d", wire.BCols, wire.LRows)
+	}
+	if wire.Outer < 0 {
+		return nil, fmt.Errorf("core: corrupt decomposition iteration count %d", wire.Outer)
+	}
+	if math.IsNaN(wire.Residual) || math.IsInf(wire.Residual, 0) || wire.Residual < 0 {
+		return nil, fmt.Errorf("core: corrupt decomposition residual %v", wire.Residual)
 	}
 	d := &Decomposition{
 		B:               mat.NewFromData(wire.BRows, wire.BCols, wire.BData),

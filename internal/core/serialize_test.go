@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
+	"math"
 	"testing"
 
 	"lrm/internal/rng"
@@ -55,5 +57,66 @@ func TestReadDecompositionCorrupt(t *testing.T) {
 	trunc := buf.Bytes()[:buf.Len()/2]
 	if _, err := ReadDecomposition(bytes.NewReader(trunc)); err == nil {
 		t.Fatal("truncated stream accepted")
+	}
+}
+
+// craftedWire gob-encodes a hand-built wire payload, as an attacker with
+// write access to a cache directory could.
+func craftedWire(t *testing.T, wire decompositionWire) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+// TestReadDecompositionRejectsCrafted covers payloads that pass the shape
+// checks but violate invariants the answer path depends on: non-finite
+// factors or metadata would poison every subsequent release, and
+// overflowing dimensions would wrap rows*cols past the length check and
+// panic deep inside answering instead of failing at decode time.
+func TestReadDecompositionRejectsCrafted(t *testing.T) {
+	valid := func() decompositionWire {
+		return decompositionWire{
+			BRows: 2, BCols: 2, LRows: 2, LCols: 3,
+			BData:    []float64{1, 0, 0, 1},
+			LData:    []float64{1, 0, 0, 0, 1, 0},
+			Residual: 0.5, Outer: 3, Converged: true,
+		}
+	}
+	if _, err := ReadDecomposition(craftedWire(t, valid())); err != nil {
+		t.Fatalf("valid crafted payload rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*decompositionWire)
+	}{
+		{"NaN in BData", func(w *decompositionWire) { w.BData[3] = math.NaN() }},
+		{"+Inf in BData", func(w *decompositionWire) { w.BData[0] = math.Inf(1) }},
+		{"NaN in LData", func(w *decompositionWire) { w.LData[2] = math.NaN() }},
+		{"-Inf in LData", func(w *decompositionWire) { w.LData[5] = math.Inf(-1) }},
+		{"NaN residual", func(w *decompositionWire) { w.Residual = math.NaN() }},
+		{"Inf residual", func(w *decompositionWire) { w.Residual = math.Inf(1) }},
+		{"negative residual", func(w *decompositionWire) { w.Residual = -1 }},
+		{"negative iterations", func(w *decompositionWire) { w.Outer = -7 }},
+		{"overflowing dimensions", func(w *decompositionWire) {
+			// 2³²·2³² wraps to 0 on 64-bit int, matching empty data.
+			w.BRows, w.BCols = 1<<32, 1<<32
+			w.BData = nil
+		}},
+		{"oversized dimensions", func(w *decompositionWire) {
+			w.BRows = 1 << 25
+			w.BData = nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wire := valid()
+			tc.mutate(&wire)
+			if _, err := ReadDecomposition(craftedWire(t, wire)); err == nil {
+				t.Fatalf("crafted payload (%s) accepted", tc.name)
+			}
+		})
 	}
 }

@@ -1,0 +1,421 @@
+// Package engine is the serving layer of the repository: a long-lived,
+// goroutine-safe answering engine that amortizes the paper's expensive
+// workload decomposition ("optimize once, answer forever") across many
+// private releases and many concurrent clients.
+//
+// The engine keys workloads by a content fingerprint (core.Fingerprint
+// over W's dimensions and data) and keeps an LRU cache of
+// mechanism.Prepared instances. Cache misses are deduplicated with
+// singleflight semantics: N concurrent first requests for one workload
+// run exactly one Prepare, and the other N−1 block on the same result.
+// When a cache directory is configured, LRM decompositions are persisted
+// with core's gob format and restored on the next miss — including by a
+// different process — so the optimization cost is paid once per workload
+// per deployment, not per process.
+//
+// Batches of histograms are answered through a bounded worker pool, and
+// each request may carry its own ε budget; spends are accounted on a
+// per-request privacy.Budget, whose mutex makes concurrent workers unable
+// to jointly overspend.
+package engine
+
+import (
+	"container/list"
+	crand "crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lrm/internal/core"
+	"lrm/internal/mat"
+	"lrm/internal/mechanism"
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// Options configures New. The zero value serves the Low-Rank Mechanism
+// with an in-memory cache sized for a moderate workload mix.
+type Options struct {
+	// Mechanism prepares workloads; nil means mechanism.LRM{}. Only
+	// mechanisms whose Prepared exposes a core.Decomposition (the LRM)
+	// participate in the disk cache; others are cached in memory only.
+	Mechanism mechanism.Mechanism
+	// CacheSize bounds the number of prepared workloads held in memory
+	// (default 64). Least-recently-answered workloads are evicted first.
+	CacheSize int
+	// CacheDir, when non-empty, persists LRM decompositions as
+	// <fingerprint>-<options-digest>.lrmd files and restores them on
+	// later misses. The directory is created if needed and may be shared
+	// across processes (and across differently tuned engines — the
+	// options digest keeps their files apart). Ignored for mechanisms
+	// other than the LRM, which have no serializable decomposition.
+	CacheDir string
+	// Workers bounds the goroutines answering histograms (default
+	// GOMAXPROCS). Batches fan out across the pool; single-histogram
+	// requests are answered on the caller's goroutine.
+	Workers int
+	// PrepareHook, when set, is called with the workload fingerprint each
+	// time an actual Prepare executes (not on cache or disk hits). It
+	// exists so tests can count preparations; leave nil in production.
+	PrepareHook func(fingerprint string)
+}
+
+// Request is one answering call: a workload, one or more histograms to
+// answer over it, and the privacy parameters of the release.
+//
+// The workload and histograms must not be mutated after the call starts:
+// the engine caches state derived from W under a content fingerprint, so
+// in-place mutation would silently serve answers for the old workload.
+type Request struct {
+	// Workload is the query batch W. Requests with bit-identical W share
+	// one cached preparation.
+	Workload *workload.Workload
+	// Histograms are the databases to answer; each must have Domain()
+	// entries. Every histogram is released independently at Eps.
+	Histograms [][]float64
+	// Eps is the per-histogram release budget.
+	Eps privacy.Epsilon
+	// Budget, when non-zero, caps the total ε this request may consume
+	// (sequential composition across its histograms). The request fails
+	// with privacy.ErrBudgetExhausted if len(Histograms)·Eps exceeds it.
+	// Zero means exactly len(Histograms)·Eps, i.e. no extra cap.
+	Budget privacy.Epsilon
+	// Seed, when non-zero, makes the release reproducible: histogram i
+	// draws its noise from a stream seeded with Seed+i regardless of
+	// worker scheduling. This is a debug/audit mode — anyone who knows
+	// the seed can regenerate the noise and subtract it, so a seeded
+	// release carries no privacy against a party that learns the seed.
+	// Zero (the default) draws each histogram's noise from the engine's
+	// unpredictable stream (seeded from crypto/rand at startup, never
+	// repeating), which is the right choice for real private releases.
+	Seed int64
+	// Fingerprint, when non-empty, must be core.Fingerprint(Workload.W);
+	// the engine trusts it and skips both hashing and the pointer memo.
+	// Callers that build a fresh workload per request (the HTTP server)
+	// should set it: their pointers never repeat, so memoizing them
+	// would only pin dead matrices in memory until the memo resets.
+	Fingerprint string
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	// Requests and Answers count Answer calls and histograms answered.
+	Requests, Answers uint64
+	// Hits and Misses count in-memory cache lookups; Coalesced counts
+	// requests that piggybacked on another request's in-flight Prepare.
+	Hits, Misses, Coalesced uint64
+	// Prepares counts actual decomposition runs; Evictions LRU evictions.
+	Prepares, Evictions uint64
+	// DiskHits and DiskWrites count decompositions restored from and
+	// persisted to the cache directory.
+	DiskHits, DiskWrites uint64
+	// Cached is the number of prepared workloads currently resident.
+	Cached int
+}
+
+// Engine is a goroutine-safe answering service. Create with New, release
+// with Close.
+type Engine struct {
+	mech     mechanism.Mechanism
+	dir      string
+	optTag   string  // digest of the LRM options, part of cache filenames
+	gamma    float64 // the LRM's configured relaxation, for disk-load validation
+	capacity int
+	hook     func(string)
+
+	// Prepared-workload cache and singleflight table.
+	mu     sync.Mutex
+	lru    *list.List // of *cacheEntry, most recent at front
+	byFP   map[string]*list.Element
+	flight map[string]*flightCall
+
+	// Pointer-identity fingerprint memo: hashing a large W costs more
+	// than answering it, so repeat calls with the same *mat.Dense skip
+	// the hash. Bounded by reset; entries are only a pointer and a hash.
+	memoMu sync.RWMutex
+	memo   map[*mat.Dense]string
+
+	// Bounded worker pool. jobs is unbuffered: a submit hands the job
+	// directly to a worker or, after Close, runs it on the caller.
+	jobs    chan func()
+	closed  chan struct{}
+	once    sync.Once
+	workers sync.WaitGroup
+
+	// Pooled noise sources: Answer reseeds one per histogram instead of
+	// allocating, keeping the cache-hit path at two allocations.
+	sources sync.Pool
+
+	// Unseeded requests draw per-histogram seeds from a secret random
+	// base mixed with a unique counter, so their noise is unpredictable
+	// and never repeats across requests.
+	seedBase uint64
+	seedCtr  atomic.Uint64
+
+	requests, answers    atomic.Uint64
+	hits, misses         atomic.Uint64
+	coalesced, prepares  atomic.Uint64
+	evictions            atomic.Uint64
+	diskHits, diskWrites atomic.Uint64
+}
+
+// memoLimit bounds the fingerprint memo; past it the memo is reset (the
+// cost is only re-hashing on the next call per live workload). The map's
+// pointer keys strongly retain their matrices, so the bound is kept small
+// — callers that churn through fresh workload allocations should pass
+// Request.Fingerprint and bypass the memo entirely.
+const memoLimit = 256
+
+// New starts an engine. The caller should Close it to stop the worker
+// pool; answering after Close degrades to caller-runs rather than failing.
+func New(opts Options) (*Engine, error) {
+	e := &Engine{
+		mech:     opts.Mechanism,
+		dir:      opts.CacheDir,
+		capacity: opts.CacheSize,
+		hook:     opts.PrepareHook,
+		lru:      list.New(),
+		byFP:     make(map[string]*list.Element),
+		flight:   make(map[string]*flightCall),
+		memo:     make(map[*mat.Dense]string),
+		jobs:     make(chan func()),
+		closed:   make(chan struct{}),
+	}
+	if e.mech == nil {
+		e.mech = mechanism.LRM{}
+	}
+	if e.capacity <= 0 {
+		e.capacity = 64
+	}
+	// The disk cache stores LRM decompositions; for any other mechanism
+	// a cached .lrmd would be answered by the wrong mechanism entirely,
+	// so the directory is ignored unless the engine serves the LRM. The
+	// filename carries a digest of the LRM options so engines tuned
+	// differently (rank, γ, …) sharing a directory don't serve each
+	// other's factorizations.
+	if l, ok := e.mech.(mechanism.LRM); ok && e.dir != "" {
+		if err := os.MkdirAll(e.dir, 0o755); err != nil {
+			return nil, fmt.Errorf("engine: cache dir: %w", err)
+		}
+		sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", l.Options)))
+		e.optTag = hex.EncodeToString(sum[:4])
+		e.gamma = l.Options.Gamma
+	} else {
+		e.dir = ""
+	}
+	var seed [8]byte
+	if _, err := crand.Read(seed[:]); err != nil {
+		return nil, fmt.Errorf("engine: seeding: %w", err)
+	}
+	e.seedBase = binary.LittleEndian.Uint64(seed[:])
+	e.sources.New = func() any { return rng.New(0) }
+	n := opts.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.workers.Add(n)
+	for i := 0; i < n; i++ {
+		go e.worker()
+	}
+	return e, nil
+}
+
+func (e *Engine) worker() {
+	defer e.workers.Done()
+	for {
+		select {
+		case f := <-e.jobs:
+			f()
+		case <-e.closed:
+			// Drain anything a racing submit already handed over.
+			for {
+				select {
+				case f := <-e.jobs:
+					f()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// submit runs f on the pool, or on the caller once the engine is closed
+// (shutdown must not strand in-flight requests).
+func (e *Engine) submit(f func()) {
+	select {
+	case e.jobs <- f:
+	case <-e.closed:
+		f()
+	}
+}
+
+// Close stops the worker pool and waits for workers to exit. In-flight
+// and subsequent Answer calls still complete, on their caller's
+// goroutine. Close is idempotent.
+func (e *Engine) Close() {
+	e.once.Do(func() { close(e.closed) })
+	e.workers.Wait()
+}
+
+// Answer releases private answers for every histogram in the request and
+// returns them in request order. It is safe to call from any number of
+// goroutines; identical workloads share one cached preparation.
+func (e *Engine) Answer(req Request) ([][]float64, error) {
+	if req.Workload == nil || req.Workload.W == nil {
+		return nil, errors.New("engine: nil workload")
+	}
+	if len(req.Histograms) == 0 {
+		return nil, errors.New("engine: no histograms")
+	}
+	if err := req.Eps.Validate(); err != nil {
+		return nil, err
+	}
+	n := req.Workload.Domain()
+	for i, x := range req.Histograms {
+		if len(x) != n {
+			return nil, fmt.Errorf("engine: histogram %d has %d entries, domain is %d", i, len(x), n)
+		}
+	}
+	e.requests.Add(1)
+
+	fp := req.Fingerprint
+	if fp == "" {
+		fp = e.fingerprint(req.Workload.W)
+	}
+	p, err := e.prepared(fp, req.Workload)
+	if err != nil {
+		return nil, err
+	}
+
+	var budget *privacy.Budget
+	if req.Budget != 0 {
+		if budget, err = privacy.NewBudget(req.Budget); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([][]float64, len(req.Histograms))
+	if len(req.Histograms) == 1 {
+		// Single release: answer inline. The pool buys nothing here, and
+		// keeping the fan-out closures out of this function keeps the
+		// cache-hit path at two allocations (the result slices).
+		a, err := e.answerOne(p, req.Histograms[0], req.Eps, budget, e.seedFor(req.Seed, 0))
+		if err != nil {
+			return nil, err
+		}
+		out[0] = a
+		e.answers.Add(1)
+		return out, nil
+	}
+	if err := e.answerBatch(p, req, budget, out); err != nil {
+		return nil, err
+	}
+	e.answers.Add(uint64(len(req.Histograms)))
+	return out, nil
+}
+
+// answerBatch fans a multi-histogram request across the worker pool,
+// filling out in request order.
+func (e *Engine) answerBatch(p mechanism.Prepared, req Request, budget *privacy.Budget, out [][]float64) error {
+	errs := make([]error, len(req.Histograms))
+	var wg sync.WaitGroup
+	for i := range req.Histograms {
+		i := i
+		wg.Add(1)
+		seed := e.seedFor(req.Seed, i)
+		e.submit(func() {
+			defer wg.Done()
+			out[i], errs[i] = e.answerOne(p, req.Histograms[i], req.Eps, budget, seed)
+		})
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seedFor resolves the noise seed for histogram i of a request: reqSeed+i
+// when the caller pinned a seed, otherwise a fresh unpredictable value.
+func (e *Engine) seedFor(reqSeed int64, i int) int64 {
+	if reqSeed != 0 {
+		return reqSeed + int64(i)
+	}
+	return e.nextSeed()
+}
+
+// nextSeed returns an unpredictable, never-repeating seed: splitmix64
+// over a crypto/rand base and a unique counter. The mixer guarantees the
+// counter's structure doesn't survive into the output; unpredictability
+// rests on the secret base.
+func (e *Engine) nextSeed() int64 {
+	z := e.seedBase + e.seedCtr.Add(1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+func (e *Engine) answerOne(p mechanism.Prepared, x []float64, eps privacy.Epsilon, budget *privacy.Budget, seed int64) ([]float64, error) {
+	if budget != nil {
+		if err := budget.Spend(eps); err != nil {
+			return nil, err
+		}
+	}
+	src := e.sources.Get().(*rng.Source)
+	src.Reseed(seed)
+	out, err := p.Answer(x, eps, src)
+	e.sources.Put(src)
+	return out, err
+}
+
+// fingerprint returns core.Fingerprint(w), memoized by pointer identity
+// so the steady-state answer path never re-hashes a workload it has
+// already seen. Callers guarantee workloads are not mutated (see Request).
+func (e *Engine) fingerprint(w *mat.Dense) string {
+	e.memoMu.RLock()
+	fp, ok := e.memo[w]
+	e.memoMu.RUnlock()
+	if ok {
+		return fp
+	}
+	fp = core.Fingerprint(w)
+	e.memoMu.Lock()
+	if len(e.memo) >= memoLimit {
+		e.memo = make(map[*mat.Dense]string)
+	}
+	e.memo[w] = fp
+	e.memoMu.Unlock()
+	return fp
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	cached := e.lru.Len()
+	e.mu.Unlock()
+	return Stats{
+		Requests:   e.requests.Load(),
+		Answers:    e.answers.Load(),
+		Hits:       e.hits.Load(),
+		Misses:     e.misses.Load(),
+		Coalesced:  e.coalesced.Load(),
+		Prepares:   e.prepares.Load(),
+		Evictions:  e.evictions.Load(),
+		DiskHits:   e.diskHits.Load(),
+		DiskWrites: e.diskWrites.Load(),
+		Cached:     cached,
+	}
+}

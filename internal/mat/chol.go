@@ -147,20 +147,29 @@ func SolveRightSPD(b, a *Dense) (*Dense, error) {
 
 // SolveRightSPDTo is SolveRightSPD writing into dst (shaped like b) with
 // caller-provided n×n Cholesky factor storage lwork, performing no
-// allocation. dst may alias b (rows are solved in place); lwork must not
-// alias a.
+// allocation. dst may be b itself (rows are solved in place), but a dst
+// that only partially overlaps b's storage panics — the skipped copy
+// would read half-corrupted rows. lwork must not overlap any other
+// argument (the factorization would scribble over it mid-solve).
 func SolveRightSPDTo(dst, b, a, lwork *Dense) error {
 	if b.cols != a.rows {
 		return errors.New("mat: SolveRightSPDTo dimension mismatch")
 	}
 	checkShape("SolveRightSPDTo", dst, b.rows, b.cols)
+	if sharesStorage(lwork, a) || sharesStorage(lwork, b) || sharesStorage(lwork, dst) {
+		panic("mat: SolveRightSPDTo lwork overlaps an operand")
+	}
+	inPlace := dst == b || (len(dst.data) > 0 && len(b.data) > 0 && &dst.data[0] == &b.data[0])
+	if !inPlace && sharesStorage(dst, b) {
+		panic("mat: SolveRightSPDTo destination partially overlaps b")
+	}
 	if err := factorCholeskyInto(lwork, a); err != nil {
 		return err
 	}
 	c := Cholesky{l: lwork}
 	for i := 0; i < b.rows; i++ {
 		row := dst.RawRow(i)
-		if !sharesStorage(dst, b) {
+		if !inPlace {
 			copy(row, b.RawRow(i))
 		}
 		c.solveVecInPlace(row)

@@ -295,6 +295,39 @@ func TestSolveRightSPDTo(t *testing.T) {
 	if !want.Equal(inPlace) {
 		t.Error("SolveRightSPDTo in place disagrees")
 	}
+	// Partial overlap is neither a fresh dst nor an in-place solve: the
+	// skipped copy would read half-corrupted rows, so it must panic
+	// rather than return garbage.
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	backing := make([]float64, 6*8)
+	full := NewFromData(5, 8, backing[:5*8])
+	shifted := NewFromData(5, 8, backing[8:])
+	mustPanic("SolveRightSPDTo partial overlap", func() {
+		_ = SolveRightSPDTo(shifted, full, spd, New(8, 8))
+	})
+	mustPanic("SolveRightSPDTo lwork aliases a", func() {
+		_ = SolveRightSPDTo(New(5, 8), b, spd, spd)
+	})
+	// lwork carved from the same workspace backing as b (or dst) — the
+	// factorization would scribble over rows mid-solve.
+	shared := make([]float64, 104)
+	bAlias := NewFromData(5, 8, shared[:40])
+	copy(bAlias.RawData(), b.RawData())
+	mustPanic("SolveRightSPDTo lwork overlaps b", func() {
+		_ = SolveRightSPDTo(New(5, 8), bAlias, spd, NewFromData(8, 8, shared[20:84]))
+	})
+	dstShared := make([]float64, 104)
+	mustPanic("SolveRightSPDTo lwork overlaps dst", func() {
+		_ = SolveRightSPDTo(NewFromData(5, 8, dstShared[:40]), b, spd, NewFromData(8, 8, dstShared[20:84]))
+	})
 }
 
 // TestLambdaMaxSymBuf checks the buffered power iteration matches the

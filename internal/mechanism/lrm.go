@@ -36,6 +36,18 @@ func (l LRM) Prepare(w *workload.Workload) (Prepared, error) {
 	return &lrmPrepared{m: m}, nil
 }
 
+// PreparedFromDecomposition wraps an already-computed decomposition (for
+// example one restored from a cache file via core.ReadDecomposition) as a
+// Prepared LRM, skipping the ALM optimization entirely. This is the
+// "optimize once and answer forever" entry point serving layers use.
+func PreparedFromDecomposition(d *core.Decomposition) (Prepared, error) {
+	m, err := core.NewMechanism(d)
+	if err != nil {
+		return nil, err
+	}
+	return &lrmPrepared{m: m}, nil
+}
+
 type lrmPrepared struct {
 	m *core.Mechanism
 }

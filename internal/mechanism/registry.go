@@ -1,0 +1,54 @@
+package mechanism
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config carries the cross-mechanism tuning knobs a caller resolving a
+// mechanism by name can set. The zero value requests every mechanism's
+// default configuration.
+type Config struct {
+	// Coeffs is the synopsis size where one applies: retained Fourier
+	// coefficients (FPA), measurements (CM), or buckets (NF/SF). Zero
+	// uses the mechanism default.
+	Coeffs int
+	// Seed seeds mechanisms that randomize their preparation (CM).
+	Seed int64
+}
+
+// builders maps the short CLI/server names (the paper's figure labels,
+// lowercased) to constructors.
+var builders = map[string]func(Config) Mechanism{
+	"lrm": func(Config) Mechanism { return LRM{} },
+	"lm":  func(Config) Mechanism { return LaplaceData{} },
+	"nor": func(Config) Mechanism { return LaplaceResults{} },
+	"wm":  func(Config) Mechanism { return Wavelet{} },
+	"hm":  func(Config) Mechanism { return Hierarchical{} },
+	"mm":  func(Config) Mechanism { return MatrixMechanism{} },
+	"fpa": func(c Config) Mechanism { return Fourier{K: c.Coeffs} },
+	"cm":  func(c Config) Mechanism { return Compressive{Measurements: c.Coeffs, Seed: c.Seed} },
+	"nf":  func(c Config) Mechanism { return Histogram{Buckets: c.Coeffs} },
+	"sf":  func(c Config) Mechanism { return Histogram{Buckets: c.Coeffs, StructureFirst: true} },
+}
+
+// ByName resolves a mechanism from its short name (lrm, lm, nor, wm, hm,
+// mm, fpa, cm, nf, sf), so CLIs and servers share one registry instead of
+// each hand-rolling the switch.
+func ByName(name string, cfg Config) (Mechanism, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("mechanism: unknown mechanism %q (have %v)", name, Names())
+	}
+	return b(cfg), nil
+}
+
+// Names returns the registered mechanism names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for name := range builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,59 @@
+package mechanism
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	want := map[string]string{
+		"lrm": "LRM", "lm": "LM", "nor": "NOR", "wm": "WM", "hm": "HM",
+		"mm": "MM", "fpa": "FPA", "cm": "CM", "nf": "NF", "sf": "SF",
+	}
+	for short, label := range want {
+		m, err := ByName(short, Config{})
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", short, err)
+		}
+		if m.Name() != label {
+			t.Fatalf("ByName(%q).Name() = %q, want %q", short, m.Name(), label)
+		}
+	}
+	if _, err := ByName("nope", Config{}); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestByNameConfig(t *testing.T) {
+	m, err := ByName("fpa", Config{Coeffs: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.(Fourier).K != 7 {
+		t.Fatalf("fpa coeffs not applied: %+v", m)
+	}
+	m, err = ByName("cm", Config{Coeffs: 9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := m.(Compressive)
+	if cm.Measurements != 9 || cm.Seed != 3 {
+		t.Fatalf("cm config not applied: %+v", cm)
+	}
+	m, err = ByName("sf", Config{Coeffs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := m.(Histogram)
+	if !sf.StructureFirst || sf.Buckets != 4 {
+		t.Fatalf("sf config not applied: %+v", sf)
+	}
+}
+
+func TestNames(t *testing.T) {
+	got := Names()
+	want := []string{"cm", "fpa", "hm", "lm", "lrm", "mm", "nf", "nor", "sf", "wm"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,88 @@
+package privacy
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestBudgetConcurrentSpend hammers Spend from many goroutines and checks
+// the privacy invariant: the sum of successful spends never exceeds the
+// total. Run with -race this also pins the mutex against regressions to
+// the old unsynchronized check-then-add.
+func TestBudgetConcurrentSpend(t *testing.T) {
+	const (
+		goroutines = 64
+		perG       = 50
+		eps        = Epsilon(0.05)
+		total      = Epsilon(1.0)
+	)
+	b, err := NewBudget(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	granted := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := b.Spend(eps); err == nil {
+					granted[g]++
+				}
+				b.Remaining() // concurrent reader
+				b.Spent()
+			}
+		}(g)
+	}
+	wg.Wait()
+	totalGranted := 0
+	for _, n := range granted {
+		totalGranted += n
+	}
+	// 1.0 / 0.05 = 20 spends fit exactly; anything more is an overspend.
+	if totalGranted != 20 {
+		t.Fatalf("granted %d spends of %v against total %v, want exactly 20",
+			totalGranted, float64(eps), float64(total))
+	}
+	if spent := float64(b.Spent()); spent > float64(total)*(1+budgetSlack) {
+		t.Fatalf("spent %v exceeds total %v", spent, float64(total))
+	}
+}
+
+// TestBudgetLargeTotalBoundary: with the old absolute slack of 1e-12,
+// accumulated rounding error on a large total rejected the legitimate
+// final spend. The relative slack must admit it.
+func TestBudgetLargeTotalBoundary(t *testing.T) {
+	const total = Epsilon(1e9)
+	b, err := NewBudget(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := total / 7 // not exactly representable; seven adds accumulate error
+	for i := 0; i < 7; i++ {
+		if err := b.Spend(part); err != nil {
+			t.Fatalf("spend %d/7 of large total rejected: %v", i+1, err)
+		}
+	}
+	if err := b.Spend(total / 1e6); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("overspend after exhaustion = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestBudgetTinyTotalBoundary: with the old absolute slack of 1e-12, a
+// budget of 1e-10 admitted a genuine 0.5% overspend because the slack
+// dwarfed the budget. The relative slack must reject it.
+func TestBudgetTinyTotalBoundary(t *testing.T) {
+	b, err := NewBudget(1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Spend(1e-10); err != nil {
+		t.Fatalf("spending the exact tiny total rejected: %v", err)
+	}
+	if err := b.Spend(5e-13); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("real overspend on tiny total = %v, want ErrBudgetExhausted", err)
+	}
+}

@@ -12,6 +12,7 @@ package privacy
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"lrm/internal/mat"
 	"lrm/internal/rng"
@@ -34,10 +35,26 @@ func (e Epsilon) Validate() error {
 
 // Budget tracks sequential composition: spends accumulate and may not
 // exceed the total. The zero value is an empty budget.
+//
+// A Budget is safe for concurrent use: Spend performs its check-then-add
+// under a mutex, so the sum of all successful spends never exceeds the
+// total (up to budgetSlack, below) no matter how many goroutines spend
+// concurrently. This is a privacy guarantee, not just data-race hygiene —
+// an unsynchronized check-then-add would let two racing spenders both
+// pass the check and jointly exceed ε.
 type Budget struct {
+	mu    sync.Mutex
 	total Epsilon
 	spent Epsilon
 }
+
+// budgetSlack is the relative tolerance Spend allows for floating-point
+// accumulation error: a spend is admitted while spent+eps ≤ total·(1+slack).
+// The slack must scale with the total — an absolute slack both rejects
+// legitimate final spends on large totals (where rounding error across
+// many additions exceeds any fixed constant) and admits real overspends
+// near tiny ones (where a fixed constant dwarfs the budget itself).
+const budgetSlack = 1e-12
 
 // NewBudget returns a budget with the given total ε.
 func NewBudget(total Epsilon) (*Budget, error) {
@@ -47,12 +64,15 @@ func NewBudget(total Epsilon) (*Budget, error) {
 	return &Budget{total: total}, nil
 }
 
-// Spend consumes eps from the budget, or returns ErrBudgetExhausted.
+// Spend consumes eps from the budget, or returns ErrBudgetExhausted. It is
+// atomic: either the full eps is reserved or nothing is.
 func (b *Budget) Spend(eps Epsilon) error {
 	if err := eps.Validate(); err != nil {
 		return err
 	}
-	if b.spent+eps > b.total+1e-12 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if float64(b.spent)+float64(eps) > float64(b.total)*(1+budgetSlack) {
 		return fmt.Errorf("%w: spent %v + requested %v > total %v",
 			ErrBudgetExhausted, float64(b.spent), float64(eps), float64(b.total))
 	}
@@ -61,7 +81,18 @@ func (b *Budget) Spend(eps Epsilon) error {
 }
 
 // Remaining returns the unspent budget.
-func (b *Budget) Remaining() Epsilon { return b.total - b.spent }
+func (b *Budget) Remaining() Epsilon {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total - b.spent
+}
+
+// Spent returns the budget consumed so far.
+func (b *Budget) Spent() Epsilon {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spent
+}
 
 // Total returns the full budget.
 func (b *Budget) Total() Epsilon { return b.total }

@@ -29,6 +29,13 @@ func (s *Source) Split() *Source {
 	return New(s.r.Int63())
 }
 
+// Reseed resets s to the stream New(seed) would produce, letting pooled
+// sources be reused without allocating (hot answering paths reseed a
+// pooled Source per request instead of constructing one).
+func (s *Source) Reseed(seed int64) {
+	s.r.Seed(seed)
+}
+
 // Float64 returns a uniform value in [0,1).
 func (s *Source) Float64() float64 { return s.r.Float64() }
 
