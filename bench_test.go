@@ -12,9 +12,9 @@ package lrm
 import (
 	"testing"
 
+	"lrm/internal/benchsuite"
 	"lrm/internal/compress"
 	"lrm/internal/core"
-	"lrm/internal/engine"
 	"lrm/internal/experiments"
 	"lrm/internal/hist"
 	"lrm/internal/mat"
@@ -73,7 +73,7 @@ func BenchmarkFigure9(b *testing.B) { benchFigure(b, 9) }
 // --- Ablation benches (design choices called out in DESIGN.md) ---
 
 func ablationWorkload() *workload.Workload {
-	return workload.Related(64, 128, 8, rng.New(5))
+	return benchsuite.DecomposeWorkload()
 }
 
 func benchDecompose(b *testing.B, opts core.Options) {
@@ -189,14 +189,11 @@ func BenchmarkAnswerLRM(b *testing.B) { benchAnswer(b, mechanism.LRM{}) }
 // (2026-07-26, Xeon 2.70GHz): engine 68071 ns/op, 536 B/op, 2 allocs/op
 // vs bare Prepared 56918 ns/op, 516 B/op, 1 allocs/op.
 func BenchmarkEngineAnswer(b *testing.B) {
-	e, err := engine.New(engine.Options{})
+	e, req, err := benchsuite.EngineAnswerSetup()
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer e.Close()
-	w := workload.Range(64, 1024, rng.New(21))
-	x := rng.New(22).UniformVec(1024, 0, 100)
-	req := engine.Request{Workload: w, Histograms: [][]float64{x}, Eps: 0.1, Seed: 23}
 	if _, err := e.Answer(req); err != nil { // warm the cache: one Prepare
 		b.Fatal(err)
 	}
@@ -216,19 +213,39 @@ func BenchmarkEngineAnswer(b *testing.B) {
 // --- Numerical substrate micro-benchmarks ---
 
 // BenchmarkMatMul256 measures the workspace product kernel the hot loops
-// use: MulTo into a reused destination, zero allocations per product.
-// Pre-refactor baseline (allocating mat.Mul, 2026-07-26, Xeon 2.70GHz):
-// 6416383 ns/op, 524384 B/op, 3 allocs/op.
-func BenchmarkMatMul256(b *testing.B) {
-	src := rng.New(31)
-	x := mat.NewFromData(256, 256, src.NormalVec(256*256, 1))
-	y := mat.NewFromData(256, 256, src.NormalVec(256*256, 1))
-	dst := mat.New(256, 256)
+// use: MulTo into a reused destination. Baselines on this repo's Xeon
+// 2.70GHz container: allocating mat.Mul 6.42 ms (pre-PR-1), row-streaming
+// MulTo 5.33 ms (pre-PR-3), cache-blocked packed GEMM 1.04 ms.
+func BenchmarkMatMul256(b *testing.B) { benchMatMulN(b, 256) }
+
+// benchMatMulN measures the square MulTo product at size n into a reused
+// destination, the shape the GEMM dispatcher is tuned for. Operands come
+// from internal/benchsuite so cmd/lrmbench's -json trajectory measures
+// the identical product.
+func benchMatMulN(b *testing.B, n int) {
+	b.Helper()
+	x, y, dst := benchsuite.MatMulOperands(n)
 	b.ReportAllocs()
+	b.SetBytes(int64(8 * n * n * 3))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mat.MulTo(dst, x, y)
 	}
+}
+
+// BenchmarkMatMul512 is the tentpole kernel size for the cache-blocked
+// packed GEMM: big enough that B (2 MB) no longer fits L2, so the
+// row-streaming kernel pays the full re-fetch cost per output row.
+func BenchmarkMatMul512(b *testing.B) { benchMatMulN(b, 512) }
+
+// BenchmarkMatMul1024 stresses the panel packing at L3 scale.
+func BenchmarkMatMul1024(b *testing.B) { benchMatMulN(b, 1024) }
+
+// BenchmarkDecomposeBench is the end-to-end ALM wall-time trajectory
+// benchmark: the default Decompose on the ablation workload, the number
+// every perf PR must not regress (see cmd/lrmbench -json).
+func BenchmarkDecomposeBench(b *testing.B) {
+	benchDecompose(b, core.Options{})
 }
 
 // BenchmarkMatMul256Alloc keeps the old allocating-path measurement for

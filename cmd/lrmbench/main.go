@@ -6,6 +6,7 @@
 //	lrmbench -fig all -scale paper        # the full evaluation
 //	lrmbench -fig 5 -dataset nettrace -csv out.csv
 //	lrmbench -params                      # print Table 1
+//	lrmbench -json BENCH_ci.json          # perf-trajectory artifact
 //
 // Each run prints the same rows/series the paper plots: average squared
 // error per (mechanism, swept parameter value, ε), plus strategy
@@ -31,10 +32,18 @@ func main() {
 		ds       = flag.String("dataset", "", "restrict to one dataset: searchlogs, nettrace, socialnetwork")
 		csvPath  = flag.String("csv", "", "also write rows as CSV to this file")
 		params   = flag.Bool("params", false, "print Table 1 (the parameter grid) and exit")
+		jsonOut  = flag.String("json", "", "run the perf-trajectory suite and write BENCH JSON to this path, then exit")
 		ablation = flag.Bool("ablation", false, "run the optimizer ablation suite instead of figures")
 		synopses = flag.Bool("synopses", false, "run the extension table: data-synopsis mechanisms (FPA/CM/NF/SF) vs LM/LRM")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut); err != nil {
+			fatalf("bench json: %v", err)
+		}
+		return
+	}
 
 	cfg := experiments.Config{Trials: *trials, Seed: *seed, Dataset: *ds}
 	switch *scale {

@@ -1,0 +1,127 @@
+package main
+
+// The -json mode is the perf-trajectory artifact: a fixed suite of
+// micro- and end-to-end benchmarks (the dense GEMM sizes the kernel
+// layer is tuned for, the full ALM decomposition, and the engine's
+// cache-hit answering path) run through testing.Benchmark and written as
+// one JSON document. CI runs it on every push and uploads the
+// BENCH_*.json, so kernel regressions show up as a broken trajectory
+// rather than an anecdote; perf PRs commit a snapshot alongside the
+// README numbers. Operands come from internal/benchsuite — the same
+// definitions the root package's go benchmarks use — so the trajectory
+// measures exactly the paths named in it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"lrm/internal/benchsuite"
+	"lrm/internal/core"
+	"lrm/internal/mat"
+)
+
+// benchResult is one suite entry of the trajectory document.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	GFLOPS      float64 `json:"gflops,omitempty"`
+}
+
+// benchDocument is the BENCH_*.json schema.
+type benchDocument struct {
+	Generated  time.Time     `json:"generated"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// record converts a testing.BenchmarkResult into a trajectory entry.
+func record(name string, res testing.BenchmarkResult, flops float64) benchResult {
+	out := benchResult{
+		Name:        name,
+		Iterations:  res.N,
+		NsPerOp:     res.NsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+	if flops > 0 && res.NsPerOp() > 0 {
+		out.GFLOPS = flops / float64(res.NsPerOp())
+	}
+	return out
+}
+
+// writeBenchJSON runs the perf suite and writes the trajectory document
+// to path (conventionally BENCH_<label>.json at the repository root).
+func writeBenchJSON(path string) error {
+	doc := benchDocument{
+		Generated:  time.Now().UTC(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	for _, n := range benchsuite.MatMulSizes {
+		x, y, dst := benchsuite.MatMulOperands(n)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mat.MulTo(dst, x, y)
+			}
+		})
+		flops := 2 * float64(n) * float64(n) * float64(n)
+		doc.Benchmarks = append(doc.Benchmarks, record(fmt.Sprintf("MatMul%d", n), res, flops))
+	}
+
+	// End-to-end ALM decomposition on the ablation workload
+	// (BenchmarkDecomposeBench in the test suite).
+	w := benchsuite.DecomposeWorkload()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Decompose(w.W, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	doc.Benchmarks = append(doc.Benchmarks, record("DecomposeBench", res, 0))
+
+	// Engine cache-hit answering path (BenchmarkEngineAnswer).
+	e, req, err := benchsuite.EngineAnswerSetup()
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	defer e.Close()
+	if _, err := e.Answer(req); err != nil {
+		return fmt.Errorf("warming engine: %w", err)
+	}
+	res = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Answer(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	doc.Benchmarks = append(doc.Benchmarks, record("EngineAnswer", res, 0))
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", path, len(doc.Benchmarks))
+	return nil
+}

@@ -60,7 +60,7 @@ func main() {
 		coeffs    = flag.Int("coeffs", 0, "fpa: retained Fourier coefficients / cm: measurements / nf, sf: buckets (0 = mechanism default)")
 		cacheDir  = flag.String("cache-dir", "", "directory for persisted decompositions (empty = memory only)")
 		cacheSize = flag.Int("cache-size", 64, "max prepared workloads resident in memory")
-		workers   = flag.Int("workers", 0, "answering worker pool size (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "max concurrent chunks per batch request on the shared worker pool (0 = GOMAXPROCS)")
 		maxBody   = flag.Int64("max-body", 64<<20, "maximum request body size in bytes")
 	)
 	flag.Parse()

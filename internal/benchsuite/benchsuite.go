@@ -1,0 +1,45 @@
+// Package benchsuite pins the operand definitions shared by the root
+// package's go-test benchmarks (BenchmarkMatMulN, BenchmarkDecomposeBench,
+// BenchmarkEngineAnswer) and cmd/lrmbench's -json perf-trajectory suite.
+// Both front ends construct their workloads here, so the committed
+// BENCH_*.json trajectory always measures exactly the code path of the
+// identically named go benchmark — they cannot silently diverge.
+package benchsuite
+
+import (
+	"lrm/internal/engine"
+	"lrm/internal/mat"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// MatMulSizes are the square GEMM sizes the perf trajectory tracks.
+var MatMulSizes = []int{256, 512, 1024}
+
+// MatMulOperands returns the canonical n×n operands and a reusable
+// destination for the BenchmarkMatMulN family.
+func MatMulOperands(n int) (x, y, dst *mat.Dense) {
+	src := rng.New(31)
+	x = mat.NewFromData(n, n, src.NormalVec(n*n, 1))
+	y = mat.NewFromData(n, n, src.NormalVec(n*n, 1))
+	return x, y, mat.New(n, n)
+}
+
+// DecomposeWorkload returns the ablation workload BenchmarkDecomposeBench
+// (and the ablation benches) decompose end to end.
+func DecomposeWorkload() *workload.Workload {
+	return workload.Related(64, 128, 8, rng.New(5))
+}
+
+// EngineAnswerSetup builds the engine and cache-hit request of
+// BenchmarkEngineAnswer. The caller owns the engine (Close it) and must
+// issue the request once to warm the cache before timing.
+func EngineAnswerSetup() (*engine.Engine, engine.Request, error) {
+	e, err := engine.New(engine.Options{})
+	if err != nil {
+		return nil, engine.Request{}, err
+	}
+	w := workload.Range(64, 1024, rng.New(21))
+	x := rng.New(22).UniformVec(1024, 0, 100)
+	return e, engine.Request{Workload: w, Histograms: [][]float64{x}, Eps: 0.1, Seed: 23}, nil
+}

@@ -65,6 +65,14 @@ func OMP(a *mat.Dense, y []float64, maxAtoms int, tol float64) (*OMPResult, erro
 	copy(res, y)
 	selected := make([]int, 0, maxAtoms)
 	inSupport := make([]bool, n)
+	// Loop-carried scratch: the correlation vector, the fitted
+	// measurements, the support submatrix backing and a reusable header
+	// over it, so each greedy iteration allocates only inside the least-
+	// squares solve.
+	corr := make([]float64, n)
+	fit := make([]float64, k)
+	subBacking := make([]float64, k*maxAtoms)
+	sub := mat.New(0, 0)
 	var coeffs []float64
 	for iter := 0; iter < maxAtoms; iter++ {
 		if mat.VecNorm2(res) <= tol {
@@ -72,7 +80,7 @@ func OMP(a *mat.Dense, y []float64, maxAtoms int, tol float64) (*OMPResult, erro
 		}
 		// Normalized correlation of every column with the residual:
 		// |⟨a_j, res⟩| / ‖a_j‖.
-		corr := mat.MulVecT(a, res)
+		mat.MulVecTTo(corr, a, res)
 		best, bestVal := -1, 0.0
 		for j := 0; j < n; j++ {
 			if inSupport[j] || colNorm[j] == 0 {
@@ -89,17 +97,18 @@ func OMP(a *mat.Dense, y []float64, maxAtoms int, tol float64) (*OMPResult, erro
 		selected = append(selected, best)
 		inSupport[best] = true
 		// Re-fit on the selected support by least squares.
-		sub := mat.New(k, len(selected))
+		sub.Reuse(k, len(selected), subBacking[:k*len(selected)])
 		for c, j := range selected {
-			col := a.Col(j)
-			sub.SetCol(c, col)
+			for i := 0; i < k; i++ {
+				sub.RawRow(i)[c] = a.At(i, j)
+			}
 		}
 		var err error
 		coeffs, err = mat.LeastSquares(sub, y)
 		if err != nil {
 			return nil, fmt.Errorf("compress: OMP least squares: %w", err)
 		}
-		fit := mat.MulVec(sub, coeffs)
+		mat.MulVecTo(fit, sub, coeffs)
 		for i := range res {
 			res[i] = y[i] - fit[i]
 		}

@@ -13,10 +13,13 @@
 // different process — so the optimization cost is paid once per workload
 // per deployment, not per process.
 //
-// Batches of histograms are answered through a bounded worker pool, and
-// each request may carry its own ε budget; spends are accounted on a
-// per-request privacy.Budget, whose mutex makes concurrent workers unable
-// to jointly overspend.
+// Batches of histograms fan out over the numeric stack's shared
+// persistent worker pool (mat.ParallelFor) rather than an engine-owned
+// goroutine fleet, so request-level parallelism and the GEMM tiles of any
+// in-flight Prepare draw from one scheduler instead of oversubscribing
+// each other. Each request may carry its own ε budget; spends are
+// accounted on a per-request privacy.Budget, whose mutex makes concurrent
+// workers unable to jointly overspend.
 package engine
 
 import (
@@ -57,9 +60,11 @@ type Options struct {
 	// options digest keeps their files apart). Ignored for mechanisms
 	// other than the LRM, which have no serializable decomposition.
 	CacheDir string
-	// Workers bounds the goroutines answering histograms (default
-	// GOMAXPROCS). Batches fan out across the pool; single-histogram
-	// requests are answered on the caller's goroutine.
+	// Workers bounds the fan-out width of one batch request (default
+	// GOMAXPROCS): a batch is split into at most Workers chunks, which
+	// are answered concurrently on the numeric stack's shared worker
+	// pool. Single-histogram requests are answered on the caller's
+	// goroutine.
 	Workers int
 	// PrepareHook, when set, is called with the workload fingerprint each
 	// time an actual Prepare executes (not on cache or disk hits). It
@@ -142,12 +147,9 @@ type Engine struct {
 	memoMu sync.RWMutex
 	memo   map[*mat.Dense]string
 
-	// Bounded worker pool. jobs is unbuffered: a submit hands the job
-	// directly to a worker or, after Close, runs it on the caller.
-	jobs    chan func()
-	closed  chan struct{}
-	once    sync.Once
-	workers sync.WaitGroup
+	// fanout bounds how many chunks one batch request is split into on
+	// the shared pool (Options.Workers).
+	fanout int
 
 	// Pooled noise sources: Answer reseeds one per histogram instead of
 	// allocating, keeping the cache-hit path at two allocations.
@@ -173,8 +175,9 @@ type Engine struct {
 // Request.Fingerprint and bypass the memo entirely.
 const memoLimit = 256
 
-// New starts an engine. The caller should Close it to stop the worker
-// pool; answering after Close degrades to caller-runs rather than failing.
+// New starts an engine. Close releases nothing today (the worker pool is
+// shared, package-level state in internal/mat) but remains part of the
+// contract so callers keep the shutdown path exercised.
 func New(opts Options) (*Engine, error) {
 	e := &Engine{
 		mech:     opts.Mechanism,
@@ -185,8 +188,6 @@ func New(opts Options) (*Engine, error) {
 		byFP:     make(map[string]*list.Element),
 		flight:   make(map[string]*flightCall),
 		memo:     make(map[*mat.Dense]string),
-		jobs:     make(chan func()),
-		closed:   make(chan struct{}),
 	}
 	if e.mech == nil {
 		e.mech = mechanism.LRM{}
@@ -216,54 +217,19 @@ func New(opts Options) (*Engine, error) {
 	}
 	e.seedBase = binary.LittleEndian.Uint64(seed[:])
 	e.sources.New = func() any { return rng.New(0) }
-	n := opts.Workers
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
-	e.workers.Add(n)
-	for i := 0; i < n; i++ {
-		go e.worker()
+	e.fanout = opts.Workers
+	if e.fanout <= 0 {
+		e.fanout = runtime.GOMAXPROCS(0)
 	}
 	return e, nil
 }
 
-func (e *Engine) worker() {
-	defer e.workers.Done()
-	for {
-		select {
-		case f := <-e.jobs:
-			f()
-		case <-e.closed:
-			// Drain anything a racing submit already handed over.
-			for {
-				select {
-				case f := <-e.jobs:
-					f()
-				default:
-					return
-				}
-			}
-		}
-	}
-}
-
-// submit runs f on the pool, or on the caller once the engine is closed
-// (shutdown must not strand in-flight requests).
-func (e *Engine) submit(f func()) {
-	select {
-	case e.jobs <- f:
-	case <-e.closed:
-		f()
-	}
-}
-
-// Close stops the worker pool and waits for workers to exit. In-flight
-// and subsequent Answer calls still complete, on their caller's
-// goroutine. Close is idempotent.
-func (e *Engine) Close() {
-	e.once.Do(func() { close(e.closed) })
-	e.workers.Wait()
-}
+// Close is a no-op kept for contract stability: the shared pool the
+// engine answers on is package-level state in internal/mat and never
+// shuts down, so in-flight and subsequent Answer calls still complete.
+// Callers should keep invoking it so the shutdown path stays exercised
+// if the engine ever reacquires owned resources.
+func (e *Engine) Close() {}
 
 // Answer releases private answers for every histogram in the request and
 // returns them in request order. It is safe to call from any number of
@@ -322,21 +288,32 @@ func (e *Engine) Answer(req Request) ([][]float64, error) {
 	return out, nil
 }
 
-// answerBatch fans a multi-histogram request across the worker pool,
-// filling out in request order.
+// answerBatch fans a multi-histogram request across the shared worker
+// pool, filling out in request order. Seeds are resolved up front in
+// request order so a seeded release is identical however the chunks are
+// scheduled; the batch is split into at most e.fanout contiguous chunks
+// so one request cannot monopolize the pool beyond its configured width.
 func (e *Engine) answerBatch(p mechanism.Prepared, req Request, budget *privacy.Budget, out [][]float64) error {
-	errs := make([]error, len(req.Histograms))
-	var wg sync.WaitGroup
-	for i := range req.Histograms {
-		i := i
-		wg.Add(1)
-		seed := e.seedFor(req.Seed, i)
-		e.submit(func() {
-			defer wg.Done()
-			out[i], errs[i] = e.answerOne(p, req.Histograms[i], req.Eps, budget, seed)
-		})
+	n := len(req.Histograms)
+	errs := make([]error, n)
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = e.seedFor(req.Seed, i)
 	}
-	wg.Wait()
+	width := e.fanout
+	if width > n {
+		width = n
+	}
+	chunk := (n + width - 1) / width
+	mat.ParallelFor(width, func(w int) {
+		hi := (w + 1) * chunk
+		if hi > n {
+			hi = n
+		}
+		for i := w * chunk; i < hi; i++ {
+			out[i], errs[i] = e.answerOne(p, req.Histograms[i], req.Eps, budget, seeds[i])
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return err

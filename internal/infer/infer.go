@@ -11,6 +11,7 @@ package infer
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"lrm/internal/mat"
 )
@@ -45,6 +46,11 @@ func LeastSquaresEstimate(a *mat.Dense, y []float64) ([]float64, error) {
 // rank(W)/m.
 type Projector struct {
 	u *mat.Dense // m×r orthonormal basis of col(W)
+
+	// tmp pools the r-dimensional intermediate Uᵀ·y so the steady-state
+	// Apply path allocates only the returned vector. Entries are
+	// *[]float64 (a bare slice in an interface would re-box per Put).
+	tmp sync.Pool
 }
 
 // NewProjector builds the projector onto the column space of w.
@@ -71,7 +77,32 @@ func (p *Projector) Apply(y []float64) ([]float64, error) {
 	if len(y) != p.u.Rows() {
 		return nil, fmt.Errorf("infer: answer length %d != queries %d", len(y), p.u.Rows())
 	}
-	return mat.MulVec(p.u, mat.MulVec(p.u.T(), y)), nil
+	return p.ApplyTo(make([]float64, p.u.Rows()), y)
+}
+
+// ApplyTo stores the orthogonal projection U·Uᵀ·y into dst (length
+// Rows), so callers projecting many answers over one workload reuse the
+// output buffer. Uᵀ·y is computed without materializing the transpose
+// (the old path allocated an r×m transpose per call) through a pooled
+// intermediate; ApplyTo is safe for concurrent use. dst must not alias y.
+func (p *Projector) ApplyTo(dst, y []float64) ([]float64, error) {
+	if len(y) != p.u.Rows() {
+		return nil, fmt.Errorf("infer: answer length %d != queries %d", len(y), p.u.Rows())
+	}
+	if len(dst) != p.u.Rows() {
+		return nil, fmt.Errorf("infer: destination length %d != queries %d", len(dst), p.u.Rows())
+	}
+	r := p.u.Cols()
+	tp, _ := p.tmp.Get().(*[]float64)
+	if tp == nil || cap(*tp) < r {
+		tp = new([]float64)
+		*tp = make([]float64, r)
+	}
+	tmp := (*tp)[:r]
+	mat.MulVecTTo(tmp, p.u, y)
+	mat.MulVecTo(dst, p.u, tmp)
+	p.tmp.Put(tp)
+	return dst, nil
 }
 
 // NonNegative returns a copy of x with negative entries clamped to zero —

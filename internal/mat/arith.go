@@ -2,8 +2,6 @@ package mat
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 )
 
 // dimPanic reports a dimension mismatch in op between a and b.
@@ -48,18 +46,13 @@ func ElemMul(a, b *Dense) *Dense {
 	return ElemMulTo(New(a.rows, a.cols), a, b)
 }
 
-// parallelThreshold is the amount of multiply work (flops) below which
-// Mul runs single-threaded; fork/join overhead dominates for small
-// products, which the LRM inner loop issues by the thousand. It is a
-// variable (not a const) only so tests can force the serial path and
-// prove both paths agree bit-for-bit.
-var parallelThreshold = 1 << 21
-
 // Mul returns the matrix product a·b.
 //
-// The inner loops are written j-last over b's rows so that both operands
-// stream sequentially (ikj order); rows of the output are computed in
-// parallel when the product is large enough.
+// Products funnel through the cache-blocked packed GEMM in gemm.go: the
+// right operand is packed into column panels once per product and output
+// tiles are computed by a register-blocked micro-kernel, in parallel on
+// the package's persistent worker pool when the product is large enough
+// (see pool.go).
 func Mul(a, b *Dense) *Dense {
 	if a.cols != b.rows {
 		dimPanic("Mul", a, b)
@@ -69,105 +62,11 @@ func Mul(a, b *Dense) *Dense {
 	return out
 }
 
+// mulInto overwrites out with a·b.
 func mulInto(out, a, b *Dense) {
-	if serialRows(a.rows, a.cols*b.cols) {
-		for i := 0; i < a.rows; i++ {
-			mulRow(out, a, b, i)
-		}
-		return
-	}
-	parallelRows(a.rows, a.cols*b.cols, func(i int) { mulRow(out, a, b, i) })
-}
-
-// mulRow accumulates row i of a·b into out. It is a named function (not
-// a closure) so the serial dispatch path allocates nothing; the closure
-// wrapping it is only built for products large enough to fork.
-func mulRow(out, a, b *Dense, i int) {
-	n := b.cols
-	kmax := a.cols
-	arow := a.RawRow(i)
-	orow := out.RawRow(i)
-	// Register-blocked over 4 rows of b: one pass over orow applies
-	// four axpy updates, quartering the load/store traffic on the
-	// accumulator row.
-	k := 0
-	for ; k+3 < kmax; k += 4 {
-		a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
-		if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
-			continue
-		}
-		b0 := b.data[k*n : k*n+n]
-		b1 := b.data[(k+1)*n : (k+1)*n+n]
-		b2 := b.data[(k+2)*n : (k+2)*n+n]
-		b3 := b.data[(k+3)*n : (k+3)*n+n]
-		for j := range orow {
-			orow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
-		}
-	}
-	for ; k < kmax; k++ {
-		av := arow[k]
-		if av == 0 {
-			continue
-		}
-		brow := b.data[k*n : k*n+n]
-		for j, bv := range brow {
-			orow[j] += av * bv
-		}
-	}
-}
-
-// serialRows reports whether a rows×workPerRow job is too small to be
-// worth forking; it mirrors parallelRows' own fallback so dispatchers can
-// skip building the per-row closure entirely on the serial path.
-func serialRows(rows, workPerRow int) bool {
-	return rows <= 1 || rows*max(workPerRow, 1) < parallelThreshold
-}
-
-// parallelRows invokes work(i) for i in [0,rows), in parallel when the
-// total work volume rows·workPerRow is large enough to amortize
-// scheduling. Worker count is sized so each worker gets at least ~1M
-// units of work, which keeps fork/join overhead negligible.
-func parallelRows(rows, workPerRow int, work func(i int)) {
-	if rows == 0 {
-		return
-	}
-	total := rows * max(workPerRow, 1)
-	if total < parallelThreshold || rows == 1 {
-		for i := 0; i < rows; i++ {
-			work(i)
-		}
-		return
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if byWork := total / (1 << 20); workers > byWork {
-		workers = byWork
-	}
-	if workers > rows {
-		workers = rows
-	}
-	if workers < 2 {
-		for i := 0; i < rows; i++ {
-			work(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, rows)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				work(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	gemmMain(out, a.rows, b.cols, a.cols,
+		aView{data: a.data, row: a.cols, k: 1},
+		b.data, b.cols, 1, false)
 }
 
 // MulABt returns a·bᵀ without materializing the transpose.
@@ -180,27 +79,12 @@ func MulABt(a, b *Dense) *Dense {
 	return out
 }
 
+// mulABtInto overwrites out with a·bᵀ. The transposed right operand
+// packs in place (swapped pack strides), so no transpose is materialized.
 func mulABtInto(out, a, b *Dense) {
-	if serialRows(a.rows, a.cols*b.rows) {
-		for i := 0; i < a.rows; i++ {
-			mulABtRow(out, a, b, i)
-		}
-		return
-	}
-	parallelRows(a.rows, a.cols*b.rows, func(i int) { mulABtRow(out, a, b, i) })
-}
-
-func mulABtRow(out, a, b *Dense, i int) {
-	arow := a.RawRow(i)
-	orow := out.RawRow(i)
-	for j := 0; j < b.rows; j++ {
-		brow := b.RawRow(j)
-		var s float64
-		for k, av := range arow {
-			s += av * brow[k]
-		}
-		orow[j] = s
-	}
+	gemmMain(out, a.rows, b.rows, a.cols,
+		aView{data: a.data, row: a.cols, k: 1},
+		b.data, 1, b.cols, false)
 }
 
 // MulAtB returns aᵀ·b without materializing the transpose.
@@ -213,31 +97,13 @@ func MulAtB(a, b *Dense) *Dense {
 	return out
 }
 
-// mulAtBInto accumulates aᵀ·b into out, which must be zeroed.
-// (aᵀb)ᵢⱼ = Σ_k a[k][i] b[k][j]. Accumulate row-by-row of the inputs;
-// parallelize over output rows (columns of a) via per-worker passes.
+// mulAtBInto overwrites out with aᵀ·b: the left operand is walked
+// through a transposed view (row stride 1, k stride a.cols), which the
+// micro-kernels support natively.
 func mulAtBInto(out, a, b *Dense) {
-	if serialRows(a.cols, a.rows*b.cols) {
-		for i := 0; i < a.cols; i++ {
-			mulAtBRow(out, a, b, i)
-		}
-		return
-	}
-	parallelRows(a.cols, a.rows*b.cols, func(i int) { mulAtBRow(out, a, b, i) })
-}
-
-func mulAtBRow(out, a, b *Dense, i int) {
-	orow := out.RawRow(i)
-	for k := 0; k < a.rows; k++ {
-		av := a.data[k*a.cols+i]
-		if av == 0 {
-			continue
-		}
-		brow := b.RawRow(k)
-		for j, bv := range brow {
-			orow[j] += av * bv
-		}
-	}
+	gemmMain(out, a.cols, b.cols, a.rows,
+		aView{data: a.data, row: 1, k: a.cols},
+		b.data, b.cols, 1, false)
 }
 
 // MulVec returns the matrix-vector product a·x.
@@ -263,25 +129,13 @@ func Gram(a *Dense) *Dense {
 	return out
 }
 
-// gramInto accumulates aᵀ·a into out, which must be zeroed.
+// gramInto overwrites out with aᵀ·a: only tiles touching the upper
+// triangle are computed, then mirrored.
 func gramInto(out, a *Dense) {
-	for k := 0; k < a.rows; k++ {
-		row := a.RawRow(k)
-		for i, vi := range row {
-			if vi == 0 {
-				continue
-			}
-			orow := out.RawRow(i)
-			for j := i; j < a.cols; j++ {
-				orow[j] += vi * row[j]
-			}
-		}
-	}
-	for i := 0; i < a.cols; i++ {
-		for j := i + 1; j < a.cols; j++ {
-			out.data[j*a.cols+i] = out.data[i*a.cols+j]
-		}
-	}
+	gemmMain(out, a.cols, a.cols, a.rows,
+		aView{data: a.data, row: 1, k: a.cols},
+		a.data, a.cols, 1, true)
+	mirrorLower(out)
 }
 
 // GramT returns a·aᵀ, exploiting the symmetry of the result.
@@ -291,32 +145,16 @@ func GramT(a *Dense) *Dense {
 	return out
 }
 
+// gramTInto overwrites out with a·aᵀ. Tiles strictly below the diagonal
+// are skipped and the rest are clipped to the triangle; the pool's
+// dynamic tile claiming balances the remaining triangular grid (the old
+// contiguous row partition gave the first worker ~2× the flops of the
+// last, since row i costs (rows−i) dot products).
 func gramTInto(out, a *Dense) {
-	if serialRows(a.rows, a.rows*a.cols/2) {
-		for i := 0; i < a.rows; i++ {
-			gramTRow(out, a, i)
-		}
-	} else {
-		parallelRows(a.rows, a.rows*a.cols/2, func(i int) { gramTRow(out, a, i) })
-	}
-	for i := 0; i < a.rows; i++ {
-		for j := i + 1; j < a.rows; j++ {
-			out.data[j*a.rows+i] = out.data[i*a.rows+j]
-		}
-	}
-}
-
-func gramTRow(out, a *Dense, i int) {
-	ri := a.RawRow(i)
-	orow := out.RawRow(i)
-	for j := i; j < a.rows; j++ {
-		rj := a.RawRow(j)
-		var s float64
-		for k, v := range ri {
-			s += v * rj[k]
-		}
-		orow[j] = s
-	}
+	gemmMain(out, a.rows, a.rows, a.cols,
+		aView{data: a.data, row: a.cols, k: 1},
+		a.data, 1, a.cols, true)
+	mirrorLower(out)
 }
 
 // Dot returns the Frobenius inner product ⟨a,b⟩ = Σᵢⱼ aᵢⱼ·bᵢⱼ.

@@ -5,7 +5,10 @@
 //
 // The package is self-contained (standard library only) and tuned for the
 // moderate sizes that appear in the paper's experiments (matrices up to a
-// few thousand rows/columns). Matrix products run in parallel across rows.
+// few thousand rows/columns). Matrix products run through a cache-blocked
+// packed GEMM (gemm.go) — an AVX2+FMA micro-kernel where the hardware
+// supports it — whose output tiles are scheduled on a package-level
+// persistent worker pool (pool.go) shared with the rest of the stack.
 package mat
 
 import (

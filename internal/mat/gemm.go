@@ -1,0 +1,310 @@
+package mat
+
+// Cache-blocked packed GEMM. Every dense product in the package (Mul,
+// MulABt, MulAtB, Gram, GramT) funnels into gemmMain, which:
+//
+//  1. packs the right-hand operand once per product into gemmNR-wide
+//     column panels (contiguous k-major strips, so the micro-kernel
+//     streams B with unit stride regardless of the operand's original
+//     orientation — including transposed views, which pack for free),
+//  2. walks a fixed grid of gemmTileRows×gemmTileCols output tiles whose
+//     working set (one packed panel + gemmMR operand rows) stays L1/L2
+//     resident, and
+//  3. computes each tile with a register-blocked micro-kernel: the
+//     AVX2+FMA 4×8 kernel on capable amd64 machines (gemm_amd64.s),
+//     scalar 4×4 blocks elsewhere.
+//
+// The left operand is addressed through an aView — two element strides
+// over the backing slice — so one driver serves A, Aᵀ (MulAtB, Gram) and
+// the symmetric kernels without materializing a transpose.
+//
+// Determinism: the panel/tile grid and the kernel choice are pure
+// functions of the operand shapes, each output element is written by
+// exactly one tile, and every kernel accumulates in ascending k. Results
+// are therefore bit-identical whether the tile grid runs serially or on
+// any number of pool workers — the property the serial-vs-parallel
+// equality tests pin.
+
+const (
+	gemmMR       = 4   // micro-kernel rows
+	gemmNR       = 8   // packed panel width (micro-kernel cols)
+	gemmTileRows = 64  // output rows per scheduler tile
+	gemmTileCols = 256 // output cols per scheduler tile (multiple of gemmNR)
+	packChunk    = 16  // panels packed per scheduler tile
+)
+
+// aView addresses the left GEMM operand: element A(i,t) of the m×k
+// operand lives at data[i*row + t*k]. (row=cols, k=1) walks a row-major
+// matrix; (row=1, k=cols) walks its transpose in place.
+type aView struct {
+	data []float64
+	row  int
+	k    int
+}
+
+// packPanel packs panel p of the k×n right operand into dst. The operand
+// is addressed as B(t,j) = src[t*rowStride + j*colStride], so a
+// transposed right operand (MulABt, GramT) packs by passing swapped
+// strides. Partial trailing panels are zero-padded to gemmNR so the
+// micro-kernels never branch on width.
+func packPanel(dst, src []float64, k, n, rowStride, colStride, p int) {
+	j0 := p * gemmNR
+	pw := n - j0
+	if pw > gemmNR {
+		pw = gemmNR
+	}
+	o := p * k * gemmNR
+	if colStride == 1 && pw == gemmNR {
+		for t := 0; t < k; t++ {
+			base := t*rowStride + j0
+			copy(dst[o:o+gemmNR], src[base:base+gemmNR])
+			o += gemmNR
+		}
+		return
+	}
+	for t := 0; t < k; t++ {
+		base := t*rowStride + j0*colStride
+		for jj := 0; jj < pw; jj++ {
+			dst[o+jj] = src[base+jj*colStride]
+		}
+		for jj := pw; jj < gemmNR; jj++ {
+			dst[o+jj] = 0
+		}
+		o += gemmNR
+	}
+}
+
+// gemmMain computes dst = A·B (overwriting dst, which must be m×n with
+// contiguous rows): A is the aView, B is addressed as
+// B(t,j) = bdata[t*bRow + j*bCol]. With upperOnly, tiles strictly below
+// the diagonal are skipped and per-panel row ranges are clipped to the
+// triangle — callers mirror the result (the symmetric Gram kernels).
+//
+// Products below parallelThreshold run the identical tile grid inline on
+// the calling goroutine (no closures, no allocations — the ALM inner
+// loop's zero-alloc pin depends on this); larger ones draw tiles from
+// the persistent pool.
+func gemmMain(dst *Dense, m, n, k int, av aView, bdata []float64, bRow, bCol int, upperOnly bool) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	if k <= 0 {
+		zero(dst.data)
+		return
+	}
+	nPanels := (n + gemmNR - 1) / gemmNR
+	packed := getPackBuf(nPanels * k * gemmNR)
+	parallel := !serialWork(m * n * k)
+	if parallel {
+		chunks := (nPanels + packChunk - 1) / packChunk
+		forEachTile(chunks, func(c int) {
+			hi := min((c+1)*packChunk, nPanels)
+			for p := c * packChunk; p < hi; p++ {
+				packPanel(packed, bdata, k, n, bRow, bCol, p)
+			}
+		})
+	} else {
+		for p := 0; p < nPanels; p++ {
+			packPanel(packed, bdata, k, n, bRow, bCol, p)
+		}
+	}
+
+	tilePanels := gemmTileCols / gemmNR
+	tR := (m + gemmTileRows - 1) / gemmTileRows
+	tC := (nPanels + tilePanels - 1) / tilePanels
+	cd, ldc := dst.data, dst.cols
+	if parallel {
+		forEachTile(tR*tC, func(t int) {
+			gemmTileRun(t, cd, ldc, m, n, k, av, packed, upperOnly, tC)
+		})
+	} else {
+		for t := 0; t < tR*tC; t++ {
+			gemmTileRun(t, cd, ldc, m, n, k, av, packed, upperOnly, tC)
+		}
+	}
+	putPackBuf(packed)
+}
+
+// gemmTileRun computes scheduler tile t of the fixed grid: output rows
+// [r0,r1) × panels [p0,p1).
+func gemmTileRun(t int, cd []float64, ldc, m, n, k int, av aView, packed []float64, upperOnly bool, tC int) {
+	tilePanels := gemmTileCols / gemmNR
+	nPanels := (n + gemmNR - 1) / gemmNR
+	r0 := (t / tC) * gemmTileRows
+	r1 := min(r0+gemmTileRows, m)
+	p0 := (t % tC) * tilePanels
+	p1 := min(p0+tilePanels, nPanels)
+	if upperOnly && min(p1*gemmNR, n) <= r0 {
+		return // every column of this tile is left of the diagonal
+	}
+	for p := p0; p < p1; p++ {
+		j0 := p * gemmNR
+		pw := n - j0
+		if pw > gemmNR {
+			pw = gemmNR
+		}
+		rLim := r1
+		if upperOnly {
+			if lim := j0 + pw; lim < rLim {
+				rLim = lim // rows below the panel's last column are sub-diagonal
+			}
+			if rLim <= r0 {
+				continue
+			}
+		}
+		pOff := p * k * gemmNR
+		i := r0
+		if pw == gemmNR {
+			if rLim-r0 >= gemmMR {
+				if gemmUseAsm {
+					for ; i+gemmMR <= rLim; i += gemmMR {
+						gemmKernel4x8(int64(k),
+							&av.data[i*av.row], int64(av.row*8), int64(av.k*8),
+							&packed[pOff], gemmNR*8,
+							&cd[i*ldc+j0], int64(ldc*8))
+					}
+					if i < rLim {
+						// Row tail: rerun the full micro-kernel on the
+						// last gemmMR rows. The overlapped rows are
+						// rewritten with bit-identical values (same
+						// panel, same k-order, same goroutine), which is
+						// far cheaper than an elementwise tail.
+						i = rLim - gemmMR
+						gemmKernel4x8(int64(k),
+							&av.data[i*av.row], int64(av.row*8), int64(av.k*8),
+							&packed[pOff], gemmNR*8,
+							&cd[i*ldc+j0], int64(ldc*8))
+						i = rLim
+					}
+				} else {
+					for ; i+gemmMR <= rLim; i += gemmMR {
+						gemmScalar4x4(k, av.data, i*av.row, av.row, av.k, packed, pOff, cd, i*ldc+j0, ldc)
+						gemmScalar4x4(k, av.data, i*av.row, av.row, av.k, packed, pOff+4, cd, i*ldc+j0+4, ldc)
+					}
+					if i < rLim {
+						i = rLim - gemmMR
+						gemmScalar4x4(k, av.data, i*av.row, av.row, av.k, packed, pOff, cd, i*ldc+j0, ldc)
+						gemmScalar4x4(k, av.data, i*av.row, av.row, av.k, packed, pOff+4, cd, i*ldc+j0+4, ldc)
+						i = rLim
+					}
+				}
+			} else {
+				// Fewer than gemmMR rows in the whole range: 1×8 blocks.
+				for ; i < rLim; i++ {
+					gemmScalarRow8(k, av.data, i*av.row, av.k, packed, pOff, cd, i*ldc+j0)
+				}
+			}
+		}
+		if i < rLim {
+			gemmScalarTail(k, av.data, i*av.row, av.row, av.k, packed, pOff, cd, i*ldc+j0, ldc, rLim-i, pw)
+		}
+	}
+}
+
+// gemmScalar4x4 is the portable micro-kernel: a 4×4 register block over
+// four panel columns starting at bpOff (panel stride is gemmNR). Like the
+// assembly kernel it overwrites its output block and accumulates each
+// element in ascending k.
+func gemmScalar4x4(k int, ad []float64, a0, aRow, aK int, bp []float64, bpOff int, cd []float64, c0, ldc int) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	ai0, ai1, ai2, ai3 := a0, a0+aRow, a0+2*aRow, a0+3*aRow
+	bo := bpOff
+	for t := 0; t < k; t++ {
+		b0, b1, b2, b3 := bp[bo], bp[bo+1], bp[bo+2], bp[bo+3]
+		bo += gemmNR
+		av := ad[ai0]
+		c00 += av * b0
+		c01 += av * b1
+		c02 += av * b2
+		c03 += av * b3
+		av = ad[ai1]
+		c10 += av * b0
+		c11 += av * b1
+		c12 += av * b2
+		c13 += av * b3
+		av = ad[ai2]
+		c20 += av * b0
+		c21 += av * b1
+		c22 += av * b2
+		c23 += av * b3
+		av = ad[ai3]
+		c30 += av * b0
+		c31 += av * b1
+		c32 += av * b2
+		c33 += av * b3
+		ai0 += aK
+		ai1 += aK
+		ai2 += aK
+		ai3 += aK
+	}
+	cd[c0], cd[c0+1], cd[c0+2], cd[c0+3] = c00, c01, c02, c03
+	c0 += ldc
+	cd[c0], cd[c0+1], cd[c0+2], cd[c0+3] = c10, c11, c12, c13
+	c0 += ldc
+	cd[c0], cd[c0+1], cd[c0+2], cd[c0+3] = c20, c21, c22, c23
+	c0 += ldc
+	cd[c0], cd[c0+1], cd[c0+2], cd[c0+3] = c30, c31, c32, c33
+}
+
+// gemmScalarRow8 computes one output row against a full panel: 8
+// accumulators, ascending k. It serves matrices shorter than gemmMR rows.
+func gemmScalarRow8(k int, ad []float64, a0, aK int, bp []float64, bpOff int, cd []float64, c0 int) {
+	var s0, s1, s2, s3, s4, s5, s6, s7 float64
+	at := a0
+	bo := bpOff
+	for t := 0; t < k; t++ {
+		av := ad[at]
+		at += aK
+		s0 += av * bp[bo]
+		s1 += av * bp[bo+1]
+		s2 += av * bp[bo+2]
+		s3 += av * bp[bo+3]
+		s4 += av * bp[bo+4]
+		s5 += av * bp[bo+5]
+		s6 += av * bp[bo+6]
+		s7 += av * bp[bo+7]
+		bo += gemmNR
+	}
+	cd[c0] = s0
+	cd[c0+1] = s1
+	cd[c0+2] = s2
+	cd[c0+3] = s3
+	cd[c0+4] = s4
+	cd[c0+5] = s5
+	cd[c0+6] = s6
+	cd[c0+7] = s7
+}
+
+// gemmScalarTail handles the leftovers — partial trailing panels — one
+// element at a time, ascending k.
+func gemmScalarTail(k int, ad []float64, a0, aRow, aK int, bp []float64, bpOff int, cd []float64, c0, ldc, rows, cols int) {
+	for i := 0; i < rows; i++ {
+		ao := a0 + i*aRow
+		co := c0 + i*ldc
+		for j := 0; j < cols; j++ {
+			var s float64
+			at := ao
+			bo := bpOff + j
+			for t := 0; t < k; t++ {
+				s += ad[at] * bp[bo]
+				at += aK
+				bo += gemmNR
+			}
+			cd[co+j] = s
+		}
+	}
+}
+
+// mirrorLower copies the strictly-upper triangle of the square matrix
+// into the strictly-lower one (the symmetric kernels compute only j ≥ i).
+func mirrorLower(out *Dense) {
+	n := out.cols
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out.data[j*n+i] = out.data[i*n+j]
+		}
+	}
+}

@@ -41,6 +41,12 @@ func sharesStorage(a, b *Dense) bool {
 	return a0 < b0+uintptr(len(b.data))*w && b0 < a0+uintptr(len(a.data))*w
 }
 
+// SharesStorage reports whether two matrices' backing slices overlap
+// anywhere (not just at their first element). Exported for sibling
+// packages whose kernels must refuse aliased destinations the same way
+// this package's do (e.g. sparse.CSR.MulDenseTo).
+func SharesStorage(a, b *Dense) bool { return sharesStorage(a, b) }
+
 // noAlias panics when dst shares storage with the operand m.
 func noAlias(op string, dst, m *Dense) {
 	if sharesStorage(dst, m) {
@@ -137,7 +143,6 @@ func MulTo(dst, a, b *Dense) *Dense {
 	checkShape("MulTo", dst, a.rows, b.cols)
 	noAlias("MulTo", dst, a)
 	noAlias("MulTo", dst, b)
-	zero(dst.data)
 	mulInto(dst, a, b)
 	return dst
 }
@@ -164,7 +169,6 @@ func MulAtBTo(dst, a, b *Dense) *Dense {
 	checkShape("MulAtBTo", dst, a.cols, b.cols)
 	noAlias("MulAtBTo", dst, a)
 	noAlias("MulAtBTo", dst, b)
-	zero(dst.data)
 	mulAtBInto(dst, a, b)
 	return dst
 }
@@ -173,7 +177,6 @@ func MulAtBTo(dst, a, b *Dense) *Dense {
 func GramTo(dst, a *Dense) *Dense {
 	checkShape("GramTo", dst, a.cols, a.cols)
 	noAlias("GramTo", dst, a)
-	zero(dst.data)
 	gramInto(dst, a)
 	return dst
 }
@@ -187,7 +190,10 @@ func GramTTo(dst, a *Dense) *Dense {
 }
 
 // MulVecTo stores the matrix-vector product a·x into dst (length
-// a.Rows()). dst must not alias x.
+// a.Rows()). dst must not alias x. Large products are row-partitioned
+// across the persistent pool; each element is a single dot product in
+// ascending column order either way, so results are identical across
+// dispatch paths.
 func MulVecTo(dst []float64, a *Dense, x []float64) []float64 {
 	if a.cols != len(x) {
 		panic(fmt.Sprintf("mat: MulVecTo dimension mismatch %d×%d vs %d", a.rows, a.cols, len(x)))
@@ -195,7 +201,22 @@ func MulVecTo(dst []float64, a *Dense, x []float64) []float64 {
 	if len(dst) != a.rows {
 		panic(fmt.Sprintf("mat: MulVecTo destination length %d, need %d", len(dst), a.rows))
 	}
-	for i := 0; i < a.rows; i++ {
+	if serialWork(a.rows * a.cols) {
+		mulVecRows(dst, a, x, 0, a.rows)
+		return dst
+	}
+	const chunk = 128
+	tiles := (a.rows + chunk - 1) / chunk
+	forEachTile(tiles, func(t int) {
+		lo := t * chunk
+		mulVecRows(dst, a, x, lo, min(lo+chunk, a.rows))
+	})
+	return dst
+}
+
+// mulVecRows computes rows [lo,hi) of a·x into dst.
+func mulVecRows(dst []float64, a *Dense, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		row := a.RawRow(i)
 		var s float64
 		for j, v := range row {
@@ -203,7 +224,6 @@ func MulVecTo(dst []float64, a *Dense, x []float64) []float64 {
 		}
 		dst[i] = s
 	}
-	return dst
 }
 
 // MulVecTTo stores aᵀ·x into dst (length a.Cols()). dst must not alias x.

@@ -136,27 +136,27 @@ func TestMulToAliasPanics(t *testing.T) {
 // by exactly one goroutine in the same order as the serial loop — so
 // equality is exact, not approximate.
 func TestMulSerialParallelBitForBit(t *testing.T) {
-	saved := parallelThreshold
-	defer func() { parallelThreshold = saved }()
+	saved := setParallelThreshold(1)
+	defer setParallelThreshold(saved)
 
 	// 128×128 · 128×128 is exactly 2²¹ multiply-adds = parallelThreshold.
 	for _, n := range []int{127, 128, 129} {
 		a := randDenseSeed(t, n, n, int64(100+n))
 		b := randDenseSeed(t, n, n, int64(200+n))
 
-		parallelThreshold = 1 // force the parallel path
+		setParallelThreshold(1) // force the parallel path
 		viaParallel := Mul(a, b)
 		gramParallel := GramT(a)
 		atbParallel := MulAtB(a, b)
 		abtParallel := MulABt(a, b)
 
-		parallelThreshold = 1 << 62 // force the serial path
+		setParallelThreshold(1 << 62) // force the serial path
 		viaSerial := Mul(a, b)
 		gramSerial := GramT(a)
 		atbSerial := MulAtB(a, b)
 		abtSerial := MulABt(a, b)
 
-		parallelThreshold = saved // default dispatch straddles the boundary
+		setParallelThreshold(saved) // default dispatch straddles the boundary
 		viaDefault := Mul(a, b)
 
 		if !viaParallel.Equal(viaSerial) {
@@ -181,9 +181,8 @@ func TestMulSerialParallelBitForBit(t *testing.T) {
 // goroutines sharing read-only operands; run under -race it proves the
 // row partitioning never writes across worker boundaries.
 func TestParallelKernelsConcurrent(t *testing.T) {
-	saved := parallelThreshold
-	parallelThreshold = 1 // every product forks
-	defer func() { parallelThreshold = saved }()
+	saved := setParallelThreshold(1) // every product goes through the pool
+	defer setParallelThreshold(saved)
 
 	a := randDenseSeed(t, 64, 48, 31)
 	b := randDenseSeed(t, 48, 56, 32)

@@ -191,18 +191,63 @@ func (a *CSR) MulDense(b *mat.Dense) *mat.Dense {
 	if a.cols != b.Rows() {
 		panic(fmt.Sprintf("sparse: MulDense %d×%d by %d×%d", a.rows, a.cols, b.Rows(), b.Cols()))
 	}
-	out := mat.New(a.rows, b.Cols())
-	for i := 0; i < a.rows; i++ {
-		dst := out.RawRow(i)
+	return a.MulDenseTo(mat.New(a.rows, b.Cols()), b)
+}
+
+// mulDenseParallelWork is the nnz·cols volume above which MulDenseTo
+// row-partitions across the shared worker pool (mirroring internal/mat's
+// serial cutoff for dense products).
+const mulDenseParallelWork = 1 << 21
+
+// MulDenseTo computes A·B into dst (rows×B.Cols()), so callers answering
+// many products over one workload reuse a single destination instead of
+// allocating per call. dst must not share storage with b. Large products
+// are row-partitioned over the numeric stack's shared worker pool (each
+// output row is still accumulated by one goroutine in stored-entry order,
+// so results match the serial path bit-for-bit); small ones stay on the
+// caller's goroutine.
+func (a *CSR) MulDenseTo(dst, b *mat.Dense) *mat.Dense {
+	if a.cols != b.Rows() {
+		panic(fmt.Sprintf("sparse: MulDenseTo %d×%d by %d×%d", a.rows, a.cols, b.Rows(), b.Cols()))
+	}
+	if r, c := dst.Dims(); r != a.rows || c != b.Cols() {
+		panic(fmt.Sprintf("sparse: MulDenseTo destination is %d×%d, need %d×%d", r, c, a.rows, b.Cols()))
+	}
+	if mat.SharesStorage(dst, b) {
+		panic("sparse: MulDenseTo destination aliases the dense operand")
+	}
+	if a.NNZ()*b.Cols() < mulDenseParallelWork || a.rows <= 1 {
+		a.mulDenseRows(dst, b, 0, a.rows)
+		return dst
+	}
+	const chunk = 64
+	tiles := (a.rows + chunk - 1) / chunk
+	mat.ParallelFor(tiles, func(t int) {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > a.rows {
+			hi = a.rows
+		}
+		a.mulDenseRows(dst, b, lo, hi)
+	})
+	return dst
+}
+
+// mulDenseRows accumulates output rows [lo,hi) of A·B into dst.
+func (a *CSR) mulDenseRows(dst, b *mat.Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := dst.RawRow(i)
+		for j := range row {
+			row[j] = 0
+		}
 		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
 			v := a.val[k]
 			src := b.RawRow(a.colIdx[k])
 			for j, bv := range src {
-				dst[j] += v * bv
+				row[j] += v * bv
 			}
 		}
 	}
-	return out
 }
 
 // T returns the transpose as a new CSR matrix.

@@ -134,6 +134,53 @@ func TestMulDenseMatchesDense(t *testing.T) {
 	}
 }
 
+// TestMulDenseTo checks the in-place variant against MulDense with a
+// garbage-filled destination, that the serial and pool-parallel row
+// partitions agree bit-for-bit, and that an aliased destination panics.
+func TestMulDenseTo(t *testing.T) {
+	src := rng.New(14)
+	ad := randomDense(37, 23, 0.3, src)
+	b := randomDense(23, 29, 1.0, src)
+	a := FromDense(ad, 0)
+	want := a.MulDense(b)
+
+	dst := mat.New(37, 29)
+	for i := range dst.RawData() {
+		dst.RawData()[i] = math.Inf(1)
+	}
+	if got := a.MulDenseTo(dst, b); !got.Equal(want) {
+		t.Fatal("MulDenseTo disagrees with MulDense")
+	}
+
+	// Row-parallel path (a dense operand wide enough that nnz·cols
+	// clears the pool cutoff): each output row is accumulated by one
+	// goroutine in stored-entry order, so the result must match the
+	// serial row loop bit-for-bit.
+	aFull := FromDense(randomDense(37, 23, 1.0, src), 0)
+	bigB := randomDense(23, 4096, 1.0, src)
+	serial := mat.New(37, 4096)
+	aFull.mulDenseRows(serial, bigB, 0, aFull.Rows())
+	if aFull.NNZ()*bigB.Cols() < mulDenseParallelWork {
+		t.Fatalf("test operand too small to force the parallel path: %d", aFull.NNZ()*bigB.Cols())
+	}
+	if got := aFull.MulDenseTo(mat.New(37, 4096), bigB); !got.Equal(serial) {
+		t.Fatal("parallel MulDenseTo disagrees with serial row loop")
+	}
+
+	// Partially overlapping storage (distinct first elements) must panic
+	// too — a first-element-only check would let this corrupt silently.
+	defer func() {
+		if recover() == nil {
+			t.Error("MulDenseTo with partially overlapping destination did not panic")
+		}
+	}()
+	backing := make([]float64, 23*23+23)
+	full := mat.NewFromData(23, 23, backing[:23*23])
+	shifted := mat.NewFromData(23, 23, backing[23:])
+	aSq := FromDense(randomDense(23, 23, 0.4, src), 0)
+	aSq.MulDenseTo(shifted, full)
+}
+
 func TestTranspose(t *testing.T) {
 	src := rng.New(5)
 	d := randomDense(11, 17, 0.2, src)
