@@ -210,6 +210,67 @@ func BenchmarkEngineAnswer(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineAnswerMany measures the multi-RHS serving path: one
+// unseeded request carrying 64 histograms over the BenchmarkAnswerLRM
+// workload, answered as packed multi-RHS GEMMs (the acceptance bar is
+// ≥2× the throughput of BenchmarkEngineAnswerSeq64, which pushes the
+// same 64 histograms through 64 sequential single-histogram requests).
+func BenchmarkEngineAnswerMany(b *testing.B) {
+	e, req, err := benchsuite.EngineAnswerManySetup()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Answer(req); err != nil { // warm the cache: one Prepare
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Answer(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := e.Stats()
+	if st.Prepares != 1 {
+		b.Fatalf("cache-hit path ran %d prepares, want 1", st.Prepares)
+	}
+	if st.Batched != st.Requests {
+		b.Fatalf("%d of %d requests took the batched path, want all", st.Batched, st.Requests)
+	}
+}
+
+// BenchmarkEngineAnswerSeq64 is BenchmarkEngineAnswerMany's sequential
+// baseline: the identical 64 histograms answered one engine request at a
+// time. Per-op time is for all 64, so the two benchmarks compare
+// directly.
+func BenchmarkEngineAnswerSeq64(b *testing.B) {
+	e, req, err := benchsuite.EngineAnswerManySetup()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Answer(req); err != nil { // warm the cache: one Prepare
+		b.Fatal(err)
+	}
+	one := req
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range req.Histograms {
+			one.Histograms = [][]float64{x}
+			if _, err := e.Answer(one); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if st := e.Stats(); st.Prepares != 1 {
+		b.Fatalf("cache-hit path ran %d prepares, want 1", st.Prepares)
+	}
+}
+
 // --- Numerical substrate micro-benchmarks ---
 
 // BenchmarkMatMul256 measures the workspace product kernel the hot loops

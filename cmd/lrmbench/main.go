@@ -7,6 +7,9 @@
 //	lrmbench -fig 5 -dataset nettrace -csv out.csv
 //	lrmbench -params                      # print Table 1
 //	lrmbench -json BENCH_ci.json          # perf-trajectory artifact
+//	lrmbench -compare old.json new.json -tol 0.30
+//	                                      # CI perf gate: fail if a tier-1
+//	                                      # kernel regressed beyond -tol
 //
 // Each run prints the same rows/series the paper plots: average squared
 // error per (mechanism, swept parameter value, ε), plus strategy
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"lrm/internal/experiments"
@@ -33,11 +37,41 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write rows as CSV to this file")
 		params   = flag.Bool("params", false, "print Table 1 (the parameter grid) and exit")
 		jsonOut  = flag.String("json", "", "run the perf-trajectory suite and write BENCH JSON to this path, then exit")
+		compare  = flag.Bool("compare", false, "compare two BENCH JSON files (old new) and fail on tier-1 regressions beyond -tol")
+		tol      = flag.Float64("tol", 0.30, "relative ns/op slowdown tolerated by -compare (0.30 = 30%)")
 		ablation = flag.Bool("ablation", false, "run the optimizer ablation suite instead of figures")
 		synopses = flag.Bool("synopses", false, "run the extension table: data-synopsis mechanisms (FPA/CM/NF/SF) vs LM/LRM")
 	)
 	flag.Parse()
 
+	if *compare {
+		// Accept flags after the positional paths too (the documented
+		// "lrmbench -compare old.json new.json -tol 0.30" shape): the
+		// stdlib parser stops at the first positional, so re-parse the
+		// remainder, interleaving paths and flags.
+		fs := flag.NewFlagSet("compare", flag.ExitOnError)
+		fs.Float64Var(tol, "tol", *tol, "relative ns/op slowdown tolerated (0.30 = 30%)")
+		var paths []string
+		args := flag.Args()
+		for len(args) > 0 {
+			if strings.HasPrefix(args[0], "-") {
+				if err := fs.Parse(args); err != nil {
+					fatalf("%v", err)
+				}
+				args = fs.Args()
+				continue
+			}
+			paths = append(paths, args[0])
+			args = args[1:]
+		}
+		if len(paths) != 2 {
+			fatalf("-compare needs exactly two arguments: old.json new.json")
+		}
+		if err := compareBenchFiles(os.Stdout, paths[0], paths[1], *tol); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 	if *jsonOut != "" {
 		if err := writeBenchJSON(*jsonOut); err != nil {
 			fatalf("bench json: %v", err)

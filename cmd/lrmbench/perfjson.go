@@ -114,6 +114,41 @@ func writeBenchJSON(path string) error {
 	})
 	doc.Benchmarks = append(doc.Benchmarks, record("EngineAnswer", res, 0))
 
+	// Engine multi-RHS batched path and its sequential baseline
+	// (BenchmarkEngineAnswerMany / BenchmarkEngineAnswerSeq64): both
+	// answer the same 64 histograms per op, so their ratio is the batch
+	// speedup the README table quotes.
+	em, emReq, err := benchsuite.EngineAnswerManySetup()
+	if err != nil {
+		return fmt.Errorf("engine batch: %w", err)
+	}
+	defer em.Close()
+	if _, err := em.Answer(emReq); err != nil {
+		return fmt.Errorf("warming batch engine: %w", err)
+	}
+	res = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := em.Answer(emReq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	doc.Benchmarks = append(doc.Benchmarks, record("EngineAnswerMany", res, 0))
+	oneReq := emReq
+	res = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, x := range emReq.Histograms {
+				oneReq.Histograms = [][]float64{x}
+				if _, err := em.Answer(oneReq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	doc.Benchmarks = append(doc.Benchmarks, record("EngineAnswerSeq64", res, 0))
+
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"sync"
+	"time"
+
+	"lrm/internal/engine"
+	"lrm/internal/privacy"
+	"lrm/internal/workload"
+)
+
+// Batch coalescing: under concurrent load, many clients tend to ask for
+// the same workload (same fingerprint) at the same ε within a few
+// milliseconds of each other. Answering them one request at a time leaves
+// the engine's multi-RHS path idle; coalescing gathers concurrent
+// same-key requests behind a small time/size window and answers them as
+// one engine batch — one cache lookup, one packed GEMM per dense product
+// — then hands each caller its own rows.
+//
+// Only requests with no pinned seed and no per-request budget coalesce:
+// a seeded release is a replayable per-request noise contract, and a
+// budget is per-request accounting; both would change meaning inside a
+// merged batch. Those requests, and all requests when the window is zero,
+// go straight to the engine.
+
+// coalesceKey groups requests that may share one engine batch.
+type coalesceKey struct {
+	fp  string
+	eps float64
+}
+
+// coalesceResult is what a flushed group hands each waiter.
+type coalesceResult struct {
+	answers [][]float64
+	err     error
+}
+
+// coalesceWaiter is one request's slot in a group: its histograms occupy
+// rows [lo, lo+n) of the merged batch.
+type coalesceWaiter struct {
+	lo, n int
+	ch    chan coalesceResult
+}
+
+// coalesceGroup is one open window of mergeable requests.
+type coalesceGroup struct {
+	key     coalesceKey
+	wl      *workload.Workload
+	hists   [][]float64
+	waiters []*coalesceWaiter
+	timer   *time.Timer
+}
+
+// coalescer merges concurrent same-key answer requests into engine
+// batches. Zero window means coalescing is disabled and callers should
+// not construct one.
+type coalescer struct {
+	eng    *engine.Engine
+	window time.Duration
+	max    int // flush a group as soon as it holds this many histograms
+
+	mu     sync.Mutex
+	groups map[coalesceKey]*coalesceGroup
+}
+
+func newCoalescer(eng *engine.Engine, window time.Duration, max int) *coalescer {
+	if max <= 0 {
+		max = 64
+	}
+	return &coalescer{eng: eng, window: window, max: max, groups: make(map[coalesceKey]*coalesceGroup)}
+}
+
+// submit merges the request into the open group for its key (opening one
+// and arming its window timer if none is open), waits for the group to
+// flush, and returns this request's rows. The caller must have validated
+// histogram lengths against the workload domain: inside a merged batch a
+// malformed histogram would fail the whole group, not just its sender.
+func (c *coalescer) submit(wl *workload.Workload, fp string, hists [][]float64, eps float64) ([][]float64, error) {
+	w := &coalesceWaiter{n: len(hists), ch: make(chan coalesceResult, 1)}
+	key := coalesceKey{fp: fp, eps: eps}
+
+	c.mu.Lock()
+	g := c.groups[key]
+	if g == nil {
+		g = &coalesceGroup{key: key, wl: wl}
+		c.groups[key] = g
+		g.timer = time.AfterFunc(c.window, func() { c.flush(g) })
+	}
+	w.lo = len(g.hists)
+	g.hists = append(g.hists, hists...)
+	g.waiters = append(g.waiters, w)
+	full := len(g.hists) >= c.max
+	c.mu.Unlock()
+
+	if full {
+		// The request that filled the group flushes it immediately
+		// instead of waiting out the window; flush is idempotent, so a
+		// concurrent timer fire is harmless.
+		c.flush(g)
+	}
+	res := <-w.ch
+	if res.err != nil {
+		return nil, res.err
+	}
+	return res.answers[w.lo : w.lo+w.n], nil
+}
+
+// flush closes the group (removing it from the open set exactly once)
+// and answers its merged batch, distributing the result to every waiter.
+func (c *coalescer) flush(g *coalesceGroup) {
+	c.mu.Lock()
+	if c.groups[g.key] != g {
+		c.mu.Unlock()
+		return // already flushed by the timer or a filling request
+	}
+	delete(c.groups, g.key)
+	g.timer.Stop()
+	c.mu.Unlock()
+
+	answers, err := c.eng.Answer(engine.Request{
+		Workload:    g.wl,
+		Histograms:  g.hists,
+		Eps:         privacy.Epsilon(g.key.eps),
+		Fingerprint: g.key.fp,
+	})
+	for _, w := range g.waiters {
+		w.ch <- coalesceResult{answers: answers, err: err}
+	}
+}

@@ -7,6 +7,14 @@
 // Usage:
 //
 //	lrmserve -addr :8080 -mech lrm -cache-dir /var/cache/lrm
+//	lrmserve -coalesce-window 2ms            # merge concurrent same-workload requests
+//	lrmserve -shard-rows 4096                # row-shard oversized workloads (ε splits by
+//	                                         # sequential composition across shards)
+//
+// With -coalesce-window, concurrent POST /answer requests for the same
+// workload fingerprint and ε (unseeded and unbudgeted only) are held up
+// to the window and answered as one engine batch through the multi-RHS
+// path; each caller receives exactly its own rows.
 //
 // Endpoints:
 //
@@ -61,7 +69,10 @@ func main() {
 		cacheDir  = flag.String("cache-dir", "", "directory for persisted decompositions (empty = memory only)")
 		cacheSize = flag.Int("cache-size", 64, "max prepared workloads resident in memory")
 		workers   = flag.Int("workers", 0, "max concurrent chunks per batch request on the shared worker pool (0 = GOMAXPROCS)")
+		shardRows = flag.Int("shard-rows", 0, "row-shard workloads with more than this many queries (0 = disabled); shards split eps by sequential composition")
 		maxBody   = flag.Int64("max-body", 64<<20, "maximum request body size in bytes")
+		coWindow  = flag.Duration("coalesce-window", 0, "hold concurrent same-workload answer requests up to this long and answer them as one engine batch (0 = disabled)")
+		coMax     = flag.Int("coalesce-max", 64, "flush a coalescing window early once it holds this many histograms")
 	)
 	flag.Parse()
 
@@ -74,14 +85,19 @@ func main() {
 		CacheSize: *cacheSize,
 		CacheDir:  *cacheDir,
 		Workers:   *workers,
+		ShardRows: *shardRows,
 	})
 	if err != nil {
 		log.Fatalf("lrmserve: %v", err)
 	}
+	var co *coalescer
+	if *coWindow > 0 {
+		co = newCoalescer(eng, *coWindow, *coMax)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(eng, mech.Name(), *maxBody),
+		Handler:           newHandler(eng, mech.Name(), *maxBody, co),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -127,8 +143,8 @@ type statsResponse struct {
 }
 
 // newHandler builds the HTTP mux over an engine. Split from main so tests
-// can drive it with httptest.
-func newHandler(eng *engine.Engine, mechName string, maxBody int64) http.Handler {
+// can drive it with httptest. co may be nil (coalescing disabled).
+func newHandler(eng *engine.Engine, mechName string, maxBody int64, co *coalescer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/answer", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -148,17 +164,30 @@ func newHandler(eng *engine.Engine, mechName string, maxBody int64) http.Handler
 			return
 		}
 		// Hash once, up front: the engine reuses it for cache keying (a
-		// fresh per-request matrix would defeat its pointer memo) and the
-		// response echoes it so clients can correlate with /stats.
+		// fresh per-request matrix would defeat its pointer memo), the
+		// coalescer groups concurrent requests by it, and the response
+		// echoes it so clients can correlate with /stats.
 		fp := core.Fingerprint(wl.W)
-		answers, err := eng.Answer(engine.Request{
-			Workload:    wl,
-			Histograms:  req.Histograms,
-			Eps:         privacy.Epsilon(req.Eps),
-			Budget:      privacy.Epsilon(req.Budget),
-			Seed:        req.Seed,
-			Fingerprint: fp,
-		})
+		var answers [][]float64
+		if co != nil && req.Seed == 0 && req.Budget == 0 {
+			// Mergeable request: validate shapes first — inside a merged
+			// batch a malformed histogram would fail the whole group, not
+			// just its sender — then join the coalescing window.
+			if err := validateHistograms(req.Histograms, wl.Domain()); err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			answers, err = co.submit(wl, fp, req.Histograms, req.Eps)
+		} else {
+			answers, err = eng.Answer(engine.Request{
+				Workload:    wl,
+				Histograms:  req.Histograms,
+				Eps:         privacy.Epsilon(req.Eps),
+				Budget:      privacy.Epsilon(req.Budget),
+				Seed:        req.Seed,
+				Fingerprint: fp,
+			})
+		}
 		if err != nil {
 			status := http.StatusBadRequest
 			if errors.Is(err, privacy.ErrBudgetExhausted) {
@@ -180,6 +209,20 @@ func newHandler(eng *engine.Engine, mechName string, maxBody int64) http.Handler
 		w.WriteHeader(http.StatusOK)
 	})
 	return mux
+}
+
+// validateHistograms rejects empty batches and wrong-length histograms
+// before a request joins a coalescing group.
+func validateHistograms(hists [][]float64, domain int) error {
+	if len(hists) == 0 {
+		return errors.New("no histograms")
+	}
+	for i, h := range hists {
+		if len(h) != domain {
+			return fmt.Errorf("histogram %d has %d entries, domain is %d", i, len(h), domain)
+		}
+	}
+	return nil
 }
 
 // workloadFromJSON validates and converts the wire matrix. The engine

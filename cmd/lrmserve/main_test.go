@@ -21,7 +21,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(eng, "LRM", 1<<20))
+	srv := httptest.NewServer(newHandler(eng, "LRM", 1<<20, nil))
 	t.Cleanup(func() {
 		srv.Close()
 		eng.Close()

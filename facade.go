@@ -122,6 +122,16 @@ type Mechanism = mechanism.Mechanism
 // Prepared is a mechanism bound to one workload, ready to answer.
 type Prepared = mechanism.Prepared
 
+// BatchAnswerer is the optional multi-RHS extension of Prepared: answer
+// B histograms (the columns of an n×B matrix) in one call, bit-identical
+// to looping Answer but computed as packed multi-RHS GEMMs.
+type BatchAnswerer = mechanism.BatchAnswerer
+
+// AnswerMany answers every column of an n×B data matrix through p,
+// using its native multi-RHS path when it has one and a per-column loop
+// otherwise. The result is m×B, releases as columns.
+var AnswerMany = mechanism.AnswerMany
+
 // The mechanisms evaluated in the paper.
 type (
 	// LRM is the Low-Rank Mechanism (the paper's contribution).
@@ -263,10 +273,12 @@ var Evaluate = metrics.Evaluate
 
 // Engine is the serving layer: a long-lived, goroutine-safe answering
 // service that caches prepared workloads (LRU + singleflight), persists
-// LRM decompositions to a cache directory, and answers histogram batches
-// through a bounded worker pool with per-request budget accounting. See
-// internal/engine for the full semantics and cmd/lrmserve for the HTTP
-// front end.
+// LRM decompositions to a cache directory, answers histogram batches
+// through the mechanism's multi-RHS path (or a bounded worker-pool
+// fan-out) with per-request budget accounting, and can row-shard
+// oversized workloads (EngineOptions.ShardRows) with ε split across
+// shards by sequential composition. See internal/engine for the full
+// semantics and cmd/lrmserve for the HTTP front end.
 type Engine = engine.Engine
 
 // EngineOptions configures NewEngine; the zero value serves the LRM with

@@ -43,3 +43,27 @@ func EngineAnswerSetup() (*engine.Engine, engine.Request, error) {
 	x := rng.New(22).UniformVec(1024, 0, 100)
 	return e, engine.Request{Workload: w, Histograms: [][]float64{x}, Eps: 0.1, Seed: 23}, nil
 }
+
+// EngineAnswerManyBatch is the batch width of BenchmarkEngineAnswerMany:
+// one request carrying this many histograms over the BenchmarkEngineAnswer
+// workload.
+const EngineAnswerManyBatch = 64
+
+// EngineAnswerManySetup builds the engine and the unseeded batch request
+// of BenchmarkEngineAnswerMany (unseeded, so the engine takes the
+// multi-RHS batched path). The caller owns the engine and must issue the
+// request once to warm the cache before timing. The sequential baseline
+// (BenchmarkEngineAnswerSeq64) answers the same histograms through the
+// same engine one request at a time.
+func EngineAnswerManySetup() (*engine.Engine, engine.Request, error) {
+	e, err := engine.New(engine.Options{})
+	if err != nil {
+		return nil, engine.Request{}, err
+	}
+	w := workload.Range(64, 1024, rng.New(21))
+	xs := make([][]float64, EngineAnswerManyBatch)
+	for i := range xs {
+		xs[i] = rng.New(int64(22+i)).UniformVec(1024, 0, 100)
+	}
+	return e, engine.Request{Workload: w, Histograms: xs, Eps: 0.1}, nil
+}

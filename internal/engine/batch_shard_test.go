@@ -1,0 +1,341 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lrm/internal/core"
+	"lrm/internal/mechanism"
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// TestBatchedPathUsed: an unseeded multi-histogram request over a
+// mechanism with a multi-RHS path must go through it (Batched counter),
+// produce full-shape answers, and still draw distinct noise per
+// histogram and per request.
+func TestBatchedPathUsed(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	w := testWorkload(200)
+	x := testHistogram(w.Domain(), 201)
+	req := Request{Workload: w, Histograms: [][]float64{x, x, x}, Eps: 0.5}
+	a, err := e.Answer(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Batched != 1 {
+		t.Fatalf("stats = %+v, want one batched request", st)
+	}
+	if len(a) != 3 || len(a[0]) != w.Queries() {
+		t.Fatalf("answer shape %d×%d, want 3×%d", len(a), len(a[0]), w.Queries())
+	}
+	if reflect.DeepEqual(a[0], a[1]) {
+		t.Fatal("two histograms in one batched release drew identical noise")
+	}
+	b, err := e.Answer(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("two unseeded batched requests drew identical noise")
+	}
+	for _, col := range a {
+		for i, v := range col {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("answer[%d] = %g", i, v)
+			}
+		}
+	}
+}
+
+// TestSeededBatchKeepsPerHistogramStreams: the documented seeded-mode
+// contract — histogram i replayable alone at seed Seed+i — must survive
+// the batched path's introduction, so seeded batches take the per-vector
+// route.
+func TestSeededBatchKeepsPerHistogramStreams(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	w := testWorkload(210)
+	xs := [][]float64{testHistogram(w.Domain(), 211), testHistogram(w.Domain(), 212)}
+	a, err := e.Answer(Request{Workload: w, Histograms: xs, Eps: 0.5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Batched != 0 {
+		t.Fatalf("stats = %+v: seeded batch must not take the shared-stream batched path", st)
+	}
+	for i, x := range xs {
+		one, err := e.Answer(Request{Workload: w, Histograms: [][]float64{x}, Eps: 0.5, Seed: 5 + int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(one[0], a[i]) {
+			t.Fatalf("seeded batch answer %d not replayable at seed %d", i, 5+i)
+		}
+	}
+}
+
+// TestBatchedBudget: the batched path accounts the same per-histogram
+// spends as the fan-out path.
+func TestBatchedBudget(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	w := testWorkload(220)
+	mk := func(n int) [][]float64 {
+		xs := make([][]float64, n)
+		for i := range xs {
+			xs[i] = testHistogram(w.Domain(), int64(i))
+		}
+		return xs
+	}
+	if _, err := e.Answer(Request{Workload: w, Histograms: mk(4), Eps: 0.25, Budget: 1.0}); err != nil {
+		t.Fatalf("exact budget rejected: %v", err)
+	}
+	if _, err := e.Answer(Request{Workload: w, Histograms: mk(5), Eps: 0.25, Budget: 1.0}); !errors.Is(err, privacy.ErrBudgetExhausted) {
+		t.Fatalf("overspending batch = %v, want ErrBudgetExhausted", err)
+	}
+	if st := e.Stats(); st.Batched != 1 {
+		t.Fatalf("stats = %+v, want exactly the within-budget request batched", st)
+	}
+}
+
+// shardedEngine builds an engine that splits the 12-query test workload
+// into 5+5+2 row shards.
+func shardedEngine(t *testing.T, hook func(string)) *Engine {
+	t.Helper()
+	return newTestEngine(t, Options{ShardRows: 5, PrepareHook: hook})
+}
+
+// TestShardedPrepare: a workload wider than ShardRows must decompose as
+// one preparation per row block, each under its own fingerprint, with
+// answers spanning the full query range; repeat requests hit the shard
+// cache.
+func TestShardedPrepare(t *testing.T) {
+	perFP := make(map[string]int)
+	var mu sync.Mutex
+	e := shardedEngine(t, func(fp string) {
+		mu.Lock()
+		perFP[fp]++
+		mu.Unlock()
+	})
+	w := testWorkload(300) // 12×16: shards of 5, 5, 2 rows
+	x := testHistogram(w.Domain(), 301)
+	req := Request{Workload: w, Histograms: [][]float64{x}, Eps: 0.6}
+	out, err := e.Answer(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || len(out[0]) != w.Queries() {
+		t.Fatalf("answer shape %d×%d, want 1×%d", len(out), len(out[0]), w.Queries())
+	}
+	mu.Lock()
+	shards := len(perFP)
+	for fp, n := range perFP {
+		if n != 1 {
+			t.Fatalf("shard %s prepared %d times", fp, n)
+		}
+	}
+	mu.Unlock()
+	if shards != 3 {
+		t.Fatalf("%d shard preparations, want 3", shards)
+	}
+	if _, err := e.Answer(req); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	again := len(perFP)
+	mu.Unlock()
+	if again != 3 {
+		t.Fatalf("repeat request re-prepared shards (%d fingerprints total)", again)
+	}
+	if st := e.Stats(); st.Sharded != 2 || st.Prepares != 3 || st.Answers != 2 {
+		t.Fatalf("stats = %+v, want 2 sharded requests, 3 prepares, 2 answers", st)
+	}
+}
+
+// TestShardedComposition pins the ε split and the seeded stream layout:
+// the sharded release equals, bit for bit, the concatenation of direct
+// per-shard requests at ε/k with seeds Seed + s·B + i — the documented
+// sequential-composition semantics.
+func TestShardedComposition(t *testing.T) {
+	e := shardedEngine(t, nil)
+	w := testWorkload(310)
+	xs := [][]float64{testHistogram(w.Domain(), 311), testHistogram(w.Domain(), 312)}
+	const seed = 1000
+	eps := privacy.Epsilon(0.9)
+	got, err := e.Answer(Request{Workload: w, Histograms: xs, Eps: eps, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := e.Answer(Request{Workload: w, Histograms: xs, Eps: eps, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, again) {
+		t.Fatal("identical seeded sharded requests produced different releases")
+	}
+	const k = 3
+	epsShard := privacy.Epsilon(float64(eps) / k)
+	bounds := []struct{ lo, hi int }{{0, 5}, {5, 10}, {10, 12}}
+	for s, bd := range bounds {
+		sw := &workload.Workload{W: w.W.Slice(bd.lo, bd.hi, 0, w.Domain()), Name: "shard"}
+		for i, x := range xs {
+			one, err := e.Answer(Request{
+				Workload:   sw,
+				Histograms: [][]float64{x},
+				Eps:        epsShard,
+				Seed:       seed + int64(s*len(xs)+i),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(one[0], got[i][bd.lo:bd.hi]) {
+				t.Fatalf("shard %d histogram %d: sharded release differs from direct ε/k request", s, i)
+			}
+		}
+	}
+}
+
+// TestShardedUnseededBatch: unseeded sharded batches run each shard
+// through the multi-RHS path.
+func TestShardedUnseededBatch(t *testing.T) {
+	e := shardedEngine(t, nil)
+	w := testWorkload(320)
+	xs := [][]float64{testHistogram(w.Domain(), 321), testHistogram(w.Domain(), 322)}
+	out, err := e.Answer(Request{Workload: w, Histograms: xs, Eps: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || len(out[0]) != w.Queries() {
+		t.Fatalf("answer shape %d×%d, want 2×%d", len(out), len(out[0]), w.Queries())
+	}
+	if st := e.Stats(); st.Sharded != 1 || st.Batched != 3 {
+		t.Fatalf("stats = %+v, want 1 sharded request batching all 3 shards", st)
+	}
+}
+
+// TestShardedBudget: the budget covers the composed spend — ε per
+// histogram regardless of shard count — so sharding must not double-bill.
+func TestShardedBudget(t *testing.T) {
+	e := shardedEngine(t, nil)
+	w := testWorkload(330)
+	mk := func(n int) [][]float64 {
+		xs := make([][]float64, n)
+		for i := range xs {
+			xs[i] = testHistogram(w.Domain(), int64(i))
+		}
+		return xs
+	}
+	if _, err := e.Answer(Request{Workload: w, Histograms: mk(4), Eps: 0.25, Budget: 1.0}); err != nil {
+		t.Fatalf("exact budget rejected under sharding: %v", err)
+	}
+	if _, err := e.Answer(Request{Workload: w, Histograms: mk(5), Eps: 0.25, Budget: 1.0}); !errors.Is(err, privacy.ErrBudgetExhausted) {
+		t.Fatalf("overspending sharded batch = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestShardedDiskCache: shard decompositions persist and restore through
+// the disk cache like any workload — a second engine sharing the
+// directory serves the sharded request without a single Prepare.
+func TestShardedDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	w := testWorkload(340)
+	x := testHistogram(w.Domain(), 341)
+	req := Request{Workload: w, Histograms: [][]float64{x}, Eps: 0.5, Seed: 9}
+	var p1, p2 atomic.Int64
+	e1 := newTestEngine(t, Options{ShardRows: 5, CacheDir: dir, PrepareHook: func(string) { p1.Add(1) }})
+	got1, err := e1.Answer(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Load() != 3 {
+		t.Fatalf("first engine prepared %d shards, want 3", p1.Load())
+	}
+	e2 := newTestEngine(t, Options{ShardRows: 5, CacheDir: dir, PrepareHook: func(string) { p2.Add(1) }})
+	got2, err := e2.Answer(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Load() != 0 {
+		t.Fatalf("second engine ran %d prepares despite shard disk cache", p2.Load())
+	}
+	if !reflect.DeepEqual(got1, got2) {
+		t.Fatal("disk-restored shards answer differently at the same seed")
+	}
+	if st := e2.Stats(); st.DiskHits != 3 {
+		t.Fatalf("stats = %+v, want 3 disk hits", st)
+	}
+}
+
+// TestShardRowsValidation: negative ShardRows is a config error; a
+// workload not exceeding ShardRows takes the normal path.
+func TestShardRowsValidation(t *testing.T) {
+	if _, err := New(Options{ShardRows: -1}); err == nil {
+		t.Fatal("negative ShardRows accepted")
+	}
+	e := newTestEngine(t, Options{ShardRows: 64})
+	w := testWorkload(350) // 12 queries ≤ 64: unsharded
+	x := testHistogram(w.Domain(), 351)
+	if _, err := e.Answer(Request{Workload: w, Histograms: [][]float64{x}, Eps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Sharded != 0 {
+		t.Fatalf("stats = %+v, want no sharded requests", st)
+	}
+}
+
+// TestShardedConcurrent hammers the sharded path from many goroutines;
+// meaningful mainly under -race (plan memo, shard cache, pool nesting).
+func TestShardedConcurrent(t *testing.T) {
+	e := newTestEngine(t, Options{ShardRows: 5, CacheSize: 8})
+	ws := []*workload.Workload{testWorkload(360), testWorkload(361)}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				w := ws[(g+i)%len(ws)]
+				xs := [][]float64{
+					testHistogram(w.Domain(), int64(g)),
+					testHistogram(w.Domain(), int64(i)),
+				}
+				out, err := e.Answer(Request{Workload: w, Histograms: xs, Eps: 0.3})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(out) != 2 || len(out[0]) != w.Queries() {
+					t.Errorf("bad shape %d×%d", len(out), len(out[0]))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestShardedLRM answers through the real default LRM options on a
+// slightly larger workload to make sure sharded prepare composes with
+// the full decomposition path, not just the fast test options.
+func TestShardedLRM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full decomposition")
+	}
+	e := newTestEngine(t, Options{
+		Mechanism: mechanism.LRM{Options: core.Options{MaxOuterIter: 20}},
+		ShardRows: 8,
+	})
+	w := workload.Related(20, 32, 4, rng.New(42))
+	x := testHistogram(w.Domain(), 43)
+	out, err := e.Answer(Request{Workload: w, Histograms: [][]float64{x}, Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[0]) != 20 {
+		t.Fatalf("answer length %d, want 20", len(out[0]))
+	}
+}

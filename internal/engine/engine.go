@@ -13,13 +13,22 @@
 // different process — so the optimization cost is paid once per workload
 // per deployment, not per process.
 //
-// Batches of histograms fan out over the numeric stack's shared
-// persistent worker pool (mat.ParallelFor) rather than an engine-owned
-// goroutine fleet, so request-level parallelism and the GEMM tiles of any
-// in-flight Prepare draw from one scheduler instead of oversubscribing
-// each other. Each request may carry its own ε budget; spends are
-// accounted on a per-request privacy.Budget, whose mutex makes concurrent
-// workers unable to jointly overspend.
+// Batches of histograms take the mechanism's multi-RHS path when it has
+// one (mechanism.BatchAnswerer): the batch becomes an n×B matrix and
+// every dense product runs as one packed GEMM, which is both faster than
+// B mat-vecs and scheduler-neutral (the GEMM tiles draw from the shared
+// pool). Seeded batches, and mechanisms without a batch path, fan out
+// per histogram over the same pool (mat.ParallelFor) rather than an
+// engine-owned goroutine fleet, so request-level parallelism and the
+// GEMM tiles of any in-flight Prepare draw from one scheduler instead of
+// oversubscribing each other. Each request may carry its own ε budget;
+// spends are accounted on a per-request privacy.Budget, whose mutex
+// makes concurrent workers unable to jointly overspend.
+//
+// Oversized workloads can opt into row-sharded prepare
+// (Options.ShardRows): row blocks decompose concurrently, cache under
+// their own fingerprints, answer at ε/k each (sequential composition),
+// and concatenate — see shard.go.
 package engine
 
 import (
@@ -64,8 +73,28 @@ type Options struct {
 	// GOMAXPROCS): a batch is split into at most Workers chunks, which
 	// are answered concurrently on the numeric stack's shared worker
 	// pool. Single-histogram requests are answered on the caller's
-	// goroutine.
+	// goroutine. Unseeded batches over a mechanism with a multi-RHS path
+	// (mechanism.BatchAnswerer) skip the fan-out entirely: the whole
+	// batch runs as packed multi-RHS GEMMs, whose tiles draw from the
+	// same pool.
 	Workers int
+	// ShardRows, when positive, row-partitions any workload with more
+	// than ShardRows queries into ⌈m/ShardRows⌉ row blocks that are
+	// decomposed concurrently and cached independently — each shard
+	// under its own content fingerprint, so overlapping workloads and
+	// restarts reuse shard preparations, and workloads too large for a
+	// single ALM decomposition become feasible. Answers are the
+	// concatenation of the shard answers.
+	//
+	// Privacy: the shards are answered over the same database, so they
+	// compose sequentially — each shard is released at ε/k (k = number
+	// of shards) and the total per-histogram budget remains exactly the
+	// request's Eps. This is the standard price of sharding: against a
+	// joint decomposition at full ε, expected error grows by up to k²
+	// on each shard's block, traded for an O(k)-smaller optimization
+	// problem per shard and cross-workload shard reuse. Zero disables
+	// sharding.
+	ShardRows int
 	// PrepareHook, when set, is called with the workload fingerprint each
 	// time an actual Prepare executes (not on cache or disk hits). It
 	// exists so tests can count preparations; leave nil in production.
@@ -121,6 +150,10 @@ type Stats struct {
 	// DiskHits and DiskWrites count decompositions restored from and
 	// persisted to the cache directory.
 	DiskHits, DiskWrites uint64
+	// Batched counts batches answered through a mechanism's multi-RHS
+	// path (one packed GEMM per batch instead of a per-histogram
+	// fan-out); Sharded counts requests served by row-sharded prepare.
+	Batched, Sharded uint64
 	// Cached is the number of prepared workloads currently resident.
 	Cached int
 }
@@ -151,6 +184,13 @@ type Engine struct {
 	// the shared pool (Options.Workers).
 	fanout int
 
+	// Row sharding (Options.ShardRows): shardPlans memoizes the row
+	// partition of each sharded workload — the sliced shard matrices and
+	// their fingerprints — keyed by the parent workload's fingerprint.
+	shardRows  int
+	shardMu    sync.Mutex
+	shardPlans map[string]*shardPlan
+
 	// Pooled noise sources: Answer reseeds one per histogram instead of
 	// allocating, keeping the cache-hit path at two allocations.
 	sources sync.Pool
@@ -166,6 +206,7 @@ type Engine struct {
 	coalesced, prepares  atomic.Uint64
 	evictions            atomic.Uint64
 	diskHits, diskWrites atomic.Uint64
+	batched, sharded     atomic.Uint64
 }
 
 // memoLimit bounds the fingerprint memo; past it the memo is reset (the
@@ -221,6 +262,11 @@ func New(opts Options) (*Engine, error) {
 	if e.fanout <= 0 {
 		e.fanout = runtime.GOMAXPROCS(0)
 	}
+	if opts.ShardRows < 0 {
+		return nil, fmt.Errorf("engine: negative ShardRows %d", opts.ShardRows)
+	}
+	e.shardRows = opts.ShardRows
+	e.shardPlans = make(map[string]*shardPlan)
 	return e, nil
 }
 
@@ -256,6 +302,9 @@ func (e *Engine) Answer(req Request) ([][]float64, error) {
 	if fp == "" {
 		fp = e.fingerprint(req.Workload.W)
 	}
+	if e.shardRows > 0 && req.Workload.Queries() > e.shardRows {
+		return e.answerSharded(fp, req)
+	}
 	p, err := e.prepared(fp, req.Workload)
 	if err != nil {
 		return nil, err
@@ -288,18 +337,85 @@ func (e *Engine) Answer(req Request) ([][]float64, error) {
 	return out, nil
 }
 
-// answerBatch fans a multi-histogram request across the shared worker
-// pool, filling out in request order. Seeds are resolved up front in
-// request order so a seeded release is identical however the chunks are
-// scheduled; the batch is split into at most e.fanout contiguous chunks
-// so one request cannot monopolize the pool beyond its configured width.
+// answerBatch answers a multi-histogram request, filling out in request
+// order. Unseeded batches over a mechanism with a multi-RHS path take the
+// batched route: one packed GEMM per dense product for the whole batch.
+// Seeded batches keep the documented per-histogram stream contract
+// (histogram i is seeded Seed+i, replayable independently), which a
+// single shared stream could not honor, so they fan out per vector like
+// mechanisms without a batch path.
 func (e *Engine) answerBatch(p mechanism.Prepared, req Request, budget *privacy.Budget, out [][]float64) error {
+	if req.Seed == 0 {
+		if ba, ok := p.(mechanism.BatchAnswerer); ok {
+			return e.answerMany(ba, histogramColumns(req.Histograms), req.Eps, budget, out)
+		}
+	}
 	n := len(req.Histograms)
-	errs := make([]error, n)
 	seeds := make([]int64, n)
 	for i := range seeds {
 		seeds[i] = e.seedFor(req.Seed, i)
 	}
+	return e.fanOut(p, req.Histograms, req.Eps, budget, seeds, out)
+}
+
+// histogramColumns stacks a request's histograms as the columns of the
+// n×B matrix the multi-RHS path takes.
+func histogramColumns(hists [][]float64) *mat.Dense {
+	n, b := len(hists[0]), len(hists)
+	x := mat.New(n, b)
+	xd := x.RawData()
+	for j, h := range hists {
+		for i, v := range h {
+			xd[i*b+j] = v
+		}
+	}
+	return x
+}
+
+// answerMany routes one batch through the mechanism's multi-RHS path:
+// histograms become the columns of an n×B matrix (x, built once per
+// request — the sharded path reuses it across shards), one AnswerMany
+// call answers them all (its GEMM tiles parallelize on the shared pool),
+// and the result columns become the per-histogram answer slices. The
+// whole batch draws from one unpredictable noise stream; budget spends
+// are accounted per histogram up front, exactly like the fan-out path.
+func (e *Engine) answerMany(ba mechanism.BatchAnswerer, x *mat.Dense, eps privacy.Epsilon, budget *privacy.Budget, out [][]float64) error {
+	b := x.Cols()
+	if budget != nil {
+		for i := 0; i < b; i++ {
+			if err := budget.Spend(eps); err != nil {
+				return err
+			}
+		}
+	}
+	src := e.sources.Get().(*rng.Source)
+	src.Reseed(e.nextSeed())
+	y, err := ba.AnswerMany(x, eps, src)
+	e.sources.Put(src)
+	if err != nil {
+		return err
+	}
+	m := y.Rows()
+	yd := y.RawData()
+	for j := range out {
+		a := make([]float64, m)
+		for i := 0; i < m; i++ {
+			a[i] = yd[i*b+j]
+		}
+		out[j] = a
+	}
+	e.batched.Add(1)
+	return nil
+}
+
+// fanOut answers histograms[i] with seeds[i] across the shared worker
+// pool, filling out in order. Seeds are resolved by the caller up front
+// so a seeded release is identical however the chunks are scheduled; the
+// batch is split into at most e.fanout contiguous chunks so one request
+// cannot monopolize the pool beyond its configured width.
+func (e *Engine) fanOut(p mechanism.Prepared, hists [][]float64, eps privacy.Epsilon, budget *privacy.Budget, seeds []int64, out [][]float64) error {
+	n := len(hists)
+	errs := make([]error, n)
 	width := e.fanout
 	if width > n {
 		width = n
@@ -311,7 +427,7 @@ func (e *Engine) answerBatch(p mechanism.Prepared, req Request, budget *privacy.
 			hi = n
 		}
 		for i := w * chunk; i < hi; i++ {
-			out[i], errs[i] = e.answerOne(p, req.Histograms[i], req.Eps, budget, seeds[i])
+			out[i], errs[i] = e.answerOne(p, hists[i], eps, budget, seeds[i])
 		}
 	})
 	for _, err := range errs {
@@ -393,6 +509,8 @@ func (e *Engine) Stats() Stats {
 		Evictions:  e.evictions.Load(),
 		DiskHits:   e.diskHits.Load(),
 		DiskWrites: e.diskWrites.Load(),
+		Batched:    e.batched.Load(),
+		Sharded:    e.sharded.Load(),
 		Cached:     cached,
 	}
 }

@@ -74,17 +74,30 @@ func packPanel(dst, src []float64, k, n, rowStride, colStride, p int) {
 	}
 }
 
+// gemmAsmKernel is the signature of the assembly 4×8 micro-kernels.
+type gemmAsmKernel = func(k int64, a *float64, aRowStride, aKStride int64, bp *float64, bKStride int64, c *float64, cRowStride int64)
+
 // gemmMain computes dst = A·B (overwriting dst, which must be m×n with
 // contiguous rows): A is the aView, B is addressed as
 // B(t,j) = bdata[t*bRow + j*bCol]. With upperOnly, tiles strictly below
 // the diagonal are skipped and per-panel row ranges are clipped to the
 // triangle — callers mirror the result (the symmetric Gram kernels).
 //
+// colExact selects the kernel family. The default (false) uses the
+// fastest available micro-kernel — AVX2+FMA where the hardware supports
+// it. colExact swaps in the mul+add assembly kernel (or the scalar
+// kernels, which already round that way): every output element is then
+// accumulated with a separate multiply and add in ascending k — the
+// exact operation sequence of a MulVecTo dot product — so each result
+// column is bit-identical to the matrix-vector product of that column
+// (the MulColsTo guarantee), which the FMA kernel's fused rounding would
+// break.
+//
 // Products below parallelThreshold run the identical tile grid inline on
 // the calling goroutine (no closures, no allocations — the ALM inner
 // loop's zero-alloc pin depends on this); larger ones draw tiles from
 // the persistent pool.
-func gemmMain(dst *Dense, m, n, k int, av aView, bdata []float64, bRow, bCol int, upperOnly bool) {
+func gemmMain(dst *Dense, m, n, k int, av aView, bdata []float64, bRow, bCol int, upperOnly, colExact bool) {
 	if m <= 0 || n <= 0 {
 		return
 	}
@@ -113,21 +126,30 @@ func gemmMain(dst *Dense, m, n, k int, av aView, bdata []float64, bRow, bCol int
 	tR := (m + gemmTileRows - 1) / gemmTileRows
 	tC := (nPanels + tilePanels - 1) / tilePanels
 	cd, ldc := dst.data, dst.cols
+	var asmKern gemmAsmKernel
+	if gemmUseAsm {
+		if colExact {
+			asmKern = gemmKernelMulAdd4x8
+		} else {
+			asmKern = gemmKernel4x8
+		}
+	}
 	if parallel {
 		forEachTile(tR*tC, func(t int) {
-			gemmTileRun(t, cd, ldc, m, n, k, av, packed, upperOnly, tC)
+			gemmTileRun(t, cd, ldc, m, n, k, av, packed, upperOnly, tC, asmKern)
 		})
 	} else {
 		for t := 0; t < tR*tC; t++ {
-			gemmTileRun(t, cd, ldc, m, n, k, av, packed, upperOnly, tC)
+			gemmTileRun(t, cd, ldc, m, n, k, av, packed, upperOnly, tC, asmKern)
 		}
 	}
 	putPackBuf(packed)
 }
 
 // gemmTileRun computes scheduler tile t of the fixed grid: output rows
-// [r0,r1) × panels [p0,p1).
-func gemmTileRun(t int, cd []float64, ldc, m, n, k int, av aView, packed []float64, upperOnly bool, tC int) {
+// [r0,r1) × panels [p0,p1). asmKern is the assembly micro-kernel for
+// full-width 4-row blocks, or nil to use the scalar kernels throughout.
+func gemmTileRun(t int, cd []float64, ldc, m, n, k int, av aView, packed []float64, upperOnly bool, tC int, asmKern gemmAsmKernel) {
 	tilePanels := gemmTileCols / gemmNR
 	nPanels := (n + gemmNR - 1) / gemmNR
 	r0 := (t / tC) * gemmTileRows
@@ -156,9 +178,9 @@ func gemmTileRun(t int, cd []float64, ldc, m, n, k int, av aView, packed []float
 		i := r0
 		if pw == gemmNR {
 			if rLim-r0 >= gemmMR {
-				if gemmUseAsm {
+				if asmKern != nil {
 					for ; i+gemmMR <= rLim; i += gemmMR {
-						gemmKernel4x8(int64(k),
+						asmKern(int64(k),
 							&av.data[i*av.row], int64(av.row*8), int64(av.k*8),
 							&packed[pOff], gemmNR*8,
 							&cd[i*ldc+j0], int64(ldc*8))
@@ -170,7 +192,7 @@ func gemmTileRun(t int, cd []float64, ldc, m, n, k int, av aView, packed []float
 						// panel, same k-order, same goroutine), which is
 						// far cheaper than an elementwise tail.
 						i = rLim - gemmMR
-						gemmKernel4x8(int64(k),
+						asmKern(int64(k),
 							&av.data[i*av.row], int64(av.row*8), int64(av.k*8),
 							&packed[pOff], gemmNR*8,
 							&cd[i*ldc+j0], int64(ldc*8))

@@ -1,12 +1,20 @@
-//go:build !amd64
+//go:build !amd64 || noasm
 
 package mat
 
-// Non-amd64 builds always use the scalar micro-kernels in gemm.go.
+// Non-amd64 builds — and amd64 builds with the noasm tag, which CI uses
+// to exercise the portable fallback on stock runners — always use the
+// scalar micro-kernels in gemm.go.
 var gemmUseAsm = false
 
 // gemmKernel4x8 is never called when gemmUseAsm is false; this stub only
 // satisfies the compiler.
 func gemmKernel4x8(k int64, a *float64, aRowStride, aKStride int64, bp *float64, bKStride int64, c *float64, cRowStride int64) {
 	panic("mat: gemmKernel4x8 called without assembly support")
+}
+
+// gemmKernelMulAdd4x8 is never called when gemmUseAsm is false; this
+// stub only satisfies the compiler.
+func gemmKernelMulAdd4x8(k int64, a *float64, aRowStride, aKStride int64, bp *float64, bKStride int64, c *float64, cRowStride int64) {
+	panic("mat: gemmKernelMulAdd4x8 called without assembly support")
 }

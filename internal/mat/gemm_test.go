@@ -143,14 +143,18 @@ func TestGEMMSchedulingInvariance(t *testing.T) {
 		tC := (nPanels + tilePanels - 1) / tilePanels
 		av := aView{data: a.data, row: a.cols, k: 1}
 
+		var kern gemmAsmKernel
+		if gemmUseAsm {
+			kern = gemmKernel4x8
+		}
 		ref := New(sh.m, sh.n)
 		for tl := 0; tl < tR*tC; tl++ {
-			gemmTileRun(tl, ref.data, ref.cols, sh.m, sh.n, sh.k, av, packed, false, tC)
+			gemmTileRun(tl, ref.data, ref.cols, sh.m, sh.n, sh.k, av, packed, false, tC, kern)
 		}
 		for _, claimants := range []int{1, 2, 3, 8} {
 			got := New(sh.m, sh.n)
 			runTilesWithClaimants(claimants, tR*tC, func(tl int) {
-				gemmTileRun(tl, got.data, got.cols, sh.m, sh.n, sh.k, av, packed, false, tC)
+				gemmTileRun(tl, got.data, got.cols, sh.m, sh.n, sh.k, av, packed, false, tC, kern)
 			})
 			if !got.Equal(ref) {
 				t.Fatalf("%dx%dx%d: %d claimants disagree bitwise with serial grid", sh.m, sh.k, sh.n, claimants)

@@ -1,0 +1,87 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"lrm/internal/mat"
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+)
+
+// AnswerMany is the universal multi-RHS answering entry point: it routes
+// through the Prepared's own BatchAnswerer implementation when it has one
+// and otherwise falls back to answering column by column. Either way the
+// result is bit-identical to looping Answer over the columns of x with
+// the same source (the BatchAnswerer contract; the fallback is that loop).
+//
+// x is n×B — one histogram per column — and the result is m×B.
+func AnswerMany(p Prepared, x *mat.Dense, eps privacy.Epsilon, src *rng.Source) (*mat.Dense, error) {
+	if ba, ok := p.(BatchAnswerer); ok {
+		return ba.AnswerMany(x, eps, src)
+	}
+	return AnswerManyLoop(p, x, eps, src)
+}
+
+// AnswerManyLoop answers the columns of x one at a time through
+// p.Answer, stacking the releases as columns of the result. It is the
+// fallback for mechanisms without a native multi-RHS path and the
+// reference semantics every BatchAnswerer must reproduce exactly.
+func AnswerManyLoop(p Prepared, x *mat.Dense, eps privacy.Epsilon, src *rng.Source) (*mat.Dense, error) {
+	n, cols := x.Dims()
+	if cols == 0 {
+		return nil, fmt.Errorf("mechanism: AnswerMany with no data columns")
+	}
+	col := make([]float64, n)
+	var out *mat.Dense
+	for j := 0; j < cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = x.At(i, j)
+		}
+		a, err := p.Answer(col, eps, src)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = mat.New(len(a), cols)
+		}
+		out.SetCol(j, a)
+	}
+	return out, nil
+}
+
+// addLaplaceNoiseCols perturbs the r×B matrix y in place with Laplace
+// noise of scale sensitivity/ε, drawing column by column in ascending
+// column order — the draw order a loop of per-column Answer calls sharing
+// one source would produce, which the BatchAnswerer bit-identity contract
+// requires. The gather/scatter through buf keeps the draws flowing
+// through the exact same privacy.AddLaplaceNoise code path (scale
+// computation, validation) as the single-vector answering paths.
+func addLaplaceNoiseCols(y *mat.Dense, sensitivity float64, eps privacy.Epsilon, src *rng.Source) error {
+	r, cols := y.Dims()
+	buf := make([]float64, r)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < r; i++ {
+			buf[i] = y.At(i, j)
+		}
+		if err := privacy.AddLaplaceNoise(buf, sensitivity, eps, src); err != nil {
+			return err
+		}
+		y.SetCol(j, buf)
+	}
+	return nil
+}
+
+// checkBatchShape validates the data matrix of an AnswerMany call against
+// the mechanism's domain.
+func checkBatchShape(x *mat.Dense, domain int) error {
+	if x == nil {
+		return fmt.Errorf("mechanism: nil data matrix")
+	}
+	if x.Rows() != domain {
+		return fmt.Errorf("mechanism: data matrix has %d rows, domain is %d", x.Rows(), domain)
+	}
+	if x.Cols() == 0 {
+		return fmt.Errorf("mechanism: AnswerMany with no data columns")
+	}
+	return nil
+}

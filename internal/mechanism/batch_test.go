@@ -1,0 +1,105 @@
+package mechanism
+
+import (
+	"testing"
+
+	"lrm/internal/mat"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// histogramMatrix stacks B histograms drawn from src as the columns of an
+// n×B matrix, the layout AnswerMany takes.
+func histogramMatrix(n, b int, src *rng.Source) *mat.Dense {
+	x := mat.New(n, b)
+	for j := 0; j < b; j++ {
+		x.SetCol(j, src.UniformVec(n, 0, 20))
+	}
+	return x
+}
+
+// TestAnswerManyBitIdenticalToLoop is the BatchAnswerer contract test:
+// for every mechanism in the repository, AnswerMany over an n×B data
+// matrix must release exactly — bit for bit — what looping Answer over
+// the columns with an identically seeded source releases. Batch widths
+// cover the single-column case, a partial GEMM panel, and a full one.
+func TestAnswerManyBitIdenticalToLoop(t *testing.T) {
+	src := rng.New(1)
+	const m, n = 6, 32
+	w := workload.Range(m, n, src)
+	for _, mech := range allMechanisms() {
+		mech := mech
+		t.Run(mech.Name(), func(t *testing.T) {
+			p, err := mech.Prepare(w)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			for _, batch := range []int{1, 5, 8} {
+				x := histogramMatrix(n, batch, rng.New(int64(10+batch)))
+				want, err := AnswerManyLoop(p, x, 1, rng.New(77))
+				if err != nil {
+					t.Fatalf("B=%d: loop: %v", batch, err)
+				}
+				got, err := AnswerMany(p, x, 1, rng.New(77))
+				if err != nil {
+					t.Fatalf("B=%d: AnswerMany: %v", batch, err)
+				}
+				if got.Rows() != m || got.Cols() != batch {
+					t.Fatalf("B=%d: result is %d×%d, want %d×%d", batch, got.Rows(), got.Cols(), m, batch)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("B=%d: AnswerMany differs bitwise from looping Answer per column", batch)
+				}
+			}
+		})
+	}
+}
+
+// TestAnswerManyNativeImplementations pins which mechanisms carry a real
+// multi-RHS path (one packed GEMM per product) rather than the loop
+// fallback — so a refactor that silently drops an implementation fails
+// here instead of just getting slower.
+func TestAnswerManyNativeImplementations(t *testing.T) {
+	src := rng.New(2)
+	w := workload.Range(6, 32, src)
+	native := []Mechanism{
+		LRM{},
+		LaplaceData{},
+		LaplaceResults{},
+		MatrixMechanism{MaxIter: 10},
+		Consistent{Base: LaplaceResults{}},
+	}
+	for _, mech := range native {
+		p, err := mech.Prepare(w)
+		if err != nil {
+			t.Fatalf("%s: prepare: %v", mech.Name(), err)
+		}
+		if _, ok := p.(BatchAnswerer); !ok {
+			t.Errorf("%s: Prepared does not implement BatchAnswerer", mech.Name())
+		}
+	}
+}
+
+// TestAnswerManyValidation covers the batch-shape and ε errors of the
+// native implementations.
+func TestAnswerManyValidation(t *testing.T) {
+	src := rng.New(3)
+	const n = 32
+	w := workload.Range(6, n, src)
+	for _, mech := range []Mechanism{LRM{}, LaplaceData{}, LaplaceResults{}, Consistent{Base: LaplaceResults{}}} {
+		p, err := mech.Prepare(w)
+		if err != nil {
+			t.Fatalf("%s: prepare: %v", mech.Name(), err)
+		}
+		good := histogramMatrix(n, 3, rng.New(4))
+		if _, err := AnswerMany(p, good, 0, rng.New(5)); err == nil {
+			t.Errorf("%s: zero epsilon accepted", mech.Name())
+		}
+		if _, err := AnswerMany(p, histogramMatrix(n-1, 3, rng.New(4)), 1, rng.New(5)); err == nil {
+			t.Errorf("%s: wrong-domain matrix accepted", mech.Name())
+		}
+		if _, err := AnswerMany(p, mat.New(n, 0), 1, rng.New(5)); err == nil {
+			t.Errorf("%s: empty batch accepted", mech.Name())
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lrm/internal/infer"
+	"lrm/internal/mat"
 	"lrm/internal/privacy"
 	"lrm/internal/rng"
 	"lrm/internal/workload"
@@ -60,6 +61,31 @@ func (p *consistentPrepared) Answer(x []float64, eps privacy.Epsilon, src *rng.S
 		return nil, err
 	}
 	return p.proj.Apply(y)
+}
+
+// AnswerMany implements BatchAnswerer: the base release batches through
+// its own multi-RHS path when it has one (the generic AnswerMany entry
+// point falls back to a per-column loop otherwise), then each column is
+// projected with the same pooled ApplyTo kernel Answer uses — so the
+// batch is bit-identical to looping Answer either way.
+func (p *consistentPrepared) AnswerMany(x *mat.Dense, eps privacy.Epsilon, src *rng.Source) (*mat.Dense, error) {
+	y, err := AnswerMany(p.base, x, eps, src)
+	if err != nil {
+		return nil, err
+	}
+	m, cols := y.Dims()
+	in := make([]float64, m)
+	out := make([]float64, m)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < m; i++ {
+			in[i] = y.At(i, j)
+		}
+		if _, err := p.proj.ApplyTo(out, in); err != nil {
+			return nil, err
+		}
+		y.SetCol(j, out)
+	}
+	return y, nil
 }
 
 // ExpectedSSE implements Prepared. The projected error of the base

@@ -41,6 +41,20 @@ func (p *laplaceDataPrepared) Answer(x []float64, eps privacy.Epsilon, src *rng.
 	return mat.MulVec(p.w.W, noisy), nil
 }
 
+// AnswerMany implements BatchAnswerer: the unit counts of every column
+// are perturbed (column-major draw order), then all B noisy histograms
+// are pushed through W in one packed multi-RHS product.
+func (p *laplaceDataPrepared) AnswerMany(x *mat.Dense, eps privacy.Epsilon, src *rng.Source) (*mat.Dense, error) {
+	if err := checkBatchShape(x, p.w.Domain()); err != nil {
+		return nil, err
+	}
+	noisy := x.Clone()
+	if err := addLaplaceNoiseCols(noisy, 1, eps, src); err != nil {
+		return nil, err
+	}
+	return mat.MulColsTo(mat.New(p.w.Queries(), x.Cols()), p.w.W, noisy), nil
+}
+
 func (p *laplaceDataPrepared) ExpectedSSE(eps privacy.Epsilon) float64 {
 	e := float64(eps)
 	return 2 * mat.SquaredSum(p.w.W) / (e * e)
@@ -72,6 +86,20 @@ func (p *laplaceResultsPrepared) Answer(x []float64, eps privacy.Epsilon, src *r
 		return nil, fmt.Errorf("mechanism: data length %d != domain %d", len(x), p.w.Domain())
 	}
 	return privacy.LaplaceMechanism(p.w.Answer(x), p.delta, eps, src)
+}
+
+// AnswerMany implements BatchAnswerer: one packed multi-RHS product
+// computes every column's exact answers, then Laplace noise is applied
+// per column in ascending order.
+func (p *laplaceResultsPrepared) AnswerMany(x *mat.Dense, eps privacy.Epsilon, src *rng.Source) (*mat.Dense, error) {
+	if err := checkBatchShape(x, p.w.Domain()); err != nil {
+		return nil, err
+	}
+	out := mat.MulColsTo(mat.New(p.w.Queries(), x.Cols()), p.w.W, x)
+	if err := addLaplaceNoiseCols(out, p.delta, eps, src); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func (p *laplaceResultsPrepared) ExpectedSSE(eps privacy.Epsilon) float64 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lrm/internal/core"
+	"lrm/internal/mat"
 	"lrm/internal/privacy"
 	"lrm/internal/rng"
 	"lrm/internal/workload"
@@ -54,6 +55,12 @@ type lrmPrepared struct {
 
 func (p *lrmPrepared) Answer(x []float64, eps privacy.Epsilon, src *rng.Source) ([]float64, error) {
 	return p.m.Answer(x, eps, src)
+}
+
+// AnswerMany implements BatchAnswerer: both low-rank products run as one
+// packed multi-RHS GEMM per batch (see core.Mechanism.AnswerMany).
+func (p *lrmPrepared) AnswerMany(x *mat.Dense, eps privacy.Epsilon, src *rng.Source) (*mat.Dense, error) {
+	return p.m.AnswerMany(x, eps, src)
 }
 
 func (p *lrmPrepared) ExpectedSSE(eps privacy.Epsilon) float64 {

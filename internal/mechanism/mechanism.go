@@ -9,6 +9,7 @@ package mechanism
 import (
 	"math"
 
+	"lrm/internal/mat"
 	"lrm/internal/privacy"
 	"lrm/internal/rng"
 	"lrm/internal/workload"
@@ -30,6 +31,31 @@ type Prepared interface {
 	// ExpectedSSE returns the analytic expected sum of squared errors at
 	// eps, or NaN when no closed form is implemented.
 	ExpectedSSE(eps privacy.Epsilon) float64
+}
+
+// BatchAnswerer is the optional multi-RHS extension of Prepared: a
+// mechanism whose answering cost is dominated by dense matrix-vector
+// products can answer a whole batch of data vectors through one packed
+// multi-RHS product (mat.MulColsTo) instead of a loop of mat-vecs, which
+// is where the paper's "optimize once, answer a batch" framing actually
+// pays at serving scale.
+//
+// The contract is strict: AnswerMany(X, eps, src) must release exactly
+// what the loop
+//
+//	for j := range columns of X { Answer(X column j, eps, src) }
+//
+// would release with the same source — bit for bit, noise draws in the
+// same order. Callers (the engine's batched path, the contract tests)
+// rely on batching being a pure throughput optimization, never a
+// semantic change. Implementations get this by computing their dense
+// products with mat.MulColsTo (column-exact by construction) and drawing
+// per-column noise in ascending column order.
+type BatchAnswerer interface {
+	// AnswerMany releases private answers for the n×B matrix X whose
+	// columns are B histograms, returning the m×B matrix whose columns
+	// are the corresponding releases.
+	AnswerMany(x *mat.Dense, eps privacy.Epsilon, src *rng.Source) (*mat.Dense, error)
 }
 
 // NoAnalyticSSE is returned by mechanisms without a closed-form error.

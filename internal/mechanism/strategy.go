@@ -51,6 +51,24 @@ func (p *StrategyPrepared) Answer(x []float64, eps privacy.Epsilon, src *rng.Sou
 	return p.w.Answer(xhat), nil
 }
 
+// AnswerMany implements BatchAnswerer: the three dense products of the
+// strategy template (A·X, A⁺·Ỹ, W·X̂) each run as one packed multi-RHS
+// GEMM over the whole batch instead of B mat-vecs, with the per-column
+// noise drawn in ascending column order. Since WM, HM and MM all
+// instantiate this template (or agree with it), they batch for free.
+func (p *StrategyPrepared) AnswerMany(x *mat.Dense, eps privacy.Epsilon, src *rng.Source) (*mat.Dense, error) {
+	if err := checkBatchShape(x, p.w.Domain()); err != nil {
+		return nil, err
+	}
+	cols := x.Cols()
+	noisy := mat.MulColsTo(mat.New(p.a.Rows(), cols), p.a, x)
+	if err := addLaplaceNoiseCols(noisy, p.delta, eps, src); err != nil {
+		return nil, err
+	}
+	xhat := mat.MulColsTo(mat.New(p.apinv.Rows(), cols), p.apinv, noisy)
+	return mat.MulColsTo(mat.New(p.w.Queries(), cols), p.w.W, xhat), nil
+}
+
 // ExpectedSSE implements Prepared: the error is W·A⁺·noise, so the SSE is
 // 2·(Δ_A/ε)²·‖W·A⁺‖_F².
 func (p *StrategyPrepared) ExpectedSSE(eps privacy.Epsilon) float64 {
