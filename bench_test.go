@@ -309,6 +309,37 @@ func BenchmarkDecomposeBench(b *testing.B) {
 	benchDecompose(b, core.Options{})
 }
 
+// BenchmarkPlan measures the adaptive planner end to end on the
+// benchsuite planning workloads: one op plans the low-rank decompose
+// workload (analysis + scoring + the winning lrm candidate's full ALM,
+// reusing the analysis SVD) and the full-rank WDiscrete workload (LRM
+// skipped by the regime gate; the decision costs only the analysis and
+// the baselines' closed forms). Tier-1 gated via cmd/lrmbench -compare:
+// planner overhead on top of DecomposeBench is the adaptive layer's
+// price and must not drift.
+func BenchmarkPlan(b *testing.B) {
+	wl := benchsuite.PlanLowRankWorkload()
+	wf := benchsuite.PlanFullRankWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := Plan(wl, PlanOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pl.Mechanism != "lrm" {
+			b.Fatalf("low-rank plan chose %s", pl.Mechanism)
+		}
+		pf, err := Plan(wf, PlanOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pf.Mechanism == "lrm" {
+			b.Fatal("full-rank plan chose lrm")
+		}
+	}
+}
+
 // BenchmarkMatMul256Alloc keeps the old allocating-path measurement for
 // comparison against BenchmarkMatMul256.
 func BenchmarkMatMul256Alloc(b *testing.B) {

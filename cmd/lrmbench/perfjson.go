@@ -22,6 +22,7 @@ import (
 	"lrm/internal/benchsuite"
 	"lrm/internal/core"
 	"lrm/internal/mat"
+	"lrm/internal/plan"
 )
 
 // benchResult is one suite entry of the trajectory document.
@@ -94,6 +95,25 @@ func writeBenchJSON(path string) error {
 		}
 	})
 	doc.Benchmarks = append(doc.Benchmarks, record("DecomposeBench", res, 0))
+
+	// Adaptive planner end to end (BenchmarkPlan): one op plans the
+	// low-rank decompose workload (analysis + scoring + the winning lrm
+	// candidate's ALM, reusing the analysis SVD) and the full-rank
+	// WDiscrete workload (regime-gated, closed forms only).
+	wl := benchsuite.PlanLowRankWorkload()
+	wf := benchsuite.PlanFullRankWorkload()
+	res = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.New(wl, plan.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := plan.New(wf, plan.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	doc.Benchmarks = append(doc.Benchmarks, record("Plan", res, 0))
 
 	// Engine cache-hit answering path (BenchmarkEngineAnswer).
 	e, req, err := benchsuite.EngineAnswerSetup()

@@ -4,10 +4,17 @@
 // Usage:
 //
 //	lrmrun -data counts.csv -workload queries.csv -mech lrm -eps 0.5
+//	lrmrun -data counts.csv -workload queries.csv -mech auto    # plan, then answer
+//	lrmrun -data counts.csv -workload queries.csv -plan         # explain the plan, answer nothing
 //
 // counts.csv has rows "index,count" (a header line is allowed).
 // queries.csv has one query per line: n comma-separated coefficients.
 // The noisy answers are printed one per line.
+//
+// -mech auto scores the candidate mechanisms on the workload's analysis
+// (rank, sensitivity, the paper's Section 3.2/4 regime rules) and
+// answers with the winner, logging the decision to stderr; -plan prints
+// the full scoring justification instead of answering.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 
 	"lrm/internal/dataset"
 	"lrm/internal/mechanism"
+	"lrm/internal/plan"
 	"lrm/internal/privacy"
 	"lrm/internal/rng"
 	"lrm/internal/workload"
@@ -26,13 +34,14 @@ func main() {
 	var (
 		dataPath = flag.String("data", "", "histogram CSV (index,count)")
 		wlPath   = flag.String("workload", "", "workload CSV: one query per row, n coefficients")
-		mechName = flag.String("mech", "lrm", "mechanism: lrm, lm, nor, wm, hm, mm, fpa, cm, nf, sf")
+		mechName = flag.String("mech", "lrm", "mechanism: lrm, lm, nor, wm, hm, mm, fpa, cm, nf, sf — or 'auto' to let the planner choose")
 		eps      = flag.Float64("eps", 1.0, "privacy budget epsilon")
 		seed     = flag.Int64("seed", 0, "noise seed (0 = default stream)")
 		exact    = flag.Bool("exact", false, "also print the exact answers (for debugging; not private!)")
 		project  = flag.Bool("project", false, "post-process: project answers onto the workload's column space")
 		coeffs   = flag.Int("coeffs", 0, "fpa: retained Fourier coefficients / cm: measurements / nf, sf: buckets (0 = mechanism default)")
 		inspect  = flag.Bool("inspect", false, "print workload diagnostics (rank, sensitivity, baseline comparison) and exit")
+		planOnly = flag.Bool("plan", false, "print the mechanism plan (candidate scores and decision) and exit without answering")
 	)
 	flag.Parse()
 	if *dataPath == "" || *wlPath == "" {
@@ -62,18 +71,42 @@ func main() {
 		fmt.Print(stats.Describe())
 		return
 	}
-
-	mech, err := mechanism.ByName(*mechName, mechanism.Config{Coeffs: *coeffs, Seed: *seed})
-	if err != nil {
-		fatalf("%v", err)
+	planOpts := plan.Options{
+		Eps:    privacy.Epsilon(*eps),
+		Config: mechanism.Config{Coeffs: *coeffs, Seed: *seed},
 	}
-	if *project {
-		mech = mechanism.Consistent{Base: mech}
+	if *planOnly {
+		p, err := plan.New(w, planOpts)
+		if err != nil {
+			fatalf("planning: %v", err)
+		}
+		fmt.Print(p.Explain())
+		return
 	}
 
-	prepared, err := mech.Prepare(w)
-	if err != nil {
-		fatalf("preparing %s: %v", mech.Name(), err)
+	var prepared mechanism.Prepared
+	if *mechName == "auto" {
+		if *project {
+			fatalf("-project composes a fixed mechanism; it is not supported with -mech auto")
+		}
+		var p *plan.Plan
+		var err error
+		prepared, p, err = plan.AutoPrepare(w, planOpts)
+		if err != nil {
+			fatalf("planning: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "lrmrun: planned %s\n", p.Summary())
+	} else {
+		mech, err := mechanism.ByName(*mechName, mechanism.Config{Coeffs: *coeffs, Seed: *seed})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *project {
+			mech = mechanism.Consistent{Base: mech}
+		}
+		if prepared, err = mech.Prepare(w); err != nil {
+			fatalf("preparing %s: %v", mech.Name(), err)
+		}
 	}
 	answers, err := prepared.Answer(ds.Counts, privacy.Epsilon(*eps), rng.New(*seed))
 	if err != nil {

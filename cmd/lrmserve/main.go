@@ -7,6 +7,10 @@
 // Usage:
 //
 //	lrmserve -addr :8080 -mech lrm -cache-dir /var/cache/lrm
+//	lrmserve -mech auto                      # plan per workload: analyze, score the
+//	                                         # candidates, serve the winner (decisions
+//	                                         # appear under "plans" in GET /stats)
+//	lrmserve -mech auto -plan-candidates lrm,lm,nor,wm
 //	lrmserve -coalesce-window 2ms            # merge concurrent same-workload requests
 //	lrmserve -shard-rows 4096                # row-shard oversized workloads (ε splits by
 //	                                         # sequential composition across shards)
@@ -30,9 +34,12 @@
 //	                                        // subtractable)
 //	        }
 //	    Response body: {"answers": [[...], ...], "fingerprint": "..."}
+//	    Requests whose eps is zero, negative, or non-finite are rejected
+//	    with 400 before any engine work.
 //	GET /stats
-//	    Engine counter snapshot (cache hits/misses, prepares, evictions,
-//	    disk traffic, requests, answers) plus the serving mechanism.
+//	    Engine counter snapshot (cache hits/misses, prepares, planned,
+//	    evictions, disk traffic, requests, answers) plus the serving
+//	    mechanism, and on -mech auto the per-workload plan decisions.
 //	GET /healthz
 //	    200 once serving.
 //
@@ -50,6 +57,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,36 +65,59 @@ import (
 	"lrm/internal/engine"
 	"lrm/internal/mat"
 	"lrm/internal/mechanism"
+	"lrm/internal/plan"
 	"lrm/internal/privacy"
 	"lrm/internal/workload"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		mechName  = flag.String("mech", "lrm", "serving mechanism: lrm, lm, nor, wm, hm, mm, fpa, cm, nf, sf")
-		coeffs    = flag.Int("coeffs", 0, "fpa: retained Fourier coefficients / cm: measurements / nf, sf: buckets (0 = mechanism default)")
-		cacheDir  = flag.String("cache-dir", "", "directory for persisted decompositions (empty = memory only)")
-		cacheSize = flag.Int("cache-size", 64, "max prepared workloads resident in memory")
-		workers   = flag.Int("workers", 0, "max concurrent chunks per batch request on the shared worker pool (0 = GOMAXPROCS)")
-		shardRows = flag.Int("shard-rows", 0, "row-shard workloads with more than this many queries (0 = disabled); shards split eps by sequential composition")
-		maxBody   = flag.Int64("max-body", 64<<20, "maximum request body size in bytes")
-		coWindow  = flag.Duration("coalesce-window", 0, "hold concurrent same-workload answer requests up to this long and answer them as one engine batch (0 = disabled)")
-		coMax     = flag.Int("coalesce-max", 64, "flush a coalescing window early once it holds this many histograms")
+		addr       = flag.String("addr", ":8080", "listen address")
+		mechName   = flag.String("mech", "lrm", "serving mechanism: lrm, lm, nor, wm, hm, mm, fpa, cm, nf, sf — or 'auto' to plan per workload")
+		coeffs     = flag.Int("coeffs", 0, "fpa: retained Fourier coefficients / cm: measurements / nf, sf: buckets (0 = mechanism default)")
+		candidates = flag.String("plan-candidates", "", "auto: comma-separated candidate mechanisms to score (empty = lrm,lm,nor)")
+		cacheDir   = flag.String("cache-dir", "", "directory for persisted decompositions and plans (empty = memory only)")
+		cacheSize  = flag.Int("cache-size", 64, "max prepared workloads resident in memory")
+		workers    = flag.Int("workers", 0, "max concurrent chunks per batch request on the shared worker pool (0 = GOMAXPROCS)")
+		shardRows  = flag.Int("shard-rows", 0, "row-shard workloads with more than this many queries (0 = disabled); shards split eps by sequential composition")
+		maxBody    = flag.Int64("max-body", 64<<20, "maximum request body size in bytes")
+		coWindow   = flag.Duration("coalesce-window", 0, "hold concurrent same-workload answer requests up to this long and answer them as one engine batch (0 = disabled)")
+		coMax      = flag.Int("coalesce-max", 64, "flush a coalescing window early once it holds this many histograms")
 	)
 	flag.Parse()
 
-	mech, err := mechanism.ByName(*mechName, mechanism.Config{Coeffs: *coeffs})
-	if err != nil {
-		log.Fatalf("lrmserve: %v", err)
-	}
-	eng, err := engine.New(engine.Options{
-		Mechanism: mech,
+	engOpts := engine.Options{
 		CacheSize: *cacheSize,
 		CacheDir:  *cacheDir,
 		Workers:   *workers,
 		ShardRows: *shardRows,
-	})
+	}
+	served := *mechName
+	if *mechName == "auto" {
+		// Plan-aware serving: each workload is analyzed on first sight and
+		// served by the candidate the planner scores best; decisions show
+		// up under "plans" in GET /stats. Candidate typos must die here,
+		// at startup — not as a 400 on every subsequent request.
+		cands := splitCandidates(*candidates)
+		for _, name := range cands {
+			if _, err := mechanism.ByName(name, mechanism.Config{Coeffs: *coeffs}); err != nil {
+				log.Fatalf("lrmserve: -plan-candidates: %v", err)
+			}
+		}
+		engOpts.Planner = &plan.Options{
+			Config:     mechanism.Config{Coeffs: *coeffs},
+			Mechanisms: cands,
+			ShardRows:  *shardRows,
+		}
+	} else {
+		mech, err := mechanism.ByName(*mechName, mechanism.Config{Coeffs: *coeffs})
+		if err != nil {
+			log.Fatalf("lrmserve: %v", err)
+		}
+		engOpts.Mechanism = mech
+		served = mech.Name()
+	}
+	eng, err := engine.New(engOpts)
 	if err != nil {
 		log.Fatalf("lrmserve: %v", err)
 	}
@@ -97,7 +128,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(eng, mech.Name(), *maxBody, co),
+		Handler:           newHandler(eng, served, *maxBody, co),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -105,7 +136,7 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("lrmserve: serving %s on %s (cache %d, dir %q)", mech.Name(), *addr, *cacheSize, *cacheDir)
+	log.Printf("lrmserve: serving %s on %s (cache %d, dir %q)", served, *addr, *cacheSize, *cacheDir)
 
 	select {
 	case err := <-errc:
@@ -136,10 +167,29 @@ type answerResponse struct {
 	Fingerprint string      `json:"fingerprint"`
 }
 
-// statsResponse is the GET /stats JSON response.
+// statsResponse is the GET /stats JSON response. Plans is populated on
+// an auto (plan-aware) server: one decision per planned workload still
+// resident in the cache.
 type statsResponse struct {
-	Mechanism string       `json:"mechanism"`
-	Engine    engine.Stats `json:"engine"`
+	Mechanism string                `json:"mechanism"`
+	Engine    engine.Stats          `json:"engine"`
+	Plans     []engine.PlanDecision `json:"plans,omitempty"`
+}
+
+// splitCandidates parses the -plan-candidates list; empty means the
+// planner's default set.
+func splitCandidates(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // newHandler builds the HTTP mux over an engine. Split from main so tests
@@ -156,6 +206,15 @@ func newHandler(eng *engine.Engine, mechName string, maxBody int64, co *coalesce
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		// Reject a hopeless privacy budget before any engine work: a
+		// zero, negative, or non-finite ε can never release anything, so
+		// it must not cost a workload hash, a cache slot, or a coalescing
+		// window. (NaN/Inf cannot survive JSON decoding, but the range
+		// check still owns them for completeness.)
+		if err := privacy.Epsilon(req.Eps).Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		wl, err := workloadFromJSON(req.Workload)
@@ -203,7 +262,7 @@ func newHandler(eng *engine.Engine, mechName string, maxBody int64, co *coalesce
 			httpError(w, http.StatusMethodNotAllowed, "GET required")
 			return
 		}
-		writeJSON(w, statsResponse{Mechanism: mechName, Engine: eng.Stats()})
+		writeJSON(w, statsResponse{Mechanism: mechName, Engine: eng.Stats(), Plans: eng.Decisions()})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)

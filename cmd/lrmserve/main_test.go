@@ -11,6 +11,7 @@ import (
 	"lrm/internal/core"
 	"lrm/internal/engine"
 	"lrm/internal/mechanism"
+	"lrm/internal/plan"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
@@ -162,5 +163,119 @@ func TestServeStatsAndHealth(t *testing.T) {
 	mresp.Body.Close()
 	if mresp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /answer status %d, want 405", mresp.StatusCode)
+	}
+}
+
+// TestServeRejectsBadEpsilonBeforeEngine pins the validation order: a
+// zero/negative/non-finite (or absent) eps is rejected with 400 straight
+// off the decoded body — before the workload is parsed, hashed, or the
+// engine touched, which the engine's untouched Requests counter proves.
+func TestServeRejectsBadEpsilonBeforeEngine(t *testing.T) {
+	srv, eng := newTestServer(t)
+	workload := [][]float64{{1, 0}, {1, 1}}
+	hist := [][]float64{{3, 4}}
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"zero", `{"workload":[[1,0],[1,1]],"histograms":[[3,4]],"eps":0}`},
+		{"omitted", `{"workload":[[1,0],[1,1]],"histograms":[[3,4]]}`},
+		{"negative", `{"workload":[[1,0],[1,1]],"histograms":[[3,4]],"eps":-0.5}`},
+		{"huge non-finite-ish", `{"workload":[[1,0],[1,1]],"histograms":[[3,4]],"eps":1e300}`},
+		// JSON cannot carry NaN/Inf literals; they must die in decoding,
+		// still 400, still before the engine.
+		{"nan literal", `{"workload":[[1,0],[1,1]],"histograms":[[3,4]],"eps":NaN}`},
+		{"inf literal", `{"workload":[[1,0],[1,1]],"histograms":[[3,4]],"eps":Infinity}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+"/answer", "application/json", bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var e map[string]string
+			decErr := json.NewDecoder(resp.Body).Decode(&e)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+			if decErr != nil || e["error"] == "" {
+				t.Fatalf("error body not {\"error\": ...}: %v", decErr)
+			}
+		})
+	}
+	if st := eng.Stats(); st.Requests != 0 {
+		t.Fatalf("engine saw %d requests; bad-eps rejection must happen before the engine", st.Requests)
+	}
+	// Sanity: the same shape with a valid eps goes through.
+	resp, body := postAnswer(t, srv.URL, answerRequest{Workload: workload, Histograms: hist, Eps: 0.5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("control request failed: %d (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestServeAuto drives the handler over a plan-aware engine: answering
+// works, and GET /stats surfaces the per-workload plan decisions.
+func TestServeAuto(t *testing.T) {
+	eng, err := engine.New(engine.Options{
+		Planner: &plan.Options{LRM: core.Options{MaxOuterIter: 5, MaxInnerIter: 2, MaxNesterovIter: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(eng, "auto", 1<<20, nil))
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	// A rank-1 workload (every query a multiple of the total) plans lrm; the
+	// identity workload is full-rank and must plan a baseline.
+	lowRank := answerRequest{
+		Workload:   [][]float64{{1, 1, 1}, {2, 2, 2}, {3, 3, 3}, {4, 4, 4}},
+		Histograms: [][]float64{{5, 6, 7}},
+		Eps:        0.5,
+	}
+	fullRank := answerRequest{
+		Workload:   [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}},
+		Histograms: [][]float64{{5, 6, 7}},
+		Eps:        0.5,
+	}
+	for _, req := range []answerRequest{lowRank, fullRank} {
+		resp, body := postAnswer(t, srv.URL, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mechanism != "auto" || st.Engine.Planned != 2 {
+		t.Fatalf("stats %+v, want mechanism auto with 2 planned workloads", st)
+	}
+	byMech := map[string]int{}
+	for _, d := range st.Plans {
+		byMech[d.Mechanism]++
+		if d.Digest == "" || d.Summary == "" || len(d.Fingerprint) != 64 {
+			t.Fatalf("incomplete plan decision %+v", d)
+		}
+	}
+	if byMech["lrm"] != 1 || len(st.Plans) != 2 {
+		t.Fatalf("plan decisions %+v, want one lrm and one baseline", st.Plans)
+	}
+}
+
+// TestSplitCandidates covers the -plan-candidates parser.
+func TestSplitCandidates(t *testing.T) {
+	if got := splitCandidates(""); got != nil {
+		t.Fatalf("empty list → %v, want nil (planner default)", got)
+	}
+	if got := splitCandidates(" lrm, lm ,nor,"); !reflect.DeepEqual(got, []string{"lrm", "lm", "nor"}) {
+		t.Fatalf("parsed %v", got)
 	}
 }

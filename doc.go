@@ -17,6 +17,10 @@
 // across concurrent answer traffic — LRU-cached prepared workloads,
 // singleflight preparation, an optional on-disk decomposition cache, and
 // per-request budget accounting — and cmd/lrmserve exposes it over HTTP.
+// The adaptive planner (Plan, AutoPrepare; EngineOptions.Planner) turns
+// the paper's regime analysis into an executable per-workload mechanism
+// choice: candidates are scored by their expected-error closed forms and
+// the winner serves the workload, at the cost of one factorization.
 //
 // The root package is a thin facade over the internal packages; see
 // facade.go for the public API and examples/ for runnable programs.

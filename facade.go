@@ -10,6 +10,7 @@ import (
 	"lrm/internal/mat"
 	"lrm/internal/mechanism"
 	"lrm/internal/metrics"
+	"lrm/internal/plan"
 	"lrm/internal/privacy"
 	"lrm/internal/rng"
 	"lrm/internal/sparse"
@@ -277,7 +278,9 @@ var Evaluate = metrics.Evaluate
 // through the mechanism's multi-RHS path (or a bounded worker-pool
 // fan-out) with per-request budget accounting, and can row-shard
 // oversized workloads (EngineOptions.ShardRows) with ε split across
-// shards by sequential composition. See internal/engine for the full
+// shards by sequential composition. With EngineOptions.Planner set it
+// plans each workload adaptively (see Plan) and caches the decisions
+// alongside the preparations. See internal/engine for the full
 // semantics and cmd/lrmserve for the HTTP front end.
 type Engine = engine.Engine
 
@@ -298,6 +301,34 @@ var NewEngine = engine.New
 // WorkloadFingerprint returns the content hash the engine keys caches by
 // (hex SHA-256 over the matrix dimensions and data).
 func WorkloadFingerprint(w *Workload) string { return core.Fingerprint(w.W) }
+
+// WorkloadPlan is an executable answering plan for one workload: the
+// mechanism the planner chose, its tuned parameters, every candidate's
+// score, and a human-readable Explain(). Build with Plan or AutoPrepare.
+type WorkloadPlan = plan.Plan
+
+// PlanOptions configures Plan/AutoPrepare; the zero value scores the
+// default candidate set (lrm, lm, nor) at ε = 1.
+type PlanOptions = plan.Options
+
+// PlanCandidate is one scored (or skipped) mechanism of a WorkloadPlan.
+type PlanCandidate = plan.Candidate
+
+// Plan analyzes w (one factorization) and plans it: candidate mechanisms
+// are scored by their analytic ExpectedSSE closed forms (empirical probe
+// when none exists), the paper's regime rules gate the expensive LRM
+// candidate to low-rank workloads, and the winner — already prepared,
+// via the shared analysis — is retained on the plan.
+func Plan(w *Workload, opts PlanOptions) (*WorkloadPlan, error) { return plan.New(w, opts) }
+
+// AutoPrepare plans w and returns the winning mechanism's Prepared
+// alongside the plan that chose it — the adaptive form of Prepare, at
+// the cost of exactly one factorization of W end to end.
+var AutoPrepare = plan.AutoPrepare
+
+// PlanDecision is one resident plan decision surfaced by a plan-aware
+// Engine's Decisions().
+type PlanDecision = engine.PlanDecision
 
 // AnswerBatch is the one-call happy path: decompose the workload with
 // default options and answer it on x under ε-differential privacy using

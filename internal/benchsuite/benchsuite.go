@@ -44,6 +44,25 @@ func EngineAnswerSetup() (*engine.Engine, engine.Request, error) {
 	return e, engine.Request{Workload: w, Histograms: [][]float64{x}, Eps: 0.1, Seed: 23}, nil
 }
 
+// PlanLowRankWorkload is BenchmarkPlan's expensive input: the same
+// low-rank workload DecomposeWorkload pins, planned end to end — the
+// analysis SVD, candidate scoring, and the winning lrm candidate's full
+// ALM preparation (reusing that SVD). Its cost should track
+// DecomposeBench plus one factorization.
+func PlanLowRankWorkload() *workload.Workload {
+	return DecomposeWorkload()
+}
+
+// PlanFullRankWorkload is BenchmarkPlan's cheap input: a dense ±1
+// WDiscrete batch (p = 0.5, full rank almost surely — the paper's sparse
+// p = 0.02 setting collapses to low rank at this size because rows with
+// no +1 are identical), where the planner skips the lrm candidate
+// (Section 4 regime gate) and decides between the baselines from closed
+// forms alone — so its cost is essentially the analysis SVD.
+func PlanFullRankWorkload() *workload.Workload {
+	return workload.Discrete(48, 64, 0.5, rng.New(6))
+}
+
 // EngineAnswerManyBatch is the batch width of BenchmarkEngineAnswerMany:
 // one request carrying this many histograms over the BenchmarkEngineAnswer
 // workload.

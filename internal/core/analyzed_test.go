@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lrm/internal/mat"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// TestDecomposeAnalyzedMatchesDecompose: seeding the ALM with a
+// caller-provided SVD must land in the same place as computing it
+// internally — same tuned rank, a feasible factorization of the same
+// quality — while running zero factorizations of its own.
+func TestDecomposeAnalyzedMatchesDecompose(t *testing.T) {
+	w := workload.Related(24, 32, 3, rng.New(8)).W
+	svd := mat.FactorSVD(w)
+
+	ref, err := Decompose(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mat.SVDCalls()
+	got, err := DecomposeAnalyzed(w, svd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls := mat.SVDCalls() - before; calls != 0 {
+		t.Fatalf("DecomposeAnalyzed ran %d factorizations, want 0", calls)
+	}
+	if got.B.Cols() != ref.B.Cols() {
+		t.Fatalf("tuned rank %d vs Decompose's %d", got.B.Cols(), ref.B.Cols())
+	}
+	// Both must reconstruct W within the default tolerance and deliver
+	// the same error objective: the injected SVD is the same starting
+	// point, just not recomputed. (Bitwise equality is not guaranteed —
+	// the internal SVD factors the Frobenius-normalized W, whose Jacobi
+	// rotation schedule can differ — so compare the objective.)
+	refSSE, gotSSE := ref.ExpectedSSE(1), got.ExpectedSSE(1)
+	if math.Abs(gotSSE-refSSE) > 0.05*refSSE {
+		t.Fatalf("objective drifted: %g vs %g", gotSSE, refSSE)
+	}
+	normW := math.Sqrt(mat.SquaredSum(w))
+	if got.Residual > 1e-3*normW {
+		t.Fatalf("analyzed decomposition infeasible: residual %g for ‖W‖=%g", got.Residual, normW)
+	}
+}
+
+// TestDecomposeAnalyzedValidation: mismatched SVD shapes fail loudly,
+// nil falls back to the plain path.
+func TestDecomposeAnalyzedValidation(t *testing.T) {
+	w := workload.Related(10, 14, 2, rng.New(9)).W
+	wrong := mat.FactorSVD(workload.Related(8, 14, 2, rng.New(10)).W)
+	if _, err := DecomposeAnalyzed(w, wrong, Options{}); err == nil || !strings.Contains(err.Error(), "do not factor") {
+		t.Fatalf("mismatched SVD accepted: %v", err)
+	}
+	if _, err := DecomposeAnalyzed(w, &mat.SVD{}, Options{}); err == nil {
+		t.Fatal("incomplete SVD accepted")
+	}
+	d, err := DecomposeAnalyzed(w, nil, Options{})
+	if err != nil || d == nil {
+		t.Fatalf("nil SVD fallback failed: %v", err)
+	}
+}

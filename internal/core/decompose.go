@@ -171,6 +171,34 @@ func (d *Decomposition) Normalize() {
 //
 // The result is normalized so Δ(L) = 1.
 func Decompose(w *mat.Dense, opts Options) (*Decomposition, error) {
+	return decompose(w, nil, opts)
+}
+
+// DecomposeAnalyzed is Decompose for callers that already hold the thin
+// SVD of w — typically a planner that ran workload.Analyze and wants the
+// chosen mechanism to reuse that factorization instead of running a
+// second one. The provided SVD backs both the rank default and the
+// Lemma-3 starting point (rescaled internally to the ALM's normalized
+// units, which is loss-free: scaling a matrix scales its singular values
+// and leaves the singular vectors and numerical rank unchanged). A nil
+// svd falls back to Decompose exactly.
+func DecomposeAnalyzed(w *mat.Dense, svd *mat.SVD, opts Options) (*Decomposition, error) {
+	if svd != nil {
+		if svd.U == nil || svd.V == nil || len(svd.S) == 0 {
+			return nil, errors.New("core: DecomposeAnalyzed with incomplete SVD")
+		}
+		if svd.U.Rows() != w.Rows() || svd.V.Rows() != w.Cols() ||
+			svd.U.Cols() != len(svd.S) || svd.V.Cols() != len(svd.S) {
+			return nil, fmt.Errorf("core: SVD shapes (U %d×%d, S %d, V %d×%d) do not factor a %d×%d workload",
+				svd.U.Rows(), svd.U.Cols(), len(svd.S), svd.V.Rows(), svd.V.Cols(), w.Rows(), w.Cols())
+		}
+	}
+	return decompose(w, svd, opts)
+}
+
+// decompose is the shared body of Decompose and DecomposeAnalyzed;
+// preSVD, when non-nil, is a thin SVD of the *original* (unnormalized) w.
+func decompose(w *mat.Dense, preSVD *mat.SVD, opts Options) (*Decomposition, error) {
 	if w.Rows() == 0 || w.Cols() == 0 {
 		return nil, errors.New("core: empty workload matrix")
 	}
@@ -197,11 +225,21 @@ func Decompose(w *mat.Dense, opts Options) (*Decomposition, error) {
 
 	// The SVD is shared by the rank default and the Lemma-3 init; the
 	// randomized path probes only as many components as the workload's
-	// rank (or the requested r) actually needs.
+	// rank (or the requested r) actually needs. A caller-provided SVD
+	// (DecomposeAnalyzed) factors the original w, so its singular values
+	// are rescaled into the normalized units; U, V, and the numerical
+	// rank are scale-invariant and shared as-is.
 	var svd *mat.SVD
-	if opts.RandomizedInit {
+	switch {
+	case preSVD != nil:
+		s := make([]float64, len(preSVD.S))
+		for i, v := range preSVD.S {
+			s[i] = v / wNorm
+		}
+		svd = &mat.SVD{U: preSVD.U, S: s, V: preSVD.V}
+	case opts.RandomizedInit:
 		svd = randomizedInitSVD(w, opts.Rank)
-	} else {
+	default:
 		svd = mat.FactorSVD(w)
 	}
 	o := opts.withDefaults(svd)

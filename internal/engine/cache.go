@@ -9,13 +9,18 @@ import (
 	"lrm/internal/core"
 	"lrm/internal/mat"
 	"lrm/internal/mechanism"
+	"lrm/internal/plan"
 	"lrm/internal/workload"
 )
 
-// cacheEntry is one prepared workload resident in the LRU.
+// cacheEntry is one prepared workload resident in the LRU. On a
+// plan-aware engine pl records the decision that chose p's mechanism —
+// plans ride the same LRU/singleflight as the Prepared they produced,
+// so a plan can never outlive (or lag behind) its preparation.
 type cacheEntry struct {
 	fp string
 	p  mechanism.Prepared
+	pl *plan.Plan // nil on fixed-mechanism engines
 }
 
 // flightCall is one in-flight preparation that concurrent requests for the
@@ -67,12 +72,12 @@ func (e *Engine) prepared(fp string, w *workload.Workload) (mechanism.Prepared, 
 	e.mu.Unlock()
 
 	e.misses.Add(1)
-	p, err := e.load(fp, w)
+	p, pl, err := e.load(fp, w)
 
 	e.mu.Lock()
 	delete(e.flight, fp)
 	if err == nil {
-		e.insertLocked(fp, p)
+		e.insertLocked(fp, p, pl)
 	}
 	e.mu.Unlock()
 	c.p, c.err = p, err
@@ -83,8 +88,8 @@ func (e *Engine) prepared(fp string, w *workload.Workload) (mechanism.Prepared, 
 // insertLocked adds a prepared workload at the front of the LRU and evicts
 // from the back past capacity. Caller holds e.mu and owns the (sole)
 // flight for fp, so no entry for fp can already be resident.
-func (e *Engine) insertLocked(fp string, p mechanism.Prepared) {
-	e.byFP[fp] = e.lru.PushFront(&cacheEntry{fp: fp, p: p})
+func (e *Engine) insertLocked(fp string, p mechanism.Prepared, pl *plan.Plan) {
+	e.byFP[fp] = e.lru.PushFront(&cacheEntry{fp: fp, p: p, pl: pl})
 	for e.lru.Len() > e.capacity {
 		el := e.lru.Back()
 		evicted := el.Value.(*cacheEntry).fp
@@ -108,15 +113,19 @@ func (e *Engine) dropMemo(fp string) {
 	e.memoMu.Unlock()
 }
 
-// load produces the Prepared for one fingerprint: disk cache first (when
-// configured and the mechanism supports it), then a fresh Prepare, which
-// is persisted back to disk for the next process.
-func (e *Engine) load(fp string, w *workload.Workload) (mechanism.Prepared, error) {
+// load produces the Prepared (and, on a plan-aware engine, the Plan) for
+// one fingerprint: disk cache first (when configured and the mechanism
+// supports it), then a fresh Prepare, which is persisted back to disk for
+// the next process.
+func (e *Engine) load(fp string, w *workload.Workload) (mechanism.Prepared, *plan.Plan, error) {
+	if e.planner != nil {
+		return e.loadPlanned(fp, w)
+	}
 	path := e.diskPath(fp)
 	if path != "" {
 		if p, err := loadPrepared(path, w, e.gamma); err == nil {
 			e.diskHits.Add(1)
-			return p, nil
+			return p, nil, nil
 		}
 		// A missing, corrupt, or mismatched cache file must never take
 		// down serving: fall through to a fresh preparation.
@@ -127,7 +136,7 @@ func (e *Engine) load(fp string, w *workload.Workload) (mechanism.Prepared, erro
 	}
 	p, err := e.mech.Prepare(w)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if path != "" {
 		if d, ok := decompositionOf(p); ok {
@@ -136,7 +145,7 @@ func (e *Engine) load(fp string, w *workload.Workload) (mechanism.Prepared, erro
 			}
 		}
 	}
-	return p, nil
+	return p, nil, nil
 }
 
 // diskPath returns the cache file for a fingerprint, or "" when disk

@@ -29,6 +29,12 @@
 // (Options.ShardRows): row blocks decompose concurrently, cache under
 // their own fingerprints, answer at ε/k each (sequential composition),
 // and concatenate — see shard.go.
+//
+// With Options.Planner set the engine becomes plan-aware: each workload
+// is analyzed and planned (internal/plan) on first sight, the winning
+// mechanism serves it, and the plan is cached and persisted alongside
+// the preparation — see plan.go. Sharding composes: each row shard is
+// planned independently under its own fingerprint.
 package engine
 
 import (
@@ -47,6 +53,7 @@ import (
 	"lrm/internal/core"
 	"lrm/internal/mat"
 	"lrm/internal/mechanism"
+	"lrm/internal/plan"
 	"lrm/internal/privacy"
 	"lrm/internal/rng"
 	"lrm/internal/workload"
@@ -58,7 +65,20 @@ type Options struct {
 	// Mechanism prepares workloads; nil means mechanism.LRM{}. Only
 	// mechanisms whose Prepared exposes a core.Decomposition (the LRM)
 	// participate in the disk cache; others are cached in memory only.
+	// Mutually exclusive with Planner.
 	Mechanism mechanism.Mechanism
+	// Planner, when non-nil, switches the engine from "one process, one
+	// mechanism" to "one plan per workload": each new workload is
+	// analyzed and planned (internal/plan) and served by the winning
+	// mechanism with its tuned parameters. Plans are cached alongside
+	// the Prepared instances in the same LRU/singleflight machinery —
+	// in memory the entry keys by workload fingerprint (the plan is a
+	// deterministic function of the fingerprint and these fixed planner
+	// options), while disk artifacts key by fingerprint + planner-options
+	// digest + plan digest, so a changed decision orphans stale files
+	// instead of serving them. The planner's Fingerprint field is
+	// overwritten per workload. Mutually exclusive with Mechanism.
+	Planner *plan.Options
 	// CacheSize bounds the number of prepared workloads held in memory
 	// (default 64). Least-recently-answered workloads are evicted first.
 	CacheSize int
@@ -147,6 +167,10 @@ type Stats struct {
 	Hits, Misses, Coalesced uint64
 	// Prepares counts actual decomposition runs; Evictions LRU evictions.
 	Prepares, Evictions uint64
+	// Planned counts planner runs (plan-aware engines only): workloads
+	// whose mechanism was chosen by an actual plan.New, as opposed to a
+	// cache hit or a plan document restored from disk.
+	Planned uint64
 	// DiskHits and DiskWrites count decompositions restored from and
 	// persisted to the cache directory.
 	DiskHits, DiskWrites uint64
@@ -162,6 +186,7 @@ type Stats struct {
 // with Close.
 type Engine struct {
 	mech     mechanism.Mechanism
+	planner  *plan.Options // non-nil switches to per-workload planning
 	dir      string
 	optTag   string  // digest of the LRM options, part of cache filenames
 	gamma    float64 // the LRM's configured relaxation, for disk-load validation
@@ -204,7 +229,7 @@ type Engine struct {
 	requests, answers    atomic.Uint64
 	hits, misses         atomic.Uint64
 	coalesced, prepares  atomic.Uint64
-	evictions            atomic.Uint64
+	evictions, planned   atomic.Uint64
 	diskHits, diskWrites atomic.Uint64
 	batched, sharded     atomic.Uint64
 }
@@ -230,27 +255,46 @@ func New(opts Options) (*Engine, error) {
 		flight:   make(map[string]*flightCall),
 		memo:     make(map[*mat.Dense]string),
 	}
-	if e.mech == nil {
+	if opts.Planner != nil && opts.Mechanism != nil {
+		return nil, fmt.Errorf("engine: Options.Mechanism and Options.Planner are mutually exclusive")
+	}
+	e.planner = opts.Planner
+	if e.mech == nil && e.planner == nil {
 		e.mech = mechanism.LRM{}
 	}
 	if e.capacity <= 0 {
 		e.capacity = 64
 	}
-	// The disk cache stores LRM decompositions; for any other mechanism
-	// a cached .lrmd would be answered by the wrong mechanism entirely,
-	// so the directory is ignored unless the engine serves the LRM. The
-	// filename carries a digest of the LRM options so engines tuned
-	// differently (rank, γ, …) sharing a directory don't serve each
-	// other's factorizations.
-	if l, ok := e.mech.(mechanism.LRM); ok && e.dir != "" {
+	// The disk cache stores LRM decompositions; for any other fixed
+	// mechanism a cached .lrmd would be answered by the wrong mechanism
+	// entirely, so the directory is ignored unless the engine serves the
+	// LRM or plans per workload (planned engines additionally persist
+	// the plan documents that say which mechanism each file belongs to).
+	// The filename carries a digest of the LRM options (or of the
+	// planner options) so engines tuned differently sharing a directory
+	// don't serve each other's artifacts.
+	switch {
+	case e.planner != nil && e.dir != "":
 		if err := os.MkdirAll(e.dir, 0o755); err != nil {
 			return nil, fmt.Errorf("engine: cache dir: %w", err)
 		}
-		sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", l.Options)))
+		po := *e.planner
+		po.Fingerprint = "" // per-workload, not part of the engine's identity
+		sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", po)))
 		e.optTag = hex.EncodeToString(sum[:4])
-		e.gamma = l.Options.Gamma
-	} else {
-		e.dir = ""
+	case e.planner != nil:
+		// memory-only planned engine
+	default:
+		if l, ok := e.mech.(mechanism.LRM); ok && e.dir != "" {
+			if err := os.MkdirAll(e.dir, 0o755); err != nil {
+				return nil, fmt.Errorf("engine: cache dir: %w", err)
+			}
+			sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", l.Options)))
+			e.optTag = hex.EncodeToString(sum[:4])
+			e.gamma = l.Options.Gamma
+		} else {
+			e.dir = ""
+		}
 	}
 	var seed [8]byte
 	if _, err := crand.Read(seed[:]); err != nil {
@@ -506,6 +550,7 @@ func (e *Engine) Stats() Stats {
 		Misses:     e.misses.Load(),
 		Coalesced:  e.coalesced.Load(),
 		Prepares:   e.prepares.Load(),
+		Planned:    e.planned.Load(),
 		Evictions:  e.evictions.Load(),
 		DiskHits:   e.diskHits.Load(),
 		DiskWrites: e.diskWrites.Load(),

@@ -3,7 +3,21 @@ package mat
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 )
+
+// svdCalls counts FactorSVD invocations process-wide. The adaptive
+// planner's contract is "one factorization of W end to end" — its SVD is
+// reused by the chosen mechanism's PrepareAnalyzed instead of being
+// recomputed — and tests pin that by differencing this counter around
+// plan.AutoPrepare. (RandSVD's small projected factorization also routes
+// through FactorSVD and therefore counts.)
+var svdCalls atomic.Uint64
+
+// SVDCalls returns the cumulative number of FactorSVD invocations in
+// this process. Intended for tests that pin factorization counts; the
+// counter never resets.
+func SVDCalls() uint64 { return svdCalls.Load() }
 
 // SVD holds a thin singular value decomposition A = U·diag(S)·Vᵀ with
 // U: m×k, S: k, V: n×k where k = min(m,n). Singular values are sorted in
@@ -26,6 +40,7 @@ const maxJacobiSweeps = 60
 // (Hestenes' method): columns of a working copy of A are orthogonalized
 // pairwise; their final norms are the singular values.
 func FactorSVD(a *Dense) *SVD {
+	svdCalls.Add(1)
 	m, n := a.Dims()
 	if m >= n {
 		return svdTall(a)

@@ -1,0 +1,68 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"lrm/internal/core"
+	"lrm/internal/workload"
+)
+
+// AnalyzedPreparer is the optional planner-facing extension of Mechanism:
+// a mechanism whose Prepare re-derives quantities a workload analysis
+// already computed (the SVD, the sensitivity) can accept the analysis and
+// skip the rework. The planner runs one workload.Analyze per workload and
+// hands the same Stats to every candidate, so the whole
+// analyze-score-prepare flow costs a single factorization of W.
+//
+// PrepareAnalyzed must release exactly what Prepare would release: the
+// Stats are a computational shortcut, never a semantic input. Callers use
+// PrepareWith, which falls back to Prepare when the mechanism does not
+// implement this interface or the Stats are nil.
+type AnalyzedPreparer interface {
+	// PrepareAnalyzed is Prepare with a precomputed workload analysis.
+	// stats must describe w (same matrix the Stats were computed from).
+	PrepareAnalyzed(w *workload.Workload, stats *workload.Stats) (Prepared, error)
+}
+
+// PrepareWith prepares m for w, routing through PrepareAnalyzed when m
+// implements it and stats is non-nil, and plain Prepare otherwise.
+func PrepareWith(m Mechanism, w *workload.Workload, stats *workload.Stats) (Prepared, error) {
+	if ap, ok := m.(AnalyzedPreparer); ok && stats != nil {
+		return ap.PrepareAnalyzed(w, stats)
+	}
+	return m.Prepare(w)
+}
+
+// PrepareAnalyzed implements AnalyzedPreparer: the analysis's SVD seeds
+// the ALM decomposition (rank default + Lemma-3 starting point) via
+// core.DecomposeAnalyzed, so preparing after an Analyze performs no
+// second factorization of W.
+func (l LRM) PrepareAnalyzed(w *workload.Workload, stats *workload.Stats) (Prepared, error) {
+	if w == nil || w.W == nil {
+		return nil, fmt.Errorf("mechanism: nil workload")
+	}
+	if stats == nil || stats.SVD == nil {
+		return l.Prepare(w)
+	}
+	d, err := core.DecomposeAnalyzed(w.W, stats.SVD, l.Options)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewMechanism(d)
+	if err != nil {
+		return nil, err
+	}
+	return &lrmPrepared{m: m}, nil
+}
+
+// PrepareAnalyzed implements AnalyzedPreparer: the analysis already holds
+// Δ' = max_j Σᵢ|Wᵢⱼ|, so the column scan Prepare would run is skipped.
+func (LaplaceResults) PrepareAnalyzed(w *workload.Workload, stats *workload.Stats) (Prepared, error) {
+	if w == nil || w.W == nil {
+		return nil, fmt.Errorf("mechanism: nil workload")
+	}
+	if stats == nil {
+		return LaplaceResults{}.Prepare(w)
+	}
+	return &laplaceResultsPrepared{w: w, delta: stats.Sensitivity}, nil
+}

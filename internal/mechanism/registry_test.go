@@ -2,6 +2,7 @@ package mechanism
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -21,6 +22,25 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("nope", Config{}); err == nil {
 		t.Fatal("unknown name accepted")
+	}
+}
+
+// TestByNameUnknownListsRegistry: the error for a typo must name every
+// registered mechanism, so CLI/server users can self-correct (and the
+// planner's candidate validation stays self-documenting).
+func TestByNameUnknownListsRegistry(t *testing.T) {
+	_, err := ByName("lpm", Config{})
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"lpm"`) {
+		t.Fatalf("error does not echo the bad name: %v", err)
+	}
+	for _, name := range Names() {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error does not list registered mechanism %q: %v", name, err)
+		}
 	}
 }
 

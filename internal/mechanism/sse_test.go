@@ -1,0 +1,56 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// ExpectedSSE honesty: the planner ranks candidates by these closed
+// forms, so they must match reality, not just each other. For LM and NOR
+// the analytic value (2·ΣW²/ε² and 2m·Δ'²/ε²) is pinned against the
+// empirical mean SSE over many seeded releases — with enough trials that
+// the Monte-Carlo error sits well inside the tolerance band — at two
+// budgets per mechanism, which also pins the 1/ε² scaling the ranking
+// relies on. (TestLaplace*AnalyticVsEmpirical cover one budget each on a
+// different workload; this is the planner-facing contract test.)
+func TestExpectedSSEHonesty(t *testing.T) {
+	w := workload.Range(16, 32, rng.New(3))
+	x := rng.New(4).UniformVec(32, 0, 100)
+	const trials = 4000
+	// Monte-Carlo std of the mean SSE is a few percent at 4000 trials
+	// (each trial sums 16 correlated squared-Laplace terms); 0.10 is a
+	// comfortable band that still catches any mis-derived constant — the
+	// nearest wrong formulas (a factor 2, a missing square) are off by
+	// 100% or more.
+	const tol = 0.10
+	cases := []struct {
+		name string
+		mech Mechanism
+	}{
+		{"LM", LaplaceData{}},
+		{"NOR", LaplaceResults{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := tc.mech.Prepare(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, eps := range []privacy.Epsilon{1, 0.25} {
+				analytic := p.ExpectedSSE(eps)
+				if math.IsNaN(analytic) || analytic <= 0 {
+					t.Fatalf("analytic SSE %v at ε=%g", analytic, float64(eps))
+				}
+				got := empiricalSSE(t, p, w, x, eps, trials, rng.New(int64(101+i)))
+				if rel := math.Abs(got-analytic) / analytic; rel > tol {
+					t.Fatalf("ε=%g: empirical mean SSE %g vs analytic %g (relative error %.3f > %.2f)",
+						float64(eps), got, analytic, rel, tol)
+				}
+			}
+		})
+	}
+}

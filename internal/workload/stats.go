@@ -26,6 +26,13 @@ type Stats struct {
 	// LaplaceSSE and ResultsSSE are the analytic expected errors of the
 	// two baselines at ε = 1: 2·ΣW² and 2m·Δ'².
 	LaplaceSSE, ResultsSSE float64
+	// SVD is the thin factorization Analyze computed for Rank and
+	// ConditionNumber, retained so planners can hand it to a mechanism's
+	// PrepareAnalyzed and keep the whole analyze-then-prepare flow at one
+	// factorization. Nil when the Stats were constructed by hand. It
+	// factors the workload W the Stats describe; do not pair it with a
+	// different workload.
+	SVD *mat.SVD
 }
 
 // Analyze computes the summary for w (one SVD, reused for rank and
@@ -50,6 +57,7 @@ func Analyze(w *Workload) (*Stats, error) {
 		ConditionNumber: svd.ConditionNumber(),
 		LaplaceSSE:      2 * sq,
 		ResultsSSE:      2 * float64(m) * delta * delta,
+		SVD:             svd,
 	}, nil
 }
 

@@ -29,6 +29,10 @@ func TestAnalyzeIdentity(t *testing.T) {
 	if s.LowRank() {
 		t.Fatal("identity must not be low-rank")
 	}
+	// The factorization is retained for PrepareAnalyzed consumers.
+	if s.SVD == nil || s.SVD.U.Rows() != 8 || len(s.SVD.S) != 8 {
+		t.Fatalf("analysis did not retain its SVD: %+v", s.SVD)
+	}
 }
 
 func TestAnalyzeLowRankRegime(t *testing.T) {
