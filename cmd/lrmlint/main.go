@@ -1,0 +1,64 @@
+// Command lrmlint runs the repository's custom static-analysis suite
+// (internal/lint) over the given packages — the five analyzers that
+// mechanically enforce the kernel, privacy, and determinism invariants
+// the optimization PRs have accumulated:
+//
+//	aliasguard  in-place mat kernels must not alias dst with operands
+//	noalloc     //lrm:noalloc functions must stay allocation-free
+//	noiserand   noise randomness must come from internal/rng, unseeded
+//	epshygiene  ε must be validated before release sinks; Spend errors checked
+//	detiter     no map-iteration order feeding numeric output
+//
+// Usage:
+//
+//	go run ./cmd/lrmlint ./...
+//	go run ./cmd/lrmlint -list
+//	go run ./cmd/lrmlint lrm/internal/engine
+//
+// Findings print as file:line:col: analyzer: message. The exit status is
+// 0 when the tree is clean, 1 when there are findings, 2 on usage or
+// load errors — the contract the CI job relies on. Point suppressions
+// use a //lint:ignore <analyzer> <justification> comment on or directly
+// above the flagged line; the justification is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lrm/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and their contracts, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lrmlint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(patterns, lint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrmlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lrmlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -108,7 +108,11 @@ func main() {
 			fatalf("preparing %s: %v", mech.Name(), err)
 		}
 	}
-	answers, err := prepared.Answer(ds.Counts, privacy.Epsilon(*eps), rng.New(*seed))
+	relEps := privacy.Epsilon(*eps)
+	if err := relEps.Validate(); err != nil {
+		fatalf("invalid -eps: %v", err)
+	}
+	answers, err := prepared.Answer(ds.Counts, relEps, rng.New(*seed))
 	if err != nil {
 		fatalf("answering: %v", err)
 	}

@@ -98,16 +98,31 @@ func (m *Mechanism) AnswerMany(x *mat.Dense, eps privacy.Epsilon, src *rng.Sourc
 	cols := x.Cols()
 	y := mat.MulColsTo(mat.New(m.d.L.Rows(), cols), m.d.L, x)
 	buf := make([]float64, m.d.L.Rows())
+	if err := m.noiseColumns(y, buf, eps, src); err != nil {
+		return nil, err
+	}
+	return mat.MulColsTo(mat.New(m.d.B.Rows(), cols), m.d.B, y), nil
+}
+
+// noiseColumns is the AnswerMany epilogue between the two GEMMs: it
+// perturbs y (r×B) in place, drawing each column's Laplace noise in
+// ascending column order — the exact draw sequence a loop of per-column
+// Answer calls sharing one source would produce, which the bit-identity
+// contract with Answer requires. buf is the caller's r-length scratch.
+//
+//lrm:noalloc — one gather/noise/scatter pass per column over caller buffers
+func (m *Mechanism) noiseColumns(y *mat.Dense, buf []float64, eps privacy.Epsilon, src *rng.Source) error {
+	cols := y.Cols()
 	for j := 0; j < cols; j++ {
 		for i := range buf {
 			buf[i] = y.At(i, j)
 		}
 		if err := privacy.AddLaplaceNoise(buf, m.delta, eps, src); err != nil {
-			return nil, err
+			return err
 		}
 		y.SetCol(j, buf)
 	}
-	return mat.MulColsTo(mat.New(m.d.B.Rows(), cols), m.d.B, y), nil
+	return nil
 }
 
 // ExpectedSSE returns the analytic expected sum of squared errors

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the core of the mini-framework: the Analyzer/Pass/
+// Diagnostic contract (a deliberate subset of golang.org/x/tools/
+// go/analysis, so the suite can migrate onto the real multichecker the
+// day the dependency becomes available) plus the //lint:ignore
+// suppression machinery.
+
+// Analyzer is one static check. Run inspects a single type-checked
+// package through the Pass and reports findings with Pass.Report.
+type Analyzer struct {
+	// Name is the short identifier used in output, in //lint:ignore
+	// comments, and in fixture directories.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run analyzes one package. It returns an error only for internal
+	// failures; findings go through Pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state through an
+// Analyzer's Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Report records a finding at pos unless an ignore comment suppresses it.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreSet indexes //lint:ignore comments by file and line. A comment
+//
+//	//lint:ignore <analyzer> <justification>
+//
+// suppresses that analyzer's findings on the same line and on the line
+// directly below it (so it can sit on its own line above the flagged
+// statement, staticcheck-style, or trail the statement itself). The
+// justification is mandatory: an ignore without a reason is itself
+// reported, so every suppression in the tree documents why the invariant
+// does not apply.
+type ignoreSet struct {
+	// byLine maps file → line → analyzer names ignored on that line.
+	byLine map[string]map[int][]string
+}
+
+// ignoreAll is the analyzer-name wildcard accepted by //lint:ignore.
+const ignoreAll = "all"
+
+// buildIgnores scans the package's comments for //lint:ignore directives.
+// Malformed directives (missing analyzer name or justification) are
+// reported as findings so they cannot silently suppress nothing.
+func buildIgnores(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) *ignoreSet {
+	set := &ignoreSet{byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					*diags = append(*diags, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore: need an analyzer name and a justification",
+					})
+					continue
+				}
+				lines := set.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					set.byLine[pos.Filename] = lines
+				}
+				// Suppress on the comment's own line and the next: the
+				// directive either trails the flagged line or sits
+				// directly above it.
+				lines[pos.Line] = append(lines[pos.Line], fields[0])
+				lines[pos.Line+1] = append(lines[pos.Line+1], fields[0])
+			}
+		}
+	}
+	return set
+}
+
+// suppresses reports whether d is covered by an ignore directive.
+func (s *ignoreSet) suppresses(d Diagnostic) bool {
+	if d.Analyzer == "lint" {
+		return false // malformed-directive findings cannot self-suppress
+	}
+	for _, name := range s.byLine[d.Pos.Filename][d.Pos.Line] {
+		if name == d.Analyzer || name == ignoreAll {
+			return true
+		}
+	}
+	return false
+}
+
+// runAnalyzers applies every analyzer to one loaded package and returns
+// the surviving (non-suppressed) findings sorted by position.
+func runAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	ignores := buildIgnores(pkg.Fset, pkg.Files, &raw)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	kept := raw[:0]
+	for _, d := range raw {
+		if !ignores.suppresses(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// Run loads the packages matched by patterns and applies analyzers to
+// each, returning all findings sorted by position.
+func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := LoadPackages(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := runAnalyzers(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}
+
+// All returns the full suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AliasGuard,
+		NoAlloc,
+		NoiseRand,
+		EpsHygiene,
+		DetIter,
+	}
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetIter guards the numeric layers' bit-identity contract against map
+// iteration order. Serial-vs-parallel equality tests, the disk cache's
+// cross-process restores, and the CI perf gate all assume answers are a
+// pure function of (workload, seed); Go randomizes map range order per
+// execution, so a map-range loop that feeds numeric output turns that
+// contract into a coin flip that no single test run can catch.
+//
+// In the packages that carry the guarantee (mat, core, engine, plan),
+// a range over a map is flagged when its body
+//
+//   - writes an element of a slice, array, or matrix declared outside
+//     the loop,
+//   - appends the map's values (not just its keys) to an outer slice, or
+//   - accumulates floating-point state with an op-assignment (+= over
+//     floats rounds differently per visit order; integer accumulation is
+//     exact and allowed).
+//
+// Deleting from the map, writing to other maps, and the collect-keys-
+// then-sort idiom remain clean.
+var DetIter = &Analyzer{
+	Name: "detiter",
+	Doc: "flags map-range loops whose bodies write slices/matrices or " +
+		"accumulate floats in packages with bit-identity guarantees " +
+		"(mat, core, engine, plan)",
+	Run: runDetIter,
+}
+
+// detiterPackages carry the bit-identity guarantee.
+var detiterPackages = map[string]bool{
+	"lrm/internal/mat":    true,
+	"lrm/internal/core":   true,
+	"lrm/internal/engine": true,
+	"lrm/internal/plan":   true,
+}
+
+func runDetIter(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !detiterPackages[path] && !strings.Contains(path, "lint/testdata/") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+// rangeVarObjs resolves the key/value loop variables to their objects.
+func rangeVarObjs(info *types.Info, rng *ast.RangeStmt) (key, val types.Object) {
+	if id, ok := rng.Key.(*ast.Ident); ok {
+		key = info.Defs[id]
+	}
+	if rng.Value != nil {
+		if id, ok := rng.Value.(*ast.Ident); ok {
+			val = info.Defs[id]
+		}
+	}
+	return key, val
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt) {
+	_, valObj := rangeVarObjs(pass.Info, rng)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// Op-assignments accumulating floats: order-dependent rounding.
+		if assign.Tok != token.ASSIGN && assign.Tok != token.DEFINE && len(assign.Lhs) == 1 {
+			if tv, ok := pass.Info.Types[assign.Lhs[0]]; ok && isFloatish(tv.Type) {
+				pass.Report(assign.Pos(),
+					"floating-point op-assignment inside map range: accumulation order follows map iteration order, which is randomized")
+				return true
+			}
+		}
+		for i, lhs := range assign.Lhs {
+			// Writes through a slice/array index: out[i] = …
+			if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				if tv, ok := pass.Info.Types[idx.X]; ok {
+					switch tv.Type.Underlying().(type) {
+					case *types.Slice, *types.Array:
+						pass.Report(assign.Pos(),
+							"write to %s inside map range: element order follows map iteration order, which is randomized",
+							exprString(idx.X))
+					}
+				}
+			}
+			// Appends that carry map values into an ordered output.
+			if i < len(assign.Rhs) {
+				if call, ok := ast.Unparen(assign.Rhs[i]).(*ast.CallExpr); ok &&
+					calleeBuiltin(pass.Info, call) == "append" {
+					for _, arg := range call.Args[1:] {
+						if valObj != nil && mentionsObject(pass.Info, arg, valObj) {
+							pass.Report(call.Pos(),
+								"append of map values inside map range: output order follows map iteration order, which is randomized (collect keys and sort instead)")
+							break
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isFloatish reports whether t is (or is based on) a floating-point type.
+func isFloatish(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

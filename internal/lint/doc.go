@@ -1,0 +1,45 @@
+// Package lint is the repository's own static-analysis suite: five
+// analyzers that turn the invariants the numeric and privacy layers
+// depend on — but that ordinary tests only probe pointwise — into
+// build-time checks over every path.
+//
+// The analyzers:
+//
+//   - aliasguard: in-place mat/sparse kernel calls (MulTo, GramTo,
+//     MulColsTo, SolveRightSPDTo, …) must not pass the same variable or
+//     field chain as destination and a forbidden operand. The kernels
+//     panic on aliasing at runtime; the analyzer catches the obvious
+//     cases on paths no test drives.
+//   - noalloc: functions annotated //lrm:noalloc must contain no
+//     syntactic allocation constructs (make, new, append, map/slice
+//     literals, &-composite literals, closures, go statements). The
+//     annotation is the static face of the testing.AllocsPerRun pins.
+//   - noiserand: math/rand is importable only by internal/rng, and
+//     constant noise seeds (rng.New(42), Source.Reseed(7), Seed: 9
+//     fields) are forbidden in serving code — a replayable noise stream
+//     is a subtractable one, which voids the ε-DP guarantee.
+//   - epshygiene: an ε reaching a release sink (Answer, AnswerMany,
+//     Prepare, PrepareWith) must be validated earlier in the same
+//     function, and (*privacy.Budget).Spend errors must not be
+//     discarded.
+//   - detiter: in the bit-identity packages (mat, core, engine, plan),
+//     map-range bodies must not write positional output or accumulate
+//     floating-point state, because map iteration order is randomized
+//     per execution.
+//
+// Findings are suppressed case by case with
+//
+//	//lint:ignore <analyzer> <justification>
+//
+// on or directly above the flagged line; the justification is
+// mandatory, and a malformed directive is itself a finding.
+//
+// The framework (Analyzer, Pass, Diagnostic, Run) is a deliberate
+// stdlib-only subset of golang.org/x/tools/go/analysis: packages are
+// loaded through `go list -export` plus the gc importer, so the suite
+// needs no dependencies beyond the toolchain and can migrate onto the
+// real multichecker wholesale if the dependency ever lands. The
+// cmd/lrmlint binary drives the suite; fixture packages under
+// testdata/src exercise every analyzer with want-annotated positives
+// and clean negatives.
+package lint

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EpsHygiene enforces two ε-handling rules:
+//
+//  1. An ε value reaching a release sink — a call to Answer, AnswerMany,
+//     Prepare, or PrepareWith taking a privacy.Epsilon argument — must
+//     have passed through validation earlier in the same function:
+//     eps.Validate(), a comparison guard (eps <= 0, eps > 0, …), a
+//     math.IsNaN/IsInf check, or a Budget.Spend (which validates
+//     internally). An unvalidated ε ≤ 0 silently yields a Laplace scale
+//     that is negative, zero, or NaN — noise that protects nothing.
+//     The check is intraprocedural and syntactic: it traces only ε
+//     arguments that are plain variables or field chains, and accepts
+//     any textual validation of the same chain before the call. Callers
+//     whose ε was validated by their own caller annotate the sink with
+//     //lint:ignore epshygiene and a justification.
+//
+//  2. A (*privacy.Budget).Spend call whose error result is discarded is
+//     always flagged: an unchecked spend turns the budget into an
+//     unenforced suggestion — the release happens whether or not ε was
+//     available, which is an overspend bug, not a style issue.
+var EpsHygiene = &Analyzer{
+	Name: "epshygiene",
+	Doc: "requires ε to be validated (Validate, comparison guard, or " +
+		"Budget.Spend) before reaching Answer/AnswerMany/Prepare, and " +
+		"flags discarded Budget.Spend errors",
+	Run: runEpsHygiene,
+}
+
+// epsSinkNames are the method/function names that release answers or
+// commit preparation work against an ε.
+var epsSinkNames = map[string]bool{
+	"Answer":      true,
+	"AnswerMany":  true,
+	"Prepare":     true,
+	"PrepareWith": true,
+}
+
+const epsilonTypeName = "lrm/internal/privacy.Epsilon"
+
+// isEpsilonType reports whether t is privacy.Epsilon (possibly aliased).
+func isEpsilonType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path()+"."+obj.Name() == epsilonTypeName
+}
+
+// isBudgetSpend reports whether the call is (*privacy.Budget).Spend.
+func isBudgetSpend(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.FullName() == "(*lrm/internal/privacy.Budget).Spend"
+}
+
+func runEpsHygiene(pass *Pass) error {
+	for _, file := range pass.Files {
+		// Discarded Budget.Spend errors: a Spend used as a bare statement
+		// or assigned to blank.
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok && isBudgetSpend(pass.Info, call) {
+					pass.Report(call.Pos(), "Budget.Spend error discarded: the release proceeds even when the budget is exhausted")
+				}
+			case *ast.GoStmt:
+				if isBudgetSpend(pass.Info, stmt.Call) {
+					pass.Report(stmt.Call.Pos(), "Budget.Spend error discarded: the release proceeds even when the budget is exhausted")
+				}
+			case *ast.DeferStmt:
+				if isBudgetSpend(pass.Info, stmt.Call) {
+					pass.Report(stmt.Call.Pos(), "Budget.Spend error discarded: the release proceeds even when the budget is exhausted")
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range stmt.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isBudgetSpend(pass.Info, call) {
+						continue
+					}
+					// Single-value context: Spend's one result maps to
+					// the matching LHS (or to every LHS for a 1:1 assign).
+					if i < len(stmt.Lhs) {
+						if id, ok := stmt.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							pass.Report(call.Pos(), "Budget.Spend error assigned to _: the release proceeds even when the budget is exhausted")
+						}
+					}
+				}
+			}
+			return true
+		})
+
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkEpsFlow(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkEpsFlow verifies every ε sink inside one function.
+func checkEpsFlow(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var sinkName string
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			sinkName = fun.Sel.Name
+		case *ast.Ident:
+			sinkName = fun.Name
+		default:
+			return true
+		}
+		if !epsSinkNames[sinkName] {
+			return true
+		}
+		// Locate the privacy.Epsilon argument.
+		var epsArg ast.Expr
+		for _, arg := range call.Args {
+			if tv, ok := pass.Info.Types[arg]; ok && isEpsilonType(tv.Type) {
+				epsArg = arg
+				break
+			}
+		}
+		if epsArg == nil {
+			return true
+		}
+		target := traceEpsExpr(pass.Info, epsArg)
+		if target == nil {
+			return true // constants and computed ε are out of scope
+		}
+		if !validatedBefore(pass, fd, target, call.Pos()) {
+			pass.Report(call.Pos(),
+				"ε argument %s reaches %s without validation in this function (no Validate call, comparison guard, or Budget.Spend)",
+				exprString(target), sinkName)
+		}
+		return true
+	})
+}
+
+// traceEpsExpr strips conversions and parens off an ε argument and
+// returns the underlying variable or field chain, or nil when the value
+// is a constant or a computed expression.
+func traceEpsExpr(info *types.Info, e ast.Expr) ast.Expr {
+	e = ast.Unparen(e)
+	// Unwrap conversions like privacy.Epsilon(x): a CallExpr whose Fun is
+	// a type.
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return traceEpsExpr(info, call.Args[0])
+		}
+		return nil
+	}
+	switch v := e.(type) {
+	case *ast.Ident:
+		if _, ok := info.Uses[v].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr, *ast.StarExpr:
+		return e
+	case *ast.BasicLit:
+		return nil
+	}
+	if _, isConst := isConstExpr(info, e); isConst {
+		return nil
+	}
+	return nil
+}
+
+// validatedBefore reports whether the ε chain is validated anywhere in
+// the function before pos: a Validate() call on it, a comparison
+// involving it, a math.IsNaN/IsInf mentioning it, or a Spend taking it.
+func validatedBefore(pass *Pass, fd *ast.FuncDecl, target ast.Expr, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() >= pos {
+			return !found
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Validate":
+					if sameExpr(pass.Info, sel.X, target) {
+						found = true
+					}
+				case "Spend":
+					for _, arg := range node.Args {
+						if sameExpr(pass.Info, ast.Unparen(arg), target) || epsConversionOf(pass.Info, arg, target) {
+							found = true
+						}
+					}
+				case "IsNaN", "IsInf":
+					for _, arg := range node.Args {
+						if exprMentions(pass.Info, arg, target) {
+							found = true
+						}
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			switch node.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				if exprMentions(pass.Info, node.X, target) || exprMentions(pass.Info, node.Y, target) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// epsConversionOf reports whether arg is a conversion whose operand is
+// the target chain (Spend(privacy.Epsilon(eps))).
+func epsConversionOf(info *types.Info, arg ast.Expr, target ast.Expr) bool {
+	traced := traceEpsExpr(info, arg)
+	return traced != nil && sameExpr(info, traced, target)
+}
+
+// exprMentions reports whether e contains the target chain as a
+// subexpression.
+func exprMentions(info *types.Info, e ast.Expr, target ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if sub, ok := n.(ast.Expr); ok && sameExpr(info, sub, target) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"testing"
+)
+
+// fixtureRoot is where the want-annotated fixture packages live. The
+// testdata path keeps them out of every ./... wildcard (build, vet,
+// tree-wide lint) while the loader can still address them explicitly.
+const fixtureRoot = "lrm/internal/lint/testdata/src/"
+
+func checkFixture(t *testing.T, a *Analyzer, rel string) {
+	t.Helper()
+	problems, err := CheckFixture(a, fixtureRoot+rel)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", rel, err)
+	}
+	for _, p := range problems {
+		t.Errorf("fixture %s: %s", rel, p)
+	}
+}
+
+func TestAliasGuardFixtures(t *testing.T) {
+	checkFixture(t, AliasGuard, "aliasguard/bad")
+	checkFixture(t, AliasGuard, "aliasguard/clean")
+}
+
+func TestNoAllocFixtures(t *testing.T) {
+	checkFixture(t, NoAlloc, "noalloc/bad")
+	checkFixture(t, NoAlloc, "noalloc/clean")
+}
+
+func TestNoiseRandFixtures(t *testing.T) {
+	checkFixture(t, NoiseRand, "noiserand/bad")
+	checkFixture(t, NoiseRand, "noiserand/clean")
+}
+
+func TestEpsHygieneFixtures(t *testing.T) {
+	checkFixture(t, EpsHygiene, "epshygiene/bad")
+	checkFixture(t, EpsHygiene, "epshygiene/clean")
+}
+
+func TestDetIterFixtures(t *testing.T) {
+	checkFixture(t, DetIter, "detiter/bad")
+	checkFixture(t, DetIter, "detiter/clean")
+}
+
+// TestMalformedIgnoreReported pins the suppression machinery's failure
+// mode: a //lint:ignore with no justification must surface as a finding
+// rather than silently suppressing nothing.
+func TestMalformedIgnoreReported(t *testing.T) {
+	pkgs, err := LoadPackages([]string{fixtureRoot + "noalloc/clean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages", len(pkgs))
+	}
+	// The clean fixture's ignore is well-formed, so running the full
+	// suite over it must stay quiet.
+	diags, err := runAnalyzers(pkgs[0], All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestTreeClean is the acceptance gate in test form: the whole module
+// must be free of findings (modulo the justified ignores it carries).
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tree-wide load shells out to go list over every package")
+	}
+	diags, err := Run([]string{"lrm/..."}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("tree finding: %s", d)
+	}
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Fixture support: an analysistest-style harness without the
+// analysistest dependency. Fixture packages live under
+// internal/lint/testdata/src/<analyzer>/… (testdata keeps them out of
+// ./... builds; the loader addresses them explicitly) and mark expected
+// findings with trailing comments of the form
+//
+//	// want "regexp"
+//
+// CheckFixture loads the package, runs one analyzer, and verifies the
+// findings and the want comments match one-to-one by line.
+
+// wantComment is one expected diagnostic.
+type wantComment struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// CheckFixture runs the analyzer over the fixture package at importPath
+// and returns a list of mismatch descriptions (empty means the fixture
+// passed).
+func CheckFixture(a *Analyzer, importPath string) ([]string, error) {
+	pkgs, err := LoadPackages([]string{importPath})
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgs) != 1 {
+		return nil, fmt.Errorf("lint: fixture %s resolved to %d packages", importPath, len(pkgs))
+	}
+	pkg := pkgs[0]
+	diags, err := runAnalyzers(pkg, []*Analyzer{a})
+	if err != nil {
+		return nil, err
+	}
+
+	var wants []*wantComment
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				pattern, err := strconv.Unquote(strings.TrimSpace(rest))
+				if err != nil {
+					return nil, fmt.Errorf("%s: malformed want comment %q", pos, c.Text)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want regexp: %v", pos, err)
+				}
+				wants = append(wants, &wantComment{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+
+	var problems []string
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re))
+		}
+	}
+	return problems, nil
+}

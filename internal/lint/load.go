@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader. The usual foundation for this layer is
+// golang.org/x/tools/go/packages, which this module does not depend on;
+// the same result is obtained from the go tool itself: `go list -export`
+// compiles the dependency graph and reports, for every package, the
+// build-cache location of its export data. Each target package is then
+// parsed from source and type-checked by go/types against that export
+// data, which is exactly how the compiler itself sees the imports.
+//
+// Only non-test GoFiles are loaded: every analyzer in the suite either
+// exempts _test.go files outright (noiserand) or targets hot-path and
+// serving code that never lives in a test file, and the export graph of
+// external test packages is not available through `go list -export`.
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+}
+
+// goList invokes the go tool and decodes its JSON stream.
+func goList(args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var entries []listEntry
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// LoadPackages type-checks every package matched by patterns. Patterns
+// are anything `go list` accepts (`./...`, `lrm/internal/mat`, explicit
+// testdata directories, …).
+func LoadPackages(patterns []string) ([]*Package, error) {
+	targets, err := goList(append([]string{"-json=ImportPath"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	// One -deps -export walk compiles the graph and locates export data
+	// for every import any target needs.
+	universe, err := goList(append([]string{
+		"-export", "-deps",
+		"-json=ImportPath,Dir,Name,Export,Standard,GoFiles",
+	}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(universe))
+	byPath := make(map[string]listEntry, len(universe))
+	for _, e := range universe {
+		byPath[e.ImportPath] = e
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		e, ok := byPath[t.ImportPath]
+		if !ok || len(e.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := loadOne(fset, imp, e)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// loadOne parses and type-checks a single package from source.
+func loadOne(fset *token.FileSet, imp types.Importer, e listEntry) (*Package, error) {
+	files := make([]*ast.File, 0, len(e.GoFiles))
+	for _, name := range e.GoFiles {
+		path := filepath.Join(e.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(e.ImportPath, fset, files, info)
+	if typeErr != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", e.ImportPath, typeErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", e.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: e.ImportPath,
+		Dir:        e.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoAlloc checks functions annotated //lrm:noalloc for syntactic
+// allocation constructs. The annotation is the static face of the
+// testing.AllocsPerRun pins in internal/core/alloc_test.go: the pins
+// prove a whole call tree allocates nothing, this analyzer explains the
+// guarantee line by line and catches regressions at the allocation site
+// instead of as an opaque count mismatch.
+//
+// The contract is per-function and syntactic: the annotated body must
+// not contain make, new, append, map/slice composite literals,
+// &-composite literals, function literals (closures capture and escape),
+// or go statements. Callees are not traversed — a callee that allocates
+// is annotated (or pinned) itself.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc: "checks //lrm:noalloc-annotated functions for allocation " +
+		"constructs: make, new, append, map/slice/&-composite literals, " +
+		"escaping closures, and go statements",
+	Run: runNoAlloc,
+}
+
+// noallocDirective marks a function whose body must stay free of
+// allocation constructs.
+const noallocDirective = "//lrm:noalloc"
+
+func runNoAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd, noallocDirective) {
+				continue
+			}
+			checkNoAllocBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkNoAllocBody(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			switch calleeBuiltin(pass.Info, node) {
+			case "make":
+				pass.Report(node.Pos(), "%s is marked %s but calls make", name, noallocDirective)
+			case "new":
+				pass.Report(node.Pos(), "%s is marked %s but calls new", name, noallocDirective)
+			case "append":
+				pass.Report(node.Pos(), "%s is marked %s but calls append (growth reallocates)", name, noallocDirective)
+			}
+		case *ast.CompositeLit:
+			switch pass.Info.Types[node].Type.Underlying().(type) {
+			case *types.Map:
+				pass.Report(node.Pos(), "%s is marked %s but builds a map literal", name, noallocDirective)
+			case *types.Slice:
+				pass.Report(node.Pos(), "%s is marked %s but builds a slice literal", name, noallocDirective)
+			}
+		case *ast.UnaryExpr:
+			if node.Op.String() == "&" {
+				if _, ok := ast.Unparen(node.X).(*ast.CompositeLit); ok {
+					pass.Report(node.Pos(), "%s is marked %s but takes the address of a composite literal (escapes to the heap)", name, noallocDirective)
+				}
+			}
+		case *ast.FuncLit:
+			pass.Report(node.Pos(), "%s is marked %s but contains a function literal (closures capture and may escape)", name, noallocDirective)
+		case *ast.GoStmt:
+			pass.Report(node.Pos(), "%s is marked %s but starts a goroutine", name, noallocDirective)
+		}
+		return true
+	})
+}

@@ -1,0 +1,23 @@
+// Package clean holds aliasguard fixtures that must produce no
+// diagnostics: distinct operands, kernels that permit aliasing, and the
+// dst/b aliasing that SolveRightSPDTo explicitly supports.
+package clean
+
+import "lrm/internal/mat"
+
+func product(a, b, dst *mat.Dense) *mat.Dense {
+	return mat.MulTo(dst, a, b)
+}
+
+// accumulate aliases dst with an operand of AddTo, which is an
+// element-wise kernel outside the aliasing contract.
+func accumulate(dst, a *mat.Dense) *mat.Dense {
+	return mat.AddTo(dst, dst, a)
+}
+
+// solveInPlace overwrites b with the solution, the documented in-place
+// form of SolveRightSPDTo: dst may alias b, just not the system matrix
+// or the scratch.
+func solveInPlace(b, sys, lwork *mat.Dense) error {
+	return mat.SolveRightSPDTo(b, b, sys, lwork)
+}

@@ -1,0 +1,28 @@
+// Package bad holds detiter want-diagnostic fixtures: map-range bodies
+// that write positional output or accumulate floats, so the result
+// depends on Go's randomized iteration order.
+package bad
+
+func flatten(m map[string]float64, out []float64) {
+	i := 0
+	for _, v := range m {
+		out[i] = v // want `write to out inside map range`
+		i++
+	}
+}
+
+func total(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `floating-point op-assignment inside map range`
+	}
+	return s
+}
+
+func values(m map[string]float64) []float64 {
+	var vs []float64
+	for _, v := range m {
+		vs = append(vs, v) // want `append of map values inside map range`
+	}
+	return vs
+}

@@ -1,0 +1,35 @@
+// Package clean holds detiter fixtures that must produce no
+// diagnostics: the collect-keys-then-sort idiom, map deletion, integer
+// counting, and ranges over non-maps.
+package clean
+
+import "sort"
+
+func sorted(m map[string]float64) []float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func prune(m map[string]float64) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func count(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,24 @@
+// Package bad holds epshygiene want-diagnostic fixtures: an ε that
+// reaches a release sink with no validation on any path before it, and
+// Budget.Spend calls whose errors are thrown away.
+package bad
+
+import "lrm/internal/privacy"
+
+type mech struct{}
+
+func (mech) Answer(x []float64, eps privacy.Epsilon) []float64 {
+	return x
+}
+
+func release(m mech, x []float64, eps privacy.Epsilon) []float64 {
+	return m.Answer(x, eps) // want `reaches Answer without validation`
+}
+
+func overspend(b *privacy.Budget, eps privacy.Epsilon) {
+	b.Spend(eps) // want `Budget\.Spend error discarded`
+}
+
+func blankSpend(b *privacy.Budget, eps privacy.Epsilon) {
+	_ = b.Spend(eps) // want `Budget\.Spend error assigned to _`
+}

@@ -1,0 +1,33 @@
+// Package clean holds epshygiene fixtures that must produce no
+// diagnostics: each of the accepted validation forms ahead of the sink,
+// plus a checked Budget.Spend.
+package clean
+
+import "lrm/internal/privacy"
+
+type mech struct{}
+
+func (mech) Answer(x []float64, eps privacy.Epsilon) []float64 {
+	return x
+}
+
+func validated(m mech, x []float64, eps privacy.Epsilon) ([]float64, error) {
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
+	return m.Answer(x, eps), nil
+}
+
+func guarded(m mech, x []float64, eps privacy.Epsilon) []float64 {
+	if eps <= 0 {
+		return nil
+	}
+	return m.Answer(x, eps)
+}
+
+func budgeted(m mech, b *privacy.Budget, x []float64, eps privacy.Epsilon) ([]float64, error) {
+	if err := b.Spend(eps); err != nil {
+		return nil, err
+	}
+	return m.Answer(x, eps), nil
+}

@@ -1,0 +1,24 @@
+// Package bad holds noalloc want-diagnostic fixtures: one annotated
+// function containing every construct the analyzer forbids.
+package bad
+
+type state struct {
+	buf []float64
+}
+
+func worker() {}
+
+// hot claims to be allocation-free but trips every rule.
+//
+//lrm:noalloc
+func hot(xs, out []float64) float64 {
+	tmp := make([]float64, 4)        // want `calls make`
+	p := new(float64)                // want `calls new`
+	out = append(out, xs...)         // want `calls append`
+	weights := []float64{1, 2, 3}    // want `builds a slice literal`
+	index := map[string]int{}        // want `builds a map literal`
+	s := &state{}                    // want `address of a composite literal`
+	f := func() float64 { return 0 } // want `contains a function literal`
+	go worker()                      // want `starts a goroutine`
+	return tmp[0] + *p + out[0] + weights[0] + float64(len(index)) + float64(len(s.buf)) + f()
+}

@@ -1,0 +1,30 @@
+// Package clean holds noalloc fixtures that must produce no
+// diagnostics: an annotated arithmetic-only body, an unannotated
+// function that allocates freely, and a justified suppression.
+package clean
+
+// dot is the shape of a real hot loop: arithmetic over caller buffers.
+//
+//lrm:noalloc
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// grow is not annotated, so its allocations are none of the analyzer's
+// business.
+func grow(xs []float64) []float64 {
+	return append(xs, make([]float64, 4)...)
+}
+
+// pinned allocates once under a justified //lint:ignore, the documented
+// escape hatch.
+//
+//lrm:noalloc
+func pinned(n int) []float64 {
+	//lint:ignore noalloc fixture: demonstrates a justified suppression
+	return make([]float64, n)
+}

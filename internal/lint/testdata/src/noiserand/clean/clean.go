@@ -1,0 +1,22 @@
+// Package clean holds noiserand fixtures that must produce no
+// diagnostics: seeds that flow in as variables and the zero Seed that
+// means "resolve from crypto/rand".
+package clean
+
+import "lrm/internal/rng"
+
+func fromFlag(seed int64) *rng.Source {
+	return rng.New(seed)
+}
+
+func reseed(s *rng.Source, seed int64) {
+	s.Reseed(seed)
+}
+
+type options struct {
+	Seed int64
+}
+
+func unseeded() options {
+	return options{Seed: 0}
+}

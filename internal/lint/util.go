@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// calleeFunc resolves a call's static callee, or nil for builtins,
+// function values, and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeBuiltin resolves a call to a builtin (make, new, append, …), or
+// returns "".
+func calleeBuiltin(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// sameExpr reports whether two expressions are syntactically the same
+// storage location: identical identifier chains resolving to identical
+// objects. It is deliberately conservative — distinct expressions that
+// alias dynamically (two slices over one array) are out of scope for a
+// syntactic check and left to the runtime guards.
+func sameExpr(info *types.Info, x, y ast.Expr) bool {
+	x, y = ast.Unparen(x), ast.Unparen(y)
+	switch xe := x.(type) {
+	case *ast.Ident:
+		ye, ok := y.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		xo, yo := info.Uses[xe], info.Uses[ye]
+		return xo != nil && xo == yo
+	case *ast.SelectorExpr:
+		ye, ok := y.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		xo, yo := info.Uses[xe.Sel], info.Uses[ye.Sel]
+		if xo == nil || xo != yo {
+			return false
+		}
+		return sameExpr(info, xe.X, ye.X)
+	case *ast.IndexExpr:
+		ye, ok := y.(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		return sameExpr(info, xe.X, ye.X) && sameExpr(info, xe.Index, ye.Index)
+	case *ast.StarExpr:
+		ye, ok := y.(*ast.StarExpr)
+		if !ok {
+			return false
+		}
+		return sameExpr(info, xe.X, ye.X)
+	case *ast.UnaryExpr:
+		ye, ok := y.(*ast.UnaryExpr)
+		if !ok || xe.Op != ye.Op {
+			return false
+		}
+		return sameExpr(info, xe.X, ye.X)
+	case *ast.BasicLit:
+		ye, ok := y.(*ast.BasicLit)
+		return ok && xe.Kind == ye.Kind && xe.Value == ye.Value
+	}
+	return false
+}
+
+// mentionsObject reports whether expr references obj anywhere.
+func mentionsObject(info *types.Info, expr ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders an expression compactly for diagnostics.
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}
+
+// isConstExpr reports whether the expression is a compile-time constant,
+// returning its value rendering when it is.
+func isConstExpr(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	return tv.Value.String(), true
+}
+
+// hasDirective reports whether the function declaration's doc comment
+// carries the given //-directive (e.g. "//lrm:noalloc"), which may take
+// trailing explanatory text.
+func hasDirective(decl *ast.FuncDecl, directive string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if c.Text == directive || len(c.Text) > len(directive) &&
+			c.Text[:len(directive)] == directive &&
+			(c.Text[len(directive)] == ' ' || c.Text[len(directive)] == '\t') {
+			return true
+		}
+	}
+	return false
+}

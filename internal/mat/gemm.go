@@ -47,6 +47,8 @@ type aView struct {
 // transposed right operand (MulABt, GramT) packs by passing swapped
 // strides. Partial trailing panels are zero-padded to gemmNR so the
 // micro-kernels never branch on width.
+//
+//lrm:noalloc — packs into the pooled panel buffer, called per tile
 func packPanel(dst, src []float64, k, n, rowStride, colStride, p int) {
 	j0 := p * gemmNR
 	pw := n - j0
@@ -149,6 +151,8 @@ func gemmMain(dst *Dense, m, n, k int, av aView, bdata []float64, bRow, bCol int
 // gemmTileRun computes scheduler tile t of the fixed grid: output rows
 // [r0,r1) × panels [p0,p1). asmKern is the assembly micro-kernel for
 // full-width 4-row blocks, or nil to use the scalar kernels throughout.
+//
+//lrm:noalloc — the kernel dispatch: one scheduler tile, stack state only
 func gemmTileRun(t int, cd []float64, ldc, m, n, k int, av aView, packed []float64, upperOnly bool, tC int, asmKern gemmAsmKernel) {
 	tilePanels := gemmTileCols / gemmNR
 	nPanels := (n + gemmNR - 1) / gemmNR
@@ -227,6 +231,8 @@ func gemmTileRun(t int, cd []float64, ldc, m, n, k int, av aView, packed []float
 // four panel columns starting at bpOff (panel stride is gemmNR). Like the
 // assembly kernel it overwrites its output block and accumulates each
 // element in ascending k.
+//
+//lrm:noalloc — register-blocked micro-kernel
 func gemmScalar4x4(k int, ad []float64, a0, aRow, aK int, bp []float64, bpOff int, cd []float64, c0, ldc int) {
 	var c00, c01, c02, c03 float64
 	var c10, c11, c12, c13 float64
@@ -273,6 +279,8 @@ func gemmScalar4x4(k int, ad []float64, a0, aRow, aK int, bp []float64, bpOff in
 
 // gemmScalarRow8 computes one output row against a full panel: 8
 // accumulators, ascending k. It serves matrices shorter than gemmMR rows.
+//
+//lrm:noalloc — register-blocked micro-kernel
 func gemmScalarRow8(k int, ad []float64, a0, aK int, bp []float64, bpOff int, cd []float64, c0 int) {
 	var s0, s1, s2, s3, s4, s5, s6, s7 float64
 	at := a0
@@ -302,6 +310,8 @@ func gemmScalarRow8(k int, ad []float64, a0, aK int, bp []float64, bpOff int, cd
 
 // gemmScalarTail handles the leftovers — partial trailing panels — one
 // element at a time, ascending k.
+//
+//lrm:noalloc — element-at-a-time tail kernel
 func gemmScalarTail(k int, ad []float64, a0, aRow, aK int, bp []float64, bpOff int, cd []float64, c0, ldc, rows, cols int) {
 	for i := 0; i < rows; i++ {
 		ao := a0 + i*aRow

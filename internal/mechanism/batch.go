@@ -16,6 +16,9 @@ import (
 //
 // x is n×B — one histogram per column — and the result is m×B.
 func AnswerMany(p Prepared, x *mat.Dense, eps privacy.Epsilon, src *rng.Source) (*mat.Dense, error) {
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
 	if ba, ok := p.(BatchAnswerer); ok {
 		return ba.AnswerMany(x, eps, src)
 	}
@@ -27,6 +30,9 @@ func AnswerMany(p Prepared, x *mat.Dense, eps privacy.Epsilon, src *rng.Source) 
 // fallback for mechanisms without a native multi-RHS path and the
 // reference semantics every BatchAnswerer must reproduce exactly.
 func AnswerManyLoop(p Prepared, x *mat.Dense, eps privacy.Epsilon, src *rng.Source) (*mat.Dense, error) {
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
 	n, cols := x.Dims()
 	if cols == 0 {
 		return nil, fmt.Errorf("mechanism: AnswerMany with no data columns")

@@ -56,6 +56,9 @@ type consistentPrepared struct {
 
 // Answer implements Prepared.
 func (p *consistentPrepared) Answer(x []float64, eps privacy.Epsilon, src *rng.Source) ([]float64, error) {
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
 	y, err := p.base.Answer(x, eps, src)
 	if err != nil {
 		return nil, err
@@ -69,6 +72,9 @@ func (p *consistentPrepared) Answer(x []float64, eps privacy.Epsilon, src *rng.S
 // projected with the same pooled ApplyTo kernel Answer uses — so the
 // batch is bit-identical to looping Answer either way.
 func (p *consistentPrepared) AnswerMany(x *mat.Dense, eps privacy.Epsilon, src *rng.Source) (*mat.Dense, error) {
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
 	y, err := AnswerMany(p.base, x, eps, src)
 	if err != nil {
 		return nil, err

@@ -54,12 +54,18 @@ type lrmPrepared struct {
 }
 
 func (p *lrmPrepared) Answer(x []float64, eps privacy.Epsilon, src *rng.Source) ([]float64, error) {
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
 	return p.m.Answer(x, eps, src)
 }
 
 // AnswerMany implements BatchAnswerer: both low-rank products run as one
 // packed multi-RHS GEMM per batch (see core.Mechanism.AnswerMany).
 func (p *lrmPrepared) AnswerMany(x *mat.Dense, eps privacy.Epsilon, src *rng.Source) (*mat.Dense, error) {
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
 	return p.m.AnswerMany(x, eps, src)
 }
 

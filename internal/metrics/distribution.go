@@ -63,6 +63,9 @@ func EvaluateDistribution(mech mechanism.Mechanism, w *workload.Workload, x []fl
 // EvaluatePreparedDistribution is EvaluateDistribution for an
 // already-prepared mechanism.
 func EvaluatePreparedDistribution(p mechanism.Prepared, w *workload.Workload, x []float64, eps privacy.Epsilon, trials int, src *rng.Source) (*Distribution, error) {
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
 	if trials < 2 {
 		return nil, fmt.Errorf("metrics: distribution needs >= 2 trials, got %d", trials)
 	}

@@ -65,6 +65,9 @@ func Evaluate(mech mechanism.Mechanism, w *workload.Workload, x []float64, eps p
 
 // EvaluatePrepared measures an already-prepared mechanism.
 func EvaluatePrepared(p mechanism.Prepared, w *workload.Workload, x []float64, eps privacy.Epsilon, trials int, src *rng.Source) (Measurement, error) {
+	if err := eps.Validate(); err != nil {
+		return Measurement{}, err
+	}
 	exact := w.Answer(x)
 	sources := make([]*rng.Source, trials)
 	for i := range sources {
