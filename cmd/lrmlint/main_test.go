@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The exit-code contract CI relies on: 0 clean, 1 findings, 2 errors.
+
+func TestExitCleanTree(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"lrm/internal/lint/testdata/src/lockguard/clean"}, &out, &errb); code != 0 {
+		t.Fatalf("clean fixture: exit %d, stderr %q, stdout %q", code, errb.String(), out.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean fixture printed findings: %q", out.String())
+	}
+}
+
+func TestExitFindings(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"lrm/internal/lint/testdata/src/lockguard/bad"}, &out, &errb); code != 1 {
+		t.Fatalf("bad fixture: exit %d, want 1 (stderr %q)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "lockguard:") {
+		t.Fatalf("text findings missing analyzer name: %q", out.String())
+	}
+	if !strings.Contains(errb.String(), "finding(s)") {
+		t.Fatalf("stderr missing findings summary: %q", errb.String())
+	}
+}
+
+func TestExitLoadError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"lrm/internal/nonexistent"}, &out, &errb); code != 2 {
+		t.Fatalf("bad pattern: exit %d, want 2", code)
+	}
+}
+
+func TestExitBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "lrm/internal/lint/testdata/src/lockguard/bad"}, &out, &errb); code != 1 {
+		t.Fatalf("json run: exit %d, want 1 (stderr %q)", code, errb.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("json run produced an empty findings array for a bad fixture")
+	}
+	for _, f := range findings {
+		if f.Analyzer == "" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Fatalf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+func TestListExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list: exit %d", code)
+	}
+	for _, name := range []string{"noiseflow", "lockguard", "asmvet"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}

@@ -59,7 +59,8 @@ type coalescer struct {
 	window time.Duration
 	max    int // flush a group as soon as it holds this many histograms
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	//lrm:guardedby mu
 	groups map[coalesceKey]*coalesceGroup
 }
 

@@ -154,7 +154,8 @@ func main() {
 
 // answerRequest is the POST /answer JSON body.
 type answerRequest struct {
-	Workload   [][]float64 `json:"workload"`
+	Workload [][]float64 `json:"workload"`
+	//lrm:source — client-supplied unit counts, raw until noised
 	Histograms [][]float64 `json:"histograms"`
 	Eps        float64     `json:"eps"`
 	Budget     float64     `json:"budget"`
@@ -310,6 +311,8 @@ func workloadFromJSON(rows [][]float64) (*workload.Workload, error) {
 // writeJSON encodes into a buffer before touching the ResponseWriter, so
 // an encode failure (e.g. ±Inf answers, which encoding/json rejects) can
 // still become a 500 instead of a 200 with an empty body.
+//
+//lrm:sink — v is serialized onto the wire
 func writeJSON(w http.ResponseWriter, v any) {
 	body, err := json.Marshal(v)
 	if err != nil {

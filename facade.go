@@ -333,6 +333,9 @@ type PlanDecision = engine.PlanDecision
 // AnswerBatch is the one-call happy path: decompose the workload with
 // default options and answer it on x under ε-differential privacy using
 // the Low-Rank Mechanism.
+//
+//lrm:source x — the histogram arrives raw
+//lrm:sink return — the returned answers leave the privacy boundary
 func AnswerBatch(w *Workload, x []float64, eps Epsilon, src *Source) ([]float64, error) {
 	p, err := LRM{}.Prepare(w)
 	if err != nil {

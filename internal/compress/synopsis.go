@@ -61,6 +61,8 @@ func (s *Synopsis) Domain() int { return s.n }
 func (s *Synopsis) Sensitivity() float64 { return s.sens }
 
 // Compress returns the noisy ε-DP synopsis y = Φx + Lap(Δ/ε)^k.
+//
+//lrm:sanitizer — the measurements carry Laplace noise of scale Δ/ε
 func (s *Synopsis) Compress(x []float64, eps float64, src *rng.Source) ([]float64, error) {
 	if len(x) != s.n {
 		return nil, fmt.Errorf("compress: data length %d != domain %d", len(x), s.n)

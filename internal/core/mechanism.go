@@ -111,6 +111,7 @@ func (m *Mechanism) AnswerMany(x *mat.Dense, eps privacy.Epsilon, src *rng.Sourc
 // contract with Answer requires. buf is the caller's r-length scratch.
 //
 //lrm:noalloc — one gather/noise/scatter pass per column over caller buffers
+//lrm:sanitizer y — every column of y is Laplace-perturbed before return
 func (m *Mechanism) noiseColumns(y *mat.Dense, buf []float64, eps privacy.Epsilon, src *rng.Source) error {
 	cols := y.Cols()
 	for j := 0; j < cols; j++ {

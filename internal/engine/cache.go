@@ -88,6 +88,8 @@ func (e *Engine) prepared(fp string, w *workload.Workload) (mechanism.Prepared, 
 // insertLocked adds a prepared workload at the front of the LRU and evicts
 // from the back past capacity. Caller holds e.mu and owns the (sole)
 // flight for fp, so no entry for fp can already be resident.
+//
+//lrm:guardedby mu
 func (e *Engine) insertLocked(fp string, p mechanism.Prepared, pl *plan.Plan) {
 	e.byFP[fp] = e.lru.PushFront(&cacheEntry{fp: fp, p: p, pl: pl})
 	for e.lru.Len() > e.capacity {
@@ -219,6 +221,8 @@ func loadPrepared(path string, w *workload.Workload, gamma float64) (mechanism.P
 // writeDecomposition persists atomically (temp file + rename) so a
 // concurrent reader — another engine sharing the directory — never
 // observes a half-written file.
+//
+//lrm:sink — the cache file is on-disk state outside the process
 func writeDecomposition(path string, d *core.Decomposition) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".lrmd-*")
 	if err != nil {

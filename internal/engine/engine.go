@@ -133,6 +133,8 @@ type Request struct {
 	Workload *workload.Workload
 	// Histograms are the databases to answer; each must have Domain()
 	// entries. Every histogram is released independently at Eps.
+	//
+	//lrm:source — unit-count histograms are the raw, unreleased data
 	Histograms [][]float64
 	// Eps is the per-histogram release budget.
 	Eps privacy.Epsilon
@@ -194,16 +196,22 @@ type Engine struct {
 	hook     func(string)
 
 	// Prepared-workload cache and singleflight table.
-	mu     sync.Mutex
-	lru    *list.List // of *cacheEntry, most recent at front
-	byFP   map[string]*list.Element
+	mu sync.Mutex
+	// lru holds *cacheEntry values, most recent at front.
+	//
+	//lrm:guardedby mu
+	lru *list.List
+	//lrm:guardedby mu
+	byFP map[string]*list.Element
+	//lrm:guardedby mu
 	flight map[string]*flightCall
 
 	// Pointer-identity fingerprint memo: hashing a large W costs more
 	// than answering it, so repeat calls with the same *mat.Dense skip
 	// the hash. Bounded by reset; entries are only a pointer and a hash.
 	memoMu sync.RWMutex
-	memo   map[*mat.Dense]string
+	//lrm:guardedby memoMu
+	memo map[*mat.Dense]string
 
 	// fanout bounds how many chunks one batch request is split into on
 	// the shared pool (Options.Workers).
@@ -212,8 +220,9 @@ type Engine struct {
 	// Row sharding (Options.ShardRows): shardPlans memoizes the row
 	// partition of each sharded workload — the sliced shard matrices and
 	// their fingerprints — keyed by the parent workload's fingerprint.
-	shardRows  int
-	shardMu    sync.Mutex
+	shardRows int
+	shardMu   sync.Mutex
+	//lrm:guardedby shardMu
 	shardPlans map[string]*shardPlan
 
 	// Pooled noise sources: Answer reseeds one per histogram instead of
@@ -329,6 +338,8 @@ func (e *Engine) Close() {}
 // Answer releases private answers for every histogram in the request and
 // returns them in request order. It is safe to call from any number of
 // goroutines; identical workloads share one cached preparation.
+//
+//lrm:sink return — everything Answer returns leaves the privacy boundary
 func (e *Engine) Answer(req Request) ([][]float64, error) {
 	if req.Workload == nil || req.Workload.W == nil {
 		return nil, errors.New("engine: nil workload")
@@ -410,13 +421,9 @@ func (e *Engine) answerBatch(p mechanism.Prepared, req Request, budget *privacy.
 // histogramColumns stacks a request's histograms as the columns of the
 // n×B matrix the multi-RHS path takes.
 func histogramColumns(hists [][]float64) *mat.Dense {
-	n, b := len(hists[0]), len(hists)
-	x := mat.New(n, b)
-	xd := x.RawData()
+	x := mat.New(len(hists[0]), len(hists))
 	for j, h := range hists {
-		for i, v := range h {
-			xd[i*b+j] = v
-		}
+		x.SetCol(j, h)
 	}
 	return x
 }

@@ -21,6 +21,8 @@ type Result struct {
 // private data, the whole release costs exactly ε; averaging the noisy
 // counts inside a bucket of size s reduces the noise variance by a
 // factor of s at the price of the bucket's structural bias.
+//
+//lrm:sanitizer — the Result is built from Laplace-perturbed counts
 func NoiseFirst(x []float64, b int, eps privacy.Epsilon, src *rng.Source) (*Result, error) {
 	if err := eps.Validate(); err != nil {
 		return nil, err
@@ -65,6 +67,8 @@ type StructureFirstOptions struct {
 // releasing each bucket's sum with Laplace(1/ε₂) noise. A record affects
 // exactly one bucket sum, so step (2) costs ε₂ by parallel composition;
 // sequential composition over both steps gives ε = ε₁ + ε₂.
+//
+//lrm:sanitizer — boundaries via the exponential mechanism, sums noised
 func StructureFirst(x []float64, opt StructureFirstOptions, eps privacy.Epsilon, src *rng.Source) (*Result, error) {
 	if err := eps.Validate(); err != nil {
 		return nil, err

@@ -5,6 +5,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"os"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -15,8 +17,11 @@ import (
 // day the dependency becomes available) plus the //lint:ignore
 // suppression machinery.
 
-// Analyzer is one static check. Run inspects a single type-checked
-// package through the Pass and reports findings with Pass.Report.
+// Analyzer is one static check. Exactly one of Run and RunProgram is
+// set: Run inspects a single type-checked package through the Pass,
+// while RunProgram sees the whole load at once — the shape the dataflow
+// analyzers need, since their findings depend on call paths that cross
+// package boundaries.
 type Analyzer struct {
 	// Name is the short identifier used in output, in //lint:ignore
 	// comments, and in fixture directories.
@@ -26,6 +31,10 @@ type Analyzer struct {
 	// Run analyzes one package. It returns an error only for internal
 	// failures; findings go through Pass.Report.
 	Run func(*Pass) error
+	// RunProgram analyzes every loaded package together, with the
+	// call-graph index of program.go available. Runs once per load, not
+	// once per package.
+	RunProgram func(*ProgramPass) error
 }
 
 // Pass carries one package's parsed and type-checked state through an
@@ -38,6 +47,30 @@ type Pass struct {
 	Info     *types.Info
 
 	diags *[]Diagnostic
+}
+
+// ProgramPass carries the whole load through an Analyzer's RunProgram.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// Report records a finding at a FileSet position.
+func (p *ProgramPass) Report(pos token.Pos, format string, args ...any) {
+	p.ReportAt(p.Prog.Fset.Position(pos), format, args...)
+}
+
+// ReportAt records a finding at an explicit file position — the entry
+// point for findings in files the FileSet never parsed, such as the
+// assembly sources asmvet checks.
+func (p *ProgramPass) ReportAt(position token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // Diagnostic is one finding.
@@ -79,11 +112,24 @@ type ignoreSet struct {
 // ignoreAll is the analyzer-name wildcard accepted by //lint:ignore.
 const ignoreAll = "all"
 
+// knownAnalyzerNames is the registry //lint:ignore directives are
+// validated against: an ignore naming an analyzer that does not exist
+// suppresses nothing forever — usually a typo — so it is a finding.
+func knownAnalyzerNames() map[string]bool {
+	names := map[string]bool{ignoreAll: true}
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	return names
+}
+
 // buildIgnores scans the package's comments for //lint:ignore directives.
-// Malformed directives (missing analyzer name or justification) are
-// reported as findings so they cannot silently suppress nothing.
+// Malformed directives (missing analyzer name or justification, or an
+// analyzer name not in the registry) are reported as findings so they
+// cannot silently suppress nothing.
 func buildIgnores(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) *ignoreSet {
 	set := &ignoreSet{byLine: make(map[string]map[int][]string)}
+	known := knownAnalyzerNames()
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -92,29 +138,82 @@ func buildIgnores(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) *
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				fields := strings.Fields(text)
-				if len(fields) < 2 {
-					*diags = append(*diags, Diagnostic{
-						Analyzer: "lint",
-						Pos:      pos,
-						Message:  "malformed //lint:ignore: need an analyzer name and a justification",
-					})
-					continue
-				}
-				lines := set.byLine[pos.Filename]
-				if lines == nil {
-					lines = make(map[int][]string)
-					set.byLine[pos.Filename] = lines
-				}
-				// Suppress on the comment's own line and the next: the
-				// directive either trails the flagged line or sits
-				// directly above it.
-				lines[pos.Line] = append(lines[pos.Line], fields[0])
-				lines[pos.Line+1] = append(lines[pos.Line+1], fields[0])
+				set.add(pos, strings.Fields(text), known, diags)
 			}
 		}
 	}
 	return set
+}
+
+// add records one parsed //lint:ignore directive at pos.
+func (s *ignoreSet) add(pos token.Position, fields []string, known map[string]bool, diags *[]Diagnostic) {
+	if len(fields) < 2 {
+		*diags = append(*diags, Diagnostic{
+			Analyzer: "lint",
+			Pos:      pos,
+			Message:  "malformed //lint:ignore: need an analyzer name and a justification",
+		})
+		return
+	}
+	if !known[fields[0]] {
+		*diags = append(*diags, Diagnostic{
+			Analyzer: "lint",
+			Pos:      pos,
+			Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q (it suppresses nothing)", fields[0]),
+		})
+		return
+	}
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		lines = make(map[int][]string)
+		s.byLine[pos.Filename] = lines
+	}
+	// Suppress on the comment's own line and the next: the directive
+	// either trails the flagged line or sits directly above it.
+	lines[pos.Line] = append(lines[pos.Line], fields[0])
+	lines[pos.Line+1] = append(lines[pos.Line+1], fields[0])
+}
+
+// addSFileIgnores scans an assembly file (which no FileSet parses) for
+// //lint:ignore comments, so asmvet findings are suppressed by the same
+// directive, with the same mandatory justification, as Go findings.
+func (s *ignoreSet) addSFileIgnores(path string, known map[string]bool, diags *[]Diagnostic) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return // the analyzer reading the file will surface the error
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		idx := strings.Index(line, "//lint:ignore")
+		if idx < 0 {
+			continue
+		}
+		pos := token.Position{Filename: path, Line: i + 1, Column: idx + 1}
+		s.add(pos, strings.Fields(line[idx+len("//lint:ignore"):]), known, diags)
+	}
+}
+
+// generatedFiles returns the filenames in the load that carry the
+// standard `// Code generated … DO NOT EDIT.` header before their
+// package clause. Findings in generated files are dropped: the fix
+// belongs in the generator, not in a hand-edit the next regeneration
+// reverts.
+var generatedRx = regexp.MustCompile(`^// Code generated .* DO NOT EDIT\.$`)
+
+func generatedFiles(fset *token.FileSet, files []*ast.File) map[string]bool {
+	gen := make(map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			if cg.Pos() >= f.Package {
+				break
+			}
+			for _, c := range cg.List {
+				if generatedRx.MatchString(c.Text) {
+					gen[fset.Position(f.Package).Filename] = true
+				}
+			}
+		}
+	}
+	return gen
 }
 
 // suppresses reports whether d is covered by an ignore directive.
@@ -131,26 +230,59 @@ func (s *ignoreSet) suppresses(d Diagnostic) bool {
 }
 
 // runAnalyzers applies every analyzer to one loaded package and returns
-// the surviving (non-suppressed) findings sorted by position.
+// the surviving (non-suppressed) findings sorted by position. Program
+// analyzers see a one-package program — the fixture-checking shape.
 func runAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runSuite(BuildProgram([]*Package{pkg}), analyzers)
+}
+
+// runSuite applies analyzers — per-package and whole-program alike — to
+// one loaded program and returns the surviving findings sorted by
+// position. Ignores are collected from every Go and assembly file up
+// front, so a program analyzer's cross-package findings are suppressed
+// by directives in whichever file they land in.
+func runSuite(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var raw []Diagnostic
-	ignores := buildIgnores(pkg.Fset, pkg.Files, &raw)
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			diags:    &raw,
+	known := knownAnalyzerNames()
+	ignores := &ignoreSet{byLine: make(map[string]map[int][]string)}
+	generated := make(map[string]bool)
+	for _, pkg := range prog.Pkgs {
+		pkgIgnores := buildIgnores(pkg.Fset, pkg.Files, &raw)
+		for file, lines := range pkgIgnores.byLine {
+			ignores.byLine[file] = lines
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+		for _, sfile := range pkg.SFiles {
+			ignores.addSFileIgnores(sfile, known, &raw)
+		}
+		for file := range generatedFiles(pkg.Fset, pkg.Files) {
+			generated[file] = true
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			pass := &ProgramPass{Analyzer: a, Prog: prog, diags: &raw}
+			if err := a.RunProgram(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, pkg := range prog.Pkgs {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
 		}
 	}
 	kept := raw[:0]
 	for _, d := range raw {
-		if !ignores.suppresses(d) {
+		if !ignores.suppresses(d) && !generated[d.Pos.Filename] {
 			kept = append(kept, d)
 		}
 	}
@@ -167,22 +299,15 @@ func runAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return kept, nil
 }
 
-// Run loads the packages matched by patterns and applies analyzers to
-// each, returning all findings sorted by position.
+// Run loads the packages matched by patterns and applies analyzers,
+// returning all findings sorted by position. The load is shared: one
+// `go list -export` walk and one type-check feed every analyzer.
 func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
-	pkgs, err := LoadPackages(patterns)
+	prog, err := LoadProgram(patterns)
 	if err != nil {
 		return nil, err
 	}
-	var all []Diagnostic
-	for _, pkg := range pkgs {
-		diags, err := runAnalyzers(pkg, analyzers)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, diags...)
-	}
-	return all, nil
+	return runSuite(prog, analyzers)
 }
 
 // All returns the full suite in reporting order.
@@ -193,5 +318,8 @@ func All() []*Analyzer {
 		NoiseRand,
 		EpsHygiene,
 		DetIter,
+		NoiseFlow,
+		LockGuard,
+		AsmVet,
 	}
 }

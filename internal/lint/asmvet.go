@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// AsmVet checks the hand-written assembly kernels against their Go
+// prototypes — the contract `go vet`'s asmdecl enforces upstream,
+// reimplemented here (stdlib-only, like the rest of the suite) and
+// extended with the repository's own kernel policies:
+//
+//   - every TEXT symbol must have a bodyless Go declaration in the same
+//     package, and vice versa;
+//   - the declared argument size ($frame-argsize) must equal the ABI0
+//     layout of the Go signature (parameters in order, then results,
+//     with the result block pointer-aligned);
+//   - every sym+off(FP) reference must name a parameter or result at
+//     its correct ABI0 offset;
+//   - kernels must be NOSPLIT (they are leaf functions on hot paths;
+//     a stack split inside a micro-kernel would wreck both latency and
+//     the no-alloc pins);
+//   - a function that touches Y registers must run VZEROUPPER before
+//     every RET, or the next SSE-encoded float op pays the AVX-SSE
+//     transition penalty — a silent 4× slowdown, exactly the class of
+//     regression the CI perf gate exists to catch.
+//
+// The analyzer reads Package.SFiles, which the go tool has already
+// filtered by build tags: under -tags noasm or a non-amd64 GOARCH the
+// file set is empty and the analyzer is a no-op, matching the build.
+var AsmVet = &Analyzer{
+	Name: "asmvet",
+	Doc: "assembly TEXT blocks must agree with their Go prototypes " +
+		"(ABI0 sizes and offsets, NOSPLIT, VZEROUPPER before RET)",
+	RunProgram: runAsmVet,
+}
+
+// asmFunc is one parsed TEXT block.
+type asmFunc struct {
+	name    string
+	file    string
+	line    int
+	flags   string
+	frame   int64
+	argsize int64
+	hasArgs bool
+	instrs  []asmInstr
+	refs    []fpRef
+	usesY   bool
+}
+
+type asmInstr struct {
+	line int
+	op   string
+}
+
+type fpRef struct {
+	line   int
+	name   string
+	offset int64
+}
+
+var (
+	asmTextRx = regexp.MustCompile(`^TEXT\s+·([A-Za-z0-9_]+)\(SB\)\s*(?:,\s*([A-Z0-9|]+))?\s*,\s*\$(-?[0-9]+)(?:-([0-9]+))?`)
+	asmFPRx   = regexp.MustCompile(`([A-Za-z_][A-Za-z0-9_]*)\+([0-9]+)\(FP\)`)
+	asmYregRx = regexp.MustCompile(`\bY([0-9]|1[0-5])\b`)
+)
+
+// parseAsmFile splits one assembly source into TEXT blocks.
+func parseAsmFile(path string) ([]*asmFunc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var fns []*asmFunc
+	var cur *asmFunc
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := raw
+		if idx := strings.Index(line, "//"); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if m := asmTextRx.FindStringSubmatch(line); m != nil {
+			cur = &asmFunc{name: m[1], file: path, line: i + 1, flags: m[2]}
+			cur.frame, _ = strconv.ParseInt(m[3], 10, 64)
+			if m[4] != "" {
+				cur.argsize, _ = strconv.ParseInt(m[4], 10, 64)
+				cur.hasArgs = true
+			}
+			fns = append(fns, cur)
+			continue
+		}
+		if cur == nil || strings.HasPrefix(line, "#") ||
+			strings.HasPrefix(line, "GLOBL") || strings.HasPrefix(line, "DATA") {
+			continue
+		}
+		op := line
+		if sp := strings.IndexAny(op, " \t"); sp >= 0 {
+			op = op[:sp]
+		}
+		cur.instrs = append(cur.instrs, asmInstr{line: i + 1, op: op})
+		for _, m := range asmFPRx.FindAllStringSubmatch(line, -1) {
+			off, _ := strconv.ParseInt(m[2], 10, 64)
+			cur.refs = append(cur.refs, fpRef{line: i + 1, name: m[1], offset: off})
+		}
+		if asmYregRx.MatchString(line) {
+			cur.usesY = true
+		}
+	}
+	return fns, nil
+}
+
+// abi0Layout computes the stack-argument layout the assembly sees:
+// parameters in declaration order, then results with the result block
+// aligned to the pointer size. Returns name→offset and the total size.
+func abi0Layout(sig *types.Signature, sizes types.Sizes) (map[string]int64, int64) {
+	const ptrSize = 8
+	align := func(off, a int64) int64 { return (off + a - 1) &^ (a - 1) }
+	offsets := make(map[string]int64)
+	off := int64(0)
+	lay := func(tup *types.Tuple) {
+		for i := 0; i < tup.Len(); i++ {
+			v := tup.At(i)
+			t := v.Type()
+			off = align(off, sizes.Alignof(t))
+			if v.Name() != "" && v.Name() != "_" {
+				offsets[v.Name()] = off
+			}
+			off += sizes.Sizeof(t)
+		}
+	}
+	lay(sig.Params())
+	off = align(off, ptrSize)
+	lay(sig.Results())
+	return offsets, align(off, ptrSize)
+}
+
+func runAsmVet(pp *ProgramPass) error {
+	// The declared frame layout is amd64's: the only assembly in the
+	// tree is _amd64.s, and the go tool only hands us those files when
+	// building for amd64, so the sizes are unconditional here.
+	sizes := types.SizesFor("gc", "amd64")
+	for _, pkg := range pp.Prog.Pkgs {
+		if len(pkg.SFiles) == 0 {
+			continue
+		}
+		// Bodyless Go declarations are the prototype side.
+		protos := make(map[string]*ast.FuncDecl)
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body == nil && fd.Recv == nil {
+					protos[fd.Name.Name] = fd
+				}
+			}
+		}
+		seen := make(map[string]bool)
+		for _, sfile := range pkg.SFiles {
+			fns, err := parseAsmFile(sfile)
+			if err != nil {
+				pp.ReportAt(token.Position{Filename: sfile, Line: 1, Column: 1},
+					"cannot read assembly file: %v", err)
+				continue
+			}
+			for _, fn := range fns {
+				seen[fn.name] = true
+				checkAsmFunc(pp, pkg, fn, protos[fn.name], sizes)
+			}
+		}
+		for name, fd := range protos {
+			if !seen[name] {
+				pp.Report(fd.Name.Pos(),
+					"%s has no body and no TEXT block in the package's assembly files", name)
+			}
+		}
+	}
+	return nil
+}
+
+func checkAsmFunc(pp *ProgramPass, pkg *Package, fn *asmFunc, proto *ast.FuncDecl, sizes types.Sizes) {
+	at := func(line int) token.Position {
+		return token.Position{Filename: fn.file, Line: line, Column: 1}
+	}
+	if proto == nil {
+		pp.ReportAt(at(fn.line),
+			"TEXT ·%s has no bodyless Go declaration in package %s", fn.name, pkg.Types.Name())
+		return
+	}
+	if !strings.Contains(fn.flags, "NOSPLIT") {
+		pp.ReportAt(at(fn.line),
+			"TEXT ·%s is missing NOSPLIT: kernel entry points must not grow the stack", fn.name)
+	}
+	obj, _ := pkg.Info.Defs[proto.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	offsets, total := abi0Layout(sig, sizes)
+	if fn.hasArgs && fn.argsize != total {
+		pp.ReportAt(at(fn.line),
+			"TEXT ·%s declares $%d-%d but the Go signature's ABI0 argument block is %d bytes",
+			fn.name, fn.frame, fn.argsize, total)
+	}
+	for _, ref := range fn.refs {
+		want, ok := offsets[ref.name]
+		if !ok {
+			pp.ReportAt(at(ref.line),
+				"·%s references %s+%d(FP), but %s is not a parameter or result of the Go declaration",
+				fn.name, ref.name, ref.offset, ref.name)
+			continue
+		}
+		if ref.offset != want {
+			pp.ReportAt(at(ref.line),
+				"·%s references %s+%d(FP), but ABI0 places %s at offset %d",
+				fn.name, ref.name, ref.offset, ref.name, want)
+		}
+	}
+	if fn.usesY {
+		for i, in := range fn.instrs {
+			if in.op != "RET" {
+				continue
+			}
+			if i == 0 || fn.instrs[i-1].op != "VZEROUPPER" {
+				pp.ReportAt(at(in.line),
+					"·%s uses Y registers but returns without VZEROUPPER: the next SSE float op pays the AVX-SSE transition penalty",
+					fn.name)
+			}
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Directive grammar. The dataflow analyzers are driven by declarations
+// in the code under analysis, so new subsystems self-declare their
+// privacy topology instead of growing tables inside the linter:
+//
+//	//lrm:source                 (func)   results carry raw, unreleased data
+//	//lrm:source p q             (func)   the named parameters arrive raw
+//	//lrm:source                 (field)  reads of the field yield raw data
+//	//lrm:sanitizer              (func)   results are noise-protected
+//	//lrm:sanitizer p            (func)   the named parameters are noised in place
+//	//lrm:sink                   (func)   raw data must not reach its arguments
+//	//lrm:sink return            (func)   the function's results are a release
+//	                                      boundary: they must never be raw
+//	//lrm:guardedby mu           (field)  accesses require the sibling lock
+//	                                      field mu (sync.Mutex/RWMutex) held
+//	//lrm:guardedby mu           (func)   the receiver's mu is held on entry
+//	                                      (the callee-side half of the contract;
+//	                                      call sites are checked for it)
+//
+// Trailing prose after the arguments is allowed and encouraged — it
+// documents why. A sanitizer declaration is verified, not trusted:
+// noiseflow additionally proves the function's body actually mixes
+// randomness from an *rng.Source into the declared target (see
+// noiseflow.go), so deleting the noise-add inside a declared sanitizer
+// is itself a finding.
+
+// funcDirectives are the //lrm: markers on one function declaration.
+// Parameter references are stored as indices into paramsOf(signature)
+// (receiver first), because the *types.Var objects differ between the
+// source-checked and imported views of the same function.
+type funcDirectives struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+
+	sourceResults bool   // //lrm:source (no args)
+	sourceParams  []int  // //lrm:source p q
+	sanitizeAll   bool   // //lrm:sanitizer (no args): results sanitized
+	sanitizeVars  []int  // //lrm:sanitizer p: params noised in place
+	sinkArgs      bool   // //lrm:sink [args]
+	sinkReturn    bool   // //lrm:sink return
+	guardedBy     string // //lrm:guardedby mu (methods: mu held on entry)
+}
+
+// fieldDirectives are the //lrm: markers on one struct field.
+type fieldDirectives struct {
+	source    bool
+	guardedBy string // sibling lock field name
+	pos       token.Pos
+}
+
+// directiveIndex is the program-wide view of every //lrm: privacy/lock
+// directive, plus the malformed ones (reported by the analyzer that
+// owns the directive kind, so a typo cannot silently declare nothing).
+//
+// Functions are keyed by funcKey and fields doubly: by the
+// source-checked object (covers anonymous structs) and by a
+// package-path/owner-type/field-name string (covers access from other
+// packages, where the field object comes from export data).
+type directiveIndex struct {
+	funcs       map[string]*funcDirectives
+	fieldsByObj map[*types.Var]*fieldDirectives
+	fieldsByKey map[string]*fieldDirectives
+
+	// problems are malformed directives: pos, directive kind, message.
+	problems []directiveProblem
+}
+
+// funcDir resolves the directives on fn (source-checked or imported).
+func (idx *directiveIndex) funcDir(fn *types.Func) *funcDirectives {
+	if fn == nil {
+		return nil
+	}
+	return idx.funcs[funcKey(fn)]
+}
+
+// fieldDir resolves the directives on the field a selection reaches.
+func (idx *directiveIndex) fieldDir(sel *types.Selection) *fieldDirectives {
+	field, ok := sel.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	if fd := idx.fieldsByObj[field]; fd != nil {
+		return fd
+	}
+	if named, ok := derefType(sel.Recv()).(*types.Named); ok {
+		return idx.fieldsByKey[fieldKey(field, named.Obj().Name())]
+	}
+	return nil
+}
+
+// structHasSource reports whether the struct type behind recv declares
+// any //lrm:source field — used to treat its other fields as metadata.
+func (idx *directiveIndex) structHasSource(recv types.Type) bool {
+	t := derefType(recv)
+	owner := ""
+	if named, ok := t.(*types.Named); ok {
+		owner = named.Obj().Name()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if fd := idx.fieldsByObj[f]; fd != nil && fd.source {
+			return true
+		}
+		if owner != "" {
+			if fd := idx.fieldsByKey[fieldKey(f, owner)]; fd != nil && fd.source {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func fieldKey(field *types.Var, owner string) string {
+	pkg := ""
+	if field.Pkg() != nil {
+		pkg = field.Pkg().Path()
+	}
+	return pkg + "." + owner + "." + field.Name()
+}
+
+type directiveProblem struct {
+	pos  token.Pos
+	kind string // "source", "sanitizer", "sink", "guardedby"
+	msg  string
+}
+
+// directiveArgs splits "//lrm:<name> arg arg — prose" into its
+// arguments, cutting the free-text tail at the first token that is not
+// a plain identifier. ok is false when c is not the named directive.
+func directiveArgs(c *ast.Comment, name string) (args []string, ok bool) {
+	text, found := strings.CutPrefix(c.Text, "//lrm:"+name)
+	if !found || (text != "" && text[0] != ' ' && text[0] != '\t') {
+		return nil, false
+	}
+	for _, f := range strings.Fields(text) {
+		if !isIdentWord(f) {
+			break
+		}
+		args = append(args, f)
+	}
+	return args, true
+}
+
+func isIdentWord(s string) bool {
+	for i, r := range s {
+		switch {
+		case r == '_', 'a' <= r && r <= 'z', 'A' <= r && r <= 'Z':
+		case '0' <= r && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+// buildDirectiveIndex scans every declaration in the program.
+func buildDirectiveIndex(prog *Program) *directiveIndex {
+	idx := &directiveIndex{
+		funcs:       make(map[string]*funcDirectives),
+		fieldsByObj: make(map[*types.Var]*fieldDirectives),
+		fieldsByKey: make(map[string]*fieldDirectives),
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					idx.addFunc(pkg, fd)
+				}
+				// Named struct types: index their fields under the
+				// owner's name so imported views resolve too.
+				if gd, ok := decl.(*ast.GenDecl); ok {
+					for _, spec := range gd.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						if st, ok := ts.Type.(*ast.StructType); ok {
+							idx.addStruct(pkg, ts.Name.Name, st)
+						}
+					}
+				}
+			}
+			// Anonymous struct types anywhere else (package variables,
+			// locals, nested literals): same-package access only, keyed
+			// by object identity.
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.TypeSpec:
+					if _, ok := node.Type.(*ast.StructType); ok {
+						return false // handled above with the owner name
+					}
+				case *ast.StructType:
+					idx.addStruct(pkg, "", node)
+				}
+				return true
+			})
+		}
+	}
+	return idx
+}
+
+func (idx *directiveIndex) addFunc(pkg *Package, fd *ast.FuncDecl) {
+	if fd.Doc == nil {
+		return
+	}
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	var dirs *funcDirectives
+	ensure := func() *funcDirectives {
+		if dirs == nil {
+			dirs = &funcDirectives{decl: fd, pkg: pkg}
+			idx.funcs[funcKey(fn)] = dirs
+		}
+		return dirs
+	}
+	sig := fn.Type().(*types.Signature)
+	paramByName := make(map[string]int)
+	for i, p := range paramsOf(sig) {
+		if p.Name() != "" {
+			paramByName[p.Name()] = i
+		}
+	}
+	for _, c := range fd.Doc.List {
+		if args, ok := directiveArgs(c, "source"); ok {
+			d := ensure()
+			if len(args) == 0 {
+				d.sourceResults = true
+				continue
+			}
+			d.sourceParams = append(d.sourceParams, idx.resolveParams(c, "source", fn.Name(), args, paramByName)...)
+		}
+		if args, ok := directiveArgs(c, "sanitizer"); ok {
+			d := ensure()
+			if len(args) == 0 {
+				d.sanitizeAll = true
+				continue
+			}
+			d.sanitizeVars = append(d.sanitizeVars, idx.resolveParams(c, "sanitizer", fn.Name(), args, paramByName)...)
+		}
+		if args, ok := directiveArgs(c, "sink"); ok {
+			d := ensure()
+			switch {
+			case len(args) == 0 || args[0] == "args":
+				d.sinkArgs = true
+			case args[0] == "return":
+				d.sinkReturn = true
+			default:
+				idx.problems = append(idx.problems, directiveProblem{
+					pos: c.Pos(), kind: "sink",
+					msg: "malformed //lrm:sink: want no argument, \"args\", or \"return\", got " + args[0],
+				})
+			}
+		}
+		if args, ok := directiveArgs(c, "guardedby"); ok {
+			if len(args) != 1 {
+				idx.problems = append(idx.problems, directiveProblem{
+					pos: c.Pos(), kind: "guardedby",
+					msg: "malformed //lrm:guardedby on a function: want exactly one receiver lock-field name",
+				})
+				continue
+			}
+			if sig.Recv() == nil {
+				idx.problems = append(idx.problems, directiveProblem{
+					pos: c.Pos(), kind: "guardedby",
+					msg: "//lrm:guardedby on a function requires a method receiver to hang the lock off",
+				})
+				continue
+			}
+			ensure().guardedBy = args[0]
+		}
+	}
+}
+
+// resolveParams maps directive argument names to parameter indices,
+// recording a problem for any name that matches no parameter.
+func (idx *directiveIndex) resolveParams(c *ast.Comment, kind, fn string, args []string, byName map[string]int) []int {
+	var out []int
+	for _, a := range args {
+		i, ok := byName[a]
+		if !ok {
+			idx.problems = append(idx.problems, directiveProblem{
+				pos: c.Pos(), kind: kind,
+				msg: "//lrm:" + kind + " names " + a + ", which is not a parameter of " + fn,
+			})
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+func (idx *directiveIndex) addStruct(pkg *Package, owner string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		var comments []*ast.Comment
+		if field.Doc != nil {
+			comments = append(comments, field.Doc.List...)
+		}
+		if field.Comment != nil {
+			comments = append(comments, field.Comment.List...)
+		}
+		for _, c := range comments {
+			source := false
+			guarded := ""
+			if _, ok := directiveArgs(c, "source"); ok {
+				source = true
+			}
+			if args, ok := directiveArgs(c, "guardedby"); ok {
+				if len(args) != 1 {
+					idx.problems = append(idx.problems, directiveProblem{
+						pos: c.Pos(), kind: "guardedby",
+						msg: "malformed //lrm:guardedby: want exactly one sibling lock-field name",
+					})
+					continue
+				}
+				guarded = args[0]
+			}
+			if !source && guarded == "" {
+				continue
+			}
+			for _, name := range field.Names {
+				v, _ := pkg.Info.Defs[name].(*types.Var)
+				if v == nil {
+					continue
+				}
+				fd := idx.fieldsByObj[v]
+				if fd == nil {
+					fd = &fieldDirectives{pos: c.Pos()}
+					idx.fieldsByObj[v] = fd
+					if owner != "" {
+						idx.fieldsByKey[fieldKey(v, owner)] = fd
+					}
+				}
+				if source {
+					fd.source = true
+				}
+				if guarded != "" {
+					fd.guardedBy = guarded
+				}
+			}
+		}
+	}
+}
+
+// reportProblems emits the malformed directives of one kind.
+func (idx *directiveIndex) reportProblems(report func(token.Pos, string, ...any), kinds ...string) {
+	for _, p := range idx.problems {
+		for _, k := range kinds {
+			if p.kind == k {
+				report(p.pos, "%s", p.msg)
+			}
+		}
+	}
+}

@@ -2,6 +2,8 @@ package lint
 
 import (
 	"fmt"
+	"go/token"
+	"os"
 	"regexp"
 	"strconv"
 	"strings"
@@ -44,23 +46,46 @@ func CheckFixture(a *Analyzer, importPath string) ([]string, error) {
 	}
 
 	var wants []*wantComment
+	addWant := func(pos token.Position, text string) error {
+		rest, ok := strings.CutPrefix(text, "// want ")
+		if !ok {
+			return nil
+		}
+		pattern, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return fmt.Errorf("%s: malformed want comment %q", pos, text)
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return fmt.Errorf("%s: bad want regexp: %v", pos, err)
+		}
+		wants = append(wants, &wantComment{file: pos.Filename, line: pos.Line, re: re})
+		return nil
+	}
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, "// want ")
-				if !ok {
-					continue
+				if err := addWant(pkg.Fset.Position(c.Pos()), c.Text); err != nil {
+					return nil, err
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				pattern, err := strconv.Unquote(strings.TrimSpace(rest))
-				if err != nil {
-					return nil, fmt.Errorf("%s: malformed want comment %q", pos, c.Text)
-				}
-				re, err := regexp.Compile(pattern)
-				if err != nil {
-					return nil, fmt.Errorf("%s: bad want regexp: %v", pos, err)
-				}
-				wants = append(wants, &wantComment{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	// Assembly sources never enter the FileSet; scan them textually so
+	// asmvet fixtures carry their expectations in place like Go ones.
+	for _, sfile := range pkg.SFiles {
+		data, err := os.ReadFile(sfile)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			pos := token.Position{Filename: sfile, Line: i + 1, Column: idx + 1}
+			if err := addWant(pos, line[idx:]); err != nil {
+				return nil, err
 			}
 		}
 	}

@@ -13,16 +13,27 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 )
 
 // The loader. The usual foundation for this layer is
 // golang.org/x/tools/go/packages, which this module does not depend on;
-// the same result is obtained from the go tool itself: `go list -export`
-// compiles the dependency graph and reports, for every package, the
-// build-cache location of its export data. Each target package is then
-// parsed from source and type-checked by go/types against that export
-// data, which is exactly how the compiler itself sees the imports.
+// the same result is obtained from the go tool itself: one
+// `go list -export -deps` walk compiles the dependency graph and
+// reports, for every package, the build-cache location of its export
+// data plus whether the package was matched by a pattern (DepOnly=false)
+// or only pulled in as a dependency. Each target package is then parsed
+// from source and type-checked by go/types against that export data,
+// which is exactly how the compiler itself sees the imports.
+//
+// Loads are memoized process-wide by pattern set: one cmd/lrmlint run
+// (or one `go test ./internal/lint` process) shells out to the go tool
+// once per distinct pattern set, no matter how many analyzers or fixture
+// checks consume the result. The dataflow analyzers additionally share
+// one whole-program load (see program.go), so adding analyzers does not
+// add `go list` walks.
 //
 // Only non-test GoFiles are loaded: every analyzer in the suite either
 // exempts _test.go files outright (noiserand) or targets hot-path and
@@ -35,8 +46,13 @@ type Package struct {
 	Dir        string
 	Fset       *token.FileSet
 	Files      []*ast.File
-	Types      *types.Package
-	Info       *types.Info
+	// SFiles are the package's assembly files (tag-filtered by the go
+	// tool, so a noasm or cross-GOARCH load sees the same set the build
+	// would), as absolute paths. They are not parsed here; asmvet reads
+	// them directly.
+	SFiles []string
+	Types  *types.Package
+	Info   *types.Info
 }
 
 // listEntry is the subset of `go list -json` output the loader reads.
@@ -46,7 +62,9 @@ type listEntry struct {
 	Name       string
 	Export     string
 	Standard   bool
+	DepOnly    bool
 	GoFiles    []string
+	SFiles     []string
 }
 
 // goList invokes the go tool and decodes its JSON stream.
@@ -72,27 +90,66 @@ func goList(args ...string) ([]listEntry, error) {
 	return entries, nil
 }
 
+// loadCache memoizes LoadPackages results by pattern set for the life of
+// the process. Analyzer runs never mutate loaded packages (the one test
+// that does — the injected-violation test — loads uncached), so sharing
+// is safe, and it is what turns "N fixtures × M analyzers" into one go
+// tool walk per distinct fixture.
+var loadCache struct {
+	sync.Mutex
+	byKey map[string]*loadResult
+}
+
+type loadResult struct {
+	once sync.Once
+	pkgs []*Package
+	err  error
+}
+
+func cacheKey(patterns []string) string {
+	sorted := append([]string(nil), patterns...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, "\x00")
+}
+
 // LoadPackages type-checks every package matched by patterns. Patterns
 // are anything `go list` accepts (`./...`, `lrm/internal/mat`, explicit
-// testdata directories, …).
+// testdata directories, …). Results are memoized process-wide; callers
+// must treat the returned packages as immutable.
 func LoadPackages(patterns []string) ([]*Package, error) {
-	targets, err := goList(append([]string{"-json=ImportPath"}, patterns...)...)
-	if err != nil {
-		return nil, err
+	key := cacheKey(patterns)
+	loadCache.Lock()
+	if loadCache.byKey == nil {
+		loadCache.byKey = make(map[string]*loadResult)
 	}
-	// One -deps -export walk compiles the graph and locates export data
-	// for every import any target needs.
+	res, ok := loadCache.byKey[key]
+	if !ok {
+		res = &loadResult{}
+		loadCache.byKey[key] = res
+	}
+	loadCache.Unlock()
+	res.once.Do(func() {
+		res.pkgs, res.err = loadPackagesUncached(patterns)
+	})
+	return res.pkgs, res.err
+}
+
+// loadPackagesUncached performs the actual go-list walk and type-check.
+// The injected-violation tests use it directly so their AST surgery can
+// never poison the shared cache.
+func loadPackagesUncached(patterns []string) ([]*Package, error) {
+	// One -deps -export walk compiles the graph, locates export data for
+	// every import any target needs, and marks which entries the
+	// patterns actually matched (DepOnly=false).
 	universe, err := goList(append([]string{
 		"-export", "-deps",
-		"-json=ImportPath,Dir,Name,Export,Standard,GoFiles",
+		"-json=ImportPath,Dir,Name,Export,Standard,DepOnly,GoFiles,SFiles",
 	}, patterns...)...)
 	if err != nil {
 		return nil, err
 	}
 	exports := make(map[string]string, len(universe))
-	byPath := make(map[string]listEntry, len(universe))
 	for _, e := range universe {
-		byPath[e.ImportPath] = e
 		if e.Export != "" {
 			exports[e.ImportPath] = e.Export
 		}
@@ -109,9 +166,8 @@ func LoadPackages(patterns []string) ([]*Package, error) {
 	imp := importer.ForCompiler(fset, "gc", lookup)
 
 	var pkgs []*Package
-	for _, t := range targets {
-		e, ok := byPath[t.ImportPath]
-		if !ok || len(e.GoFiles) == 0 {
+	for _, e := range universe {
+		if e.DepOnly || e.Standard || len(e.GoFiles) == 0 {
 			continue
 		}
 		pkg, err := loadOne(fset, imp, e)
@@ -133,6 +189,10 @@ func loadOne(fset *token.FileSet, imp types.Importer, e listEntry) (*Package, er
 			return nil, fmt.Errorf("lint: parsing %s: %v", path, err)
 		}
 		files = append(files, f)
+	}
+	sfiles := make([]string, 0, len(e.SFiles))
+	for _, name := range e.SFiles {
+		sfiles = append(sfiles, filepath.Join(e.Dir, name))
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -162,6 +222,7 @@ func loadOne(fset *token.FileSet, imp types.Importer, e listEntry) (*Package, er
 		Dir:        e.Dir,
 		Fset:       fset,
 		Files:      files,
+		SFiles:     sfiles,
 		Types:      tpkg,
 		Info:       info,
 	}, nil

@@ -1,0 +1,429 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockGuard is the static face of the mutex discipline the engine,
+// budget, and buffer-pool state rely on: a field annotated
+//
+//	mu    sync.Mutex
+//	state int // //lrm:guardedby mu
+//
+// may only be touched while the sibling lock is held. The check is a
+// source-order scan per function: X.mu.Lock() (or RLock, or Lock on an
+// embedded mutex) marks the lock held for the base chain X, Unlock
+// releases it, and a deferred Unlock holds it to the end of the
+// function. Functions annotated //lrm:guardedby mu declare the
+// callee-side half of the contract — the receiver's mu is held on entry
+// — and every call site of such a function is checked for it.
+//
+// Known limitations, accepted for a linear scan: RLock counts the same
+// as Lock (the analyzer checks presence, not read/write kind), and a
+// lock taken inside a branch is considered held for the rest of the
+// function body in source order. Both under-approximate strictness, not
+// soundness of the tree: they can hide a race, never invent one.
+// Freshly constructed values (assigned from a composite literal, new,
+// or make in the same function) are exempt — no other goroutine can
+// hold a reference yet.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated //lrm:guardedby mu may only be accessed " +
+		"with the sibling lock held",
+	RunProgram: runLockGuard,
+}
+
+func runLockGuard(pp *ProgramPass) error {
+	dirs := buildDirectiveIndex(pp.Prog)
+	for _, pkg := range pp.Prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkLockGuard(pp, pkg, dirs, fd)
+			}
+		}
+	}
+	dirs.reportProblems(pp.Report, "guardedby")
+	return nil
+}
+
+// heldLock identifies one held lock: the object (or, for non-trivial
+// base chains, the printed expression) the lock hangs off, plus the
+// lock field's name.
+type heldLock struct {
+	obj  types.Object // base is a plain identifier
+	str  string       // otherwise: printed base chain
+	name string
+}
+
+type lgState struct {
+	pp    *ProgramPass
+	pkg   *Package
+	dirs  *directiveIndex
+	held  []heldLock
+	fresh map[types.Object]bool // locally constructed: exempt
+}
+
+func checkLockGuard(pp *ProgramPass, pkg *Package, dirs *directiveIndex, fd *ast.FuncDecl) {
+	st := &lgState{pp: pp, pkg: pkg, dirs: dirs, fresh: make(map[types.Object]bool)}
+	// A //lrm:guardedby method starts with the receiver's lock held.
+	if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		if d := dirs.funcDir(fn); d != nil && d.guardedBy != "" && fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+			recv := pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+			if recv != nil {
+				st.held = append(st.held, heldLock{obj: recv, name: d.guardedBy})
+			}
+		}
+	}
+	st.stmt(fd.Body)
+}
+
+func (st *lgState) baseKey(expr ast.Expr) heldLock {
+	expr = ast.Unparen(expr)
+	if id, ok := expr.(*ast.Ident); ok {
+		if obj := st.pkg.Info.Uses[id]; obj != nil {
+			return heldLock{obj: obj}
+		}
+		if obj := st.pkg.Info.Defs[id]; obj != nil {
+			return heldLock{obj: obj}
+		}
+	}
+	return heldLock{str: exprString(expr)}
+}
+
+func (st *lgState) holds(key heldLock) bool {
+	for _, h := range st.held {
+		if h.name != key.name {
+			continue
+		}
+		if h.obj != nil && h.obj == key.obj {
+			return true
+		}
+		if h.obj == nil && key.obj == nil && h.str == key.str {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *lgState) release(key heldLock) {
+	for i, h := range st.held {
+		if h.name == key.name && ((h.obj != nil && h.obj == key.obj) || (h.obj == nil && key.obj == nil && h.str == key.str)) {
+			st.held = append(st.held[:i], st.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// lockTarget decodes X.mu.Lock() / X.RLock() (embedded) into the lock's
+// base key, or ok=false when the call is not a mutex operation.
+func (st *lgState) lockTarget(call *ast.CallExpr) (key heldLock, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return heldLock{}, "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return heldLock{}, "", false
+	}
+	fn, _ := st.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return heldLock{}, "", false
+	}
+	// X.mu.Lock(): the lock is the explicit field mu of base X.
+	if inner, isInner := ast.Unparen(sel.X).(*ast.SelectorExpr); isInner {
+		if selInfo := st.pkg.Info.Selections[inner]; selInfo != nil && selInfo.Kind() == types.FieldVal {
+			key = st.baseKey(inner.X)
+			key.name = inner.Sel.Name
+			return key, op, true
+		}
+		// pkgvar.Lock() through an embedded mutex: fall through below
+		// with the selector itself as the base.
+	}
+	// X.Lock() through an embedded sync.Mutex/RWMutex: the selection
+	// path names the embedded field.
+	if selInfo := st.pkg.Info.Selections[sel]; selInfo != nil && len(selInfo.Index()) > 1 {
+		recv := derefType(selInfo.Recv())
+		if s, isStruct := recv.Underlying().(*types.Struct); isStruct {
+			f := s.Field(selInfo.Index()[0])
+			key = st.baseKey(sel.X)
+			key.name = f.Name()
+			return key, op, true
+		}
+	}
+	// mu.Lock() on a bare lock variable: the lock is its own base.
+	key = st.baseKey(sel.X)
+	return key, op, true
+}
+
+// branch scans one arm of an if. When the arm terminates — control
+// cannot fall through to the statement after the if — its lock-state
+// changes are discarded: in `if hit { mu.Unlock(); return }` the lock is
+// still held on the path that continues past the if.
+func (st *lgState) branch(s ast.Stmt) {
+	saved := append([]heldLock(nil), st.held...)
+	st.stmt(s)
+	if terminates(s) {
+		st.held = saved
+	}
+}
+
+// terminates is a conservative syntactic check for "control always
+// leaves the enclosing statement list here".
+func terminates(s ast.Stmt) bool {
+	switch n := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		if len(n.List) > 0 {
+			return terminates(n.List[len(n.List)-1])
+		}
+	case *ast.IfStmt:
+		return n.Else != nil && terminates(n.Body) && terminates(n.Else)
+	}
+	return false
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// stmt walks one statement in source order, updating lock state and
+// checking guarded accesses.
+func (st *lgState) stmt(s ast.Stmt) {
+	switch n := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, sub := range n.List {
+			st.stmt(sub)
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held through the rest of the
+		// scan; any other deferred call is scanned for accesses.
+		if key, op, ok := st.lockTarget(n.Call); ok {
+			switch op {
+			case "Lock", "RLock":
+				st.held = append(st.held, key)
+			}
+			return
+		}
+		st.scanExpr(n.Call)
+	case *ast.IfStmt:
+		st.stmt(n.Init)
+		st.scanExpr(n.Cond)
+		// A branch that cannot fall through (it ends in return, break,
+		// continue, goto, or panic) keeps its lock-state changes to
+		// itself: `if hit { mu.Unlock(); return }` leaves the lock held
+		// on the path that continues past the if.
+		st.branch(n.Body)
+		if n.Else != nil {
+			st.branch(n.Else)
+		}
+	case *ast.ForStmt:
+		st.stmt(n.Init)
+		if n.Cond != nil {
+			st.scanExpr(n.Cond)
+		}
+		st.stmt(n.Body)
+		st.stmt(n.Post)
+	case *ast.RangeStmt:
+		st.scanExpr(n.X)
+		st.stmt(n.Body)
+	case *ast.SwitchStmt:
+		st.stmt(n.Init)
+		if n.Tag != nil {
+			st.scanExpr(n.Tag)
+		}
+		for _, c := range n.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, x := range cc.List {
+				st.scanExpr(x)
+			}
+			for _, sub := range cc.Body {
+				st.stmt(sub)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		st.stmt(n.Init)
+		st.stmt(n.Assign)
+		for _, c := range n.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, sub := range cc.Body {
+				st.stmt(sub)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range n.Body.List {
+			cc := c.(*ast.CommClause)
+			st.stmt(cc.Comm)
+			for _, sub := range cc.Body {
+				st.stmt(sub)
+			}
+		}
+	case *ast.LabeledStmt:
+		st.stmt(n.Stmt)
+	case *ast.AssignStmt:
+		// Record freshly constructed values before checking uses, so
+		// `e := &Engine{...}; e.lru = …` is exempt.
+		for _, rhs := range n.Rhs {
+			st.scanExpr(rhs)
+		}
+		for i, lhs := range n.Lhs {
+			if i < len(n.Rhs) && isFreshConstruction(st.pkg.Info, n.Rhs[i]) {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := objOf(st.pkg.Info, id); obj != nil {
+						st.fresh[obj] = true
+						continue
+					}
+				}
+			}
+			st.scanExpr(lhs)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, isVS := spec.(*ast.ValueSpec)
+				if !isVS {
+					continue
+				}
+				for _, val := range vs.Values {
+					st.scanExpr(val)
+				}
+				// `var e Engine` with no initializer is a zero value no
+				// other goroutine can see yet.
+				if len(vs.Values) == 0 {
+					for _, name := range vs.Names {
+						if obj := st.pkg.Info.Defs[name]; obj != nil {
+							st.fresh[obj] = true
+						}
+					}
+				}
+			}
+		}
+	default:
+		st.scanNode(s)
+	}
+}
+
+// isFreshConstruction reports whether rhs constructs a brand-new value.
+func isFreshConstruction(info *types.Info, rhs ast.Expr) bool {
+	switch x := ast.Unparen(rhs).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, isLit := ast.Unparen(x.X).(*ast.CompositeLit)
+			return isLit
+		}
+	case *ast.CallExpr:
+		switch calleeBuiltin(info, x) {
+		case "new", "make":
+			return true
+		}
+	}
+	return false
+}
+
+// scanExpr checks one expression subtree for lock operations, guarded
+// accesses, and calls into //lrm:guardedby methods, in source order.
+func (st *lgState) scanExpr(x ast.Expr) { st.scanNode(x) }
+
+func (st *lgState) scanNode(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			// A closure body runs at an unknown time with unknown locks;
+			// scan it with an empty lock set of its own.
+			inner := &lgState{pp: st.pp, pkg: st.pkg, dirs: st.dirs, fresh: st.fresh}
+			inner.stmt(node.Body)
+			return false
+		case *ast.CallExpr:
+			if key, op, ok := st.lockTarget(node); ok {
+				switch op {
+				case "Lock", "RLock":
+					st.held = append(st.held, key)
+				case "Unlock", "RUnlock":
+					st.release(key)
+				}
+				return false
+			}
+			st.checkGuardedCall(node)
+			return true
+		case *ast.SelectorExpr:
+			st.checkGuardedAccess(node)
+			// Continue into the base: x.a.b checks both selections.
+			return true
+		}
+		return true
+	})
+}
+
+// checkGuardedAccess flags sel when it reads or writes a //lrm:guardedby
+// field without the sibling lock held on the same base chain.
+func (st *lgState) checkGuardedAccess(sel *ast.SelectorExpr) {
+	selInfo := st.pkg.Info.Selections[sel]
+	if selInfo == nil || selInfo.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selInfo.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	fd := st.dirs.fieldDir(selInfo)
+	if fd == nil || fd.guardedBy == "" {
+		return
+	}
+	key := st.baseKey(sel.X)
+	if key.obj != nil && st.fresh[key.obj] {
+		return
+	}
+	key.name = fd.guardedBy
+	if !st.holds(key) {
+		st.pp.Report(sel.Sel.Pos(),
+			"%s is //lrm:guardedby %s, but %s.%s is not held at this access",
+			field.Name(), fd.guardedBy, exprString(ast.Unparen(sel.X)), fd.guardedBy)
+	}
+}
+
+// checkGuardedCall flags calls to //lrm:guardedby methods made without
+// the receiver's lock held — the caller-side half of the contract.
+func (st *lgState) checkGuardedCall(call *ast.CallExpr) {
+	fn := calleeFunc(st.pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	d := st.dirs.funcDir(fn)
+	if d == nil || d.guardedBy == "" {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	key := st.baseKey(sel.X)
+	if key.obj != nil && st.fresh[key.obj] {
+		return
+	}
+	key.name = d.guardedBy
+	if !st.holds(key) {
+		st.pp.Report(call.Pos(),
+			"%s requires %s.%s held on entry (//lrm:guardedby), but it is not held at this call",
+			fn.Name(), exprString(ast.Unparen(sel.X)), d.guardedBy)
+	}
+}

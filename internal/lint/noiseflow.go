@@ -1,0 +1,1127 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// NoiseFlow proves the mechanism's one non-negotiable invariant — every
+// value released to the outside world is W·x + noise, never W·x — as a
+// whole-program taint analysis:
+//
+//   - Sources: reads of //lrm:source fields (the engine's Request
+//     histograms, the server's request payloads), results of
+//     //lrm:source functions (histogram builders), and //lrm:source
+//     parameters (the facade's data arguments).
+//   - Sanitizers: //lrm:sanitizer functions. The directive is verified,
+//     not trusted: the body must draw from an *rng.Source (or call
+//     another declared sanitizer), so deleting the noise-add inside a
+//     sanitizer is itself a finding.
+//   - Sinks: arguments of //lrm:sink functions (HTTP/disk writers),
+//     returns of //lrm:sink return functions (the engine/facade answer
+//     boundary), and — built in — any call to a method of
+//     net/http.ResponseWriter.
+//
+// Propagation is interprocedural: per-function summaries (which results
+// and pointer parameters a function taints, as a function of its inputs)
+// are composed to a fixpoint over the `go list`-derived call graph, with
+// interface calls joined over every loaded implementation. Taint is
+// tracked per variable (field- and element-insensitive): writing a raw
+// element taints the whole variable, and only a whole-variable
+// assignment or a declared sanitizer clears it.
+var NoiseFlow = &Analyzer{
+	Name: "noiseflow",
+	Doc: "raw data (//lrm:source) must pass a verified //lrm:sanitizer " +
+		"before reaching a release sink (//lrm:sink, http.ResponseWriter)",
+	RunProgram: runNoiseFlow,
+}
+
+// nfDeps is the taint of one value: possibly raw here and now (fresh,
+// with a human-readable witness of where the raw data came from), plus
+// the set of enclosing-function parameters whose rawness it inherits.
+type nfDeps struct {
+	fresh   bool
+	params  uint64 // bitmask over paramsOf(enclosing function)
+	witness string
+}
+
+func (d nfDeps) empty() bool { return !d.fresh && d.params == 0 }
+
+func joinDeps(a, b nfDeps) nfDeps {
+	out := nfDeps{fresh: a.fresh || b.fresh, params: a.params | b.params}
+	out.witness = a.witness
+	if out.witness == "" {
+		out.witness = b.witness
+	}
+	return out
+}
+
+// sameDeps ignores witnesses: fixpoint convergence is on reachability,
+// while witnesses keep whichever explanation was found first.
+func sameDeps(a, b nfDeps) bool {
+	return a.fresh == b.fresh && a.params == b.params
+}
+
+// nfSummary is one function's externally visible taint behavior.
+type nfSummary struct {
+	results []nfDeps // taint of each result, in terms of the params
+	mutates []nfDeps // taint written through each pointer-like param
+}
+
+func sameSummary(a, b *nfSummary) bool {
+	if len(a.results) != len(b.results) || len(a.mutates) != len(b.mutates) {
+		return false
+	}
+	for i := range a.results {
+		if !sameDeps(a.results[i], b.results[i]) {
+			return false
+		}
+	}
+	for i := range a.mutates {
+		if !sameDeps(a.mutates[i], b.mutates[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+const (
+	nfPhaseSummary = iota // compute per-function summaries to fixpoint
+	nfPhaseEntry          // propagate which params arrive raw, top-down
+	nfPhaseCheck          // report raw values crossing sinks
+)
+
+type nfAnalysis struct {
+	prog *Program
+	dirs *directiveIndex
+	// sums and entry are keyed by funcKey: the same callee appears as
+	// distinct *types.Func objects in source-checked and imported views.
+	sums    map[string]*nfSummary
+	entry   map[string]map[int]string // param index → raw witness
+	pass    *ProgramPass
+	phase   int
+	changed bool
+}
+
+func runNoiseFlow(pp *ProgramPass) error {
+	a := &nfAnalysis{
+		prog:  pp.Prog,
+		dirs:  buildDirectiveIndex(pp.Prog),
+		sums:  make(map[string]*nfSummary),
+		entry: make(map[string]map[int]string),
+	}
+	fns := a.orderedFuncs()
+
+	// Phase 1: per-function summaries to fixpoint over the call graph.
+	a.phase = nfPhaseSummary
+	for round := 0; round < 12; round++ {
+		a.changed = false
+		for _, fi := range fns {
+			sum := a.analyze(fi)
+			key := funcKey(fi.Fn)
+			if prev := a.sums[key]; prev == nil || !sameSummary(prev, sum) {
+				a.changed = true
+			}
+			a.sums[key] = sum
+		}
+		if !a.changed {
+			break
+		}
+	}
+
+	// Phase 2: which parameters actually receive raw data, from the
+	// sources down through every (interface-resolved) call edge.
+	a.phase = nfPhaseEntry
+	for round := 0; round < 12; round++ {
+		a.changed = false
+		for _, fi := range fns {
+			a.analyze(fi)
+		}
+		if !a.changed {
+			break
+		}
+	}
+
+	// Phase 3: the same walk, now reporting sink crossings.
+	a.phase = nfPhaseCheck
+	a.pass = pp
+	for _, fi := range fns {
+		a.analyze(fi)
+	}
+	a.verifySanitizers(fns)
+	a.dirs.reportProblems(pp.Report, "source", "sanitizer", "sink")
+	return nil
+}
+
+func (a *nfAnalysis) orderedFuncs() []*FuncInfo {
+	fns := make([]*FuncInfo, 0, len(a.prog.funcs))
+	for _, fi := range a.prog.funcs {
+		if fi.Decl.Body != nil {
+			fns = append(fns, fi)
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool {
+		return fns[i].Decl.Pos() < fns[j].Decl.Pos()
+	})
+	return fns
+}
+
+// paramsOf flattens receiver-then-parameters into one indexed list.
+func paramsOf(sig *types.Signature) []*types.Var {
+	var out []*types.Var
+	if r := sig.Recv(); r != nil {
+		out = append(out, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+func bit(i int) uint64 {
+	if i >= 64 {
+		return 0 // beyond tracking width: drop, conservatively clean
+	}
+	return 1 << uint(i)
+}
+
+// isErrorType reports whether t is the built-in error interface. Error
+// values are exempt from taint: they are control metadata, and carrying
+// whole-struct taint through every `return nil, err` would bury the real
+// data paths. (Error strings embedding raw counts would evade this; the
+// tree's errors carry lengths and names only.)
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// isScalarMetaType reports whether t is an integer or boolean scalar.
+// Like the built-in len, these are exempt from taint: in this privacy
+// model the histogram VALUES are the secret, while dimensions, counts,
+// seeds, and flags derived from them are public metadata — without the
+// exemption, `cols := x.Cols()` would make every matrix allocated with
+// that width as raw as the data itself. Floats, strings, and slices
+// (including []byte — marshalled payloads) keep their taint.
+func isScalarMetaType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsInteger|types.IsBoolean) != 0
+}
+
+// taintExempt is the union of the two exemptions applied to call
+// results and summary result slots.
+func taintExempt(t types.Type) bool {
+	return isErrorType(t) || isScalarMetaType(t)
+}
+
+func pointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan,
+		*types.Interface, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func (a *nfAnalysis) posStr(pos token.Pos) string {
+	p := a.prog.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+func (a *nfAnalysis) addEntry(fn *types.Func, idx int, witness string) {
+	key := funcKey(fn)
+	m := a.entry[key]
+	if m == nil {
+		m = make(map[int]string)
+		a.entry[key] = m
+	}
+	if _, ok := m[idx]; !ok {
+		m[idx] = witness
+		a.changed = true
+	}
+}
+
+// nfEnv is one walk over one function body.
+type nfEnv struct {
+	a          *nfAnalysis
+	fn         *types.Func
+	fi         *FuncInfo
+	info       *types.Info
+	params     []*types.Var
+	paramIdx   map[*types.Var]int
+	state      map[*types.Var]nfDeps
+	views      map[*types.Var]*types.Var
+	resultVars []*types.Var
+	sum        *nfSummary
+	litDepth   int // >0 inside a FuncLit: returns are the literal's, not fn's
+}
+
+// analyze walks fi once and returns its freshly computed summary. In the
+// entry and check phases the walk's side effects (entry propagation,
+// diagnostics) are the point and the summary is discarded.
+func (a *nfAnalysis) analyze(fi *FuncInfo) *nfSummary {
+	fn := fi.Fn
+	sig := fn.Type().(*types.Signature)
+	e := &nfEnv{
+		a:        a,
+		fn:       fn,
+		fi:       fi,
+		info:     fi.Pkg.Info,
+		params:   paramsOf(sig),
+		paramIdx: make(map[*types.Var]int),
+		state:    make(map[*types.Var]nfDeps),
+		views:    make(map[*types.Var]*types.Var),
+		sum:      &nfSummary{results: make([]nfDeps, sig.Results().Len())},
+	}
+	for i, v := range e.params {
+		e.paramIdx[v] = i
+		e.state[v] = nfDeps{params: bit(i)}
+	}
+	if d := a.dirs.funcDir(fn); d != nil {
+		for _, idx := range d.sourceParams {
+			if idx >= len(e.params) {
+				continue
+			}
+			v := e.params[idx]
+			w := fmt.Sprintf("raw parameter %s of %s (//lrm:source, %s)",
+				v.Name(), fn.Name(), a.posStr(v.Pos()))
+			e.state[v] = joinDeps(e.state[v], nfDeps{fresh: true, witness: w})
+		}
+	}
+	if fi.Decl.Type.Results != nil {
+		for _, f := range fi.Decl.Type.Results.List {
+			for _, n := range f.Names {
+				if v, ok := fi.Pkg.Info.Defs[n].(*types.Var); ok {
+					e.resultVars = append(e.resultVars, v)
+				}
+			}
+		}
+	}
+	e.stmt(fi.Decl.Body)
+	for i := range e.sum.results {
+		if taintExempt(sig.Results().At(i).Type()) {
+			e.sum.results[i] = nfDeps{}
+		}
+	}
+	e.sum.mutates = make([]nfDeps, len(e.params))
+	for i, v := range e.params {
+		if !pointerLike(v.Type()) {
+			continue
+		}
+		d := e.state[v]
+		d.params &^= bit(i)
+		if !d.empty() {
+			e.sum.mutates[i] = d
+		}
+	}
+	return e.sum
+}
+
+// rawNow resolves deps against what is known to reach this function:
+// fresh taint is raw outright; a parameter dependence is raw when some
+// caller (or a //lrm:source declaration) delivers raw data to it.
+func (e *nfEnv) rawNow(d nfDeps) (string, bool) {
+	if d.fresh {
+		return d.witness, true
+	}
+	entries := e.a.entry[funcKey(e.fn)]
+	for i, v := range e.params {
+		if d.params&bit(i) == 0 {
+			continue
+		}
+		if w, ok := entries[i]; ok {
+			return fmt.Sprintf("%s (reaching parameter %s)", w, v.Name()), true
+		}
+	}
+	return "", false
+}
+
+func (e *nfEnv) setVar(v *types.Var, d nfDeps) {
+	if v == nil {
+		return
+	}
+	e.state[v] = d
+}
+
+// weakTaint joins d into v and into every variable v is a view of:
+// after `cd := dst.data`, a write through cd lands in dst's storage, so
+// its taint must reach dst too.
+func (e *nfEnv) weakTaint(v *types.Var, d nfDeps) {
+	if d.empty() {
+		return
+	}
+	for depth := 0; v != nil && depth < 16; depth++ {
+		e.state[v] = joinDeps(e.state[v], d)
+		next := e.views[v]
+		if next == v {
+			return
+		}
+		v = next
+	}
+}
+
+// viewBase reports the variable whose storage rhs aliases, or nil when
+// rhs allocates or copies. Field reads, slicing, indexing, dereference,
+// and address-of all alias the root; calls and literals do not.
+func viewBase(info *types.Info, rhs ast.Expr, lhs *types.Var) *types.Var {
+	if lhs == nil || !pointerLike(lhs.Type()) {
+		return nil
+	}
+	base := rootVar(info, rhs)
+	if base == nil || base == lhs {
+		return nil
+	}
+	return base
+}
+
+// rootVar finds the variable that owns the storage an lvalue-ish
+// expression reaches through selectors, indexing, and dereferences.
+func rootVar(info *types.Info, expr ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok {
+				return v
+			}
+			if v, ok := info.Defs[x].(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			if sel := info.Selections[x]; sel == nil {
+				// package-qualified reference
+				v, _ := info.Uses[x.Sel].(*types.Var)
+				return v
+			}
+			expr = x.X
+		case *ast.IndexExpr:
+			expr = x.X
+		case *ast.IndexListExpr:
+			expr = x.X
+		case *ast.SliceExpr:
+			expr = x.X
+		case *ast.StarExpr:
+			expr = x.X
+		case *ast.TypeAssertExpr:
+			expr = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			expr = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (e *nfEnv) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, sub := range st.List {
+			e.stmt(sub)
+		}
+	case *ast.ExprStmt:
+		e.expr(st.X)
+	case *ast.AssignStmt:
+		e.assign(st)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var d nfDeps
+					if i < len(vs.Values) {
+						d = e.expr(vs.Values[i])
+					}
+					v, _ := e.info.Defs[name].(*types.Var)
+					e.setVar(v, d)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		e.ret(st)
+	case *ast.IfStmt:
+		e.stmt(st.Init)
+		e.expr(st.Cond)
+		e.stmt(st.Body)
+		e.stmt(st.Else)
+	case *ast.ForStmt:
+		e.stmt(st.Init)
+		if st.Cond != nil {
+			e.expr(st.Cond)
+		}
+		e.stmt(st.Body)
+		e.stmt(st.Post)
+	case *ast.RangeStmt:
+		e.rangeStmt(st)
+	case *ast.SwitchStmt:
+		e.stmt(st.Init)
+		if st.Tag != nil {
+			e.expr(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, x := range cc.List {
+				e.expr(x)
+			}
+			for _, sub := range cc.Body {
+				e.stmt(sub)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		e.stmt(st.Init)
+		e.stmt(st.Assign)
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, sub := range cc.Body {
+				e.stmt(sub)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			e.stmt(cc.Comm)
+			for _, sub := range cc.Body {
+				e.stmt(sub)
+			}
+		}
+	case *ast.GoStmt:
+		e.expr(st.Call)
+	case *ast.DeferStmt:
+		e.expr(st.Call)
+	case *ast.SendStmt:
+		d := e.expr(st.Value)
+		e.weakTaint(rootVar(e.info, st.Chan), d)
+	case *ast.LabeledStmt:
+		e.stmt(st.Stmt)
+	}
+}
+
+func (e *nfEnv) rangeStmt(st *ast.RangeStmt) {
+	d := e.expr(st.X)
+	keyDeps := d
+	if tv, ok := e.info.Types[st.X]; ok {
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice, *types.Array, *types.Pointer, *types.Basic:
+			keyDeps = nfDeps{} // positional index or rune offset: clean
+		}
+	}
+	if st.Key != nil {
+		e.assignTo(st.Key, keyDeps)
+	}
+	if st.Value != nil {
+		e.assignTo(st.Value, d)
+	}
+	e.stmt(st.Body)
+}
+
+func (e *nfEnv) assign(st *ast.AssignStmt) {
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		// tuple: multi-result call, comma-ok map/assert/recv
+		var tup []nfDeps
+		if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+			tup = e.call(call)
+		} else {
+			d := e.expr(st.Rhs[0])
+			tup = []nfDeps{d, {}} // the ok/err half of comma-ok is clean
+		}
+		for i, lhs := range st.Lhs {
+			var d nfDeps
+			if i < len(tup) {
+				d = tup[i]
+			}
+			e.assignTo(lhs, d)
+		}
+		return
+	}
+	for i, lhs := range st.Lhs {
+		if i >= len(st.Rhs) {
+			break
+		}
+		d := e.expr(st.Rhs[i])
+		if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+			// compound ops (+=, |=, …) accumulate into the target
+			d = joinDeps(d, e.expr(lhs))
+		}
+		e.assignTo(lhs, d)
+		// Record (or drop) the view relation for whole-variable binds of
+		// pointer-like values: `cd := dst.data` makes cd an alias of dst.
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			var v *types.Var
+			if dv, defined := e.info.Defs[id].(*types.Var); defined {
+				v = dv
+			} else if uv, used := e.info.Uses[id].(*types.Var); used {
+				v = uv
+			}
+			if v != nil {
+				if base := viewBase(e.info, st.Rhs[i], v); base != nil {
+					e.views[v] = base
+				} else {
+					delete(e.views, v)
+				}
+			}
+		}
+	}
+}
+
+func (e *nfEnv) assignTo(lhs ast.Expr, d nfDeps) {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return
+		}
+		if v, ok := e.info.Defs[x].(*types.Var); ok {
+			e.setVar(v, d) // fresh binding: strong update
+			return
+		}
+		if v, ok := e.info.Uses[x].(*types.Var); ok {
+			e.setVar(v, d) // whole-variable overwrite: strong update
+			return
+		}
+	default:
+		// element, field, or dereference write: weak update on the root
+		e.weakTaint(rootVar(e.info, lhs), d)
+	}
+}
+
+func (e *nfEnv) ret(st *ast.ReturnStmt) {
+	if e.litDepth > 0 {
+		for _, r := range st.Results {
+			e.expr(r)
+		}
+		return
+	}
+	var deps []nfDeps
+	switch {
+	case len(st.Results) == 0:
+		for _, v := range e.resultVars {
+			deps = append(deps, e.state[v])
+		}
+	case len(st.Results) == 1 && len(e.sum.results) > 1:
+		if call, ok := ast.Unparen(st.Results[0]).(*ast.CallExpr); ok {
+			deps = e.call(call)
+		} else {
+			deps = []nfDeps{e.expr(st.Results[0])}
+		}
+	default:
+		for _, r := range st.Results {
+			deps = append(deps, e.expr(r))
+		}
+	}
+	for i, d := range deps {
+		if i < len(e.sum.results) {
+			e.sum.results[i] = joinDeps(e.sum.results[i], d)
+		}
+	}
+	if e.a.phase == nfPhaseCheck {
+		if dir := e.a.dirs.funcDir(e.fn); dir != nil && dir.sinkReturn {
+			results := e.fn.Type().(*types.Signature).Results()
+			for i, d := range deps {
+				if i < results.Len() && taintExempt(results.At(i).Type()) {
+					continue
+				}
+				if w, raw := e.rawNow(d); raw {
+					e.a.pass.Report(st.Pos(),
+						"raw data returned from %s, a //lrm:sink return release boundary (result %d): %s — no sanitizer on this path",
+						e.fn.Name(), i+1, w)
+				}
+			}
+		}
+	}
+}
+
+func (e *nfEnv) expr(x ast.Expr) nfDeps {
+	switch v := ast.Unparen(x).(type) {
+	case nil:
+		return nfDeps{}
+	case *ast.Ident:
+		if obj, ok := e.info.Uses[v].(*types.Var); ok {
+			return e.state[obj]
+		}
+		return nfDeps{}
+	case *ast.SelectorExpr:
+		sel := e.info.Selections[v]
+		if sel == nil {
+			// package-qualified name
+			if obj, ok := e.info.Uses[v.Sel].(*types.Var); ok {
+				return e.state[obj]
+			}
+			return nfDeps{}
+		}
+		base := e.expr(v.X)
+		if sel.Kind() == types.FieldVal {
+			if fd := e.a.dirs.fieldDir(sel); fd != nil && fd.source {
+				w := fmt.Sprintf("raw field %s read at %s (//lrm:source)",
+					v.Sel.Name, e.a.posStr(v.Sel.Pos()))
+				base = joinDeps(base, nfDeps{fresh: true, witness: w})
+			} else if e.a.dirs.structHasSource(sel.Recv()) {
+				// The raw content of a source-bearing struct lives in its
+				// //lrm:source fields; its other fields are metadata
+				// (workload shape, ε, seeds) and read clean. Without this,
+				// every fingerprint or epsilon derived from a Request
+				// would count as the histogram itself.
+				base = nfDeps{}
+			} else if isScalarMetaType(sel.Type()) {
+				// Integer/bool fields of a tainted struct (rows, cols,
+				// counters, seeds) are shape metadata, not data.
+				base = nfDeps{}
+			}
+		}
+		return base
+	case *ast.CallExpr:
+		tup := e.call(v)
+		var out nfDeps
+		for _, d := range tup {
+			out = joinDeps(out, d)
+		}
+		return out
+	case *ast.IndexExpr:
+		return e.expr(v.X) // element of a tainted container is tainted
+	case *ast.IndexListExpr:
+		return e.expr(v.X)
+	case *ast.SliceExpr:
+		return e.expr(v.X)
+	case *ast.StarExpr:
+		return e.expr(v.X)
+	case *ast.TypeAssertExpr:
+		return e.expr(v.X)
+	case *ast.UnaryExpr:
+		if v.Op == token.ARROW { // <-ch: whatever was sent on the channel
+			return e.expr(v.X)
+		}
+		return e.expr(v.X)
+	case *ast.BinaryExpr:
+		return joinDeps(e.expr(v.X), e.expr(v.Y))
+	case *ast.CompositeLit:
+		var out nfDeps
+		for _, elt := range v.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				out = joinDeps(out, e.expr(kv.Value))
+				continue
+			}
+			out = joinDeps(out, e.expr(elt))
+		}
+		return out
+	case *ast.FuncLit:
+		e.litDepth++
+		e.stmt(v.Body)
+		e.litDepth--
+		return nfDeps{}
+	default:
+		return nfDeps{}
+	}
+}
+
+// resultCount reads the number of values a call produces from its type.
+func (e *nfEnv) resultCount(call *ast.CallExpr) int {
+	tv, ok := e.info.Types[call]
+	if !ok {
+		return 1
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len()
+	default:
+		if tv.IsVoid() {
+			return 0
+		}
+		return 1
+	}
+}
+
+// clearExemptResults zeroes the deps of taint-exempt result positions:
+// errors, and integer/boolean scalars (shape metadata).
+func (e *nfEnv) clearExemptResults(call *ast.CallExpr, out []nfDeps) []nfDeps {
+	tv, ok := e.info.Types[call]
+	if !ok {
+		return out
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := range out {
+			if i < t.Len() && taintExempt(t.At(i).Type()) {
+				out[i] = nfDeps{}
+			}
+		}
+	default:
+		if len(out) == 1 && taintExempt(tv.Type) {
+			out[0] = nfDeps{}
+		}
+	}
+	return out
+}
+
+// call evaluates a call expression and returns the taint of each result.
+func (e *nfEnv) call(call *ast.CallExpr) []nfDeps {
+	return e.clearExemptResults(call, e.call1(call))
+}
+
+func (e *nfEnv) call1(call *ast.CallExpr) []nfDeps {
+	// Builtins.
+	switch calleeBuiltin(e.info, call) {
+	case "len", "cap", "new", "make", "delete", "close", "clear",
+		"panic", "print", "println", "recover", "complex", "real", "imag":
+		for _, arg := range call.Args {
+			e.expr(arg)
+		}
+		return []nfDeps{{}}
+	case "append":
+		var out nfDeps
+		for _, arg := range call.Args {
+			out = joinDeps(out, e.expr(arg))
+		}
+		if len(call.Args) > 0 {
+			e.weakTaint(rootVar(e.info, call.Args[0]), out)
+		}
+		return []nfDeps{out}
+	case "copy":
+		if len(call.Args) == 2 {
+			d := e.expr(call.Args[1])
+			e.weakTaint(rootVar(e.info, call.Args[0]), d)
+		}
+		return []nfDeps{{}}
+	case "min", "max":
+		var out nfDeps
+		for _, arg := range call.Args {
+			out = joinDeps(out, e.expr(arg))
+		}
+		return []nfDeps{out}
+	}
+	// Type conversion.
+	if tv, ok := e.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return []nfDeps{e.expr(call.Args[0])}
+		}
+		return []nfDeps{{}}
+	}
+
+	nres := e.resultCount(call)
+	fn, impls, ok := e.a.prog.staticCallee(e.info, call)
+	if !ok {
+		return e.genericCall(call, nres)
+	}
+
+	// Evaluate receiver and arguments, mapped onto callee param indices.
+	sig := fn.Type().(*types.Signature)
+	var recvDeps nfDeps
+	hasRecv := sig.Recv() != nil
+	var recvExpr ast.Expr
+	if hasRecv {
+		if sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr); selOK {
+			recvExpr = sel.X
+			recvDeps = e.expr(sel.X)
+		}
+	}
+	argDeps := make([]nfDeps, len(call.Args))
+	for i, arg := range call.Args {
+		argDeps[i] = e.expr(arg)
+	}
+	nparams := sig.Params().Len()
+	offset := 0
+	if hasRecv {
+		offset = 1
+	}
+	paramDeps := make([]nfDeps, offset+nparams)
+	if hasRecv {
+		paramDeps[0] = recvDeps
+	}
+	argToParam := make([]int, len(call.Args))
+	for i := range call.Args {
+		pi := i
+		if pi >= nparams {
+			pi = nparams - 1 // variadic tail
+		}
+		if pi < 0 {
+			continue
+		}
+		argToParam[i] = offset + pi
+		paramDeps[offset+pi] = joinDeps(paramDeps[offset+pi], argDeps[i])
+	}
+
+	targets := []*types.Func{fn}
+	if len(impls) > 0 {
+		targets = impls
+	}
+
+	// Entry propagation: every param position that receives raw data
+	// here is raw-on-entry for every possible callee.
+	if e.a.phase >= nfPhaseEntry {
+		for pi, d := range paramDeps {
+			w, raw := e.rawNow(d)
+			if !raw {
+				continue
+			}
+			for _, t := range targets {
+				if e.a.prog.FuncOf(t) == nil {
+					continue
+				}
+				e.a.addEntry(t, pi, fmt.Sprintf("%s → passed to %s at %s",
+					w, t.Name(), e.a.posStr(call.Pos())))
+			}
+		}
+	}
+
+	// Sink check on the static callee's declaration.
+	if e.a.phase == nfPhaseCheck {
+		if dir := e.a.dirs.funcDir(fn); dir != nil && dir.sinkArgs {
+			for i, d := range argDeps {
+				if w, raw := e.rawNow(d); raw {
+					e.a.pass.Report(call.Pos(),
+						"unsanitized data reaches //lrm:sink %s (argument %d): %s — add noise before release",
+						fn.Name(), i+1, w)
+				}
+			}
+		}
+		if isResponseWriterMethod(fn) {
+			for i, d := range argDeps {
+				if w, raw := e.rawNow(d); raw {
+					e.a.pass.Report(call.Pos(),
+						"unsanitized data written to http.ResponseWriter via %s (argument %d): %s",
+						fn.Name(), i+1, w)
+				}
+			}
+		}
+	}
+
+	// Compose callee behavior: directives first, then summaries, then
+	// the generic model for bodies outside the load.
+	out := make([]nfDeps, nres)
+	known := false
+	for _, t := range targets {
+		res, handled := e.calleeResults(t, paramDeps, nres, call)
+		if !handled {
+			continue
+		}
+		known = true
+		for i := range out {
+			out[i] = joinDeps(out[i], res[i])
+		}
+		// Mutation effects through pointer params.
+		if sum := e.a.sums[funcKey(t)]; sum != nil {
+			for pi, md := range sum.mutates {
+				if md.empty() || pi >= len(paramDeps) {
+					continue
+				}
+				mapped := e.mapThrough(md, paramDeps, t)
+				if pi == 0 && hasRecv {
+					e.weakTaint(rootVar(e.info, recvExpr), mapped)
+					continue
+				}
+				for ai, p := range argToParam {
+					if p == pi {
+						e.weakTaint(rootVar(e.info, call.Args[ai]), mapped)
+					}
+				}
+			}
+		}
+	}
+	if !known {
+		return e.genericCallWithDeps(call, recvExpr, recvDeps, argDeps, nres)
+	}
+
+	// Declared in-place sanitizers clear their targets (strong update) —
+	// the body-side verification keeps the declaration honest.
+	if dir := e.a.dirs.funcDir(fn); dir != nil && len(dir.sanitizeVars) > 0 && len(impls) == 0 {
+		for _, pi := range dir.sanitizeVars {
+			if pi == 0 && hasRecv {
+				if v := rootVar(e.info, recvExpr); v != nil {
+					e.setVar(v, nfDeps{})
+				}
+				continue
+			}
+			for ai, ap := range argToParam {
+				if ap == pi {
+					if v := rootVar(e.info, call.Args[ai]); v != nil {
+						e.setVar(v, nfDeps{})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// calleeResults computes one callee's result taints in the caller's
+// terms, or handled=false when nothing is known about the callee.
+func (e *nfEnv) calleeResults(t *types.Func, paramDeps []nfDeps, nres int, call *ast.CallExpr) (res []nfDeps, handled bool) {
+	res = make([]nfDeps, nres)
+	if dir := e.a.dirs.funcDir(t); dir != nil {
+		if dir.sanitizeAll {
+			return res, true // results leave noised
+		}
+		if dir.sourceResults {
+			w := fmt.Sprintf("raw output of %s at %s (//lrm:source)",
+				t.Name(), e.a.posStr(call.Pos()))
+			for i := range res {
+				res[i] = nfDeps{fresh: true, witness: w}
+			}
+			return res, true
+		}
+	}
+	sum := e.a.sums[funcKey(t)]
+	if sum == nil {
+		// Declared in-program with a body, summary just not computed yet
+		// this fixpoint round: assume bottom (clean). Kleene iteration
+		// from ⊥ converges to the least fixpoint; falling back to the
+		// conservative unknown-callee model here instead would seed
+		// spurious cross-taint through call cycles (interface joins are
+		// cyclic: AnswerMany ↔ its implementations) that the fixpoint
+		// can never shed.
+		if fi := e.a.prog.FuncOf(t); fi != nil && fi.Decl.Body != nil {
+			return res, true
+		}
+		return nil, false
+	}
+	for i := range res {
+		if i < len(sum.results) {
+			res[i] = e.mapThrough(sum.results[i], paramDeps, t)
+		}
+	}
+	return res, true
+}
+
+// mapThrough translates a callee-relative dep set into the caller's
+// frame: parameter bits become the argument taints bound to them, and
+// fresh taint keeps its witness with the call hop appended.
+func (e *nfEnv) mapThrough(d nfDeps, paramDeps []nfDeps, callee *types.Func) nfDeps {
+	var out nfDeps
+	if d.fresh {
+		out.fresh = true
+		out.witness = d.witness + " → through " + callee.Name()
+	}
+	for i := range paramDeps {
+		if d.params&bit(i) != 0 {
+			out = joinDeps(out, paramDeps[i])
+		}
+	}
+	return out
+}
+
+// genericCall models a call about which nothing is known.
+func (e *nfEnv) genericCall(call *ast.CallExpr, nres int) []nfDeps {
+	fnDeps := e.expr(call.Fun)
+	argDeps := make([]nfDeps, len(call.Args))
+	for i, arg := range call.Args {
+		argDeps[i] = e.expr(arg)
+	}
+	return e.genericCallWithDeps(call, nil, fnDeps, argDeps, nres)
+}
+
+// genericCallWithDeps is the conservative model shared by dynamic calls
+// and bodyless callees (stdlib, assembly): every result carries the join
+// of all inputs, and every pointer-like argument may have been written
+// with data from any other.
+func (e *nfEnv) genericCallWithDeps(call *ast.CallExpr, recvExpr ast.Expr, recvDeps nfDeps, argDeps []nfDeps, nres int) []nfDeps {
+	all := recvDeps
+	for _, d := range argDeps {
+		all = joinDeps(all, d)
+	}
+	if !all.empty() {
+		if recvExpr != nil {
+			if tv, ok := e.info.Types[recvExpr]; ok && pointerLike(tv.Type) {
+				e.weakTaint(rootVar(e.info, recvExpr), all)
+			}
+		}
+		for i, arg := range call.Args {
+			tv, ok := e.info.Types[arg]
+			if !ok || !pointerLike(tv.Type) {
+				continue
+			}
+			_ = i
+			e.weakTaint(rootVar(e.info, arg), all)
+		}
+	}
+	out := make([]nfDeps, nres)
+	for i := range out {
+		out[i] = all
+	}
+	return out
+}
+
+// isResponseWriterMethod reports whether fn is a method of
+// net/http.ResponseWriter — the built-in release sink.
+func isResponseWriterMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named, ok := derefType(sig.Recv().Type()).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ResponseWriter" && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "net/http"
+}
+
+// isRngSourceMethod reports whether fn is a method of the repository's
+// noise root, *lrm/internal/rng.Source.
+func isRngSourceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named, ok := derefType(sig.Recv().Type()).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Source" && obj.Pkg() != nil &&
+		(obj.Pkg().Path() == "lrm/internal/rng" ||
+			// fixtures load with their own module paths
+			filepath.Base(obj.Pkg().Path()) == "rng")
+}
+
+// verifySanitizers keeps //lrm:sanitizer declarations honest: the body
+// must actually draw randomness — a method call on *rng.Source or a call
+// to another declared sanitizer. Deleting the noise-add inside a
+// sanitizer therefore trips the analyzer even though the directive
+// still claims the function is safe.
+func (a *nfAnalysis) verifySanitizers(fns []*FuncInfo) {
+	for _, fi := range fns {
+		fn := fi.Fn
+		dir := a.dirs.funcDir(fn)
+		if dir == nil || (!dir.sanitizeAll && len(dir.sanitizeVars) == 0) {
+			continue
+		}
+		if fi.Decl.Body == nil {
+			continue
+		}
+		draws := false
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if draws {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(fi.Pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			if isRngSourceMethod(callee) {
+				draws = true
+				return false
+			}
+			if cd := a.dirs.funcDir(callee); cd != nil && (cd.sanitizeAll || len(cd.sanitizeVars) > 0) {
+				draws = true
+				return false
+			}
+			return true
+		})
+		if !draws {
+			a.pass.Report(fi.Decl.Name.Pos(),
+				"%s is declared //lrm:sanitizer but its body never draws noise (no rng.Source call or nested sanitizer) — the declaration is vacuous",
+				fn.Name())
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A Program is every package of one load, indexed for interprocedural
+// analysis: the dataflow analyzers (noiseflow, lockguard) compose
+// per-function summaries over the static call graph, which requires
+// resolving a callee's declaration — and, for interface calls, the set
+// of concrete implementations — across package boundaries. All packages
+// share one *token.FileSet, so positions compare globally.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	// funcs maps every function/method declared in the loaded packages,
+	// keyed by funcKey, to its declaration and owning package. Bodyless
+	// entries (assembly-backed prototypes) have Decl.Body == nil.
+	//
+	// The string key matters: the same function is a different
+	// *types.Func object depending on whether it was seen by
+	// type-checking its own package from source or by importing another
+	// package's export data, so object pointers cannot be map keys
+	// across package boundaries.
+	funcs map[string]*FuncInfo
+
+	// methodIndex groups concrete (non-interface) methods by name, the
+	// candidate pool interface-call resolution filters with
+	// types.Implements.
+	methodIndex map[string][]*types.Func
+}
+
+// FuncInfo is one declared function or method.
+type FuncInfo struct {
+	Fn   *types.Func // the source-checked object
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// funcKey names a function identically whether its *types.Func came from
+// source type-checking or from gc export data: package path, receiver
+// type name (for methods), and function name.
+func funcKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named, ok := derefType(sig.Recv().Type()).(*types.Named); ok {
+			return pkg + "." + named.Obj().Name() + "." + fn.Name()
+		}
+		return pkg + ".?." + fn.Name()
+	}
+	return pkg + "." + fn.Name()
+}
+
+// BuildProgram indexes a set of loaded packages. LoadProgram is the
+// cached entry point; tests that mutate ASTs build their own.
+func BuildProgram(pkgs []*Package) *Program {
+	p := &Program{
+		funcs:       make(map[string]*FuncInfo),
+		methodIndex: make(map[string][]*types.Func),
+	}
+	if len(pkgs) > 0 {
+		p.Fset = pkgs[0].Fset
+	}
+	p.Pkgs = pkgs
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				p.funcs[funcKey(fn)] = &FuncInfo{Fn: fn, Decl: fd, Pkg: pkg}
+				if fd.Recv != nil {
+					p.methodIndex[fn.Name()] = append(p.methodIndex[fn.Name()], fn)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// LoadProgram loads patterns (memoized, like LoadPackages) and indexes
+// the result. The index itself is rebuilt per call — it is cheap next
+// to the load — so analyzers may not mutate it.
+func LoadProgram(patterns []string) (*Program, error) {
+	pkgs, err := LoadPackages(patterns)
+	if err != nil {
+		return nil, err
+	}
+	return BuildProgram(pkgs), nil
+}
+
+// FuncOf returns the declaration of fn, or nil when fn was not declared
+// in the loaded packages (stdlib, export-data-only dependencies). fn may
+// be either the source-checked or an imported object.
+func (p *Program) FuncOf(fn *types.Func) *FuncInfo {
+	return p.funcs[funcKey(fn)]
+}
+
+// Implementations resolves a call through interface method iface to the
+// concrete methods that may run: every method of the same name, declared
+// in the loaded packages, whose receiver type satisfies the interface.
+// An empty result means every implementation lives outside the load (or
+// the set is empty), which callers must treat conservatively.
+func (p *Program) Implementations(iface *types.Func) []*types.Func {
+	sig, ok := iface.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	ifaceType, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var impls []*types.Func
+	for _, cand := range p.methodIndex[iface.Name()] {
+		recv := cand.Type().(*types.Signature).Recv()
+		if recv == nil {
+			continue
+		}
+		t := recv.Type()
+		if types.Implements(t, ifaceType) || types.Implements(types.NewPointer(derefType(t)), ifaceType) {
+			impls = append(impls, cand)
+		}
+	}
+	return impls
+}
+
+func derefType(t types.Type) types.Type {
+	if ptr, ok := t.(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// staticCallee resolves a call expression to its target: a declared
+// function (possibly bodyless), or — through an interface receiver — the
+// set of loaded implementations. ok is false for builtins, type
+// conversions, and dynamic function values.
+func (p *Program) staticCallee(info *types.Info, call *ast.CallExpr) (fn *types.Func, impls []*types.Func, ok bool) {
+	fn = calleeFunc(info, call)
+	if fn == nil {
+		return nil, nil, false
+	}
+	if sig, sok := fn.Type().(*types.Signature); sok && sig.Recv() != nil {
+		if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+			return fn, p.Implementations(fn), true
+		}
+	}
+	return fn, nil, true
+}

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSuppressionEdgeCases pins three corners of the //lint:ignore
+// machinery against the suppress fixture package:
+//
+//   - a directive directly above a multi-line call suppresses the
+//     finding reported on the call's first line;
+//   - a violation inside a generated file (// Code generated ... DO NOT
+//     EDIT.) is exempt wholesale, with no directive needed;
+//   - a directive naming an unknown analyzer is itself a finding, and
+//     the only one the package produces.
+func TestSuppressionEdgeCases(t *testing.T) {
+	pkgs, err := LoadPackages([]string{fixtureRoot + "suppress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages", len(pkgs))
+	}
+	diags, err := runAnalyzers(pkgs[0], All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unknownDirective int
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, `unknown analyzer "fancypants"`):
+			unknownDirective++
+			if d.Analyzer != "lint" {
+				t.Errorf("unknown-analyzer finding attributed to %q, want the lint machinery itself", d.Analyzer)
+			}
+		case strings.Contains(d.Pos.Filename, "generated.go"):
+			t.Errorf("finding inside a generated file: %s", d)
+		case d.Analyzer == "noiseflow":
+			t.Errorf("suppressed or generated-file finding leaked: %s", d)
+		default:
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	if unknownDirective != 1 {
+		t.Errorf("want exactly 1 unknown-analyzer finding, got %d (total %d)", unknownDirective, len(diags))
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+}

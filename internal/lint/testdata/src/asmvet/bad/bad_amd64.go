@@ -1,0 +1,13 @@
+//go:build amd64
+
+package bad
+
+// addVec adds b into a. Its TEXT block declares the wrong argument size.
+func addVec(a, b []float64)
+
+// scale multiplies x by s. Its TEXT block reads x at the wrong offset,
+// is missing NOSPLIT, and returns from AVX code without VZEROUPPER.
+func scale(x []float64, s float64)
+
+// orphan has a prototype but no TEXT block.
+func orphan(n int64) int64 // want `orphan has no body and no TEXT block`

@@ -1,0 +1,19 @@
+// Deliberately wrong kernels for the asmvet fixture. Everything here
+// assembles; the disagreements are with the Go prototypes.
+
+#include "textflag.h"
+
+// addVec's Go signature is two slices: 48 bytes of ABI0 arguments.
+TEXT ·addVec(SB), NOSPLIT, $0-40 // want `declares \$0-40 but the Go signature's ABI0 argument block is 48 bytes`
+	RET
+
+// scale: no NOSPLIT, x read 8 bytes off, Y-register use without
+// VZEROUPPER before RET.
+TEXT ·scale(SB), $0-32 // want `missing NOSPLIT`
+	MOVQ x+8(FP), AX // want `ABI0 places x at offset 0`
+	VMOVUPD (AX), Y0
+	RET // want `returns without VZEROUPPER`
+
+// phantom has no Go prototype at all.
+TEXT ·phantom(SB), NOSPLIT, $0-8 // want `TEXT ·phantom has no bodyless Go declaration`
+	RET

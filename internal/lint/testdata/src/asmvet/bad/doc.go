@@ -1,0 +1,6 @@
+// Package bad holds asmvet want-diagnostic fixtures: TEXT blocks that
+// disagree with their Go prototypes. The prototypes are amd64-gated
+// alongside the assembly; this file keeps the package loadable on every
+// GOARCH (the fixture test itself skips off amd64, where the go tool
+// hands the loader no .s files).
+package bad

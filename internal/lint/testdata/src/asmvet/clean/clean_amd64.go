@@ -1,0 +1,9 @@
+//go:build amd64
+
+package clean
+
+// dotVec returns the dot product of a and b.
+func dotVec(a, b []float64) (ret float64)
+
+// addOne returns n+1.
+func addOne(n int64) (ret int64)

@@ -1,0 +1,19 @@
+// Correct kernels for the asmvet fixture: NOSPLIT, ABI0 offsets that
+// match the prototypes, and VZEROUPPER immediately before RET in the
+// AVX function.
+
+#include "textflag.h"
+
+TEXT ·dotVec(SB), NOSPLIT, $0-56
+	MOVQ    a+0(FP), AX
+	MOVQ    b+24(FP), BX
+	VXORPD  Y0, Y0, Y0
+	MOVSD   X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
+TEXT ·addOne(SB), NOSPLIT, $0-16
+	MOVQ n+0(FP), AX
+	INCQ AX
+	MOVQ AX, ret+8(FP)
+	RET

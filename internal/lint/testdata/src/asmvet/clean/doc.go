@@ -1,0 +1,3 @@
+// Package clean holds asmvet fixtures that must produce no
+// diagnostics: TEXT blocks in full agreement with their Go prototypes.
+package clean

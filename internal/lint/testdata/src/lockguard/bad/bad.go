@@ -1,0 +1,46 @@
+// Package bad holds lockguard want-diagnostic fixtures: accesses to a
+// //lrm:guardedby field without the sibling lock held.
+package bad
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	//lrm:guardedby mu
+	n int
+}
+
+// bump writes the guarded field without ever taking the lock.
+func bump(c *counter) {
+	c.n++ // want `n is //lrm:guardedby mu`
+}
+
+// readAfterUnlock releases too early.
+func readAfterUnlock(c *counter) int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want `n is //lrm:guardedby mu`
+}
+
+// escape returns a closure that runs at an unknown time: the lock held
+// at construction says nothing about the call.
+func escape(c *counter) func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() {
+		c.n++ // want `n is //lrm:guardedby mu`
+	}
+}
+
+// sumLocked declares the callee-side contract: mu is held on entry.
+//
+//lrm:guardedby mu
+func (c *counter) sumLocked() int {
+	return c.n
+}
+
+// callsWithoutLock violates the caller-side half of the contract.
+func callsWithoutLock(c *counter) int {
+	return c.sumLocked() // want `sumLocked requires c.mu held on entry`
+}

@@ -1,0 +1,60 @@
+// Package clean holds lockguard fixtures that must produce no
+// diagnostics: the lock discipline the analyzer accepts, including the
+// early-return unlock pattern and the fresh-value exemption.
+package clean
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	//lrm:guardedby mu
+	n int
+}
+
+// bump holds the lock across the write.
+func bump(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// deferred holds the lock to the end of the function.
+func deferred(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// earlyReturn unlocks inside a terminating branch: the lock is still
+// held on the path that falls through past the if.
+func earlyReturn(c *counter, hit bool) int {
+	c.mu.Lock()
+	if hit {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// fresh values are exempt: no other goroutine can reach them yet.
+func fresh() int {
+	c := &counter{}
+	c.n = 7
+	return c.n
+}
+
+// sumLocked declares the callee-side contract: mu is held on entry.
+//
+//lrm:guardedby mu
+func (c *counter) sumLocked() int {
+	return c.n
+}
+
+// callsWithLock observes the caller-side half of the contract.
+func callsWithLock(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sumLocked()
+}

@@ -1,0 +1,66 @@
+// Package bad holds noiseflow want-diagnostic fixtures: raw histogram
+// payloads reaching release sinks with no sanitizer on the path, plus a
+// sanitizer declaration the body does not back up.
+package bad
+
+import (
+	"fmt"
+	"net/http"
+
+	"lrm/internal/rng"
+)
+
+// request mirrors the engine's shape: the histogram payload is the raw
+// data; everything else is releasable metadata.
+type request struct {
+	//lrm:source
+	Counts []float64
+	Eps    float64
+}
+
+// emit releases its argument to the outside world.
+//
+//lrm:sink
+func emit(vals []float64) { _ = vals }
+
+// release sends the raw histogram straight to the sink.
+func release(req *request) {
+	emit(req.Counts) // want `unsanitized data reaches //lrm:sink emit`
+}
+
+// launder copies the data but adds no noise: taint flows through.
+func launder(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// answer is a release boundary returning laundered-but-raw data.
+//
+//lrm:sink return
+func answer(req *request) []float64 {
+	return launder(req.Counts) // want `raw data returned from answer`
+}
+
+// publish receives raw data interprocedurally: the taint reaches vals
+// through handler's call below, not through any directive here.
+func publish(vals []float64) {
+	emit(vals) // want `unsanitized data reaches //lrm:sink emit`
+}
+
+func handler(req *request) {
+	publish(req.Counts)
+}
+
+// serve writes raw data to the built-in ResponseWriter sink.
+func serve(w http.ResponseWriter, req *request) {
+	w.Write([]byte(fmt.Sprint(req.Counts))) // want `unsanitized data written to http.ResponseWriter`
+}
+
+// vacuous claims to sanitize but never draws noise.
+//
+//lrm:sanitizer — claims a noise-add the body does not perform
+func vacuous(vals []float64, src *rng.Source) []float64 { // want `declared //lrm:sanitizer but its body never draws noise`
+	_ = src
+	return vals
+}

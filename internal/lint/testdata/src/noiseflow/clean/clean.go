@@ -1,0 +1,59 @@
+// Package clean holds noiseflow fixtures that must produce no
+// diagnostics: every path from the raw histogram to a sink passes a
+// verified sanitizer, and metadata reads of a source-bearing struct
+// stay clean.
+package clean
+
+import "lrm/internal/rng"
+
+type request struct {
+	//lrm:source
+	Counts []float64
+	Eps    float64
+}
+
+// emit releases its argument to the outside world.
+//
+//lrm:sink
+func emit(vals []float64) { _ = vals }
+
+// noise returns a fresh ε-DP release of vals.
+//
+//lrm:sanitizer — every element carries Laplace noise of scale 1/eps
+func noise(vals []float64, eps float64, src *rng.Source) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = v + src.Laplace(1/eps)
+	}
+	return out
+}
+
+// noiseInPlace perturbs vals where they sit.
+//
+//lrm:sanitizer vals — Laplace draws are mixed into vals in place
+func noiseInPlace(vals []float64, src *rng.Source) {
+	for i := range vals {
+		vals[i] += src.Laplace(1)
+	}
+}
+
+// release noises the histogram before the sink sees it.
+func release(req *request, src *rng.Source) {
+	emit(noise(req.Counts, req.Eps, src))
+}
+
+// releaseInPlace copies, noises in place, then releases.
+func releaseInPlace(req *request, src *rng.Source) {
+	buf := make([]float64, len(req.Counts))
+	copy(buf, req.Counts)
+	noiseInPlace(buf, src)
+	emit(buf)
+}
+
+// shape releases only metadata of the source-bearing struct: the raw
+// content lives in the //lrm:source fields, so Eps reads clean.
+//
+//lrm:sink return
+func shape(req *request) float64 {
+	return req.Eps
+}

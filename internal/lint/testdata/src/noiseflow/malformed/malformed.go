@@ -1,0 +1,27 @@
+// Package malformed holds directives that must themselves be findings:
+// a typo cannot silently declare nothing. TestMalformedDirectives
+// asserts the exact messages; the package is deliberately not a
+// CheckFixture fixture because the findings land on comment lines,
+// which a // want comment cannot share.
+package malformed
+
+import "lrm/internal/rng"
+
+// typod names a parameter that does not exist.
+//
+//lrm:sanitizer nosuch — the parameter is called vals, not nosuch
+func typod(vals []float64, src *rng.Source) {
+	for i := range vals {
+		vals[i] += src.Laplace(1)
+	}
+}
+
+// badSink passes an argument //lrm:sink does not understand.
+//
+//lrm:sink results
+func badSink(vals []float64) { _ = vals }
+
+// badGuard puts a function-form guardedby on a free function.
+//
+//lrm:guardedby mu
+func badGuard() {}

@@ -1,0 +1,34 @@
+// Package suppress exercises the //lint:ignore machinery's edge cases:
+// a directive above a multi-line call, and a directive naming an
+// analyzer that does not exist. The companion generated.go carries the
+// same violation inside a generated file, which is exempt wholesale.
+package suppress
+
+// request mirrors the engine's annotated payload shape.
+type request struct {
+	//lrm:source — fixture raw data
+	Counts []float64
+	Eps    float64
+}
+
+// emit is a release boundary for the fixture.
+//
+//lrm:sink
+func emit(vals []float64) {}
+
+// releaseSuppressed releases raw data, but the finding lands on the
+// first line of the multi-line call and the directive directly above it
+// must still suppress it.
+func releaseSuppressed(req request) {
+	//lint:ignore noiseflow fixture — suppression above a multi-line call
+	emit(
+		req.Counts,
+	)
+}
+
+// phantomIgnore names an analyzer that does not exist; the directive
+// itself must surface as a finding because it suppresses nothing.
+func phantomIgnore(req request) {
+	//lint:ignore fancypants this analyzer does not exist
+	_ = req.Eps
+}

@@ -153,8 +153,12 @@ func ParallelFor(n int, fn func(i int)) {
 // oversized product.
 var packFree struct {
 	sync.Mutex
-	bufs  [][]float64
-	bytes int // Σ 8·cap over bufs
+	//lrm:guardedby Mutex
+	bufs [][]float64
+	// bytes is Σ 8·cap over bufs.
+	//
+	//lrm:guardedby Mutex
+	bytes int
 }
 
 const (

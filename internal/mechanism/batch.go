@@ -62,6 +62,8 @@ func AnswerManyLoop(p Prepared, x *mat.Dense, eps privacy.Epsilon, src *rng.Sour
 // requires. The gather/scatter through buf keeps the draws flowing
 // through the exact same privacy.AddLaplaceNoise code path (scale
 // computation, validation) as the single-vector answering paths.
+//
+//lrm:sanitizer y — every column is Laplace-perturbed in place
 func addLaplaceNoiseCols(y *mat.Dense, sensitivity float64, eps privacy.Epsilon, src *rng.Source) error {
 	r, cols := y.Dims()
 	buf := make([]float64, r)

@@ -63,6 +63,8 @@ type fourierPrepared struct {
 }
 
 // Answer implements Prepared.
+//
+//lrm:sanitizer — the retained Fourier coefficients are Laplace-perturbed
 func (p *fourierPrepared) Answer(x []float64, eps privacy.Epsilon, src *rng.Source) ([]float64, error) {
 	if err := eps.Validate(); err != nil {
 		return nil, err

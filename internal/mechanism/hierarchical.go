@@ -52,6 +52,8 @@ type hierarchicalPrepared struct {
 }
 
 // Answer implements Prepared.
+//
+//lrm:sanitizer — every subtree sum is Laplace-perturbed
 func (p *hierarchicalPrepared) Answer(x []float64, eps privacy.Epsilon, src *rng.Source) ([]float64, error) {
 	if err := eps.Validate(); err != nil {
 		return nil, err

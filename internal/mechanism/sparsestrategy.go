@@ -54,6 +54,8 @@ func (p *SparseStrategyPrepared) Strategy() *sparse.CSR { return p.a }
 func (p *SparseStrategyPrepared) Sensitivity() float64 { return p.delta }
 
 // Answer implements Prepared.
+//
+//lrm:sanitizer — the strategy observations are Laplace-perturbed before inference
 func (p *SparseStrategyPrepared) Answer(x []float64, eps privacy.Epsilon, src *rng.Source) ([]float64, error) {
 	if err := eps.Validate(); err != nil {
 		return nil, err

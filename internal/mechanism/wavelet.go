@@ -59,6 +59,8 @@ func (p *waveletPrepared) coefficientScales(eps privacy.Epsilon) (lam0 float64, 
 }
 
 // Answer implements Prepared.
+//
+//lrm:sanitizer — every wavelet coefficient is Laplace-perturbed
 func (p *waveletPrepared) Answer(x []float64, eps privacy.Epsilon, src *rng.Source) ([]float64, error) {
 	if err := eps.Validate(); err != nil {
 		return nil, err

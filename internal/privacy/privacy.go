@@ -44,7 +44,8 @@ func (e Epsilon) Validate() error {
 // pass the check and jointly exceed ε.
 type Budget struct {
 	mu    sync.Mutex
-	total Epsilon
+	total Epsilon // immutable after NewBudget
+	//lrm:guardedby mu
 	spent Epsilon
 }
 
@@ -107,6 +108,8 @@ func Sensitivity(a *mat.Dense) float64 {
 // LaplaceMechanism perturbs the exact answers with i.i.d. Laplace noise of
 // scale sensitivity/ε, the generic ε-DP release of Dwork et al. (Eq. 3).
 // It returns a fresh slice.
+//
+//lrm:sanitizer — the returned slice is the ε-DP release of exact
 func LaplaceMechanism(exact []float64, sensitivity float64, eps Epsilon, src *rng.Source) ([]float64, error) {
 	out := make([]float64, len(exact))
 	copy(out, exact)
@@ -119,6 +122,8 @@ func LaplaceMechanism(exact []float64, sensitivity float64, eps Epsilon, src *rn
 // AddLaplaceNoise perturbs vals in place with i.i.d. Laplace noise of
 // scale sensitivity/ε — the allocation-free core of LaplaceMechanism for
 // hot answering paths that own their buffers.
+//
+//lrm:sanitizer vals — Laplace draws are mixed into vals in place
 func AddLaplaceNoise(vals []float64, sensitivity float64, eps Epsilon, src *rng.Source) error {
 	if err := eps.Validate(); err != nil {
 		return err
