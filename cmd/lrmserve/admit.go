@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control and graceful degradation: the server bounds how much
+// work it accepts instead of letting load pile up in goroutines until
+// everything is slow. A fixed number of requests run concurrently
+// (-max-inflight); a bounded queue of waiters forms behind them
+// (-queue); past that the server answers 429 with a Retry-After hint
+// immediately, which costs the caller milliseconds instead of a timeout
+// and costs the server nothing.
+//
+// Degradation is ordered by what a request would cost. A warm request —
+// its workload's preparation is resident — only needs noise and a few
+// GEMVs, so it may wait in the queue. A cold request triggers a full
+// decomposition, the most expensive thing the server does, so under
+// pressure it is the first thing to go: cold requests are admitted only
+// when a slot is immediately free. The server thus degrades from "answer
+// everything" to "answer what's already paid for" before it degrades to
+// "reject".
+
+// errOverloaded rejects a request when the wait queue is full.
+var errOverloaded = errors.New("overloaded: admission queue full")
+
+// errShedCold rejects a cold-workload request when all slots are busy:
+// preparing a new workload under pressure would slow every queued
+// warm request behind one optimizer run.
+var errShedCold = errors.New("overloaded: cold workload shed, retry when load drops")
+
+// admission is a bounded concurrency gate: up to cap(sem) requests run,
+// up to queue more wait, the rest are rejected immediately.
+type admission struct {
+	sem        chan struct{}
+	queue      int
+	retryAfter time.Duration
+	waiting    atomic.Int64
+
+	// Counters for /stats.
+	admitted, rejected, shed atomic.Uint64
+}
+
+// newAdmission builds a gate for maxInflight concurrent requests and
+// queue waiters. retryAfter is the hint sent with every 429.
+func newAdmission(maxInflight, queue int, retryAfter time.Duration) *admission {
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	return &admission{
+		sem:        make(chan struct{}, maxInflight),
+		queue:      queue,
+		retryAfter: retryAfter,
+	}
+}
+
+// acquire claims a slot, waiting in the bounded queue if necessary.
+// Cold requests do not queue — they need a free slot now or are shed.
+// A caller whose context ends while waiting releases its queue position
+// and returns the context's error without ever holding a slot.
+func (a *admission) acquire(ctx context.Context, cold bool) error {
+	select {
+	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	default:
+	}
+	if cold {
+		a.shed.Add(1)
+		return errShedCold
+	}
+	if a.waiting.Add(1) > int64(a.queue) {
+		a.waiting.Add(-1)
+		a.rejected.Add(1)
+		return errOverloaded
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot claimed by acquire.
+func (a *admission) release() { <-a.sem }
+
+// admissionStats is the admission section of GET /stats.
+type admissionStats struct {
+	MaxInflight int    `json:"max_inflight"`
+	Queue       int    `json:"queue"`
+	Waiting     int64  `json:"waiting"`
+	Admitted    uint64 `json:"admitted"`
+	Rejected    uint64 `json:"rejected"`
+	Shed        uint64 `json:"shed"`
+}
+
+func (a *admission) stats() *admissionStats {
+	return &admissionStats{
+		MaxInflight: cap(a.sem),
+		Queue:       a.queue,
+		Waiting:     a.waiting.Load(),
+		Admitted:    a.admitted.Load(),
+		Rejected:    a.rejected.Load(),
+		Shed:        a.shed.Load(),
+	}
+}

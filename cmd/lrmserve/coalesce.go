@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -20,13 +21,25 @@ import (
 // Only requests with no pinned seed and no per-request budget coalesce:
 // a seeded release is a replayable per-request noise contract, and a
 // budget is per-request accounting; both would change meaning inside a
-// merged batch. Those requests, and all requests when the window is zero,
-// go straight to the engine.
+// merged batch. Tenant-tagged requests coalesce only with their own
+// tenant — the merged batch is charged as one composed spend against
+// exactly one durable budget. Those requests, and all requests when the
+// window is zero, go straight to the engine.
+//
+// The flush is the commit point. Waiters hold their own histograms until
+// the window closes; only then is the batch assembled, and waiters whose
+// context has already ended are pruned first — their rows are never part
+// of the batch, so a caller that gave up during the window costs its
+// tenant nothing. The engine call itself runs under the background
+// context: once the batch commits, one waiter's mid-flight disconnect
+// must not void the answers (or un-spend the ε) of everyone else merged
+// with it.
 
 // coalesceKey groups requests that may share one engine batch.
 type coalesceKey struct {
-	fp  string
-	eps float64
+	fp     string
+	eps    float64
+	tenant string
 }
 
 // coalesceResult is what a flushed group hands each waiter.
@@ -35,18 +48,21 @@ type coalesceResult struct {
 	err     error
 }
 
-// coalesceWaiter is one request's slot in a group: its histograms occupy
-// rows [lo, lo+n) of the merged batch.
+// coalesceWaiter is one request's pending slot in a group. Its row
+// offset into the merged batch is assigned at flush time, after pruning,
+// and is only read from the result channel's payload.
 type coalesceWaiter struct {
-	lo, n int
+	ctx   context.Context
+	hists [][]float64
 	ch    chan coalesceResult
+	lo    int // rows [lo, lo+len(hists)) of the flushed batch
 }
 
 // coalesceGroup is one open window of mergeable requests.
 type coalesceGroup struct {
 	key     coalesceKey
 	wl      *workload.Workload
-	hists   [][]float64
+	rows    int // histograms pledged so far, for the size trigger
 	waiters []*coalesceWaiter
 	timer   *time.Timer
 }
@@ -76,9 +92,15 @@ func newCoalescer(eng *engine.Engine, window time.Duration, max int) *coalescer 
 // flush, and returns this request's rows. The caller must have validated
 // histogram lengths against the workload domain: inside a merged batch a
 // malformed histogram would fail the whole group, not just its sender.
-func (c *coalescer) submit(wl *workload.Workload, fp string, hists [][]float64, eps float64) ([][]float64, error) {
-	w := &coalesceWaiter{n: len(hists), ch: make(chan coalesceResult, 1)}
-	key := coalesceKey{fp: fp, eps: eps}
+// A nil ctx means context.Background(). If ctx ends before the flush,
+// submit returns its error immediately; the flush later prunes the
+// abandoned waiter without charging for it.
+func (c *coalescer) submit(ctx context.Context, wl *workload.Workload, fp string, hists [][]float64, eps float64, tenant string) ([][]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w := &coalesceWaiter{ctx: ctx, hists: hists, ch: make(chan coalesceResult, 1)}
+	key := coalesceKey{fp: fp, eps: eps, tenant: tenant}
 
 	c.mu.Lock()
 	g := c.groups[key]
@@ -87,10 +109,9 @@ func (c *coalescer) submit(wl *workload.Workload, fp string, hists [][]float64, 
 		c.groups[key] = g
 		g.timer = time.AfterFunc(c.window, func() { c.flush(g) })
 	}
-	w.lo = len(g.hists)
-	g.hists = append(g.hists, hists...)
+	g.rows += len(hists)
 	g.waiters = append(g.waiters, w)
-	full := len(g.hists) >= c.max
+	full := g.rows >= c.max
 	c.mu.Unlock()
 
 	if full {
@@ -99,15 +120,23 @@ func (c *coalescer) submit(wl *workload.Workload, fp string, hists [][]float64, 
 		// concurrent timer fire is harmless.
 		c.flush(g)
 	}
-	res := <-w.ch
-	if res.err != nil {
-		return nil, res.err
+	select {
+	case res := <-w.ch:
+		if res.err != nil {
+			return nil, res.err
+		}
+		return res.answers[w.lo : w.lo+len(hists)], nil
+	case <-ctx.Done():
+		// The buffered channel still absorbs the flush's send, so the
+		// group never blocks on an abandoned waiter.
+		return nil, ctx.Err()
 	}
-	return res.answers[w.lo : w.lo+w.n], nil
 }
 
-// flush closes the group (removing it from the open set exactly once)
-// and answers its merged batch, distributing the result to every waiter.
+// flush closes the group (removing it from the open set exactly once),
+// prunes waiters whose callers have given up, assembles the batch from
+// the survivors, and answers it — committing their tenant's composed
+// spend — then distributes each waiter its rows.
 func (c *coalescer) flush(g *coalesceGroup) {
 	c.mu.Lock()
 	if c.groups[g.key] != g {
@@ -118,13 +147,28 @@ func (c *coalescer) flush(g *coalesceGroup) {
 	g.timer.Stop()
 	c.mu.Unlock()
 
+	var hists [][]float64
+	live := make([]*coalesceWaiter, 0, len(g.waiters))
+	for _, w := range g.waiters {
+		if err := w.ctx.Err(); err != nil {
+			w.ch <- coalesceResult{err: err}
+			continue
+		}
+		w.lo = len(hists)
+		hists = append(hists, w.hists...)
+		live = append(live, w)
+	}
+	if len(live) == 0 {
+		return // everyone left during the window; nothing to charge
+	}
 	answers, err := c.eng.Answer(engine.Request{
 		Workload:    g.wl,
-		Histograms:  g.hists,
+		Histograms:  hists,
 		Eps:         privacy.Epsilon(g.key.eps),
+		Tenant:      g.key.tenant,
 		Fingerprint: g.key.fp,
 	})
-	for _, w := range g.waiters {
+	for _, w := range live {
 		w.ch <- coalesceResult{answers: answers, err: err}
 	}
 }

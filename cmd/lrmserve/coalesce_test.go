@@ -21,7 +21,7 @@ func newCoalescingServer(t *testing.T, window time.Duration, max int) (*httptest
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(eng, "LRM", 1<<20, newCoalescer(eng, window, max)))
+	srv := httptest.NewServer(newHandler(eng, handlerConfig{mech: "LRM", maxBody: 1 << 20, co: newCoalescer(eng, window, max)}))
 	t.Cleanup(func() {
 		srv.Close()
 		eng.Close()

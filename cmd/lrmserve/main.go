@@ -14,6 +14,29 @@
 //	lrmserve -coalesce-window 2ms            # merge concurrent same-workload requests
 //	lrmserve -shard-rows 4096                # row-shard oversized workloads (ε splits by
 //	                                         # sequential composition across shards)
+//	lrmserve -budget-dir /var/lib/lrm -tenant-eps 'default=10,acme=2.5'
+//	                                         # durable per-tenant ε accounting (see below)
+//	lrmserve -max-inflight 8 -queue 16 -deadline 5s
+//	                                         # bounded admission + per-request deadlines
+//
+// Per-tenant ε accounting (-tenant-eps): each item is tenant=ε, or a
+// bare ε that becomes the default cap for tenants not listed. Requests
+// carry a "tenant" field (empty means "default"); a request's total ε —
+// eps × histograms — is charged against the tenant's budget at the
+// commit point, and an exhausted tenant gets 429. With -budget-dir the
+// accounting is durable: every grant is fsynced to a per-tenant
+// write-ahead log before it is issued, so a crash can over-count ε but
+// never refund it, and a restart resumes from the logged spend.
+//
+// Admission control (-max-inflight, -queue, -retry-after): at most
+// -max-inflight answer requests run concurrently; up to -queue more wait
+// behind them; the rest get 429 with a Retry-After hint. Under pressure
+// the server degrades in cost order — requests whose workload is not
+// already prepared (cold) are shed first, so cheap warm answers keep
+// flowing while expensive decompositions wait for calm. -deadline bounds
+// each request end to end; the deadline propagates through the
+// coalescer into the engine, and a request cancelled before its commit
+// point spends none of its tenant's ε.
 //
 // With -coalesce-window, concurrent POST /answer requests for the same
 // workload fingerprint and ε (unseeded and unbudgeted only) are held up
@@ -57,6 +80,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -83,6 +107,13 @@ func main() {
 		maxBody    = flag.Int64("max-body", 64<<20, "maximum request body size in bytes")
 		coWindow   = flag.Duration("coalesce-window", 0, "hold concurrent same-workload answer requests up to this long and answer them as one engine batch (0 = disabled)")
 		coMax      = flag.Int("coalesce-max", 64, "flush a coalescing window early once it holds this many histograms")
+
+		budgetDir   = flag.String("budget-dir", "", "directory for durable per-tenant ε write-ahead logs (empty = in-memory accounting)")
+		tenantEps   = flag.String("tenant-eps", "", "per-tenant ε caps: 'tenant=eps,...'; a bare eps is the default cap for unlisted tenants (empty = no tenant accounting)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently running answer requests (0 = unbounded, admission control off)")
+		queueLen    = flag.Int("queue", 0, "max answer requests waiting behind -max-inflight before 429 (0 = 2×max-inflight)")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 overload responses")
+		deadline    = flag.Duration("deadline", 0, "per-request deadline, propagated through the engine (0 = none)")
 	)
 	flag.Parse()
 
@@ -117,6 +148,24 @@ func main() {
 		engOpts.Mechanism = mech
 		served = mech.Name()
 	}
+	if *budgetDir != "" && *tenantEps == "" {
+		log.Fatal("lrmserve: -budget-dir requires -tenant-eps (no tenant caps configured)")
+	}
+	if *tenantEps != "" {
+		def, totals, err := parseTenantEps(*tenantEps)
+		if err != nil {
+			log.Fatalf("lrmserve: -tenant-eps: %v", err)
+		}
+		acct, err := privacy.OpenAccountant(privacy.AccountantOptions{
+			Dir:          *budgetDir,
+			DefaultTotal: def,
+			Totals:       totals,
+		})
+		if err != nil {
+			log.Fatalf("lrmserve: opening accountant: %v", err)
+		}
+		engOpts.Accountant = acct // the engine owns it now; eng.Close closes it
+	}
 	eng, err := engine.New(engOpts)
 	if err != nil {
 		log.Fatalf("lrmserve: %v", err)
@@ -125,10 +174,18 @@ func main() {
 	if *coWindow > 0 {
 		co = newCoalescer(eng, *coWindow, *coMax)
 	}
+	var adm *admission
+	if *maxInflight > 0 {
+		q := *queueLen
+		if q <= 0 {
+			q = 2 * *maxInflight
+		}
+		adm = newAdmission(*maxInflight, q, *retryAfter)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(eng, served, *maxBody, co),
+		Handler:           newHandler(eng, handlerConfig{mech: served, maxBody: *maxBody, co: co, adm: adm, deadline: *deadline}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -149,7 +206,47 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("lrmserve: shutdown: %v", err)
 	}
-	eng.Close()
+	// Closing the engine flushes and closes the accountant's write-ahead
+	// logs; a failure here means the last durable state is whatever the
+	// per-grant fsyncs already persisted — report it, don't hide it.
+	if err := eng.Close(); err != nil {
+		log.Printf("lrmserve: close: %v", err)
+	}
+}
+
+// parseTenantEps parses the -tenant-eps list: comma-separated items,
+// each either tenant=eps or a bare eps that becomes the default cap for
+// unlisted tenants.
+func parseTenantEps(s string) (def privacy.Epsilon, totals map[string]privacy.Epsilon, err error) {
+	totals = make(map[string]privacy.Epsilon)
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, val, found := strings.Cut(item, "=")
+		if !found {
+			val, name = name, ""
+		} else if strings.TrimSpace(name) == "" {
+			return 0, nil, fmt.Errorf("empty tenant name in %q", item)
+		}
+		eps, perr := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if perr != nil || privacy.Epsilon(eps).Validate() != nil {
+			return 0, nil, fmt.Errorf("bad epsilon in %q", item)
+		}
+		if name = strings.TrimSpace(name); name == "" {
+			if def != 0 {
+				return 0, nil, fmt.Errorf("duplicate default epsilon %q", item)
+			}
+			def = privacy.Epsilon(eps)
+		} else {
+			if _, dup := totals[name]; dup {
+				return 0, nil, fmt.Errorf("duplicate tenant %q", name)
+			}
+			totals[name] = privacy.Epsilon(eps)
+		}
+	}
+	return def, totals, nil
 }
 
 // answerRequest is the POST /answer JSON body.
@@ -160,6 +257,9 @@ type answerRequest struct {
 	Eps        float64     `json:"eps"`
 	Budget     float64     `json:"budget"`
 	Seed       int64       `json:"seed"`
+	// Tenant names the durable ε budget this request draws from, on a
+	// server running with -tenant-eps. Empty means "default".
+	Tenant string `json:"tenant"`
 }
 
 // answerResponse is the POST /answer JSON response.
@@ -170,11 +270,15 @@ type answerResponse struct {
 
 // statsResponse is the GET /stats JSON response. Plans is populated on
 // an auto (plan-aware) server: one decision per planned workload still
-// resident in the cache.
+// resident in the cache. Tenants is populated when tenant accounting is
+// on: per-tenant total, spent, and remaining ε. Admission is populated
+// when -max-inflight bounds concurrency.
 type statsResponse struct {
-	Mechanism string                `json:"mechanism"`
-	Engine    engine.Stats          `json:"engine"`
-	Plans     []engine.PlanDecision `json:"plans,omitempty"`
+	Mechanism string                 `json:"mechanism"`
+	Engine    engine.Stats           `json:"engine"`
+	Plans     []engine.PlanDecision  `json:"plans,omitempty"`
+	Tenants   []privacy.TenantStatus `json:"tenants,omitempty"`
+	Admission *admissionStats        `json:"admission,omitempty"`
 }
 
 // splitCandidates parses the -plan-candidates list; empty means the
@@ -193,9 +297,18 @@ func splitCandidates(s string) []string {
 	return out
 }
 
+// handlerConfig bundles the knobs newHandler needs beyond the engine.
+type handlerConfig struct {
+	mech     string
+	maxBody  int64
+	co       *coalescer    // nil = coalescing disabled
+	adm      *admission    // nil = unbounded admission
+	deadline time.Duration // 0 = no per-request deadline
+}
+
 // newHandler builds the HTTP mux over an engine. Split from main so tests
-// can drive it with httptest. co may be nil (coalescing disabled).
-func newHandler(eng *engine.Engine, mechName string, maxBody int64, co *coalescer) http.Handler {
+// can drive it with httptest.
+func newHandler(eng *engine.Engine, cfg handlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/answer", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -203,7 +316,7 @@ func newHandler(eng *engine.Engine, mechName string, maxBody int64, co *coalesce
 			return
 		}
 		var req answerRequest
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, cfg.maxBody))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -223,13 +336,41 @@ func newHandler(eng *engine.Engine, mechName string, maxBody int64, co *coalesce
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+		tenant := req.Tenant
+		if tenant == "" && eng.Accountant() != nil {
+			tenant = "default"
+		}
 		// Hash once, up front: the engine reuses it for cache keying (a
 		// fresh per-request matrix would defeat its pointer memo), the
-		// coalescer groups concurrent requests by it, and the response
-		// echoes it so clients can correlate with /stats.
+		// coalescer groups concurrent requests by it, admission control
+		// reads warmth from it, and the response echoes it so clients can
+		// correlate with /stats.
 		fp := core.Fingerprint(wl.W)
+
+		// The request's context carries the client disconnect and the
+		// configured deadline through the coalescer and the engine: a
+		// request cancelled before its commit point spends no ε.
+		ctx := r.Context()
+		if cfg.deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
+			defer cancel()
+		}
+
+		if cfg.adm != nil {
+			// Bounded admission: warm requests may queue, cold ones need
+			// a free slot now (shedding the expensive Prepare is the
+			// first stage of degradation). The slot is held for the
+			// request's whole engine phase.
+			if err := cfg.adm.acquire(ctx, !eng.Warm(fp)); err != nil {
+				httpRequestError(w, cfg, err)
+				return
+			}
+			defer cfg.adm.release()
+		}
+
 		var answers [][]float64
-		if co != nil && req.Seed == 0 && req.Budget == 0 {
+		if cfg.co != nil && req.Seed == 0 && req.Budget == 0 {
 			// Mergeable request: validate shapes first — inside a merged
 			// batch a malformed histogram would fail the whole group, not
 			// just its sender — then join the coalescing window.
@@ -237,23 +378,21 @@ func newHandler(eng *engine.Engine, mechName string, maxBody int64, co *coalesce
 				httpError(w, http.StatusBadRequest, "%v", err)
 				return
 			}
-			answers, err = co.submit(wl, fp, req.Histograms, req.Eps)
+			answers, err = cfg.co.submit(ctx, wl, fp, req.Histograms, req.Eps, tenant)
 		} else {
 			answers, err = eng.Answer(engine.Request{
+				Context:     ctx,
 				Workload:    wl,
 				Histograms:  req.Histograms,
 				Eps:         privacy.Epsilon(req.Eps),
 				Budget:      privacy.Epsilon(req.Budget),
 				Seed:        req.Seed,
+				Tenant:      tenant,
 				Fingerprint: fp,
 			})
 		}
 		if err != nil {
-			status := http.StatusBadRequest
-			if errors.Is(err, privacy.ErrBudgetExhausted) {
-				status = http.StatusTooManyRequests
-			}
-			httpError(w, status, "%v", err)
+			httpRequestError(w, cfg, err)
 			return
 		}
 		writeJSON(w, answerResponse{Answers: answers, Fingerprint: fp})
@@ -263,12 +402,56 @@ func newHandler(eng *engine.Engine, mechName string, maxBody int64, co *coalesce
 			httpError(w, http.StatusMethodNotAllowed, "GET required")
 			return
 		}
-		writeJSON(w, statsResponse{Mechanism: mechName, Engine: eng.Stats(), Plans: eng.Decisions()})
+		resp := statsResponse{Mechanism: cfg.mech, Engine: eng.Stats(), Plans: eng.Decisions()}
+		if acct := eng.Accountant(); acct != nil {
+			resp.Tenants = acct.Tenants()
+		}
+		if cfg.adm != nil {
+			resp.Admission = cfg.adm.stats()
+		}
+		writeJSON(w, resp)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
 	return mux
+}
+
+// httpRequestError maps an answer-path failure to its HTTP shape.
+// Overload and budget exhaustion are 429 (the former with a Retry-After
+// hint — the caller should come back, just not yet); a blown deadline is
+// 503 (the server was too loaded to answer in time); everything else is
+// the caller's fault.
+func httpRequestError(w http.ResponseWriter, cfg handlerConfig, err error) {
+	switch {
+	case errors.Is(err, errOverloaded) || errors.Is(err, errShedCold):
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(cfg.adm)))
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, privacy.ErrBudgetExhausted):
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, privacy.ErrUnknownTenant):
+		httpError(w, http.StatusForbidden, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusServiceUnavailable, "deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the status is for the log, not for them.
+		httpError(w, http.StatusServiceUnavailable, "request cancelled")
+	default:
+		httpError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// retryAfterSeconds rounds the admission gate's hint up to whole
+// seconds, the Retry-After header's unit (minimum 1).
+func retryAfterSeconds(adm *admission) int {
+	if adm == nil {
+		return 1
+	}
+	s := int((adm.retryAfter + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // validateHistograms rejects empty batches and wrong-length histograms

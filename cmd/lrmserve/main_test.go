@@ -22,7 +22,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(eng, "LRM", 1<<20, nil))
+	srv := httptest.NewServer(newHandler(eng, handlerConfig{mech: "LRM", maxBody: 1 << 20}))
 	t.Cleanup(func() {
 		srv.Close()
 		eng.Close()
@@ -223,7 +223,7 @@ func TestServeAuto(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(eng, "auto", 1<<20, nil))
+	srv := httptest.NewServer(newHandler(eng, handlerConfig{mech: "auto", maxBody: 1 << 20}))
 	t.Cleanup(func() {
 		srv.Close()
 		eng.Close()

@@ -1,0 +1,405 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lrm/internal/core"
+	"lrm/internal/engine"
+	"lrm/internal/mechanism"
+	"lrm/internal/privacy"
+)
+
+func TestParseTenantEps(t *testing.T) {
+	def, totals, err := parseTenantEps("10, acme=2.5 ,beta=0.5,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def != 10 || totals["acme"] != 2.5 || totals["beta"] != 0.5 || len(totals) != 2 {
+		t.Fatalf("parsed def=%v totals=%v", def, totals)
+	}
+	for _, bad := range []string{"acme=-1", "acme=x", "acme=", "1,2", "acme=1,acme=2", "=3"} {
+		if _, _, err := parseTenantEps(bad); err == nil {
+			t.Fatalf("parseTenantEps(%q) accepted", bad)
+		}
+	}
+}
+
+// tenantServer builds a server with durable-in-memory tenant accounting
+// and a 3×3 test workload.
+func tenantServer(t *testing.T, totals map[string]privacy.Epsilon, def privacy.Epsilon) (*httptest.Server, *privacy.Accountant) {
+	t.Helper()
+	acct, err := privacy.OpenAccountant(privacy.AccountantOptions{DefaultTotal: def, Totals: totals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(engine.Options{
+		Mechanism:  mechanism.LRM{Options: core.Options{MaxOuterIter: 5, MaxInnerIter: 2, MaxNesterovIter: 5}},
+		Accountant: acct,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(eng, handlerConfig{mech: "LRM", maxBody: 1 << 20}))
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	return srv, acct
+}
+
+// TestServeTenantAccounting: the tenant field routes each request's
+// composed ε to its own durable budget, GET /stats surfaces remaining ε
+// per tenant, exhaustion is 429, and unknown tenants are 403 — with
+// zero ε charged for any refused request.
+func TestServeTenantAccounting(t *testing.T) {
+	srv, acct := tenantServer(t, map[string]privacy.Epsilon{"acme": 1.0}, 0.5)
+	req := answerRequest{
+		Workload:   [][]float64{{1, 0, 0}, {1, 1, 0}, {1, 1, 1}},
+		Histograms: [][]float64{{10, 20, 30}, {5, 5, 5}},
+		Eps:        0.2,
+		Tenant:     "acme",
+	}
+	if resp, body := postAnswer(t, srv.URL, req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := float64(acct.Spent("acme")); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("acme spent %v, want 0.4 (0.2 × 2 histograms)", got)
+	}
+	// Empty tenant draws from "default" (capped at 0.5 here).
+	anon := req
+	anon.Tenant = ""
+	anon.Histograms = req.Histograms[:1]
+	if resp, body := postAnswer(t, srv.URL, anon); resp.StatusCode != http.StatusOK {
+		t.Fatalf("default-tenant status %d: %s", resp.StatusCode, body)
+	}
+	if got := float64(acct.Spent("default")); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("default spent %v, want 0.2", got)
+	}
+	// Overdraw: acme has 0.6 left; 4 histograms at 0.2 compose to 0.8.
+	over := req
+	over.Histograms = [][]float64{{1, 1, 1}, {2, 2, 2}, {3, 3, 3}, {4, 4, 4}}
+	resp, body := postAnswer(t, srv.URL, over)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overdraw status %d (%s), want 429", resp.StatusCode, body)
+	}
+	if got := float64(acct.Spent("acme")); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("refused overdraw charged acme: spent %v, want unchanged 0.4", got)
+	}
+	// /stats surfaces per-tenant remaining ε.
+	sresp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	derr := json.NewDecoder(sresp.Body).Decode(&st)
+	sresp.Body.Close()
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	remaining := map[string]float64{}
+	for _, ts := range st.Tenants {
+		remaining[ts.Tenant] = ts.Remaining
+	}
+	if math.Abs(remaining["acme"]-0.6) > 1e-9 || math.Abs(remaining["default"]-0.3) > 1e-9 {
+		t.Fatalf("stats tenants %+v, want acme 0.6 and default 0.3 remaining", st.Tenants)
+	}
+}
+
+// TestServeUnknownTenant: a tenant with no configured cap is refused
+// with 403 before any ε moves.
+func TestServeUnknownTenant(t *testing.T) {
+	srv, acct := tenantServer(t, map[string]privacy.Epsilon{"acme": 1.0}, 0)
+	req := answerRequest{
+		Workload:   [][]float64{{1, 0}, {1, 1}},
+		Histograms: [][]float64{{3, 4}},
+		Eps:        0.2,
+		Tenant:     "stranger",
+	}
+	resp, body := postAnswer(t, srv.URL, req)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unknown tenant status %d (%s), want 403", resp.StatusCode, body)
+	}
+	if ts := acct.Tenants(); len(ts) != 0 {
+		t.Fatalf("refused tenant left accounting state: %+v", ts)
+	}
+}
+
+// overloadServer builds a server whose engine blocks inside Prepare
+// while `blocking` is set (gate released by closing the channel), with
+// admission bounded to maxInflight slots and queue waiters.
+func overloadServer(t *testing.T, maxInflight, queue int, acct *privacy.Accountant) (*httptest.Server, *admission, chan string, chan struct{}, *atomic.Bool) {
+	t.Helper()
+	gate := make(chan struct{})
+	entered := make(chan string, 16)
+	var blocking atomic.Bool
+	eng, err := engine.New(engine.Options{
+		Mechanism:  mechanism.LRM{Options: core.Options{MaxOuterIter: 5, MaxInnerIter: 2, MaxNesterovIter: 5}},
+		Accountant: acct,
+		PrepareHook: func(fp string) {
+			if blocking.Load() {
+				entered <- fp
+				<-gate
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm := newAdmission(maxInflight, queue, 2*time.Second)
+	srv := httptest.NewServer(newHandler(eng, handlerConfig{mech: "LRM", maxBody: 1 << 20, adm: adm}))
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	return srv, adm, entered, gate, &blocking
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// wlRows builds a small distinct workload per seed so cold and warm
+// fingerprints are controlled by the test.
+func wlRows(seed float64) [][]float64 {
+	return [][]float64{{1, 0, seed}, {1, 1, 0}, {0, 1, 1}}
+}
+
+// TestServeOverload is the overload smoke the issue demands: with slots
+// full, a burst gets bounded-queue behavior — warm requests queue up to
+// the limit, the excess and every cold request get immediate 429 with a
+// Retry-After hint, in-flight requests complete once the stall clears,
+// and rejected requests cost their tenant zero ε.
+func TestServeOverload(t *testing.T) {
+	acct, err := privacy.OpenAccountant(privacy.AccountantOptions{DefaultTotal: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, adm, entered, gate, blocking := overloadServer(t, 2, 2, acct)
+	const eps = 0.25
+	post := func(seed float64) (*http.Response, []byte) {
+		return postAnswer(t, srv.URL, answerRequest{
+			Workload:   wlRows(seed),
+			Histograms: [][]float64{{1, 2, 3}},
+			Eps:        eps,
+			Tenant:     "burst",
+		})
+	}
+
+	// Warm workload 0 while the server is idle.
+	if resp, body := post(0); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up status %d: %s", resp.StatusCode, body)
+	}
+
+	// Stall the engine: two cold requests take both slots and block
+	// inside their Prepare.
+	blocking.Store(true)
+	type result struct {
+		status int
+		body   []byte
+	}
+	inflight := make(chan result, 2)
+	for _, seed := range []float64{1, 2} {
+		go func(seed float64) {
+			resp, body := post(seed)
+			inflight <- result{resp.StatusCode, body}
+		}(seed)
+	}
+	waitFor(t, "both slots blocked in Prepare", func() bool { return len(entered) == 2 })
+
+	// Cold request under full load: shed immediately, told when to retry.
+	resp, body := post(3)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("cold shed status %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") != "2" {
+		t.Fatalf("cold shed Retry-After %q, want \"2\"", resp.Header.Get("Retry-After"))
+	}
+
+	// Warm requests queue — up to the bound.
+	queued := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, body := post(0)
+			queued <- result{resp.StatusCode, body}
+		}()
+	}
+	waitFor(t, "two warm waiters in the queue", func() bool { return adm.waiting.Load() == 2 })
+
+	// The queue is full: the next warm request is rejected immediately.
+	resp, body = post(0)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-overflow status %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("queue-overflow 429 carries no Retry-After")
+	}
+
+	// Clear the stall: the in-flight pair and both queued waiters all
+	// complete.
+	blocking.Store(false)
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if r := <-inflight; r.status != http.StatusOK {
+			t.Fatalf("in-flight request finished %d: %s", r.status, r.body)
+		}
+		if r := <-queued; r.status != http.StatusOK {
+			t.Fatalf("queued request finished %d: %s", r.status, r.body)
+		}
+	}
+
+	// ε accounting: exactly the five 200s (warm-up, two in-flight, two
+	// queued) were charged; the three 429s cost nothing.
+	if got, want := float64(acct.Spent("burst")), 5*eps; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("tenant spent %v, want %v (five successes, zero for rejections)", got, want)
+	}
+	st := adm.stats()
+	if st.Rejected != 1 || st.Shed != 1 {
+		t.Fatalf("admission stats %+v, want 1 rejected + 1 shed", st)
+	}
+}
+
+// TestServeDeadline: a request that cannot finish inside -deadline is
+// abandoned at the commit point — 503 to the caller, zero ε charged.
+func TestServeDeadline(t *testing.T) {
+	acct, err := privacy.OpenAccountant(privacy.AccountantOptions{DefaultTotal: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(engine.Options{
+		Mechanism:   mechanism.LRM{Options: core.Options{MaxOuterIter: 5, MaxInnerIter: 2, MaxNesterovIter: 5}},
+		Accountant:  acct,
+		PrepareHook: func(string) { time.Sleep(100 * time.Millisecond) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(eng, handlerConfig{mech: "LRM", maxBody: 1 << 20, deadline: 20 * time.Millisecond}))
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	resp, body := postAnswer(t, srv.URL, answerRequest{
+		Workload:   wlRows(9),
+		Histograms: [][]float64{{1, 2, 3}},
+		Eps:        0.5,
+		Tenant:     "slow",
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadline status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if got := float64(acct.Spent("slow")); got != 0 {
+		t.Fatalf("timed-out request spent %v ε, want 0", got)
+	}
+}
+
+// TestCoalesceCancelledWaiterPruned: a waiter whose context ends during
+// the window is pruned at flush — its rows never join the batch and its
+// tenant pays nothing for them; the surviving waiter is answered and
+// charged normally.
+func TestCoalesceCancelledWaiterPruned(t *testing.T) {
+	acct, err := privacy.OpenAccountant(privacy.AccountantOptions{DefaultTotal: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(engine.Options{
+		Mechanism:  mechanism.LRM{Options: core.Options{MaxOuterIter: 5, MaxInnerIter: 2, MaxNesterovIter: 5}},
+		Accountant: acct,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	co := newCoalescer(eng, 60*time.Millisecond, 64)
+
+	wl, err := workloadFromJSON(wlRows(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := core.Fingerprint(wl.W)
+	const eps = 0.25
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // this caller is gone before the window even opens
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var cancelledErr, liveErr error
+	var liveRows [][]float64
+	go func() {
+		defer wg.Done()
+		_, cancelledErr = co.submit(ctx, wl, fp, [][]float64{{1, 2, 3}, {4, 5, 6}}, eps, "acme")
+	}()
+	go func() {
+		defer wg.Done()
+		liveRows, liveErr = co.submit(context.Background(), wl, fp, [][]float64{{7, 8, 9}}, eps, "acme")
+	}()
+	wg.Wait()
+	if !errors.Is(cancelledErr, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", cancelledErr)
+	}
+	if liveErr != nil || len(liveRows) != 1 || len(liveRows[0]) != 3 {
+		t.Fatalf("live waiter: rows %v, err %v", liveRows, liveErr)
+	}
+	// Only the live waiter's single histogram was charged — not the
+	// cancelled waiter's two.
+	if got := float64(acct.Spent("acme")); math.Abs(got-eps) > 1e-9 {
+		t.Fatalf("tenant spent %v, want %v (pruned rows must not be charged)", got, eps)
+	}
+}
+
+// TestCoalesceTenantsSeparate: requests from different tenants never
+// share a batch — each merged batch charges exactly one budget.
+func TestCoalesceTenantsSeparate(t *testing.T) {
+	acct, err := privacy.OpenAccountant(privacy.AccountantOptions{DefaultTotal: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(engine.Options{
+		Mechanism:  mechanism.LRM{Options: core.Options{MaxOuterIter: 5, MaxInnerIter: 2, MaxNesterovIter: 5}},
+		Accountant: acct,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	co := newCoalescer(eng, 40*time.Millisecond, 64)
+	wl, err := workloadFromJSON(wlRows(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := core.Fingerprint(wl.W)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, tenant := range []string{"a", "b"} {
+		wg.Add(1)
+		go func(i int, tenant string) {
+			defer wg.Done()
+			_, errs[i] = co.submit(context.Background(), wl, fp, [][]float64{{1, 2, 3}}, 0.5, tenant)
+		}(i, tenant)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("tenant %d: %v", i, err)
+		}
+	}
+	if a, b := float64(acct.Spent("a")), float64(acct.Spent("b")); math.Abs(a-0.5) > 1e-9 || math.Abs(b-0.5) > 1e-9 {
+		t.Fatalf("spent a=%v b=%v, want 0.5 each", a, b)
+	}
+}

@@ -3,10 +3,10 @@ package engine
 import (
 	"fmt"
 	"math"
-	"os"
 	"path/filepath"
 
 	"lrm/internal/core"
+	"lrm/internal/faultfs"
 	"lrm/internal/mat"
 	"lrm/internal/mechanism"
 	"lrm/internal/plan"
@@ -125,7 +125,7 @@ func (e *Engine) load(fp string, w *workload.Workload) (mechanism.Prepared, *pla
 	}
 	path := e.diskPath(fp)
 	if path != "" {
-		if p, err := loadPrepared(path, w, e.gamma); err == nil {
+		if p, err := loadPrepared(e.fs, path, w, e.gamma); err == nil {
 			e.diskHits.Add(1)
 			return p, nil, nil
 		}
@@ -142,7 +142,7 @@ func (e *Engine) load(fp string, w *workload.Workload) (mechanism.Prepared, *pla
 	}
 	if path != "" {
 		if d, ok := decompositionOf(p); ok {
-			if err := writeDecomposition(path, d); err == nil {
+			if err := e.writeDecomposition(path, d); err == nil {
 				e.diskWrites.Add(1)
 			}
 		}
@@ -183,8 +183,8 @@ func decompositionOf(p mechanism.Prepared) (*core.Decomposition, bool) {
 // closed here; the decode itself already rejects non-finite or corrupt
 // payloads). This runs only on disk misses, so the extra m×n product is
 // paid once per workload per process, not per answer.
-func loadPrepared(path string, w *workload.Workload, gamma float64) (mechanism.Prepared, error) {
-	f, err := os.Open(path)
+func loadPrepared(fs faultfs.FS, path string, w *workload.Workload, gamma float64) (mechanism.Prepared, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -218,23 +218,36 @@ func loadPrepared(path string, w *workload.Workload, gamma float64) (mechanism.P
 	return mechanism.PreparedFromDecomposition(d)
 }
 
-// writeDecomposition persists atomically (temp file + rename) so a
-// concurrent reader — another engine sharing the directory — never
-// observes a half-written file.
+// writeDecomposition persists atomically and durably: temp file, fsync,
+// rename, directory fsync. The temp fsync *before* the rename is load-
+// bearing — rename is atomic in the namespace but says nothing about the
+// data, so renaming a dirty temp lets a crash leave the final name
+// pointing at a truncated (even zero-length) file. A concurrent reader —
+// another engine sharing the directory — never observes a half-written
+// file, and a crash at any point leaves either no file or a complete
+// one.
 //
 //lrm:sink — the cache file is on-disk state outside the process
-func writeDecomposition(path string, d *core.Decomposition) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".lrmd-*")
+func (e *Engine) writeDecomposition(path string, d *core.Decomposition) error {
+	dir := filepath.Dir(path)
+	tmp, err := e.fs.CreateTemp(dir, ".lrmd-*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer e.fs.Remove(tmp.Name())
 	if err := d.Encode(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := e.fs.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return e.fs.SyncDir(dir)
 }

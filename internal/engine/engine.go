@@ -39,18 +39,19 @@ package engine
 
 import (
 	"container/list"
+	"context"
 	crand "crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"lrm/internal/core"
+	"lrm/internal/faultfs"
 	"lrm/internal/mat"
 	"lrm/internal/mechanism"
 	"lrm/internal/plan"
@@ -58,6 +59,11 @@ import (
 	"lrm/internal/rng"
 	"lrm/internal/workload"
 )
+
+// ErrClosed is returned by Answer after Close: a closed engine has
+// released its durable accountant state and must not grant another
+// spend against it.
+var ErrClosed = errors.New("engine: closed")
 
 // Options configures New. The zero value serves the Low-Rank Mechanism
 // with an in-memory cache sized for a moderate workload mix.
@@ -119,6 +125,17 @@ type Options struct {
 	// time an actual Prepare executes (not on cache or disk hits). It
 	// exists so tests can count preparations; leave nil in production.
 	PrepareHook func(fingerprint string)
+	// Accountant, when non-nil, charges each tenant-tagged request's
+	// total ε (Eps × histograms, the sequential composition) against the
+	// tenant's durable budget at the request's commit point — after the
+	// preparation succeeds and the context is still live, before any
+	// noise is drawn. The engine takes ownership: Close closes it.
+	Accountant *privacy.Accountant
+	// FS is the filesystem the disk cache reads and writes through; nil
+	// means the real disk (faultfs.Disk). Tests inject faults here to
+	// prove a torn cache file degrades to a fresh Prepare instead of an
+	// outage.
+	FS faultfs.FS
 }
 
 // Request is one answering call: a workload, one or more histograms to
@@ -128,6 +145,12 @@ type Options struct {
 // the engine caches state derived from W under a content fingerprint, so
 // in-place mutation would silently serve answers for the old workload.
 type Request struct {
+	// Context, when non-nil, carries the request's deadline and
+	// cancellation. It is consulted at entry and again at the commit
+	// point — after the (possibly long) preparation, before any ε is
+	// spent or noise drawn — so a caller that gave up never pays budget
+	// for an answer it will not receive. Nil means context.Background().
+	Context context.Context
 	// Workload is the query batch W. Requests with bit-identical W share
 	// one cached preparation.
 	Workload *workload.Workload
@@ -152,6 +175,12 @@ type Request struct {
 	// unpredictable stream (seeded from crypto/rand at startup, never
 	// repeating), which is the right choice for real private releases.
 	Seed int64
+	// Tenant, when non-empty on an engine configured with an Accountant,
+	// names the durable per-tenant budget this request's total ε is
+	// charged against. The charge happens once, at the commit point, and
+	// a refused charge fails the request with privacy.ErrBudgetExhausted
+	// before any noise is drawn. Empty skips tenant accounting.
+	Tenant string
 	// Fingerprint, when non-empty, must be core.Fingerprint(Workload.W);
 	// the engine trusts it and skips both hashing and the pointer memo.
 	// Callers that build a fresh workload per request (the HTTP server)
@@ -194,6 +223,14 @@ type Engine struct {
 	gamma    float64 // the LRM's configured relaxation, for disk-load validation
 	capacity int
 	hook     func(string)
+	fs       faultfs.FS
+
+	// Durable per-tenant ε accounting (Options.Accountant); owned by the
+	// engine — Close closes it.
+	accountant *privacy.Accountant
+	closed     atomic.Bool
+	closeOnce  sync.Once
+	closeErr   error
 
 	// Prepared-workload cache and singleflight table.
 	mu sync.Mutex
@@ -250,19 +287,24 @@ type Engine struct {
 // Request.Fingerprint and bypass the memo entirely.
 const memoLimit = 256
 
-// New starts an engine. Close releases nothing today (the worker pool is
-// shared, package-level state in internal/mat) but remains part of the
-// contract so callers keep the shutdown path exercised.
+// New starts an engine. Close flushes and closes the accountant's
+// write-ahead logs (when one is configured) and fails all subsequent
+// Answer calls with ErrClosed.
 func New(opts Options) (*Engine, error) {
 	e := &Engine{
-		mech:     opts.Mechanism,
-		dir:      opts.CacheDir,
-		capacity: opts.CacheSize,
-		hook:     opts.PrepareHook,
-		lru:      list.New(),
-		byFP:     make(map[string]*list.Element),
-		flight:   make(map[string]*flightCall),
-		memo:     make(map[*mat.Dense]string),
+		mech:       opts.Mechanism,
+		dir:        opts.CacheDir,
+		capacity:   opts.CacheSize,
+		hook:       opts.PrepareHook,
+		fs:         opts.FS,
+		accountant: opts.Accountant,
+		lru:        list.New(),
+		byFP:       make(map[string]*list.Element),
+		flight:     make(map[string]*flightCall),
+		memo:       make(map[*mat.Dense]string),
+	}
+	if e.fs == nil {
+		e.fs = faultfs.Disk
 	}
 	if opts.Planner != nil && opts.Mechanism != nil {
 		return nil, fmt.Errorf("engine: Options.Mechanism and Options.Planner are mutually exclusive")
@@ -284,7 +326,7 @@ func New(opts Options) (*Engine, error) {
 	// don't serve each other's artifacts.
 	switch {
 	case e.planner != nil && e.dir != "":
-		if err := os.MkdirAll(e.dir, 0o755); err != nil {
+		if err := e.fs.MkdirAll(e.dir, 0o755); err != nil {
 			return nil, fmt.Errorf("engine: cache dir: %w", err)
 		}
 		po := *e.planner
@@ -295,7 +337,7 @@ func New(opts Options) (*Engine, error) {
 		// memory-only planned engine
 	default:
 		if l, ok := e.mech.(mechanism.LRM); ok && e.dir != "" {
-			if err := os.MkdirAll(e.dir, 0o755); err != nil {
+			if err := e.fs.MkdirAll(e.dir, 0o755); err != nil {
 				return nil, fmt.Errorf("engine: cache dir: %w", err)
 			}
 			sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", l.Options)))
@@ -328,12 +370,57 @@ func New(opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// Close is a no-op kept for contract stability: the shared pool the
-// engine answers on is package-level state in internal/mat and never
-// shuts down, so in-flight and subsequent Answer calls still complete.
-// Callers should keep invoking it so the shutdown path stays exercised
-// if the engine ever reacquires owned resources.
-func (e *Engine) Close() {}
+// Close shuts the engine down: subsequent Answer calls fail with
+// ErrClosed, and the accountant's write-ahead logs (when configured) are
+// flushed and closed so no further durable spends can be granted. Close
+// is idempotent — every call returns the first call's error. In-flight
+// Answer calls that already passed their commit point complete; their
+// spends were durable before Close returned.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		e.closed.Store(true)
+		if e.accountant != nil {
+			e.closeErr = e.accountant.Close()
+		}
+	})
+	return e.closeErr
+}
+
+// Warm reports whether a fingerprint's preparation is resident in the
+// in-memory cache, without freshening the LRU or touching the hit
+// counters — a pure peek for admission control: under pressure the
+// server sheds cold requests (which would burn a Prepare) while cheap
+// warm answers keep flowing.
+func (e *Engine) Warm(fp string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.byFP[fp]
+	return ok
+}
+
+// ctxErr returns the context's error, treating nil as Background.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// spendTenant charges the request's total ε — Eps per histogram,
+// composed sequentially — against its tenant's durable budget. This is
+// the request's single accounting event; callers invoke it only at the
+// commit point.
+func (e *Engine) spendTenant(req Request) error {
+	if e.accountant == nil || req.Tenant == "" {
+		return nil
+	}
+	eps := privacy.Epsilon(float64(req.Eps) * float64(len(req.Histograms)))
+	return e.accountant.Spend(req.Tenant, eps)
+}
+
+// Accountant returns the engine's durable accountant, or nil. The
+// server uses it to surface per-tenant remaining ε in GET /stats.
+func (e *Engine) Accountant() *privacy.Accountant { return e.accountant }
 
 // Answer releases private answers for every histogram in the request and
 // returns them in request order. It is safe to call from any number of
@@ -341,6 +428,12 @@ func (e *Engine) Close() {}
 //
 //lrm:sink return — everything Answer returns leaves the privacy boundary
 func (e *Engine) Answer(req Request) ([][]float64, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := ctxErr(req.Context); err != nil {
+		return nil, err
+	}
 	if req.Workload == nil || req.Workload.W == nil {
 		return nil, errors.New("engine: nil workload")
 	}
@@ -367,6 +460,17 @@ func (e *Engine) Answer(req Request) ([][]float64, error) {
 	}
 	p, err := e.prepared(fp, req.Workload)
 	if err != nil {
+		return nil, err
+	}
+
+	// Commit point: the preparation is done and noise is about to be
+	// drawn. A request whose caller has already given up is abandoned
+	// here, before it costs any ε; past this point the tenant's spend is
+	// durable even if the caller later disconnects.
+	if err := ctxErr(req.Context); err != nil {
+		return nil, err
+	}
+	if err := e.spendTenant(req); err != nil {
 		return nil, err
 	}
 

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"lrm/internal/core"
+	"lrm/internal/faultfs"
 	"lrm/internal/mat"
 	"lrm/internal/mechanism"
 	"lrm/internal/privacy"
@@ -42,7 +43,7 @@ func newTestEngine(t *testing.T, opts Options) *Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	return e
 }
 
@@ -190,7 +191,7 @@ func TestDiskCacheCorruptFile(t *testing.T) {
 		t.Fatalf("stats = %+v, want no disk hit and one rewrite", st)
 	}
 	// The rewritten file must now load.
-	if _, err := loadPrepared(path, w, 0); err != nil {
+	if _, err := loadPrepared(faultfs.Disk, path, w, 0); err != nil {
 		t.Fatalf("rewritten cache file does not load: %v", err)
 	}
 }
@@ -431,8 +432,8 @@ func TestAnswerValidation(t *testing.T) {
 	}
 }
 
-// TestAnswerAfterClose: shutdown degrades to caller-runs; requests still
-// complete.
+// TestAnswerAfterClose: Close is real shutdown — later Answer calls are
+// refused with the sentinel, and Close is idempotent.
 func TestAnswerAfterClose(t *testing.T) {
 	e := newTestEngine(t, Options{Workers: 2})
 	w := testWorkload(80)
@@ -440,10 +441,14 @@ func TestAnswerAfterClose(t *testing.T) {
 	if _, err := e.Answer(Request{Workload: w, Histograms: xs, Eps: 1}); err != nil {
 		t.Fatal(err)
 	}
-	e.Close()
-	out, err := e.Answer(Request{Workload: w, Histograms: xs, Eps: 1})
-	if err != nil || len(out) != 2 {
-		t.Fatalf("answer after close: %v (len %d)", err, len(out))
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	if _, err := e.Answer(Request{Workload: w, Histograms: xs, Eps: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("answer after close = %v, want ErrClosed", err)
 	}
 }
 

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 
 	"lrm/internal/mechanism"
@@ -58,12 +57,12 @@ func (e *Engine) loadPlanned(fp string, w *workload.Workload) (mechanism.Prepare
 	e.planned.Add(1)
 	p := pl.Prepared()
 	if path := e.planPath(fp); path != "" {
-		if err := writePlan(path, pl); err == nil {
+		if err := e.writePlan(path, pl); err == nil {
 			if d, ok := decompositionOf(p); ok {
 				// Best-effort like every disk write: a failed .lrmd write
 				// leaves a valid plan document whose restore path will
 				// simply miss on the decomposition and re-plan.
-				_ = writeDecomposition(e.plannedDiskPath(fp, pl.Digest()), d)
+				_ = e.writeDecomposition(e.plannedDiskPath(fp, pl.Digest()), d)
 			}
 			e.diskWrites.Add(1)
 		}
@@ -76,7 +75,7 @@ func (e *Engine) loadPlanned(fp string, w *workload.Workload) (mechanism.Prepare
 // the decomposition file for an lrm winner or a fresh trivial Prepare
 // for a baseline winner.
 func (e *Engine) restorePlanned(path, fp string, w *workload.Workload) (mechanism.Prepared, *plan.Plan, error) {
-	f, err := os.Open(path)
+	f, err := e.fs.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -89,7 +88,7 @@ func (e *Engine) restorePlanned(path, fp string, w *workload.Workload) (mechanis
 		return nil, nil, fmt.Errorf("engine: plan document is for workload %s, not %s", pl.Fingerprint, fp)
 	}
 	if pl.Mechanism == "lrm" {
-		p, err := loadPrepared(e.plannedDiskPath(fp, pl.Digest()), w, pl.LRMOptions.Gamma)
+		p, err := loadPrepared(e.fs, e.plannedDiskPath(fp, pl.Digest()), w, pl.LRMOptions.Gamma)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -123,22 +122,30 @@ func (e *Engine) plannedDiskPath(fp, digest string) string {
 	return filepath.Join(e.dir, fp+"-"+e.optTag+"-"+digest+".lrmd")
 }
 
-// writePlan persists a plan document atomically (temp file + rename),
-// mirroring writeDecomposition.
-func writePlan(path string, pl *plan.Plan) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".plan-*")
+// writePlan persists a plan document atomically and durably (temp file
+// + fsync + rename + directory fsync), mirroring writeDecomposition.
+func (e *Engine) writePlan(path string, pl *plan.Plan) error {
+	dir := filepath.Dir(path)
+	tmp, err := e.fs.CreateTemp(dir, ".plan-*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer e.fs.Remove(tmp.Name())
 	if err := pl.Encode(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := e.fs.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return e.fs.SyncDir(dir)
 }
 
 // PlanDecision is one resident plan, as surfaced by Decisions and the

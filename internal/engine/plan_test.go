@@ -25,7 +25,7 @@ func newPlannedEngine(t *testing.T, opts Options) *Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	return e
 }
 

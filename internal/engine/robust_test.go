@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"lrm/internal/faultfs"
+	"lrm/internal/mechanism"
+	"lrm/internal/plan"
+	"lrm/internal/privacy"
+)
+
+func testAccountant(t *testing.T, total privacy.Epsilon) *privacy.Accountant {
+	t.Helper()
+	a, err := privacy.OpenAccountant(privacy.AccountantOptions{DefaultTotal: total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestTenantSpend: a tenant-tagged request charges exactly Eps×B against
+// the tenant's durable budget, and an exhausted tenant is refused with
+// no partial spend.
+func TestTenantSpend(t *testing.T) {
+	acct := testAccountant(t, 1.0)
+	e := newTestEngine(t, Options{Accountant: acct})
+	w := testWorkload(300)
+	xs := [][]float64{testHistogram(w.Domain(), 301), testHistogram(w.Domain(), 302)}
+	if _, err := e.Answer(Request{Workload: w, Histograms: xs, Eps: 0.2, Tenant: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(acct.Spent("alice")); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("tenant spent %v, want 0.4 (0.2 × 2 histograms)", got)
+	}
+	// 0.4 spent, 0.6 left: a 2×0.4 request overdraws and must not spend.
+	if _, err := e.Answer(Request{Workload: w, Histograms: xs, Eps: 0.4, Tenant: "alice"}); !errors.Is(err, privacy.ErrBudgetExhausted) {
+		t.Fatalf("overdraw = %v, want ErrBudgetExhausted", err)
+	}
+	if got := float64(acct.Spent("alice")); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("refused request moved spent to %v, want unchanged 0.4", got)
+	}
+	// Untagged requests are not accounted.
+	if _, err := e.Answer(Request{Workload: w, Histograms: xs, Eps: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(acct.Spent("alice")); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("untagged request charged alice: spent %v", got)
+	}
+}
+
+// TestTenantSpendSharded: the sharded path charges the same single
+// composed spend as the unsharded path — ε per histogram, once.
+func TestTenantSpendSharded(t *testing.T) {
+	acct := testAccountant(t, 1.0)
+	e := newTestEngine(t, Options{Accountant: acct, ShardRows: 5})
+	w := testWorkload(310) // 12 queries → 3 shards of ≤5 rows
+	x := testHistogram(w.Domain(), 311)
+	if _, err := e.Answer(Request{Workload: w, Histograms: [][]float64{x}, Eps: 0.3, Tenant: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Sharded != 1 {
+		t.Fatalf("request did not take the sharded path: %+v", st)
+	}
+	if got := float64(acct.Spent("alice")); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("sharded tenant spent %v, want 0.3", got)
+	}
+}
+
+// TestCancelledRequestSpendsNothing: cancellation before the commit
+// point — at entry or while the Prepare runs — costs the tenant zero ε.
+func TestCancelledRequestSpendsNothing(t *testing.T) {
+	acct := testAccountant(t, 1.0)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	// Cancel mid-Prepare: the hook fires inside the preparation, after
+	// admission but before the commit point.
+	var e *Engine
+	e = newTestEngine(t, Options{
+		Accountant:  acct,
+		PrepareHook: func(string) { cancel() },
+	})
+	w := testWorkload(320)
+	x := testHistogram(w.Domain(), 321)
+	req := Request{Context: ctx, Workload: w, Histograms: [][]float64{x}, Eps: 0.5, Tenant: "alice"}
+	if _, err := e.Answer(req); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled answer = %v, want context.Canceled", err)
+	}
+	if got := float64(acct.Spent("alice")); got != 0 {
+		t.Fatalf("cancelled request spent %v ε, want 0", got)
+	}
+	// Already-cancelled context is refused at entry; the warm cache
+	// entry from the aborted request must not change that.
+	if _, err := e.Answer(req); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled answer = %v, want context.Canceled", err)
+	}
+	if got := float64(acct.Spent("alice")); got != 0 {
+		t.Fatalf("pre-cancelled request spent %v ε, want 0", got)
+	}
+	// A live caller then pays normally.
+	req.Context = context.Background()
+	if _, err := e.Answer(req); err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(acct.Spent("alice")); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("live request spent %v, want 0.5", got)
+	}
+}
+
+// TestCloseClosesAccountant: Close flushes and closes the accountant's
+// WAL; further spends through any path are refused.
+func TestCloseClosesAccountant(t *testing.T) {
+	dir := t.TempDir()
+	acct, err := privacy.OpenAccountant(privacy.AccountantOptions{Dir: dir, DefaultTotal: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newTestEngine(t, Options{Accountant: acct})
+	w := testWorkload(330)
+	x := testHistogram(w.Domain(), 331)
+	if _, err := e.Answer(Request{Workload: w, Histograms: [][]float64{x}, Eps: 0.25, Tenant: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := acct.Spend("alice", 0.1); !errors.Is(err, privacy.ErrAccountantClosed) {
+		t.Fatalf("spend on closed accountant = %v, want ErrAccountantClosed", err)
+	}
+	// The spend survived to disk.
+	b, err := privacy.OpenAccountant(privacy.AccountantOptions{Dir: dir, DefaultTotal: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if got := float64(b.Spent("alice")); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("replayed spent %v, want 0.25", got)
+	}
+}
+
+// TestWarmPeek: Warm reports residency without perturbing the LRU or
+// hit counters.
+func TestWarmPeek(t *testing.T) {
+	e := newTestEngine(t, Options{})
+	w := testWorkload(340)
+	x := testHistogram(w.Domain(), 341)
+	fp := e.fingerprint(w.W)
+	if e.Warm(fp) {
+		t.Fatal("cold fingerprint reported warm")
+	}
+	if _, err := e.Answer(Request{Workload: w, Histograms: [][]float64{x}, Eps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Stats()
+	if !e.Warm(fp) {
+		t.Fatal("prepared fingerprint reported cold")
+	}
+	if after := e.Stats(); after.Hits != before.Hits {
+		t.Fatalf("Warm moved the hit counter %d → %d", before.Hits, after.Hits)
+	}
+}
+
+// TestDiskCacheCrashSweep kills the cache-persistence path at every
+// injectable point — mid-encode, at the temp fsync, at the rename, at
+// the directory fsync — in both clean and torn-tail mode, and asserts
+// the recovery engine on the real disk always serves correct answers:
+// either the file is complete (disk hit) or its absence/corruption
+// degrades to one fresh Prepare. This is the regression test for the
+// fsync-before-rename fix: before it, a torn rename could leave a
+// truncated .lrmd under the final name.
+func TestDiskCacheCrashSweep(t *testing.T) {
+	base := t.TempDir()
+	run := 0
+	w := testWorkload(350)
+	x := testHistogram(w.Domain(), 351)
+	scenario := func(fs faultfs.FS) error {
+		dir := filepath.Join(base, fmt.Sprintf("run%d", run))
+		run++
+		e, err := New(Options{
+			Mechanism: mechanism.LRM{Options: fastOpts()},
+			CacheDir:  dir,
+			FS:        fs,
+		})
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		// The disk write is best-effort, so a faulted Answer may still
+		// succeed; probe the write explicitly so every fs op is reached.
+		if _, err := e.Answer(Request{Workload: w, Histograms: [][]float64{x}, Eps: 1}); err != nil {
+			return err
+		}
+		if st := e.Stats(); st.DiskWrites != 1 {
+			return fmt.Errorf("decomposition write failed")
+		}
+		return nil
+	}
+	lastDir := func() string { return filepath.Join(base, fmt.Sprintf("run%d", run-1)) }
+
+	points, err := faultfs.Points(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 5 {
+		t.Fatalf("only %d failure points (%v); want writes, syncs, a create, and a rename", len(points), points)
+	}
+	for _, torn := range []bool{false, true} {
+		for _, pt := range points {
+			inj := faultfs.New(pt.Faults(torn))
+			scenario(inj)
+			if !inj.Tripped() {
+				continue
+			}
+			var prepares int
+			e, err := New(Options{
+				Mechanism:   mechanism.LRM{Options: fastOpts()},
+				CacheDir:    lastDir(),
+				PrepareHook: func(string) { prepares++ },
+			})
+			if err != nil {
+				t.Fatalf("point %s (torn=%v): recovery engine: %v", pt, torn, err)
+			}
+			out, err := e.Answer(Request{Workload: w, Histograms: [][]float64{x}, Eps: 1})
+			if err != nil || len(out) != 1 || len(out[0]) != w.Queries() {
+				t.Fatalf("point %s (torn=%v): recovery answer = %v (len %d)", pt, torn, err, len(out))
+			}
+			st := e.Stats()
+			if st.DiskHits+uint64(prepares) != 1 {
+				t.Fatalf("point %s (torn=%v): diskHits=%d prepares=%d, want exactly one source of the preparation",
+					pt, torn, st.DiskHits, prepares)
+			}
+			e.Close()
+		}
+	}
+}
+
+// TestCorruptPlanAndDecompositionFallBack: byte-level corruption of the
+// persisted .plan.json and .lrmd artifacts must degrade to a fresh
+// Prepare (or re-plan), never to an error or a poisoned answer.
+func TestCorruptPlanAndDecompositionFallBack(t *testing.T) {
+	for _, planned := range []bool{false, true} {
+		dir := t.TempDir()
+		opts := Options{CacheDir: dir}
+		if planned {
+			opts.Planner = &plan.Options{LRM: fastOpts()}
+		} else {
+			opts.Mechanism = mechanism.LRM{Options: fastOpts()}
+		}
+		e, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := testWorkload(360)
+		x := testHistogram(w.Domain(), 361)
+		if _, err := e.Answer(Request{Workload: w, Histograms: [][]float64{x}, Eps: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		names, err := faultfs.Disk.ReadDir(dir)
+		if err != nil || len(names) == 0 {
+			t.Fatalf("planned=%v: cache dir holds %v (%v)", planned, names, err)
+		}
+		corruptFiles(t, dir, names)
+
+		var prepares int
+		opts.PrepareHook = func(string) { prepares++ }
+		e2, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := e2.Answer(Request{Workload: w, Histograms: [][]float64{x}, Eps: 1})
+		if err != nil || len(out) != 1 {
+			t.Fatalf("planned=%v: answer over corrupt cache = %v", planned, err)
+		}
+		if prepares != 1 {
+			t.Fatalf("planned=%v: %d prepares over corrupt cache, want exactly 1 fresh one", planned, prepares)
+		}
+		if st := e2.Stats(); st.DiskHits != 0 {
+			t.Fatalf("planned=%v: corrupt artifacts counted as disk hits: %+v", planned, st)
+		}
+		e2.Close()
+	}
+}
+
+// corruptFiles truncates each file to half and flips a byte, simulating
+// a torn write under the pre-fix cache (rename of an unsynced temp).
+func corruptFiles(t *testing.T, dir string, names []string) {
+	t.Helper()
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := faultfs.Disk.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1<<20)
+		n, _ := f.Read(buf)
+		f.Close()
+		if n == 0 {
+			t.Fatalf("%s is empty before corruption", name)
+		}
+		half := buf[:(n+1)/2]
+		if len(half) > 0 {
+			half[len(half)/2] ^= 0xff
+		}
+		g, err := faultfs.Disk.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Write(half); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

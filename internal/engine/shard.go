@@ -142,6 +142,17 @@ func (e *Engine) answerSharded(fp string, req Request) ([][]float64, error) {
 		}
 	}
 
+	// Commit point, mirroring the unsharded path: every shard is
+	// prepared, noise is next. A cancelled caller is abandoned here and
+	// the tenant's durable spend — the full composed ε, charged once —
+	// happens only for requests that go on to release.
+	if err := ctxErr(req.Context); err != nil {
+		return nil, err
+	}
+	if err := e.spendTenant(req); err != nil {
+		return nil, err
+	}
+
 	b := len(req.Histograms)
 	out := make([][]float64, b)
 	for i := range out {

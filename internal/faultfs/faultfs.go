@@ -1,0 +1,119 @@
+// Package faultfs is the filesystem seam under the repository's
+// durability-critical paths — the engine's disk cache and the privacy
+// accountant's write-ahead log — plus the fault injector that proves
+// they survive crashes.
+//
+// Production code writes through the FS interface (Disk, a passthrough
+// to package os). Tests substitute an Injector, which forwards to the
+// real filesystem while counting operations and, at a chosen operation,
+// simulates a crash: the designated write, sync, or rename fails, the
+// on-disk state is rewound to what a real power cut would have left
+// durable (unsynced bytes truncated, renames without a directory sync
+// undone), and every subsequent operation fails with ErrCrashed so the
+// "process" cannot keep going. Re-opening the same directory through
+// Disk then plays the recovery path exactly as a restarted process
+// would.
+//
+// The crash model is the conservative POSIX one:
+//
+//   - Bytes written to a file are durable only up to the last successful
+//     File.Sync. On crash the unsynced suffix is lost (or, in TornTail
+//     mode, half of it survives — a torn final page).
+//   - Rename is atomic but its durability requires a subsequent SyncDir
+//     on the parent directory; a rename not followed by SyncDir is
+//     undone on crash (the previous destination, if any, reappears).
+//   - A renamed file's *data* durability is independent of the rename:
+//     renaming an unsynced temp file can leave the destination name
+//     pointing at truncated or torn content. This is precisely the
+//     failure mode of temp+rename without fsync.
+package faultfs
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// File is the subset of *os.File the durability paths need.
+type File interface {
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the filesystem interface the engine's disk cache and the
+// accountant's WAL write through. All paths are interpreted like
+// package os does.
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(dir string, perm os.FileMode) error
+	// Open opens a file read-only.
+	Open(name string) (File, error)
+	// Create creates (truncating) a file for writing.
+	Create(name string) (File, error)
+	// CreateTemp creates a fresh temp file in dir, like os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// Append opens name for appending, creating it if absent.
+	Append(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath. Durability of the
+	// swap requires SyncDir on the parent directory.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making previously performed renames
+	// and creates within it durable.
+	SyncDir(dir string) error
+	// ReadDir returns the names of the entries in dir.
+	ReadDir(dir string) ([]string, error)
+}
+
+// Disk is the production implementation: a passthrough to package os.
+var Disk FS = diskFS{}
+
+type diskFS struct{}
+
+func (diskFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (diskFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (diskFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (diskFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (diskFS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (diskFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (diskFS) Remove(name string) error { return os.Remove(name) }
+
+func (diskFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	// Directory fsync is advisory on some platforms (notably it can
+	// return EINVAL); treat only the open as authoritative and surface
+	// the sync error as-is — callers decide whether to tolerate it.
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (diskFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}

@@ -1,0 +1,61 @@
+package faultfs
+
+import "fmt"
+
+// Point is one injectable failure point of a scenario: the Nth
+// operation of one kind.
+type Point struct {
+	// Kind is which Faults field the point arms: "write", "shortwrite",
+	// "sync", "rename", or "create".
+	Kind string
+	// N is the 1-based operation count the fault fires at.
+	N int
+}
+
+func (p Point) String() string { return fmt.Sprintf("%s#%d", p.Kind, p.N) }
+
+// Faults returns the fault configuration arming exactly this point.
+func (p Point) Faults(tornTail bool) Faults {
+	f := Faults{TornTail: tornTail}
+	switch p.Kind {
+	case "write":
+		f.FailWrite = p.N
+	case "shortwrite":
+		f.ShortWrite = p.N
+	case "sync":
+		f.FailSync = p.N
+	case "rename":
+		f.FailRename = p.N
+	case "create":
+		f.FailCreate = p.N
+	default:
+		panic("faultfs: unknown point kind " + p.Kind)
+	}
+	return f
+}
+
+// Points enumerates every injectable failure point of a scenario by
+// running it once against a fault-free injector and counting its
+// operations. Crash-recovery harnesses iterate the result: for each
+// point, re-run the scenario in a fresh directory with Point.Faults
+// armed, then re-open through Disk and assert the recovery invariant.
+// The scenario must be deterministic in its operation sequence.
+func Points(scenario func(FS) error) ([]Point, error) {
+	probe := New(Faults{})
+	if err := scenario(probe); err != nil {
+		return nil, fmt.Errorf("faultfs: fault-free probe run failed: %w", err)
+	}
+	writes, syncs, renames, creates := probe.Counts()
+	var pts []Point
+	add := func(kind string, count int) {
+		for n := 1; n <= count; n++ {
+			pts = append(pts, Point{Kind: kind, N: n})
+		}
+	}
+	add("write", writes)
+	add("shortwrite", writes)
+	add("sync", syncs)
+	add("rename", renames)
+	add("create", creates)
+	return pts, nil
+}

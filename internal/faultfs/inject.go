@@ -1,0 +1,433 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error returned by the operation a fault was armed
+// on. From the caller's perspective it is indistinguishable from a real
+// I/O failure followed by the process dying.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed is returned by every operation after a fault has fired:
+// the simulated process is dead and may not touch the disk again. A
+// harness re-opens the directory through Disk to play recovery.
+var ErrCrashed = errors.New("faultfs: filesystem crashed")
+
+// Faults arms at most one failure point per field, counted 1-based
+// across the injector's lifetime. Zero means "never". The injector
+// simulates a crash at the armed operation: the operation fails (or
+// half-succeeds, for ShortWrite and a dirty-source rename), on-disk
+// state is rewound to what survived the crash, and all later operations
+// return ErrCrashed.
+type Faults struct {
+	// FailWrite crashes on the Nth File.Write, with none of its bytes
+	// written.
+	FailWrite int
+	// ShortWrite crashes on the Nth File.Write after persisting only the
+	// first half of its bytes — a torn write.
+	ShortWrite int
+	// FailSync crashes on the Nth sync, counting File.Sync and SyncDir
+	// together in operation order.
+	FailSync int
+	// FailRename crashes on the Nth Rename. If the source file has
+	// unsynced bytes the swap itself survives but the data does not (the
+	// destination is truncated to the synced prefix — the classic
+	// rename-without-fsync torn file); if the source was clean the swap
+	// is lost instead and the previous destination remains.
+	FailRename int
+	// FailCreate crashes on the Nth Create/CreateTemp/Append, before the
+	// file exists.
+	FailCreate int
+	// Delay is added to every operation before it executes, for latency
+	// injection under concurrent load.
+	Delay time.Duration
+	// TornTail changes the crash rewind to keep half of each file's
+	// unsynced suffix instead of dropping it — a torn final page — so
+	// recovery code must tolerate partially persisted records, not just
+	// cleanly truncated ones.
+	TornTail bool
+}
+
+// Injector is an FS that forwards to the real filesystem (Disk) while
+// counting operations and simulating a crash at the armed failure
+// point. It is safe for concurrent use.
+type Injector struct {
+	faults Faults
+
+	mu sync.Mutex
+	//lrm:guardedby mu
+	writes int
+	//lrm:guardedby mu
+	syncs int
+	//lrm:guardedby mu
+	renames int
+	//lrm:guardedby mu
+	creates int
+	//lrm:guardedby mu
+	crashed bool
+	// files tracks every file opened for writing, keyed by its current
+	// path (renames re-key), with how much of it is durable.
+	//
+	//lrm:guardedby mu
+	files map[string]*fileState
+	// pending holds renames whose parent directory has not been synced;
+	// a crash undoes them newest-first.
+	//
+	//lrm:guardedby mu
+	pending []pendingRename
+}
+
+type fileState struct {
+	f      *os.File // nil once closed
+	synced int64    // durable bytes (as of the last successful Sync)
+	size   int64    // written bytes
+}
+
+type pendingRename struct {
+	dir    string
+	path   string // destination
+	hadOld bool
+	old    []byte // previous destination content, when hadOld
+}
+
+// New returns an injector arming the given faults.
+func New(f Faults) *Injector {
+	return &Injector{faults: f, files: make(map[string]*fileState)}
+}
+
+// Tripped reports whether the armed fault has fired.
+func (i *Injector) Tripped() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.crashed
+}
+
+// Counts returns how many writes, syncs, renames, and creates have been
+// performed — the enumeration a crash-point sweep iterates over.
+func (i *Injector) Counts() (writes, syncs, renames, creates int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.writes, i.syncs, i.renames, i.creates
+}
+
+// Crash simulates an asynchronous kill: on-disk state is rewound and
+// every subsequent operation fails with ErrCrashed.
+func (i *Injector) Crash() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if !i.crashed {
+		i.crashLocked()
+	}
+}
+
+// crashLocked rewinds the disk to the durable state: every tracked file
+// is truncated to its synced prefix (plus half the unsynced suffix in
+// TornTail mode), and renames never made durable by a SyncDir are
+// undone, newest first. Caller holds i.mu.
+//
+//lrm:guardedby mu
+func (i *Injector) crashLocked() {
+	i.crashed = true
+	paths := make([]string, 0, len(i.files))
+	for path := range i.files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		st := i.files[path]
+		keep := st.synced
+		if i.faults.TornTail && st.size > st.synced {
+			keep += (st.size - st.synced + 1) / 2
+		}
+		if st.f != nil {
+			st.f.Close()
+			st.f = nil
+		}
+		// The file may have been removed or renamed over since; a failed
+		// truncate of a vanished path is exactly the crash outcome.
+		_ = os.Truncate(path, keep)
+	}
+	for n := len(i.pending) - 1; n >= 0; n-- {
+		p := i.pending[n]
+		if p.hadOld {
+			_ = os.WriteFile(p.path, p.old, 0o644)
+		} else {
+			_ = os.Remove(p.path)
+		}
+	}
+	i.pending = nil
+}
+
+// delay applies the configured latency before an operation runs.
+func (i *Injector) delay() {
+	if i.faults.Delay > 0 {
+		time.Sleep(i.faults.Delay)
+	}
+}
+
+// alive reports whether the injector has not yet crashed, for the
+// read-only passthrough operations that do their I/O outside the lock.
+func (i *Injector) alive() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return !i.crashed
+}
+
+func (i *Injector) MkdirAll(dir string, perm os.FileMode) error {
+	i.delay()
+	if !i.alive() {
+		return ErrCrashed
+	}
+	return os.MkdirAll(dir, perm)
+}
+
+func (i *Injector) Open(name string) (File, error) {
+	i.delay()
+	if !i.alive() {
+		return nil, ErrCrashed
+	}
+	return os.Open(name)
+}
+
+// create is the shared body of Create, CreateTemp, and Append.
+//
+//lrm:guardedby mu
+func (i *Injector) create(open func() (*os.File, error), existing bool) (File, error) {
+	i.creates++
+	if i.creates == i.faults.FailCreate {
+		i.crashLocked()
+		return nil, ErrInjected
+	}
+	f, err := open()
+	if err != nil {
+		return nil, err
+	}
+	st := &fileState{f: f}
+	if existing {
+		// Append: bytes already in the file were durable before this
+		// process touched them.
+		if info, err := f.Stat(); err == nil {
+			st.synced, st.size = info.Size(), info.Size()
+		}
+	}
+	i.files[f.Name()] = st
+	return &injFile{inj: i, st: st, f: f}, nil
+}
+
+func (i *Injector) Create(name string) (File, error) {
+	i.delay()
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return nil, ErrCrashed
+	}
+	return i.create(func() (*os.File, error) { return os.Create(name) }, false)
+}
+
+func (i *Injector) CreateTemp(dir, pattern string) (File, error) {
+	i.delay()
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return nil, ErrCrashed
+	}
+	return i.create(func() (*os.File, error) { return os.CreateTemp(dir, pattern) }, false)
+}
+
+func (i *Injector) Append(name string) (File, error) {
+	i.delay()
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return nil, ErrCrashed
+	}
+	return i.create(func() (*os.File, error) {
+		return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	}, true)
+}
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	i.delay()
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return ErrCrashed
+	}
+	i.renames++
+	st := i.files[oldpath]
+	if i.renames == i.faults.FailRename {
+		if st != nil && st.synced < st.size {
+			// Dirty source: the directory swap makes it to disk but the
+			// file data does not — perform the rename, then crash, which
+			// truncates the destination to the synced prefix. This is
+			// the torn/zero-length file a temp+rename without fsync
+			// leaves behind.
+			if err := os.Rename(oldpath, newpath); err == nil {
+				delete(i.files, oldpath)
+				i.files[newpath] = st
+			}
+		}
+		// Clean source: rename is atomic and the data durable, so the
+		// only thing a crash can lose is the un-fsynced directory entry —
+		// the swap simply never happened.
+		i.crashLocked()
+		return ErrInjected
+	}
+	var backup []byte
+	hadOld := false
+	if old, err := os.ReadFile(newpath); err == nil {
+		backup, hadOld = old, true
+	}
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	delete(i.files, newpath) // any tracked file at the destination is overwritten
+	if st != nil {
+		delete(i.files, oldpath)
+		i.files[newpath] = st
+	}
+	i.pending = append(i.pending, pendingRename{
+		dir: dirOf(newpath), path: newpath, hadOld: hadOld, old: backup,
+	})
+	return nil
+}
+
+func (i *Injector) Remove(name string) error {
+	i.delay()
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return ErrCrashed
+	}
+	if st, ok := i.files[name]; ok {
+		if st.f != nil {
+			st.f.Close()
+			st.f = nil
+		}
+		delete(i.files, name)
+	}
+	return os.Remove(name)
+}
+
+func (i *Injector) SyncDir(dir string) error {
+	i.delay()
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return ErrCrashed
+	}
+	i.syncs++
+	if i.syncs == i.faults.FailSync {
+		i.crashLocked()
+		return ErrInjected
+	}
+	if err := Disk.SyncDir(dir); err != nil {
+		return err
+	}
+	kept := i.pending[:0]
+	for _, p := range i.pending {
+		if p.dir != dir {
+			kept = append(kept, p)
+		}
+	}
+	i.pending = kept
+	return nil
+}
+
+func (i *Injector) ReadDir(dir string) ([]string, error) {
+	i.delay()
+	if !i.alive() {
+		return nil, ErrCrashed
+	}
+	return Disk.ReadDir(dir)
+}
+
+func dirOf(path string) string {
+	for n := len(path) - 1; n >= 0; n-- {
+		if path[n] == '/' || path[n] == os.PathSeparator {
+			return path[:n]
+		}
+	}
+	return "."
+}
+
+// injFile is the injector's writable file handle.
+type injFile struct {
+	inj *Injector
+	st  *fileState
+	f   *os.File
+}
+
+func (w *injFile) Name() string { return w.f.Name() }
+
+func (w *injFile) Read(p []byte) (int, error) {
+	w.inj.delay()
+	if !w.inj.alive() {
+		return 0, ErrCrashed
+	}
+	return w.f.Read(p)
+}
+
+func (w *injFile) Write(p []byte) (int, error) {
+	i := w.inj
+	i.delay()
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return 0, ErrCrashed
+	}
+	i.writes++
+	switch {
+	case i.writes == i.faults.FailWrite:
+		i.crashLocked()
+		return 0, ErrInjected
+	case i.writes == i.faults.ShortWrite:
+		n, _ := w.f.Write(p[:len(p)/2])
+		w.st.size += int64(n)
+		i.crashLocked()
+		return n, ErrInjected
+	}
+	n, err := w.f.Write(p)
+	w.st.size += int64(n)
+	return n, err
+}
+
+func (w *injFile) Sync() error {
+	i := w.inj
+	i.delay()
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return ErrCrashed
+	}
+	i.syncs++
+	if i.syncs == i.faults.FailSync {
+		i.crashLocked()
+		return ErrInjected
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.st.synced = w.st.size
+	return nil
+}
+
+func (w *injFile) Close() error {
+	i := w.inj
+	i.delay()
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return ErrCrashed
+	}
+	// Closing does not make data durable: synced stays where the last
+	// Sync left it, and the state remains tracked so a later crash still
+	// truncates the unsynced suffix.
+	w.st.f = nil
+	return w.f.Close()
+}

@@ -1,0 +1,292 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeAll is a test helper: write p through f, failing the test on a
+// real (non-injected) error.
+func mustWrite(t *testing.T, f File, p []byte) error {
+	t.Helper()
+	_, err := f.Write(p)
+	return err
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return b
+}
+
+// TestDiskRoundTrip exercises the passthrough implementation end to end:
+// temp + write + sync + rename + dir sync + append + readdir.
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tmp, err := Disk.CreateTemp(dir, ".t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmp.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "final")
+	if err := Disk.Rename(tmp.Name(), dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := Disk.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Disk.Append(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(readFile(t, dst)); got != "hello world" {
+		t.Fatalf("content %q, want %q", got, "hello world")
+	}
+	names, err := Disk.ReadDir(dir)
+	if err != nil || len(names) != 1 || names[0] != "final" {
+		t.Fatalf("ReadDir = %v, %v; want [final]", names, err)
+	}
+}
+
+// TestFailWriteCrashes: the armed write fails with nothing persisted,
+// the unsynced prefix written before it is rewound, and every later
+// operation reports the crash.
+func TestFailWriteCrashes(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(Faults{FailWrite: 2})
+	f, err := inj.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mustWrite(t, f, []byte("synced")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mustWrite(t, f, []byte("lost")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed write error = %v, want ErrInjected", err)
+	}
+	if !inj.Tripped() {
+		t.Fatal("fault did not trip")
+	}
+	if _, err := inj.Create(filepath.Join(dir, "g")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Create error = %v, want ErrCrashed", err)
+	}
+	if got := string(readFile(t, filepath.Join(dir, "f"))); got != "synced" {
+		t.Fatalf("post-crash content %q, want only the synced prefix", got)
+	}
+}
+
+// TestShortWriteTearsRecord: the armed write persists exactly half its
+// bytes before the crash.
+func TestShortWriteTearsRecord(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(Faults{ShortWrite: 1, TornTail: true})
+	f, err := inj.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrInjected) || n != 4 {
+		t.Fatalf("short write = (%d, %v), want (4, ErrInjected)", n, err)
+	}
+	// TornTail keeps half of the 4 unsynced bytes.
+	if got := string(readFile(t, filepath.Join(dir, "f"))); got != "ab" {
+		t.Fatalf("post-crash content %q, want torn half %q", got, "ab")
+	}
+}
+
+// TestFailSyncRewinds: a failed fsync means everything since the last
+// successful one is gone after the crash.
+func TestFailSyncRewinds(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(Faults{FailSync: 2})
+	f, err := inj.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mustWrite(t, f, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mustWrite(t, f, []byte("drop")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed sync error = %v, want ErrInjected", err)
+	}
+	if got := string(readFile(t, filepath.Join(dir, "f"))); got != "keep" {
+		t.Fatalf("post-crash content %q, want %q", got, "keep")
+	}
+}
+
+// TestTornRenameDirtySource is the model behind the fsync-before-rename
+// satellite: renaming a never-synced temp can leave the destination name
+// pointing at truncated content — here zero bytes.
+func TestTornRenameDirtySource(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(Faults{FailRename: 1})
+	tmp, err := inj.CreateTemp(dir, ".t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mustWrite(t, tmp, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// No Sync: the source is dirty at rename time.
+	dst := filepath.Join(dir, "final")
+	if err := inj.Rename(tmp.Name(), dst); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed rename error = %v, want ErrInjected", err)
+	}
+	b, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatalf("destination missing after torn rename: %v", err)
+	}
+	if len(b) != 0 {
+		t.Fatalf("destination holds %q, want the zero-length torn file", b)
+	}
+}
+
+// TestTornRenameCleanSource: with the source fsynced, the worst a crash
+// at the rename can do is lose the swap — the previous destination
+// content survives, never a torn file.
+func TestTornRenameCleanSource(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "final")
+	if err := os.WriteFile(dst, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := New(Faults{FailRename: 1})
+	tmp, err := inj.CreateTemp(dir, ".t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mustWrite(t, tmp, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Rename(tmp.Name(), dst); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed rename error = %v, want ErrInjected", err)
+	}
+	if got := string(readFile(t, dst)); got != "old" {
+		t.Fatalf("destination %q after lost rename, want previous content %q", got, "old")
+	}
+}
+
+// TestRenameUndoneWithoutDirSync: a successful rename is provisional
+// until SyncDir; a crash before it restores the previous destination,
+// while a crash after it keeps the swap.
+func TestRenameUndoneWithoutDirSync(t *testing.T) {
+	for _, synced := range []bool{false, true} {
+		dir := t.TempDir()
+		dst := filepath.Join(dir, "final")
+		if err := os.WriteFile(dst, []byte("old"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		inj := New(Faults{})
+		tmp, err := inj.CreateTemp(dir, ".t-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mustWrite(t, tmp, []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+		if err := tmp.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tmp.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := inj.Rename(tmp.Name(), dst); err != nil {
+			t.Fatal(err)
+		}
+		if synced {
+			if err := inj.SyncDir(dir); err != nil {
+				t.Fatal(err)
+			}
+		}
+		inj.Crash()
+		want := "old"
+		if synced {
+			want = "new"
+		}
+		if got := string(readFile(t, dst)); got != want {
+			t.Fatalf("synced=%v: destination %q after crash, want %q", synced, got, want)
+		}
+	}
+}
+
+// TestPointsEnumeration: the probe run counts every operation kind and
+// the armed faults actually fire at those points.
+func TestPointsEnumeration(t *testing.T) {
+	base := t.TempDir()
+	run := 0
+	scenario := func(fs FS) error {
+		dir := filepath.Join(base, "run", string(rune('a'+run)))
+		run++
+		if err := fs.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		tmp, err := fs.CreateTemp(dir, ".t-*")
+		if err != nil {
+			return err
+		}
+		if _, err := tmp.Write([]byte("x")); err != nil {
+			return err
+		}
+		if err := tmp.Sync(); err != nil {
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		if err := fs.Rename(tmp.Name(), filepath.Join(dir, "f")); err != nil {
+			return err
+		}
+		return fs.SyncDir(dir)
+	}
+	pts, err := Points(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 write (+1 shortwrite point), 2 syncs (file + dir), 1 rename, 1 create.
+	if len(pts) != 1+1+2+1+1 {
+		t.Fatalf("got %d points (%v), want 6", len(pts), pts)
+	}
+	for _, pt := range pts {
+		inj := New(pt.Faults(false))
+		if err := scenario(inj); !errors.Is(err, ErrInjected) {
+			t.Fatalf("point %s: scenario error = %v, want ErrInjected", pt, err)
+		}
+		if !inj.Tripped() {
+			t.Fatalf("point %s did not trip", pt)
+		}
+	}
+}

@@ -21,15 +21,24 @@ import (
 //     whose ε was validated by their own caller annotate the sink with
 //     //lint:ignore epshygiene and a justification.
 //
-//  2. A (*privacy.Budget).Spend call whose error result is discarded is
-//     always flagged: an unchecked spend turns the budget into an
-//     unenforced suggestion — the release happens whether or not ε was
-//     available, which is an overspend bug, not a style issue.
+//  2. A (*privacy.Budget).Spend or (*privacy.Accountant).Spend call
+//     whose error result is discarded is always flagged: an unchecked
+//     spend turns the budget into an unenforced suggestion — the
+//     release happens whether or not ε was available, which is an
+//     overspend bug, not a style issue.
+//
+//  3. In an HTTP handler, a Spend call positioned after the response
+//     has started — after a Write or WriteHeader on an
+//     http.ResponseWriter earlier in the same function — is flagged:
+//     once the client has been answered, an exhausted budget can no
+//     longer stop the release, so the charge must land before the
+//     first byte of the response.
 var EpsHygiene = &Analyzer{
 	Name: "epshygiene",
 	Doc: "requires ε to be validated (Validate, comparison guard, or " +
-		"Budget.Spend) before reaching Answer/AnswerMany/Prepare, and " +
-		"flags discarded Budget.Spend errors",
+		"Budget.Spend) before reaching Answer/AnswerMany/Prepare, flags " +
+		"discarded Budget.Spend/Accountant.Spend errors, and flags " +
+		"spends placed after response writing begins",
 	Run: runEpsHygiene,
 }
 
@@ -54,41 +63,60 @@ func isEpsilonType(t types.Type) bool {
 	return obj.Pkg() != nil && obj.Pkg().Path()+"."+obj.Name() == epsilonTypeName
 }
 
-// isBudgetSpend reports whether the call is (*privacy.Budget).Spend.
-func isBudgetSpend(info *types.Info, call *ast.CallExpr) bool {
+// spendCallee names the privacy spend method the call resolves to —
+// "Budget.Spend" or "Accountant.Spend" — or returns "" for any other
+// callee. Both methods carry the same contract: the error is the
+// enforcement, so discarding it (or calling after the response has
+// started) defeats the budget.
+func spendCallee(info *types.Info, call *ast.CallExpr) string {
 	fn := calleeFunc(info, call)
-	return fn != nil && fn.FullName() == "(*lrm/internal/privacy.Budget).Spend"
+	if fn == nil {
+		return ""
+	}
+	switch fn.FullName() {
+	case "(*lrm/internal/privacy.Budget).Spend":
+		return "Budget.Spend"
+	case "(*lrm/internal/privacy.Accountant).Spend":
+		return "Accountant.Spend"
+	}
+	return ""
 }
 
 func runEpsHygiene(pass *Pass) error {
 	for _, file := range pass.Files {
-		// Discarded Budget.Spend errors: a Spend used as a bare statement
-		// or assigned to blank.
+		// Discarded Budget.Spend/Accountant.Spend errors: a Spend used
+		// as a bare statement or assigned to blank.
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch stmt := n.(type) {
 			case *ast.ExprStmt:
-				if call, ok := stmt.X.(*ast.CallExpr); ok && isBudgetSpend(pass.Info, call) {
-					pass.Report(call.Pos(), "Budget.Spend error discarded: the release proceeds even when the budget is exhausted")
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					if name := spendCallee(pass.Info, call); name != "" {
+						pass.Report(call.Pos(), "%s error discarded: the release proceeds even when the budget is exhausted", name)
+					}
 				}
 			case *ast.GoStmt:
-				if isBudgetSpend(pass.Info, stmt.Call) {
-					pass.Report(stmt.Call.Pos(), "Budget.Spend error discarded: the release proceeds even when the budget is exhausted")
+				if name := spendCallee(pass.Info, stmt.Call); name != "" {
+					pass.Report(stmt.Call.Pos(), "%s error discarded: the release proceeds even when the budget is exhausted", name)
 				}
 			case *ast.DeferStmt:
-				if isBudgetSpend(pass.Info, stmt.Call) {
-					pass.Report(stmt.Call.Pos(), "Budget.Spend error discarded: the release proceeds even when the budget is exhausted")
+				if name := spendCallee(pass.Info, stmt.Call); name != "" {
+					pass.Report(stmt.Call.Pos(), "%s error discarded: the release proceeds even when the budget is exhausted", name)
 				}
 			case *ast.AssignStmt:
 				for i, rhs := range stmt.Rhs {
 					call, ok := rhs.(*ast.CallExpr)
-					if !ok || !isBudgetSpend(pass.Info, call) {
+					if !ok {
+						continue
+					}
+					name := spendCallee(pass.Info, call)
+					if name == "" {
 						continue
 					}
 					// Single-value context: Spend's one result maps to
 					// the matching LHS (or to every LHS for a 1:1 assign).
 					if i < len(stmt.Lhs) {
 						if id, ok := stmt.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
-							pass.Report(call.Pos(), "Budget.Spend error assigned to _: the release proceeds even when the budget is exhausted")
+							pass.Report(call.Pos(), "%s error assigned to _: the release proceeds even when the budget is exhausted", name)
 						}
 					}
 				}
@@ -102,6 +130,7 @@ func runEpsHygiene(pass *Pass) error {
 				continue
 			}
 			checkEpsFlow(pass, fd)
+			checkSpendAfterWrite(pass, fd)
 		}
 	}
 	return nil
@@ -221,6 +250,63 @@ func validatedBefore(pass *Pass, fd *ast.FuncDecl, target ast.Expr, pos token.Po
 		return !found
 	})
 	return found
+}
+
+// checkSpendAfterWrite flags a Budget.Spend/Accountant.Spend whose
+// call site sits after the first Write/WriteHeader on an
+// http.ResponseWriter in the same function. The check is positional
+// and intraprocedural, matching the handler shape this repo uses: the
+// spend is the commit point, so it must precede the first response
+// byte — after that a budget error can only be logged, not enforced.
+func checkSpendAfterWrite(pass *Pass, fd *ast.FuncDecl) {
+	firstWrite := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Write" && sel.Sel.Name != "WriteHeader") {
+			return true
+		}
+		if !isResponseWriter(pass.Info, sel.X) {
+			return true
+		}
+		if !firstWrite.IsValid() || call.Pos() < firstWrite {
+			firstWrite = call.Pos()
+		}
+		return true
+	})
+	if !firstWrite.IsValid() {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name := spendCallee(pass.Info, call); name != "" && call.Pos() > firstWrite {
+			pass.Report(call.Pos(),
+				"%s after response writing begins: the client has already been answered, so an exhausted budget can no longer stop the release",
+				name)
+		}
+		return true
+	})
+}
+
+// isResponseWriter reports whether the expression's static type is
+// net/http.ResponseWriter.
+func isResponseWriter(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter"
 }
 
 // epsConversionOf reports whether arg is a conversion whose operand is

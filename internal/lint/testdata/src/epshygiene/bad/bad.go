@@ -1,9 +1,14 @@
 // Package bad holds epshygiene want-diagnostic fixtures: an ε that
-// reaches a release sink with no validation on any path before it, and
-// Budget.Spend calls whose errors are thrown away.
+// reaches a release sink with no validation on any path before it,
+// Budget.Spend/Accountant.Spend calls whose errors are thrown away,
+// and spends placed after the HTTP response has started.
 package bad
 
-import "lrm/internal/privacy"
+import (
+	"net/http"
+
+	"lrm/internal/privacy"
+)
 
 type mech struct{}
 
@@ -21,4 +26,26 @@ func overspend(b *privacy.Budget, eps privacy.Epsilon) {
 
 func blankSpend(b *privacy.Budget, eps privacy.Epsilon) {
 	_ = b.Spend(eps) // want `Budget\.Spend error assigned to _`
+}
+
+func overspendTenant(a *privacy.Accountant, eps privacy.Epsilon) {
+	a.Spend("acme", eps) // want `Accountant\.Spend error discarded`
+}
+
+func blankSpendTenant(a *privacy.Accountant, eps privacy.Epsilon) {
+	_ = a.Spend("acme", eps) // want `Accountant\.Spend error assigned to _`
+}
+
+func lateSpend(w http.ResponseWriter, b *privacy.Budget, eps privacy.Epsilon) {
+	w.WriteHeader(http.StatusOK)
+	if err := b.Spend(eps); err != nil { // want `Budget\.Spend after response writing begins`
+		return
+	}
+}
+
+func lateTenantSpend(w http.ResponseWriter, a *privacy.Accountant, eps privacy.Epsilon) {
+	w.Write([]byte("ok"))
+	if err := a.Spend("acme", eps); err != nil { // want `Accountant\.Spend after response writing begins`
+		return
+	}
 }

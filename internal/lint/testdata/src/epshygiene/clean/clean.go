@@ -1,9 +1,14 @@
 // Package clean holds epshygiene fixtures that must produce no
-// diagnostics: each of the accepted validation forms ahead of the sink,
-// plus a checked Budget.Spend.
+// diagnostics: each of the accepted validation forms ahead of the
+// sink, a checked Budget.Spend, a checked Accountant.Spend, and a
+// handler that commits the spend before the response starts.
 package clean
 
-import "lrm/internal/privacy"
+import (
+	"net/http"
+
+	"lrm/internal/privacy"
+)
 
 type mech struct{}
 
@@ -30,4 +35,19 @@ func budgeted(m mech, b *privacy.Budget, x []float64, eps privacy.Epsilon) ([]fl
 		return nil, err
 	}
 	return m.Answer(x, eps), nil
+}
+
+func accounted(m mech, a *privacy.Accountant, x []float64, eps privacy.Epsilon) ([]float64, error) {
+	if err := a.Spend("acme", eps); err != nil {
+		return nil, err
+	}
+	return m.Answer(x, eps), nil
+}
+
+func spendThenWrite(w http.ResponseWriter, a *privacy.Accountant, eps privacy.Epsilon) {
+	if err := a.Spend("acme", eps); err != nil {
+		w.WriteHeader(http.StatusTooManyRequests)
+		return
+	}
+	w.Write([]byte("ok"))
 }

@@ -1,0 +1,434 @@
+package privacy
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"lrm/internal/faultfs"
+)
+
+// ErrAccountantClosed is returned by Spend after Close: a closed
+// accountant can no longer make a grant durable, so it must not grant
+// at all.
+var ErrAccountantClosed = errors.New("privacy: accountant closed")
+
+// ErrUnknownTenant is returned by Spend for a tenant with no configured
+// budget (no Totals entry and no DefaultTotal). Callers can map it to an
+// authorization failure rather than a server fault.
+var ErrUnknownTenant = errors.New("privacy: no budget configured for tenant")
+
+// AccountantOptions configures OpenAccountant.
+type AccountantOptions struct {
+	// Dir is where the per-tenant write-ahead logs live (one
+	// <hex(tenant)>.wal per tenant; created if needed). Empty means
+	// memory-only: the same per-tenant accounting with no durability —
+	// a crash forgets every spend.
+	Dir string
+	// FS is the filesystem the WAL writes through; nil means the real
+	// disk (faultfs.Disk). Tests substitute a fault injector.
+	FS faultfs.FS
+	// DefaultTotal is the budget of any tenant without an entry in
+	// Totals. Zero means unlisted tenants are rejected.
+	DefaultTotal Epsilon
+	// Totals overrides the budget per tenant.
+	Totals map[string]Epsilon
+	// CompactEvery bounds WAL growth: after this many delta records the
+	// log is rewritten as a single snapshot record (default 4096;
+	// negative disables compaction).
+	CompactEvery int
+}
+
+// TenantStatus is one tenant's accounting snapshot, as surfaced by
+// Tenants and the HTTP server's GET /stats.
+type TenantStatus struct {
+	Tenant    string  `json:"tenant"`
+	Total     float64 `json:"total"`
+	Spent     float64 `json:"spent"`
+	Remaining float64 `json:"remaining"`
+}
+
+// Accountant is a durable, per-tenant privacy budget: a map of
+// tenant → Budget whose grants survive the process.
+//
+// The durability contract is write-ahead: a spend is appended to the
+// tenant's log and fsynced *before* it is granted. A crash can
+// therefore land in exactly two states — record absent (the grant was
+// never issued; nothing to account) or record durable (the grant may or
+// may not have been issued; the replay charges it anyway). Recovery can
+// over-count ε that was never actually released, but can never refund ε
+// that was: the conservative direction for a privacy budget, where the
+// cost of a crash is wasted budget, not a silent privacy violation.
+//
+// An Accountant is safe for concurrent use. Spends of different tenants
+// fsync in parallel; spends of one tenant serialize on its ledger.
+type Accountant struct {
+	dir          string
+	fs           faultfs.FS
+	defaultTotal Epsilon
+	totals       map[string]Epsilon
+	compactEvery int
+
+	mu sync.Mutex
+	//lrm:guardedby mu
+	tenants map[string]*ledger
+	//lrm:guardedby mu
+	closed bool
+}
+
+// ledger is one tenant's accounting state: the in-memory budget and the
+// open WAL it is replayed from and appended to.
+type ledger struct {
+	path string // "" in memory-only mode
+	dir  string
+
+	mu sync.Mutex
+	//lrm:guardedby mu
+	budget *Budget
+	//lrm:guardedby mu
+	w faultfs.File // nil in memory-only mode or after Close
+	//lrm:guardedby mu
+	records int // delta records appended to the current log file
+	//lrm:guardedby mu
+	closed bool
+}
+
+// OpenAccountant opens (or creates) the accountant state under
+// opts.Dir, replaying every existing tenant log. A log with a torn
+// final record replays cleanly — that is the crash the WAL exists to
+// survive — while corruption anywhere earlier fails the open: a spend
+// history that cannot be trusted must not admit new spends.
+func OpenAccountant(opts AccountantOptions) (*Accountant, error) {
+	if opts.DefaultTotal != 0 {
+		if err := opts.DefaultTotal.Validate(); err != nil {
+			return nil, fmt.Errorf("privacy: accountant default total: %w", err)
+		}
+	}
+	for tenant, total := range opts.Totals {
+		if err := total.Validate(); err != nil {
+			return nil, fmt.Errorf("privacy: accountant total for %q: %w", tenant, err)
+		}
+	}
+	a := &Accountant{
+		dir:          opts.Dir,
+		fs:           opts.FS,
+		defaultTotal: opts.DefaultTotal,
+		totals:       make(map[string]Epsilon, len(opts.Totals)),
+		compactEvery: opts.CompactEvery,
+		tenants:      make(map[string]*ledger),
+	}
+	for tenant, total := range opts.Totals {
+		a.totals[tenant] = total
+	}
+	if a.fs == nil {
+		a.fs = faultfs.Disk
+	}
+	if a.compactEvery == 0 {
+		a.compactEvery = 4096
+	}
+	if a.dir == "" {
+		return a, nil
+	}
+	if err := a.fs.MkdirAll(a.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("privacy: accountant dir: %w", err)
+	}
+	names, err := a.fs.ReadDir(a.dir)
+	if err != nil {
+		return nil, fmt.Errorf("privacy: accountant dir: %w", err)
+	}
+	for _, name := range names {
+		hexName, ok := strings.CutSuffix(name, ".wal")
+		if !ok {
+			continue
+		}
+		raw, err := hex.DecodeString(hexName)
+		if err != nil {
+			continue // not one of ours
+		}
+		tenant := string(raw)
+		l, err := a.openLedger(tenant)
+		if err != nil {
+			a.Close()
+			return nil, err
+		}
+		a.tenants[tenant] = l
+	}
+	return a, nil
+}
+
+// totalFor resolves a tenant's budget cap, or 0 for an unknown tenant.
+func (a *Accountant) totalFor(tenant string) Epsilon {
+	if total, ok := a.totals[tenant]; ok {
+		return total
+	}
+	return a.defaultTotal
+}
+
+// openLedger replays a tenant's WAL (if any) and opens it for append.
+func (a *Accountant) openLedger(tenant string) (*ledger, error) {
+	total := a.totalFor(tenant)
+	if total == 0 {
+		return nil, fmt.Errorf("%w %q", ErrUnknownTenant, tenant)
+	}
+	l := &ledger{}
+	var spent Epsilon
+	if a.dir != "" {
+		l.dir = a.dir
+		l.path = a.dir + string(os.PathSeparator) + hex.EncodeToString([]byte(tenant)) + ".wal"
+		f, err := a.fs.Open(l.path)
+		switch {
+		case err == nil:
+			data, rerr := io.ReadAll(f)
+			f.Close()
+			if rerr != nil {
+				return nil, fmt.Errorf("privacy: reading wal for tenant %q: %w", tenant, rerr)
+			}
+			if spent, err = replayWAL(data); err != nil {
+				return nil, fmt.Errorf("privacy: tenant %q: %w", tenant, err)
+			}
+		case os.IsNotExist(err):
+			// First sight of this tenant.
+		default:
+			return nil, fmt.Errorf("privacy: opening wal for tenant %q: %w", tenant, err)
+		}
+		if l.w, err = a.fs.Append(l.path); err != nil {
+			return nil, fmt.Errorf("privacy: opening wal for tenant %q: %w", tenant, err)
+		}
+	}
+	l.budget = restoredBudget(total, spent)
+	return l, nil
+}
+
+// ledgerFor returns (creating and replaying if needed) a tenant's ledger.
+func (a *Accountant) ledgerFor(tenant string) (*ledger, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil, ErrAccountantClosed
+	}
+	if l, ok := a.tenants[tenant]; ok {
+		return l, nil
+	}
+	l, err := a.openLedger(tenant)
+	if err != nil {
+		return nil, err
+	}
+	a.tenants[tenant] = l
+	return l, nil
+}
+
+// Spend durably consumes eps from a tenant's budget, or returns
+// ErrBudgetExhausted (budget gone), ErrAccountantClosed (accountant
+// shut down), or an I/O error (the grant could not be made durable, so
+// it was not issued). The write-ahead ordering — admission check, log
+// append, fsync, grant — means a crash anywhere inside Spend either
+// loses the record (no grant happened) or keeps it (charged on replay
+// whether or not the grant made it out): ε is over-counted at worst,
+// never refunded.
+func (a *Accountant) Spend(tenant string, eps Epsilon) error {
+	if err := eps.Validate(); err != nil {
+		return err
+	}
+	l, err := a.ledgerFor(tenant)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrAccountantClosed
+	}
+	// Admission first: a refused spend must not reach the log, or every
+	// rejected request would inflate the durable count.
+	if !l.budget.canSpend(eps) {
+		return fmt.Errorf("%w: tenant %q spent %v + requested %v > total %v",
+			ErrBudgetExhausted, tenant, float64(l.budget.Spent()), float64(eps), float64(l.budget.Total()))
+	}
+	if l.w != nil {
+		if _, err := l.w.Write(appendWALRecord(nil, walDelta, float64(eps))); err != nil {
+			return fmt.Errorf("privacy: wal append for tenant %q: %w", tenant, err)
+		}
+		if err := l.w.Sync(); err != nil {
+			return fmt.Errorf("privacy: wal sync for tenant %q: %w", tenant, err)
+		}
+		l.records++
+	}
+	// The record is durable; the grant must follow. Under l.mu nothing
+	// can have spent since the admission check, so this cannot fail.
+	if err := l.budget.Spend(eps); err != nil {
+		return err
+	}
+	if l.w != nil && a.compactEvery > 0 && l.records >= a.compactEvery {
+		// Compaction is best-effort: on failure the old log remains
+		// fully valid and the next spend retries. A crash between the
+		// snapshot rename and the old log vanishing cannot refund — the
+		// snapshot holds the full spent sum.
+		if l.compact(a.fs) == nil {
+			l.records = 0
+		}
+	}
+	return nil
+}
+
+// compact rewrites the ledger's WAL as a single snapshot record holding
+// the cumulative spent ε: temp file, fsync, rename over the log,
+// directory fsync, then the append handle moves to the new file.
+//
+//lrm:guardedby mu
+func (l *ledger) compact(fs faultfs.FS) error {
+	tmp, err := fs.CreateTemp(l.dir, ".wal-compact-*")
+	if err != nil {
+		return err
+	}
+	cleanup := func() { _ = fs.Remove(tmp.Name()) }
+	if _, err := tmp.Write(appendWALRecord(nil, walSnapshot, float64(l.budget.Spent()))); err != nil {
+		tmp.Close()
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := fs.Rename(tmp.Name(), l.path); err != nil {
+		cleanup()
+		return err
+	}
+	if err := fs.SyncDir(l.dir); err != nil {
+		return err
+	}
+	w, err := fs.Append(l.path)
+	if err != nil {
+		// The compacted log is durable but unappendable; keep writing
+		// through the old handle (same durability, larger file).
+		return err
+	}
+	old := l.w
+	l.w = w
+	if old != nil {
+		_ = old.Close()
+	}
+	return nil
+}
+
+// Remaining returns a tenant's unspent ε, clamped at zero (a replayed
+// over-count can push spent past total). Unknown tenants report their
+// configured cap, spent-nothing.
+func (a *Accountant) Remaining(tenant string) Epsilon {
+	a.mu.Lock()
+	l, ok := a.tenants[tenant]
+	a.mu.Unlock()
+	if !ok {
+		return a.totalFor(tenant)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r := l.budget.Remaining(); r > 0 {
+		return r
+	}
+	return 0
+}
+
+// Spent returns a tenant's consumed ε (zero for unknown tenants).
+func (a *Accountant) Spent(tenant string) Epsilon {
+	a.mu.Lock()
+	l, ok := a.tenants[tenant]
+	a.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.budget.Spent()
+}
+
+// Tenants returns the status of every tenant the accountant has seen
+// (including those replayed from disk), sorted by tenant ID.
+func (a *Accountant) Tenants() []TenantStatus {
+	a.mu.Lock()
+	names := make([]string, 0, len(a.tenants))
+	for tenant := range a.tenants {
+		names = append(names, tenant)
+	}
+	ledgers := make([]*ledger, len(names))
+	for i, tenant := range names {
+		ledgers[i] = a.tenants[tenant]
+	}
+	a.mu.Unlock()
+	sort.Sort(&tenantSort{names, ledgers})
+	out := make([]TenantStatus, len(names))
+	for i, l := range ledgers {
+		l.mu.Lock()
+		total, spent := l.budget.Total(), l.budget.Spent()
+		l.mu.Unlock()
+		remaining := total - spent
+		if remaining < 0 {
+			remaining = 0
+		}
+		out[i] = TenantStatus{
+			Tenant:    names[i],
+			Total:     float64(total),
+			Spent:     float64(spent),
+			Remaining: float64(remaining),
+		}
+	}
+	return out
+}
+
+// tenantSort sorts the parallel name/ledger slices by tenant name.
+type tenantSort struct {
+	names   []string
+	ledgers []*ledger
+}
+
+func (s *tenantSort) Len() int           { return len(s.names) }
+func (s *tenantSort) Less(i, j int) bool { return s.names[i] < s.names[j] }
+func (s *tenantSort) Swap(i, j int) {
+	s.names[i], s.names[j] = s.names[j], s.names[i]
+	s.ledgers[i], s.ledgers[j] = s.ledgers[j], s.ledgers[i]
+}
+
+// Close flushes and closes every tenant log and rejects all subsequent
+// spends with ErrAccountantClosed. It is idempotent; concurrent
+// in-flight spends complete before their ledger closes.
+func (a *Accountant) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	names := make([]string, 0, len(a.tenants))
+	for tenant := range a.tenants {
+		names = append(names, tenant)
+	}
+	sort.Strings(names)
+	ledgers := make([]*ledger, len(names))
+	for i, tenant := range names {
+		ledgers[i] = a.tenants[tenant]
+	}
+	a.mu.Unlock()
+	var first error
+	for _, l := range ledgers {
+		l.mu.Lock()
+		l.closed = true
+		if l.w != nil {
+			if err := l.w.Close(); err != nil && first == nil {
+				first = err
+			}
+			l.w = nil
+		}
+		l.mu.Unlock()
+	}
+	return first
+}

@@ -1,0 +1,392 @@
+package privacy
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"lrm/internal/faultfs"
+)
+
+func openTestAccountant(t *testing.T, opts AccountantOptions) *Accountant {
+	t.Helper()
+	a, err := OpenAccountant(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+func walPath(dir, tenant string) string {
+	return filepath.Join(dir, hex.EncodeToString([]byte(tenant))+".wal")
+}
+
+// TestAccountantMemoryMode: with no directory the accountant is a plain
+// per-tenant budget map — same admission semantics, no durability.
+func TestAccountantMemoryMode(t *testing.T) {
+	a := openTestAccountant(t, AccountantOptions{
+		DefaultTotal: 1.0,
+		Totals:       map[string]Epsilon{"vip": 2.0},
+	})
+	if err := a.Spend("alice", 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("alice", 0.6); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("overspend = %v, want ErrBudgetExhausted", err)
+	}
+	// Different tenants do not share budget; the per-tenant override
+	// applies.
+	if err := a.Spend("vip", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(a.Remaining("vip")); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("vip remaining %v, want 0.5", got)
+	}
+}
+
+// TestAccountantUnknownTenant: with no default, unlisted tenants are
+// rejected before anything is logged.
+func TestAccountantUnknownTenant(t *testing.T) {
+	a := openTestAccountant(t, AccountantOptions{Totals: map[string]Epsilon{"a": 1}})
+	if err := a.Spend("stranger", 0.1); err == nil {
+		t.Fatal("unknown tenant spend succeeded, want an error")
+	}
+}
+
+// TestAccountantDurableReplay: spends survive Close and re-open — the
+// restarted accountant refuses what the previous life already consumed.
+func TestAccountantDurableReplay(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAccountant(AccountantOptions{Dir: dir, DefaultTotal: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := a.Spend("alice", 0.3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b := openTestAccountant(t, AccountantOptions{Dir: dir, DefaultTotal: 1.0})
+	if got := float64(b.Spent("alice")); math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("replayed spent %v, want 0.9", got)
+	}
+	if err := b.Spend("alice", 0.3); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("post-restart overspend = %v, want ErrBudgetExhausted", err)
+	}
+	if err := b.Spend("alice", 0.1); err != nil {
+		t.Fatalf("post-restart legitimate spend: %v", err)
+	}
+}
+
+// TestAccountantClosed: Close is idempotent and everything after it is
+// refused with the sentinel.
+func TestAccountantClosed(t *testing.T) {
+	a, err := OpenAccountant(AccountantOptions{Dir: t.TempDir(), DefaultTotal: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("alice", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	if err := a.Spend("alice", 0.1); !errors.Is(err, ErrAccountantClosed) {
+		t.Fatalf("spend after Close = %v, want ErrAccountantClosed", err)
+	}
+}
+
+// TestAccountantConcurrentSpend mirrors the Budget exactly-20-grants
+// hammer against one durable tenant: no interleaving of goroutines may
+// admit more than total/eps spends, and with -race the WAL append path
+// is pinned data-race-free.
+func TestAccountantConcurrentSpend(t *testing.T) {
+	const (
+		goroutines = 32
+		perG       = 25
+		eps        = Epsilon(0.05)
+	)
+	dir := t.TempDir()
+	a := openTestAccountant(t, AccountantOptions{Dir: dir, DefaultTotal: 1.0})
+	var wg sync.WaitGroup
+	granted := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := a.Spend("alice", eps); err == nil {
+					granted[g]++
+				}
+				a.Remaining("alice") // concurrent readers
+				a.Tenants()
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range granted {
+		total += n
+	}
+	if total != 20 {
+		t.Fatalf("granted %d spends of %v against total 1.0, want exactly 20", total, float64(eps))
+	}
+	// The durable record agrees with the in-memory grant count.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b := openTestAccountant(t, AccountantOptions{Dir: dir, DefaultTotal: 1.0})
+	if got := float64(b.Spent("alice")); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("replayed spent %v, want 1.0", got)
+	}
+}
+
+// TestWALReplayEveryBoundary replays the log truncated at every byte
+// offset — the complete space of crash-truncation states. Every prefix
+// must replay without error to exactly the ε of its complete records:
+// grants only follow durable appends, so a record lost to truncation is
+// a grant that never happened.
+func TestWALReplayEveryBoundary(t *testing.T) {
+	const spends = 5
+	dir := t.TempDir()
+	a, err := OpenAccountant(AccountantOptions{Dir: dir, DefaultTotal: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < spends; i++ {
+		if err := a.Spend("alice", Epsilon(0.01*float64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(walPath(dir, "alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != spends*walRecordSize {
+		t.Fatalf("wal is %d bytes, want %d", len(full), spends*walRecordSize)
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		sub := t.TempDir()
+		if err := os.WriteFile(walPath(sub, "alice"), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		b, err := OpenAccountant(AccountantOptions{Dir: sub, DefaultTotal: 1.0})
+		if err != nil {
+			t.Fatalf("cut at byte %d: open: %v", cut, err)
+		}
+		want := 0.0
+		for i := 0; i < cut/walRecordSize; i++ {
+			want += 0.01 * float64(i+1)
+		}
+		if got := float64(b.Spent("alice")); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("cut at byte %d: spent %v, want %v", cut, got, want)
+		}
+		b.Close()
+	}
+}
+
+// TestWALMidFileCorruptionFailsClosed: a flipped byte with valid
+// records after it is not a torn tail — the history is untrustworthy
+// and the open must refuse to admit spends against it.
+func TestWALMidFileCorruptionFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAccountant(AccountantOptions{Dir: dir, DefaultTotal: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := a.Spend("alice", 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := walPath(dir, "alice")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[walRecordSize/2] ^= 0xff // inside record 0, two valid records follow
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenAccountant(AccountantOptions{Dir: dir, DefaultTotal: 1.0}); err == nil {
+		t.Fatal("open over mid-file corruption succeeded, want an error")
+	}
+}
+
+// TestAccountantKillBetweenAppendAndGrant: a record that became durable
+// without its grant being issued (the crash window inside Spend) is
+// charged on replay — the over-count half of the contract.
+func TestAccountantKillBetweenAppendAndGrant(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAccountant(AccountantOptions{Dir: dir, DefaultTotal: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("alice", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: the append hit the platter, the grant did not.
+	f, err := os.OpenFile(walPath(dir, "alice"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(appendWALRecord(nil, walDelta, 0.25)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b := openTestAccountant(t, AccountantOptions{Dir: dir, DefaultTotal: 1.0})
+	if got := float64(b.Spent("alice")); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("replayed spent %v, want the over-counted 0.5", got)
+	}
+}
+
+// TestAccountantCompaction: past CompactEvery the log collapses to a
+// snapshot record plus the uncompacted tail, and replay is unchanged.
+func TestAccountantCompaction(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAccountant(AccountantOptions{Dir: dir, DefaultTotal: 1.0, CompactEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const spends = 10
+	for i := 0; i < spends; i++ {
+		if err := a.Spend("alice", 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(walPath(dir, "alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compactions at spends 4 and 8 leave a snapshot + 2 deltas.
+	if want := int64(3 * walRecordSize); info.Size() != want {
+		t.Fatalf("compacted wal is %d bytes, want %d", info.Size(), want)
+	}
+	b := openTestAccountant(t, AccountantOptions{Dir: dir, DefaultTotal: 1.0})
+	if got := float64(b.Spent("alice")); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("replayed spent %v, want 0.1", got)
+	}
+}
+
+// TestAccountantTenantsSnapshot: the status list covers replayed and
+// live tenants, sorted, with remaining clamped at zero.
+func TestAccountantTenantsSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAccountant(AccountantOptions{Dir: dir, DefaultTotal: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("zoe", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("abe", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b := openTestAccountant(t, AccountantOptions{Dir: dir, DefaultTotal: 1.0})
+	ts := b.Tenants()
+	if len(ts) != 2 || ts[0].Tenant != "abe" || ts[1].Tenant != "zoe" {
+		t.Fatalf("tenants = %+v, want [abe zoe]", ts)
+	}
+	if math.Abs(ts[1].Remaining-0.5) > 1e-9 {
+		t.Fatalf("zoe remaining %v, want 0.5", ts[1].Remaining)
+	}
+}
+
+// TestAccountantCrashRecovery is the crash-point sweep the tentpole
+// demands: a spend scenario (appends, fsyncs, a compaction's temp +
+// rename + dir sync) is run against every injectable failure point, in
+// both clean-truncation and torn-tail mode, and after every crash the
+// re-opened accountant must report spent ε ≥ what was actually granted
+// — over-counted at worst, never refunded.
+func TestAccountantCrashRecovery(t *testing.T) {
+	const (
+		spends = 6
+		eps    = 0.1
+	)
+	base := t.TempDir()
+	run := 0
+	var granted int
+	scenario := func(fs faultfs.FS) error {
+		dir := filepath.Join(base, fmt.Sprintf("run%d", run))
+		run++
+		granted = 0
+		a, err := OpenAccountant(AccountantOptions{
+			Dir: dir, FS: fs, DefaultTotal: 1.0, CompactEvery: 3,
+		})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < spends; i++ {
+			if err := a.Spend("alice", eps); err != nil {
+				return err
+			}
+			granted++
+		}
+		return a.Close()
+	}
+	lastDir := func() string { return filepath.Join(base, fmt.Sprintf("run%d", run-1)) }
+
+	points, err := faultfs.Points(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 10 {
+		t.Fatalf("only %d failure points enumerated; the scenario should hit writes, syncs, creates, and a rename", len(points))
+	}
+	for _, torn := range []bool{false, true} {
+		for _, pt := range points {
+			inj := faultfs.New(pt.Faults(torn))
+			err := scenario(inj)
+			if !inj.Tripped() {
+				if err != nil {
+					t.Fatalf("point %s (torn=%v): untripped run failed: %v", pt, torn, err)
+				}
+				continue
+			}
+			// The process died at the failure point. Recovery through the
+			// real disk must see everything that was granted.
+			a, err := OpenAccountant(AccountantOptions{Dir: lastDir(), DefaultTotal: 1.0})
+			if err != nil {
+				t.Fatalf("point %s (torn=%v): recovery open: %v", pt, torn, err)
+			}
+			got := float64(a.Spent("alice"))
+			want := eps * float64(granted)
+			if got < want-1e-9 {
+				t.Fatalf("point %s (torn=%v): recovered spent %v < granted %v — a crash refunded ε", pt, torn, got, want)
+			}
+			if got > want+eps+1e-9 {
+				t.Fatalf("point %s (torn=%v): recovered spent %v overshoots granted %v by more than one record", pt, torn, got, want)
+			}
+			a.Close()
+		}
+	}
+}

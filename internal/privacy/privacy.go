@@ -81,6 +81,25 @@ func (b *Budget) Spend(eps Epsilon) error {
 	return nil
 }
 
+// canSpend reports whether a Spend of eps would currently be admitted,
+// without committing it. The accountant uses it to order its WAL append
+// between the admission check and the grant: refused spends must not
+// reach the log, or every rejected request would inflate the durable
+// count.
+func (b *Budget) canSpend(eps Epsilon) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return float64(b.spent)+float64(eps) <= float64(b.total)*(1+budgetSlack)
+}
+
+// restoredBudget returns a budget whose spent amount was replayed from
+// durable state. Unlike live spending, spent may exceed total: crash
+// recovery over-counts but never refunds, so a budget can come back
+// already beyond its cap and must simply refuse everything.
+func restoredBudget(total, spent Epsilon) *Budget {
+	return &Budget{total: total, spent: spent}
+}
+
 // Remaining returns the unspent budget.
 func (b *Budget) Remaining() Epsilon {
 	b.mu.Lock()

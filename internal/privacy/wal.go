@@ -1,0 +1,86 @@
+package privacy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// The accountant's write-ahead log is a flat sequence of fixed-size,
+// CRC-framed records, one file per tenant. Two record types exist:
+//
+//	'D' (delta)    one granted spend of ε
+//	'S' (snapshot) the cumulative spent ε at a compaction point; replay
+//	               resets the running sum to it
+//
+// Each record is 13 bytes: the type byte, the ε as a little-endian
+// float64, and a CRC-32C over those nine bytes. Appends are synced
+// before the spend is granted, so the only damage a crash can do is a
+// torn or missing *final* record: either the grant was never issued
+// (record lost — nothing to account) or it was about to be (record
+// durable, grant maybe not — an over-count). Replay therefore tolerates
+// arbitrary corruption within the last record's reach of EOF and fails
+// closed on anything earlier, which can only mean real corruption.
+
+const walRecordSize = 13
+
+// walCRC is the Castagnoli table; CRC-32C is the checksum most storage
+// stacks accelerate in hardware.
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	walDelta    = 'D'
+	walSnapshot = 'S'
+)
+
+// appendWALRecord appends one framed record to buf.
+func appendWALRecord(buf []byte, typ byte, eps float64) []byte {
+	var rec [walRecordSize]byte
+	rec[0] = typ
+	binary.LittleEndian.PutUint64(rec[1:9], math.Float64bits(eps))
+	binary.LittleEndian.PutUint32(rec[9:13], crc32.Checksum(rec[:9], walCRC))
+	return append(buf, rec[:]...)
+}
+
+// walRecordOK validates one full frame and returns its payload.
+func walRecordOK(rec []byte) (typ byte, eps float64, ok bool) {
+	if binary.LittleEndian.Uint32(rec[9:13]) != crc32.Checksum(rec[:9], walCRC) {
+		return 0, 0, false
+	}
+	typ = rec[0]
+	eps = math.Float64frombits(binary.LittleEndian.Uint64(rec[1:9]))
+	switch {
+	case typ == walDelta && eps > 0 && !math.IsInf(eps, 0):
+	case typ == walSnapshot && eps >= 0 && !math.IsInf(eps, 0) && !math.IsNaN(eps):
+	default:
+		return 0, 0, false
+	}
+	return typ, eps, true
+}
+
+// replayWAL reconstructs the spent ε from a WAL image. A bad or partial
+// record within the final record's reach of EOF is a torn tail — the
+// crash the log exists to survive — and is ignored; a bad record with
+// more data after it means the file is corrupt, and the accountant
+// fails closed rather than guess at a spend history.
+func replayWAL(data []byte) (spent Epsilon, err error) {
+	o := 0
+	for o+walRecordSize <= len(data) {
+		typ, eps, ok := walRecordOK(data[o : o+walRecordSize])
+		if !ok {
+			if len(data)-o <= walRecordSize {
+				return spent, nil // torn final record
+			}
+			return 0, fmt.Errorf("privacy: wal corrupt at offset %d of %d", o, len(data))
+		}
+		if typ == walSnapshot {
+			spent = Epsilon(eps)
+		} else {
+			spent += Epsilon(eps)
+		}
+		o += walRecordSize
+	}
+	// Trailing partial frame: a torn final append, tolerated.
+	return spent, nil
+}
