@@ -340,6 +340,27 @@ func BenchmarkPlan(b *testing.B) {
 	}
 }
 
+// BenchmarkImplicitPlan measures the structure-aware planning path: a
+// Kronecker spec whose assembled matrix would hold 10⁶ cells is planned
+// and prepared end to end — closed-form analysis, candidate scoring,
+// and the winner's preparation — without ever materializing W. Its cost
+// should stay orders of magnitude below BenchmarkPlan's SVD-dominated
+// profile, and its allocation footprint must not scale with m·n.
+func BenchmarkImplicitPlan(b *testing.B) {
+	s := benchsuite.ImplicitPlanSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := PlanSpec(s, PlanOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pl.Prepared() == nil {
+			b.Fatal("implicit plan retained no prepared mechanism")
+		}
+	}
+}
+
 // BenchmarkMatMul256Alloc keeps the old allocating-path measurement for
 // comparison against BenchmarkMatMul256.
 func BenchmarkMatMul256Alloc(b *testing.B) {

@@ -115,6 +115,20 @@ func writeBenchJSON(path string) error {
 	})
 	doc.Benchmarks = append(doc.Benchmarks, record("Plan", res, 0))
 
+	// Structure-aware planning (BenchmarkImplicitPlan): plan + prepare a
+	// 10⁶-cell Kronecker spec from its closed forms alone — no matrix is
+	// ever materialized, so this must stay orders of magnitude under Plan.
+	sp := benchsuite.ImplicitPlanSpec()
+	res = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.NewSpec(sp, plan.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	doc.Benchmarks = append(doc.Benchmarks, record("ImplicitPlan", res, 0))
+
 	// Engine cache-hit answering path (BenchmarkEngineAnswer).
 	e, req, err := benchsuite.EngineAnswerSetup()
 	if err != nil {

@@ -4,11 +4,17 @@
 // Usage:
 //
 //	lrmrun -data counts.csv -workload queries.csv -mech lrm -eps 0.5
-//	lrmrun -data counts.csv -workload queries.csv -mech auto    # plan, then answer
-//	lrmrun -data counts.csv -workload queries.csv -plan         # explain the plan, answer nothing
+//	lrmrun -data counts.csv -workload 'prefix(1024)' -mech auto
+//	lrmrun -data counts.csv -workload 'kron:prefix(32)xranges(32)' -plan
 //
 // counts.csv has rows "index,count" (a header line is allowed).
-// queries.csv has one query per line: n comma-separated coefficients.
+//
+// -workload takes either a CSV file (one query per line: n comma-separated
+// coefficients) or an implicit spec in the compact grammar — prefix(N),
+// ranges(N), identity(N), total(N), marginals(n1,…,nd;k=K), or a Kronecker
+// product kron:<factor>x<factor>x… — which is never materialized as a
+// matrix, so specs with trillions of cells plan and answer in megabytes.
+// Anything containing '(' or starting with "kron:" is parsed as a spec.
 // The noisy answers are printed one per line.
 //
 // -mech auto scores the candidate mechanisms on the workload's analysis
@@ -21,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"lrm/internal/dataset"
 	"lrm/internal/mechanism"
@@ -33,7 +40,7 @@ import (
 func main() {
 	var (
 		dataPath = flag.String("data", "", "histogram CSV (index,count)")
-		wlPath   = flag.String("workload", "", "workload CSV: one query per row, n coefficients")
+		wlArg    = flag.String("workload", "", "workload CSV path, or an implicit spec like 'prefix(1024)' or 'kron:prefix(32)xranges(32)'")
 		mechName = flag.String("mech", "lrm", "mechanism: lrm, lm, nor, wm, hm, mm, fpa, cm, nf, sf — or 'auto' to let the planner choose")
 		eps      = flag.Float64("eps", 1.0, "privacy budget epsilon")
 		seed     = flag.Int64("seed", 0, "noise seed (0 = default stream)")
@@ -44,27 +51,39 @@ func main() {
 		planOnly = flag.Bool("plan", false, "print the mechanism plan (candidate scores and decision) and exit without answering")
 	)
 	flag.Parse()
-	if *dataPath == "" || *wlPath == "" {
+	if *wlArg == "" {
+		fatalf("-workload is required")
+	}
+	// -inspect and -plan only look at the workload, so a spec (which
+	// carries its own domain) needs no -data; answering always does.
+	dataless := *dataPath == "" && isSpec(*wlArg) && (*inspect || *planOnly)
+	if *dataPath == "" && !dataless {
 		fatalf("both -data and -workload are required")
 	}
 
-	df, err := os.Open(*dataPath)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	defer df.Close()
-	ds, err := dataset.ReadCSV("input", df)
-	if err != nil {
-		fatalf("reading data: %v", err)
+	var ds *dataset.Dataset
+	if !dataless {
+		df, err := os.Open(*dataPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer df.Close()
+		if ds, err = dataset.ReadCSV("input", df); err != nil {
+			fatalf("reading data: %v", err)
+		}
 	}
 
-	w, err := readWorkload(*wlPath, ds.Len())
+	n := -1
+	if ds != nil {
+		n = ds.Len()
+	}
+	s, err := readSpec(*wlArg, n)
 	if err != nil {
 		fatalf("reading workload: %v", err)
 	}
 
 	if *inspect {
-		stats, err := workload.Analyze(w)
+		stats, err := workload.AnalyzeSpec(s)
 		if err != nil {
 			fatalf("analyzing workload: %v", err)
 		}
@@ -76,7 +95,7 @@ func main() {
 		Config: mechanism.Config{Coeffs: *coeffs, Seed: *seed},
 	}
 	if *planOnly {
-		p, err := plan.New(w, planOpts)
+		p, err := plan.NewSpec(s, planOpts)
 		if err != nil {
 			fatalf("planning: %v", err)
 		}
@@ -91,7 +110,7 @@ func main() {
 		}
 		var p *plan.Plan
 		var err error
-		prepared, p, err = plan.AutoPrepare(w, planOpts)
+		prepared, p, err = plan.AutoPrepareSpec(s, planOpts)
 		if err != nil {
 			fatalf("planning: %v", err)
 		}
@@ -104,7 +123,7 @@ func main() {
 		if *project {
 			mech = mechanism.Consistent{Base: mech}
 		}
-		if prepared, err = mech.Prepare(w); err != nil {
+		if prepared, err = mechanism.PrepareSpec(mech, s, nil); err != nil {
 			fatalf("preparing %s: %v", mech.Name(), err)
 		}
 	}
@@ -116,7 +135,10 @@ func main() {
 	if err != nil {
 		fatalf("answering: %v", err)
 	}
-	exactAnswers := w.Answer(ds.Counts)
+	var exactAnswers []float64
+	if *exact {
+		exactAnswers = s.AnswerTo(make([]float64, s.Queries()), ds.Counts)
+	}
 	for i, a := range answers {
 		if *exact {
 			fmt.Printf("%g,%g\n", a, exactAnswers[i])
@@ -126,20 +148,40 @@ func main() {
 	}
 }
 
-func readWorkload(path string, n int) (*workload.Workload, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+// isSpec reports whether the -workload argument is an implicit spec
+// rather than a CSV path: every spec form contains a parenthesized
+// dimension, and no sane file path does.
+func isSpec(arg string) bool {
+	return strings.Contains(arg, "(") || strings.HasPrefix(arg, "kron:")
+}
+
+// readSpec resolves the -workload argument to a Spec — parsed directly
+// for the spec grammar, or a dense CSV lifted through the adapter — and
+// checks it matches the data's domain (n < 0 skips the check, for the
+// dataless -inspect/-plan modes).
+func readSpec(arg string, n int) (workload.Spec, error) {
+	var s workload.Spec
+	if isSpec(arg) {
+		var err error
+		if s, err = workload.ParseSpec(arg); err != nil {
+			return nil, err
+		}
+	} else {
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		w, err := workload.ReadCSV("cli", f)
+		if err != nil {
+			return nil, err
+		}
+		s = workload.AsSpec(w)
 	}
-	defer f.Close()
-	w, err := workload.ReadCSV("cli", f)
-	if err != nil {
-		return nil, err
+	if n >= 0 && s.Domain() != n {
+		return nil, fmt.Errorf("workload has %d coefficients per query, data has %d counts", s.Domain(), n)
 	}
-	if w.Domain() != n {
-		return nil, fmt.Errorf("workload has %d coefficients per query, data has %d counts", w.Domain(), n)
-	}
-	return w, nil
+	return s, nil
 }
 
 func fatalf(format string, args ...any) {

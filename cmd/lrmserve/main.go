@@ -48,7 +48,8 @@
 //	POST /answer
 //	    Request body (JSON):
 //	        {
-//	          "workload":   [[...], ...],   // m×n query matrix W
+//	          "workload":   [[...], ...],   // m×n query matrix W, OR
+//	          "spec":       "prefix(1024)", // implicit workload spec (see below)
 //	          "histograms": [[...], ...],   // one or more length-n databases
 //	          "eps":        0.5,            // per-histogram release budget
 //	          "budget":     1.0,            // optional total ε cap for the request
@@ -57,8 +58,13 @@
 //	                                        // subtractable)
 //	        }
 //	    Response body: {"answers": [[...], ...], "fingerprint": "..."}
-//	    Requests whose eps is zero, negative, or non-finite are rejected
-//	    with 400 before any engine work.
+//	    Exactly one of "workload" and "spec" must be set. A spec names the
+//	    queries structurally — prefix(N), ranges(N), identity(N), total(N),
+//	    marginals(n1,…,nd;k=K), or kron:<factor>x<factor>x… — and is served
+//	    without ever materializing the matrix, so Kronecker specs with
+//	    trillions of cells answer in megabytes. Requests whose eps is zero,
+//	    negative, or non-finite, or whose spec is unknown or malformed, are
+//	    rejected with 400 before any engine work.
 //	GET /stats
 //	    Engine counter snapshot (cache hits/misses, prepares, planned,
 //	    evictions, disk traffic, requests, answers) plus the serving
@@ -249,9 +255,15 @@ func parseTenantEps(s string) (def privacy.Epsilon, totals map[string]privacy.Ep
 	return def, totals, nil
 }
 
-// answerRequest is the POST /answer JSON body.
+// answerRequest is the POST /answer JSON body. Exactly one of Workload
+// and Spec describes the queries: Workload carries the m×n matrix
+// explicitly, Spec names it structurally in the compact grammar
+// ("prefix(1024)", "kron:prefix(1024)xprefix(1024)", …) and is never
+// materialized — the implicit path for workloads too large to ship or
+// to build.
 type answerRequest struct {
 	Workload [][]float64 `json:"workload"`
+	Spec     string      `json:"spec"`
 	//lrm:source — client-supplied unit counts, raw until noised
 	Histograms [][]float64 `json:"histograms"`
 	Eps        float64     `json:"eps"`
@@ -331,21 +343,42 @@ func newHandler(eng *engine.Engine, cfg handlerConfig) http.Handler {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		wl, err := workloadFromJSON(req.Workload)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
+		// Resolve the queries: an implicit spec string or an explicit
+		// matrix, never both. An unknown or malformed spec is the
+		// caller's fault and dies here, before any engine work.
+		var (
+			wl *workload.Workload
+			sp workload.Spec
+			fp string
+		)
+		if req.Spec != "" {
+			if len(req.Workload) != 0 {
+				httpError(w, http.StatusBadRequest, "request sets both workload and spec")
+				return
+			}
+			var err error
+			if sp, err = workload.ParseSpec(req.Spec); err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			fp = workload.SpecFingerprint(sp)
+		} else {
+			var err error
+			if wl, err = workloadFromJSON(req.Workload); err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			// Hash once, up front: the engine reuses it for cache keying (a
+			// fresh per-request matrix would defeat its pointer memo), the
+			// coalescer groups concurrent requests by it, admission control
+			// reads warmth from it, and the response echoes it so clients can
+			// correlate with /stats.
+			fp = core.Fingerprint(wl.W)
 		}
 		tenant := req.Tenant
 		if tenant == "" && eng.Accountant() != nil {
 			tenant = "default"
 		}
-		// Hash once, up front: the engine reuses it for cache keying (a
-		// fresh per-request matrix would defeat its pointer memo), the
-		// coalescer groups concurrent requests by it, admission control
-		// reads warmth from it, and the response echoes it so clients can
-		// correlate with /stats.
-		fp := core.Fingerprint(wl.W)
 
 		// The request's context carries the client disconnect and the
 		// configured deadline through the coalescer and the engine: a
@@ -369,8 +402,11 @@ func newHandler(eng *engine.Engine, cfg handlerConfig) http.Handler {
 			defer cfg.adm.release()
 		}
 
-		var answers [][]float64
-		if cfg.co != nil && req.Seed == 0 && req.Budget == 0 {
+		var (
+			answers [][]float64
+			err     error
+		)
+		if cfg.co != nil && sp == nil && req.Seed == 0 && req.Budget == 0 {
 			// Mergeable request: validate shapes first — inside a merged
 			// batch a malformed histogram would fail the whole group, not
 			// just its sender — then join the coalescing window.
@@ -383,6 +419,7 @@ func newHandler(eng *engine.Engine, cfg handlerConfig) http.Handler {
 			answers, err = eng.Answer(engine.Request{
 				Context:     ctx,
 				Workload:    wl,
+				Spec:        sp,
 				Histograms:  req.Histograms,
 				Eps:         privacy.Epsilon(req.Eps),
 				Budget:      privacy.Epsilon(req.Budget),

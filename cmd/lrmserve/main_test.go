@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
 
 	"lrm/internal/core"
@@ -277,5 +278,71 @@ func TestSplitCandidates(t *testing.T) {
 	}
 	if got := splitCandidates(" lrm, lm ,nor,"); !reflect.DeepEqual(got, []string{"lrm", "lm", "nor"}) {
 		t.Fatalf("parsed %v", got)
+	}
+}
+
+// TestServeSpec: POST /answer with an implicit spec — served without a
+// matrix, fingerprinted in the spec namespace, deterministic at a seed.
+func TestServeSpec(t *testing.T) {
+	srv, eng := newTestServer(t)
+	req := answerRequest{
+		Spec:       "kron:prefix(4)xprefix(4)",
+		Histograms: [][]float64{make([]float64, 16)},
+		Eps:        0.5,
+		Seed:       9,
+	}
+	for i := range req.Histograms[0] {
+		req.Histograms[0][i] = float64(i)
+	}
+	resp, body := postAnswer(t, srv.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out answerResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	if len(out.Answers) != 1 || len(out.Answers[0]) != 16 {
+		t.Fatalf("answers shape %v, want 1×16", out.Answers)
+	}
+	if !strings.HasPrefix(out.Fingerprint, "spec-") {
+		t.Fatalf("fingerprint %q not in the spec namespace", out.Fingerprint)
+	}
+	resp2, body2 := postAnswer(t, srv.URL, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, body2)
+	}
+	var out2 answerResponse
+	if err := json.Unmarshal(body2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, out2) {
+		t.Fatal("identical seeded spec requests produced different releases")
+	}
+	if st := eng.Stats(); st.Implicit != 2 || st.Prepares != 1 {
+		t.Fatalf("stats = %+v, want 2 implicit requests and 1 prepare", st)
+	}
+}
+
+// TestServeSpecErrors: malformed, unknown, or ambiguous spec requests
+// die with 400 before any engine work.
+func TestServeSpecErrors(t *testing.T) {
+	srv, eng := newTestServer(t)
+	cases := []answerRequest{
+		{Spec: "prefix(", Histograms: [][]float64{{1}}, Eps: 1},
+		{Spec: "bogus(16)", Histograms: [][]float64{make([]float64, 16)}, Eps: 1},
+		{Spec: "kron:prefix(4)xbogus(4)", Histograms: [][]float64{make([]float64, 16)}, Eps: 1},
+		{Spec: "prefix(0)", Histograms: [][]float64{{}}, Eps: 1},
+		{Spec: "prefix(4)", Workload: [][]float64{{1, 0, 0, 0}}, Histograms: [][]float64{{1, 2, 3, 4}}, Eps: 1},
+		{Spec: "prefix(4)", Histograms: [][]float64{{1, 2, 3}}, Eps: 1}, // wrong domain
+	}
+	for _, rq := range cases {
+		resp, body := postAnswer(t, srv.URL, rq)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %q: status %d (%s), want 400", rq.Spec, resp.StatusCode, body)
+		}
+	}
+	if st := eng.Stats(); st.Prepares != 0 {
+		t.Fatalf("rejected spec requests reached the engine: %+v", st)
 	}
 }

@@ -13,6 +13,17 @@
 // a sparse (CSR + CGLS) strategy-mechanism path for tree/wavelet
 // strategies, rank tuning, and a Rényi-DP accountant.
 //
+// Workloads come in two forms. A dense Workload holds the m×n query
+// matrix explicitly; a WorkloadSpec describes the same queries
+// structurally (prefix sums, range queries, marginals, and Kronecker
+// products of those) and never materializes W — answers, Gram products,
+// sensitivity, analysis, planning, and serving all run against the
+// structure, so workloads with 10¹²⁺ cells stay megabyte-sized end to
+// end. The dense form is the adapter path: AsWorkloadSpec lifts any
+// matrix into the spec API unchanged (same fingerprints, same caches),
+// and MaterializeSpec lowers small specs back to matrices for code that
+// needs them.
+//
 // For serving, the Engine (NewEngine) amortizes workload decompositions
 // across concurrent answer traffic — LRU-cached prepared workloads,
 // singleflight preparation, an optional on-disk decomposition cache, and

@@ -1,28 +1,75 @@
 // Rangequeries: histogram publishing for range counts — the workload the
-// wavelet and hierarchical baselines were designed for. Compares LM, WM,
-// HM and LRM on random range queries over a large synthetic Net Trace
-// histogram, reporting measured average squared error (Monte Carlo, as in
-// the paper's Section 6) and preparation time.
+// wavelet and hierarchical baselines were designed for — through the
+// implicit workload API. Part one serves a Kronecker range workload so
+// large its matrix could never exist (2²⁰×2²⁰ ≈ 10¹² cells, ~8 TB dense)
+// straight from its structure. Part two materializes a small all-ranges
+// spec through the dense bridge and compares LM, WM, HM and LRM by
+// Monte-Carlo measured error, as in the paper's Section 6.
 package main
 
 import (
 	"fmt"
+	"time"
 
 	"lrm"
 )
 
 func main() {
-	const (
-		n      = 512 // domain size
-		m      = 64  // number of range queries
-		trials = 5
-	)
 	eps := lrm.Epsilon(0.1)
 
-	data := lrm.NetTrace(8192, lrm.NewSource(3)).Merge(n)
-	w := lrm.RangeWorkload(m, n, lrm.NewSource(4))
-	fmt.Printf("workload: %d range queries over %d bins (rank %d)\n", m, n, w.Rank())
+	// --- Part one: a workload that can only exist implicitly. ---
+	// Two-dimensional prefix sums over a 1024×1024 grid: every query is a
+	// dominance rectangle [0,i]×[0,j], the building block 2-D range counts
+	// difference from. As a matrix this is 2²⁰ queries × 2²⁰ cells; as a
+	// spec it is one line.
+	spec, err := lrm.ParseWorkloadSpec("kron:prefix(1024)xprefix(1024)")
+	if err != nil {
+		panic(err)
+	}
+	cells := float64(spec.Queries()) * float64(spec.Domain())
+	fmt.Printf("implicit workload %s: %d×%d (%.2g cells ≈ %.0f TB dense)\n",
+		spec.Describe(), spec.Queries(), spec.Domain(), cells, cells*8/(1<<40))
 
+	stats, err := lrm.AnalyzeSpec(spec)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("closed-form analysis: rank %d, Δ' = %g, ΣW² = %.4g\n",
+		stats.Rank, stats.Sensitivity, stats.SquaredSum)
+
+	start := time.Now()
+	pl, err := lrm.PlanSpec(spec, lrm.PlanOptions{Eps: eps})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("planned %s in %s\n", pl.Summary(), time.Since(start).Round(time.Millisecond))
+
+	// Serve it: a synthetic 1024×1024 grid histogram, flattened row-major.
+	grid := lrm.NewSource(7).UniformVec(spec.Domain(), 0, 3)
+	start = time.Now()
+	answers, err := pl.Prepared().Answer(grid, eps, lrm.NewSource(8))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("answered %d dominance queries in %s (peak memory: megabytes, not terabytes)\n\n",
+		len(answers), time.Since(start).Round(time.Millisecond))
+
+	// --- Part two: the dense bridge for measured-error comparisons. ---
+	// All n(n+1)/2 ranges over a 64-bin Net Trace histogram. The spec is
+	// the source of truth; MaterializeSpec builds the matrix only because
+	// the Monte-Carlo harness and the dense baselines need one, and only
+	// after checking it is small enough to build.
+	const n = 64
+	ranges := lrm.NewAllRangesSpec(n)
+	w, err := lrm.MaterializeSpec(ranges, 1<<22)
+	if err != nil {
+		panic(err)
+	}
+	data := lrm.NetTrace(8192, lrm.NewSource(3)).Merge(n)
+	fmt.Printf("dense bridge: %s → %d range queries over %d bins (rank %d)\n",
+		ranges.Describe(), w.Queries(), w.Domain(), w.Rank())
+
+	const trials = 5
 	for _, mech := range []lrm.Mechanism{
 		lrm.LaplaceData{},
 		lrm.Wavelet{},
@@ -36,6 +83,7 @@ func main() {
 		fmt.Printf("%-4s  avg squared error %.4g   prepare %.2fs\n",
 			mech.Name(), meas.AvgSquaredError, meas.PrepareSeconds)
 	}
-	fmt.Println("\n(LRM exploits the fact that m = 64 queries over n = 1024 bins")
-	fmt.Println(" span a rank-64 subspace; WM/HM exploit the range structure.)")
+	fmt.Println("\n(The all-ranges workload is full rank, so no strategy beats plain")
+	fmt.Println(" noise-on-data by much at this size — LRM's territory is the")
+	fmt.Println(" low-rank regime, and the implicit path above is how it scales.)")
 }

@@ -49,9 +49,54 @@ var (
 	PermutationWorkload = workload.PermutationWorkload
 )
 
+// WorkloadSpec is an implicit workload: the structural description of a
+// query batch (prefix sums, range queries, marginals, Kronecker
+// products) exposing answers, Gram products, sensitivity, and a stable
+// digest WITHOUT ever materializing the m×n matrix. Specs flow through
+// the same pipeline as dense workloads — AnalyzeSpec, PlanSpec,
+// EngineRequest.Spec — so a 2²⁰×2²⁰ product plans and answers in
+// megabytes, not terabytes. A dense Workload adapts into the spec world
+// via AsWorkloadSpec; that adapter is also the migration path for any
+// call site that still builds matrices.
+type WorkloadSpec = workload.Spec
+
+// Implicit workload constructors. NewKronSpec composes any specs —
+// including dense adapters — into their Kronecker product.
+var (
+	NewPrefixSpec    = workload.NewPrefixSpec
+	NewAllRangesSpec = workload.NewAllRangesSpec
+	NewIdentitySpec  = workload.NewIdentitySpec
+	NewTotalSpec     = workload.NewTotalSpec
+	NewKronSpec      = workload.NewKronSpec
+	NewMarginalSpec  = workload.NewMarginalSpec
+)
+
+// AsWorkloadSpec wraps a dense Workload as a WorkloadSpec (the adapter
+// direction); MaterializeSpec converts the other way, refusing to build
+// more than maxCells matrix cells.
+var (
+	AsWorkloadSpec  = workload.AsSpec
+	MaterializeSpec = workload.MaterializeSpec
+)
+
+// ParseWorkloadSpec parses the compact spec grammar shared by the CLIs:
+// "prefix(1024)", "ranges(256)", "marginals(2,2,2,2;k=2)", and
+// Kronecker products like "kron:prefix(1024)xprefix(1024)".
+var ParseWorkloadSpec = workload.ParseSpec
+
+// SpecFingerprint is the engine cache key for an implicit workload
+// ("spec-" + the spec's digest, disjoint from dense fingerprints).
+var SpecFingerprint = workload.SpecFingerprint
+
 // AnalyzeWorkload summarizes the properties that decide which mechanism
 // will serve a workload well (rank, sensitivity, baseline comparison).
 var AnalyzeWorkload = workload.Analyze
+
+// AnalyzeSpec computes the same Stats from a spec's structure alone:
+// closed-form spectra where they exist (prefix, ranges, marginals),
+// factor products for Kronecker specs, and a matrix-free Lanczos
+// estimate otherwise.
+var AnalyzeSpec = workload.AnalyzeSpec
 
 // WorkloadStats is the summary returned by AnalyzeWorkload.
 type WorkloadStats = workload.Stats
@@ -325,6 +370,15 @@ func Plan(w *Workload, opts PlanOptions) (*WorkloadPlan, error) { return plan.Ne
 // alongside the plan that chose it — the adaptive form of Prepare, at
 // the cost of exactly one factorization of W end to end.
 var AutoPrepare = plan.AutoPrepare
+
+// PlanSpec plans an implicit workload from its structure alone: scores
+// come from the spec's closed forms, an LRM winner decomposes per
+// Kronecker factor (never the assembled product), and the plan records
+// the spec descriptor for auditable round trips.
+func PlanSpec(s WorkloadSpec, opts PlanOptions) (*WorkloadPlan, error) { return plan.NewSpec(s, opts) }
+
+// AutoPrepareSpec is AutoPrepare for implicit workloads.
+var AutoPrepareSpec = plan.AutoPrepareSpec
 
 // PlanDecision is one resident plan decision surfaced by a plan-aware
 // Engine's Decisions().

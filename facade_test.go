@@ -254,3 +254,58 @@ func TestFacadePostProcessing(t *testing.T) {
 		t.Fatalf("RoundCounts %v", got)
 	}
 }
+
+// TestFacadeImplicitSpec: the exported spec API end to end — parse,
+// analyze, plan, and serve through the engine, all without building W.
+func TestFacadeImplicitSpec(t *testing.T) {
+	s, err := ParseWorkloadSpec("kron:prefix(64)xranges(8)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Queries() != 64*36 || s.Domain() != 64*8 {
+		t.Fatalf("spec is %d×%d", s.Queries(), s.Domain())
+	}
+	st, err := AnalyzeSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rank <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	pl, err := PlanSpec(s, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Prepared() == nil {
+		t.Fatal("plan retained no prepared mechanism")
+	}
+	e, err := NewEngine(EngineOptions{Planner: &PlanOptions{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	x := NewSource(7).UniformVec(s.Domain(), 0, 20)
+	out, err := e.Answer(EngineRequest{Spec: s, Histograms: [][]float64{x}, Eps: 1, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[0]) != s.Queries() {
+		t.Fatalf("answer length %d, want %d", len(out[0]), s.Queries())
+	}
+	if fp := SpecFingerprint(s); len(fp) != len("spec-")+64 {
+		t.Fatalf("spec fingerprint %q", fp)
+	}
+	// The adapter direction: a dense workload lifted to a spec keeps its
+	// dense fingerprint semantics.
+	w := PrefixWorkload(16)
+	if AsWorkloadSpec(w).Digest() != WorkloadFingerprint(w) {
+		t.Fatal("dense adapter digest differs from the workload fingerprint")
+	}
+	// And the other direction bounds materialization.
+	if _, err := MaterializeSpec(s, 100); err == nil {
+		t.Fatal("MaterializeSpec ignored its cell cap")
+	}
+	if mw, err := MaterializeSpec(NewPrefixSpec(8), 1<<10); err != nil || mw.Queries() != 8 {
+		t.Fatalf("MaterializeSpec: %v", err)
+	}
+}

@@ -63,6 +63,20 @@ func PlanFullRankWorkload() *workload.Workload {
 	return workload.Discrete(48, 64, 0.5, rng.New(6))
 }
 
+// ImplicitPlanSpec returns BenchmarkImplicitPlan's input: a Kronecker
+// spec of two prefix workloads whose product has 10⁶ matrix cells
+// (1024×1024 assembled) — large enough that materializing W would
+// dominate the profile, so the benchmark pins the structure-only cost
+// of plan + prepare: closed-form analysis, candidate scoring, and the
+// winner's preparation, no m×n allocation anywhere.
+func ImplicitPlanSpec() workload.Spec {
+	s, err := workload.ParseSpec("kron:prefix(32)xprefix(32)")
+	if err != nil {
+		panic(err) // the literal above is a test fixture; it cannot fail
+	}
+	return s
+}
+
 // EngineAnswerManyBatch is the batch width of BenchmarkEngineAnswerMany:
 // one request carrying this many histograms over the BenchmarkEngineAnswer
 // workload.

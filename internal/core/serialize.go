@@ -25,16 +25,19 @@ type decompositionWire struct {
 
 // Encode serializes the decomposition in a self-contained binary format.
 func (d *Decomposition) Encode(w io.Writer) error {
-	wire := decompositionWire{
+	if err := gob.NewEncoder(w).Encode(d.wire()); err != nil {
+		return fmt.Errorf("core: encoding decomposition: %w", err)
+	}
+	return nil
+}
+
+func (d *Decomposition) wire() decompositionWire {
+	return decompositionWire{
 		BRows: d.B.Rows(), BCols: d.B.Cols(),
 		LRows: d.L.Rows(), LCols: d.L.Cols(),
 		BData: d.B.RawData(), LData: d.L.RawData(),
 		Residual: d.Residual, Outer: d.OuterIterations, Converged: d.Converged,
 	}
-	if err := gob.NewEncoder(w).Encode(wire); err != nil {
-		return fmt.Errorf("core: encoding decomposition: %w", err)
-	}
-	return nil
 }
 
 // ReadDecomposition deserializes a decomposition written by Encode and
@@ -44,6 +47,12 @@ func ReadDecomposition(r io.Reader) (*Decomposition, error) {
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("core: decoding decomposition: %w", err)
 	}
+	return wire.decomposition()
+}
+
+// decomposition validates the wire form — shared by the dense and
+// Kronecker readers, so factor payloads get the same scrutiny.
+func (wire *decompositionWire) decomposition() (*Decomposition, error) {
 	// The payload is untrusted (a cache directory a misbehaving writer or
 	// an attacker may have touched): every invariant the rest of the
 	// repository assumes must be re-established here, or a crafted file

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"path/filepath"
 
@@ -54,6 +55,15 @@ func (e *Engine) cached(fp string) (mechanism.Prepared, bool) {
 // fingerprint, preparing (or loading from disk) at most once per
 // fingerprint no matter how many goroutines ask concurrently.
 func (e *Engine) prepared(fp string, w *workload.Workload) (mechanism.Prepared, error) {
+	return e.preparedWith(fp, func() (mechanism.Prepared, *plan.Plan, error) {
+		return e.load(fp, w)
+	})
+}
+
+// preparedWith is the cache/singleflight core shared by the dense and
+// spec paths: one LRU lookup, one in-flight coalesce, and at most one
+// invocation of load per fingerprint however many goroutines ask.
+func (e *Engine) preparedWith(fp string, load func() (mechanism.Prepared, *plan.Plan, error)) (mechanism.Prepared, error) {
 	e.mu.Lock()
 	if el, ok := e.byFP[fp]; ok {
 		e.lru.MoveToFront(el)
@@ -72,7 +82,7 @@ func (e *Engine) prepared(fp string, w *workload.Workload) (mechanism.Prepared, 
 	e.mu.Unlock()
 
 	e.misses.Add(1)
-	p, pl, err := e.load(fp, w)
+	p, pl, err := load()
 
 	e.mu.Lock()
 	delete(e.flight, fp)
@@ -229,13 +239,27 @@ func loadPrepared(fs faultfs.FS, path string, w *workload.Workload, gamma float6
 //
 //lrm:sink — the cache file is on-disk state outside the process
 func (e *Engine) writeDecomposition(path string, d *core.Decomposition) error {
+	return e.writeEncoded(path, ".lrmd-*", d)
+}
+
+// encoder is any artifact with a self-contained binary/JSON writer:
+// dense decompositions, factored (Kronecker) decompositions, and plan
+// documents all persist through the same atomic write.
+type encoder interface {
+	Encode(w io.Writer) error
+}
+
+// writeEncoded is the shared atomic+durable writer behind every cache
+// artifact: temp file, fsync, rename, directory fsync (see
+// writeDecomposition's doc for why the pre-rename fsync is load-bearing).
+func (e *Engine) writeEncoded(path, tmpPattern string, enc encoder) error {
 	dir := filepath.Dir(path)
-	tmp, err := e.fs.CreateTemp(dir, ".lrmd-*")
+	tmp, err := e.fs.CreateTemp(dir, tmpPattern)
 	if err != nil {
 		return err
 	}
 	defer e.fs.Remove(tmp.Name())
-	if err := d.Encode(tmp); err != nil {
+	if err := enc.Encode(tmp); err != nil {
 		tmp.Close()
 		return err
 	}

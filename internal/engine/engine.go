@@ -152,8 +152,16 @@ type Request struct {
 	// for an answer it will not receive. Nil means context.Background().
 	Context context.Context
 	// Workload is the query batch W. Requests with bit-identical W share
-	// one cached preparation.
+	// one cached preparation. Exactly one of Workload and Spec must be
+	// set.
 	Workload *workload.Workload
+	// Spec is the implicit form of the query batch: a structure-aware
+	// workload.Spec answered without W ever being materialized. Requests
+	// with equal Spec.Digest() share one cached preparation, keyed by
+	// workload.SpecFingerprint. Spec requests never row-shard (there are
+	// no matrix rows to slice). Exactly one of Workload and Spec must be
+	// set.
+	Spec workload.Spec
 	// Histograms are the databases to answer; each must have Domain()
 	// entries. Every histogram is released independently at Eps.
 	//
@@ -209,6 +217,9 @@ type Stats struct {
 	// path (one packed GEMM per batch instead of a per-histogram
 	// fan-out); Sharded counts requests served by row-sharded prepare.
 	Batched, Sharded uint64
+	// Implicit counts requests served through the spec path (Request.Spec
+	// set): workloads answered with W never materialized.
+	Implicit uint64
 	// Cached is the number of prepared workloads currently resident.
 	Cached int
 }
@@ -278,6 +289,7 @@ type Engine struct {
 	evictions, planned   atomic.Uint64
 	diskHits, diskWrites atomic.Uint64
 	batched, sharded     atomic.Uint64
+	implicit             atomic.Uint64
 }
 
 // memoLimit bounds the fingerprint memo; past it the memo is reset (the
@@ -434,20 +446,17 @@ func (e *Engine) Answer(req Request) ([][]float64, error) {
 	if err := ctxErr(req.Context); err != nil {
 		return nil, err
 	}
+	if req.Spec != nil {
+		if req.Workload != nil {
+			return nil, errors.New("engine: request sets both Workload and Spec")
+		}
+		return e.answerSpec(req)
+	}
 	if req.Workload == nil || req.Workload.W == nil {
 		return nil, errors.New("engine: nil workload")
 	}
-	if len(req.Histograms) == 0 {
-		return nil, errors.New("engine: no histograms")
-	}
-	if err := req.Eps.Validate(); err != nil {
+	if err := validateHistograms(req, req.Workload.Domain()); err != nil {
 		return nil, err
-	}
-	n := req.Workload.Domain()
-	for i, x := range req.Histograms {
-		if len(x) != n {
-			return nil, fmt.Errorf("engine: histogram %d has %d entries, domain is %d", i, len(x), n)
-		}
 	}
 	e.requests.Add(1)
 
@@ -462,7 +471,32 @@ func (e *Engine) Answer(req Request) ([][]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.release(p, req)
+}
 
+// validateHistograms checks the request's release parameters and that
+// every histogram matches the workload's domain.
+func validateHistograms(req Request, n int) error {
+	if len(req.Histograms) == 0 {
+		return errors.New("engine: no histograms")
+	}
+	if err := req.Eps.Validate(); err != nil {
+		return err
+	}
+	for i, x := range req.Histograms {
+		if len(x) != n {
+			return fmt.Errorf("engine: histogram %d has %d entries, domain is %d", i, len(x), n)
+		}
+	}
+	return nil
+}
+
+// release is the post-preparation tail shared by the dense and spec
+// paths: commit point, tenant spend, per-request budget, then the
+// actual noisy answers.
+//
+//lrm:sink return — everything release returns leaves the privacy boundary
+func (e *Engine) release(p mechanism.Prepared, req Request) ([][]float64, error) {
 	// Commit point: the preparation is done and noise is about to be
 	// drawn. A request whose caller has already given up is abandoned
 	// here, before it costs any ε; past this point the tenant's spend is
@@ -476,6 +510,7 @@ func (e *Engine) Answer(req Request) ([][]float64, error) {
 
 	var budget *privacy.Budget
 	if req.Budget != 0 {
+		var err error
 		if budget, err = privacy.NewBudget(req.Budget); err != nil {
 			return nil, err
 		}
@@ -672,6 +707,7 @@ func (e *Engine) Stats() Stats {
 		DiskWrites: e.diskWrites.Load(),
 		Batched:    e.batched.Load(),
 		Sharded:    e.sharded.Load(),
+		Implicit:   e.implicit.Load(),
 		Cached:     cached,
 	}
 }

@@ -125,27 +125,7 @@ func (e *Engine) plannedDiskPath(fp, digest string) string {
 // writePlan persists a plan document atomically and durably (temp file
 // + fsync + rename + directory fsync), mirroring writeDecomposition.
 func (e *Engine) writePlan(path string, pl *plan.Plan) error {
-	dir := filepath.Dir(path)
-	tmp, err := e.fs.CreateTemp(dir, ".plan-*")
-	if err != nil {
-		return err
-	}
-	defer e.fs.Remove(tmp.Name())
-	if err := pl.Encode(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := e.fs.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	return e.fs.SyncDir(dir)
+	return e.writeEncoded(path, ".plan-*", pl)
 }
 
 // PlanDecision is one resident plan, as surfaced by Decisions and the

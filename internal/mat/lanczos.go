@@ -1,0 +1,122 @@
+package mat
+
+import "math"
+
+// LanczosSpectrum estimates the spectrum of an implicit symmetric
+// positive-semidefinite operator A (dimension n, applied through mul:
+// dst = A·x) by iters steps of the Lanczos iteration, returning the
+// Ritz values in non-increasing order. The extreme Ritz values converge
+// to the extreme eigenvalues first, which is exactly what workload
+// analysis needs from a Gram operator it cannot materialize: λ_max
+// exactly-ish, λ_min(nonzero) and a rank estimate approximately.
+//
+// Memory is O(n + iters²): the three-term recurrence keeps only two
+// basis vectors, plus the iters×iters tridiagonal handed to the dense
+// symmetric eigensolver. Without reorthogonalization, converged
+// eigenvalues can reappear as "ghost" copies and orthogonality decays
+// over long runs, so even iters ≥ n yields estimates (typically within
+// a few percent at the extremes), not a factorization — which is all
+// workload analysis asks of it.
+//
+// The start vector is a fixed pseudo-random unit vector derived from
+// seed, so estimates are deterministic for a given (operator, seed).
+func LanczosSpectrum(n int, mul func(dst, x []float64), iters int, seed int64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if iters > n {
+		iters = n
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	v := make([]float64, n)      // current basis vector
+	prev := make([]float64, n)   // previous basis vector
+	w := make([]float64, n)      // A·v workspace
+	alpha := make([]float64, 0, iters)
+	beta := make([]float64, 0, iters) // beta[j] couples steps j and j+1
+
+	// Deterministic pseudo-random start: splitmix64 bits folded to
+	// (-1, 1). Any vector with mass on every eigenspace works; random
+	// avoids adversarial orthogonality to the extremes.
+	z := uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	norm := 0.0
+	for i := range v {
+		z += 0x9e3779b97f4a7c15
+		x := z
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		v[i] = float64(int64(x>>11))/(1<<52) - 1
+		norm += v[i] * v[i]
+	}
+	norm = math.Sqrt(norm)
+	for i := range v {
+		v[i] /= norm
+	}
+
+	for j := 0; j < iters; j++ {
+		mul(w, v)
+		a := VecDot(w, v)
+		alpha = append(alpha, a)
+		if j == iters-1 {
+			break
+		}
+		for i := range w {
+			w[i] -= a * v[i]
+			if j > 0 {
+				w[i] -= beta[j-1] * prev[i]
+			}
+		}
+		b := VecNorm2(w)
+		if b <= 1e-14*math.Abs(a)+1e-300 {
+			// Invariant subspace found: the tridiagonal so far carries
+			// the whole reachable spectrum.
+			break
+		}
+		beta = append(beta, b)
+		prev, v = v, prev
+		for i := range v {
+			v[i] = w[i] / b
+		}
+	}
+
+	// Eigenvalues of the small symmetric tridiagonal via the dense
+	// Jacobi eigensolver (sizes here are ≤ iters ≪ the operator's n).
+	k := len(alpha)
+	t := New(k, k)
+	for i := 0; i < k; i++ {
+		t.Set(i, i, alpha[i])
+		if i+1 < k && i < len(beta) {
+			t.Set(i, i+1, beta[i])
+			t.Set(i+1, i, beta[i])
+		}
+	}
+	eig, err := FactorSymEig(t)
+	if err != nil {
+		// Cannot happen for a finite symmetric matrix; degrade to the
+		// diagonal rather than panicking in an estimator.
+		out := append([]float64(nil), alpha...)
+		sortDesc(out)
+		return out
+	}
+	vals := append([]float64(nil), eig.Values...)
+	// PSD operator: clamp the tiny negative roundoff Ritz values.
+	for i, x := range vals {
+		if x < 0 {
+			vals[i] = 0
+		}
+	}
+	sortDesc(vals)
+	return vals
+}
+
+func sortDesc(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] > x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}

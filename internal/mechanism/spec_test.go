@@ -1,0 +1,126 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/mat"
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// TestSpecPreparedMatchesDense pins the implicit baselines against their
+// dense twins: same spec, same seed, (near-)identical release. The noise
+// draw sequences are identical by construction; only the float summation
+// order of the workload product differs.
+func TestSpecPreparedMatchesDense(t *testing.T) {
+	specs := []workload.Spec{
+		workload.NewPrefixSpec(16),
+		workload.NewAllRangesSpec(9),
+		workload.NewKronSpec(workload.NewPrefixSpec(5), workload.NewIdentitySpec(4)),
+		workload.NewMarginalSpec([]int{3, 4}, 1),
+	}
+	eps := privacy.Epsilon(0.9)
+	for _, s := range specs {
+		dense, err := workload.MaterializeSpec(s, 1<<20)
+		if err != nil {
+			t.Fatalf("MaterializeSpec(%s): %v", s.Describe(), err)
+		}
+		x := rng.New(3).UniformVec(s.Domain(), 0, 100)
+		for _, m := range []Mechanism{LaplaceData{}, LaplaceResults{}} {
+			sp, err := PrepareSpec(m, s, nil)
+			if err != nil {
+				t.Fatalf("%s: PrepareSpec(%s): %v", m.Name(), s.Describe(), err)
+			}
+			dp, err := m.Prepare(dense)
+			if err != nil {
+				t.Fatalf("%s: Prepare: %v", m.Name(), err)
+			}
+			got, err := sp.Answer(x, eps, rng.New(77))
+			if err != nil {
+				t.Fatalf("%s: spec Answer: %v", m.Name(), err)
+			}
+			want, err := dp.Answer(x, eps, rng.New(77))
+			if err != nil {
+				t.Fatalf("%s: dense Answer: %v", m.Name(), err)
+			}
+			scale := 1 + mat.VecNorm2(want)
+			for i := range got {
+				if math.Abs(got[i]-want[i]) > 1e-9*scale {
+					t.Fatalf("%s on %s: Answer[%d] = %g, dense %g", m.Name(), s.Describe(), i, got[i], want[i])
+				}
+			}
+			if g, w := sp.ExpectedSSE(eps), dp.ExpectedSSE(eps); math.Abs(g-w) > 1e-9*(1+w) {
+				t.Errorf("%s on %s: ExpectedSSE %g, dense %g", m.Name(), s.Describe(), g, w)
+			}
+		}
+	}
+}
+
+func TestLRMPrepareSpecKron(t *testing.T) {
+	s := workload.NewKronSpec(workload.NewPrefixSpec(6), workload.NewPrefixSpec(4))
+	p, err := PrepareSpec(LRM{}, s, nil)
+	if err != nil {
+		t.Fatalf("PrepareSpec: %v", err)
+	}
+	kp, ok := p.(*kronPrepared)
+	if !ok {
+		t.Fatalf("prepared is %T, want *kronPrepared", p)
+	}
+	eps := privacy.Epsilon(1)
+	// The factored strategy's analytic error must beat NOR on this
+	// low-sensitivity product and be self-consistent with Lemma 1.
+	kd := kp.KronDecomposition()
+	if got, want := p.ExpectedSSE(eps), kd.ExpectedSSE(float64(eps)); math.Abs(got-want) > 1e-9*(1+want) {
+		t.Errorf("ExpectedSSE %g, decomposition says %g", got, want)
+	}
+	x := rng.New(5).UniformVec(24, 0, 10)
+	out, err := p.Answer(x, eps, rng.New(9))
+	if err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	if len(out) != 24 {
+		t.Fatalf("answer length %d, want 24", len(out))
+	}
+
+	// Restored factored decompositions answer identically.
+	rp, err := PreparedFromKronDecomposition(kd)
+	if err != nil {
+		t.Fatalf("PreparedFromKronDecomposition: %v", err)
+	}
+	again, err := rp.Answer(x, eps, rng.New(9))
+	if err != nil {
+		t.Fatalf("restored Answer: %v", err)
+	}
+	for i := range out {
+		if out[i] != again[i] {
+			t.Fatalf("restored Answer[%d] = %g, original %g", i, again[i], out[i])
+		}
+	}
+}
+
+func TestPrepareSpecDispatch(t *testing.T) {
+	// Dense adapters unwrap to the matrix path for any mechanism.
+	dw := workload.Prefix(8)
+	if _, err := PrepareSpec(LRM{}, workload.AsSpec(dw), nil); err != nil {
+		t.Errorf("dense adapter via LRM: %v", err)
+	}
+	// LRM on a non-Kronecker implicit spec has no factored strategy.
+	if _, err := PrepareSpec(LRM{}, workload.NewPrefixSpec(8), nil); err == nil {
+		t.Errorf("LRM accepted an implicit prefix spec")
+	}
+	// A mechanism with no spec path reports it needs materialization.
+	for _, name := range Names() {
+		m, err := ByName(name, Config{})
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if _, ok := m.(SpecPreparer); ok {
+			continue
+		}
+		if _, err := PrepareSpec(m, workload.NewPrefixSpec(8), nil); err == nil {
+			t.Errorf("%s silently accepted an implicit spec", name)
+		}
+	}
+}

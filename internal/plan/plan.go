@@ -126,6 +126,12 @@ type Plan struct {
 	// means unsharded, k means the engine will row-shard into k blocks
 	// (each shard then gets its own plan under its own fingerprint).
 	Shards int `json:"shards"`
+	// SpecDesc, when non-empty, marks a plan made through the implicit
+	// spec path (NewSpec): it is the workload.Spec's Describe() form, so
+	// the engine can tell a factored strategy from a dense one when it
+	// restores the plan. Empty for dense plans, whose digests are
+	// unchanged by this field's existence.
+	SpecDesc string `json:"spec,omitempty"`
 	// LRMOptions is the lrm candidate's tuned decomposition options
 	// (planner-resolved Rank included); meaningful when Mechanism is
 	// "lrm" and recorded regardless so re-planning is reproducible.
@@ -329,6 +335,11 @@ func probeSSE(p mechanism.Prepared, w *workload.Workload, eps privacy.Epsilon, o
 func (p *Plan) Digest() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s|%v|%s|%v|%d|%#v\n", p.Fingerprint, float64(p.Eps), p.Mechanism, p.SSE, p.Shards, p.LRMOptions)
+	if p.SpecDesc != "" {
+		// Only spec plans hash the descriptor: dense plan digests predate
+		// the field and must not change under it.
+		fmt.Fprintf(h, "spec|%s\n", p.SpecDesc)
+	}
 	for _, c := range p.Candidates {
 		fmt.Fprintf(h, "%s|%v|%s|%s\n", c.Name, c.SSE, c.Source, c.Reason)
 	}

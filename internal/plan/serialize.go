@@ -45,6 +45,7 @@ type planDoc struct {
 	Eps         float64        `json:"eps"`
 	SSE         float64        `json:"sse"`
 	Shards      int            `json:"shards"`
+	Spec        string         `json:"spec,omitempty"`
 	LRMOptions  core.Options   `json:"lrm_options"`
 	Candidates  []candidateDoc `json:"candidates"`
 	Stats       *statsDoc      `json:"stats,omitempty"`
@@ -69,6 +70,7 @@ func (p *Plan) Encode(w io.Writer) error {
 		Eps:         float64(p.Eps),
 		SSE:         p.SSE,
 		Shards:      p.Shards,
+		Spec:        p.SpecDesc,
 		LRMOptions:  p.LRMOptions,
 		Digest:      p.Digest(),
 	}
@@ -127,6 +129,7 @@ func Decode(r io.Reader) (*Plan, error) {
 		Eps:         privacy.Epsilon(doc.Eps),
 		SSE:         doc.SSE,
 		Shards:      doc.Shards,
+		SpecDesc:    doc.Spec,
 		LRMOptions:  doc.LRMOptions,
 	}
 	for _, cd := range doc.Candidates {

@@ -1,0 +1,149 @@
+package plan
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// TestNewSpecFullRankPicksLM: a full-rank Kronecker product must skip
+// the lrm candidate (Section 4 regime rule) and let the Section 3.2
+// closed forms decide — prefix products have ΣW² far below m·Δ², so LM
+// wins.
+func TestNewSpecFullRankPicksLM(t *testing.T) {
+	s, err := workload.ParseSpec("kron:prefix(32)xprefix(32)")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	p, err := NewSpec(s, Options{})
+	if err != nil {
+		t.Fatalf("NewSpec: %v", err)
+	}
+	if p.Mechanism != "lm" {
+		t.Fatalf("winner %s, want lm\n%s", p.Mechanism, p.Explain())
+	}
+	if p.SpecDesc != s.Describe() {
+		t.Errorf("SpecDesc %q, want %q", p.SpecDesc, s.Describe())
+	}
+	if p.Fingerprint != workload.SpecFingerprint(s) {
+		t.Errorf("Fingerprint %q not the spec fingerprint", p.Fingerprint)
+	}
+	for _, c := range p.Candidates {
+		if c.Name == "lrm" && c.Source != SourceSkipped {
+			t.Errorf("lrm scored on a full-rank product: %+v", c)
+		}
+	}
+	// The recorded scores are the spec closed forms.
+	st := p.Stats
+	if got, want := p.SSE, st.LaplaceSSE; math.Abs(got-want) > 1e-9*(1+want) {
+		t.Errorf("winning SSE %g, LaplaceSSE %g", got, want)
+	}
+	if p.Prepared() == nil {
+		t.Fatalf("spec plan retained no Prepared")
+	}
+	// Planning is preparing: the winner answers immediately.
+	x := rng.New(1).UniformVec(s.Domain(), 0, 10)
+	out, err := p.Prepared().Answer(x, privacy.Epsilon(1), rng.New(2))
+	if err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	if len(out) != s.Queries() {
+		t.Fatalf("answer length %d, want %d", len(out), s.Queries())
+	}
+}
+
+// TestNewSpecLowRankPicksLRM: a Kronecker product of genuinely low-rank
+// dense factors must route to the factored LRM, and its analytic SSE
+// must beat both baselines.
+func TestNewSpecLowRankPicksLRM(t *testing.T) {
+	src := rng.New(3)
+	f1 := workload.Related(14, 12, 2, src)
+	f2 := workload.Related(10, 9, 2, src)
+	s := workload.NewKronSpec(workload.AsSpec(f1), workload.AsSpec(f2))
+	p, err := NewSpec(s, Options{})
+	if err != nil {
+		t.Fatalf("NewSpec: %v", err)
+	}
+	if p.Mechanism != "lrm" {
+		t.Fatalf("winner %s, want lrm\n%s", p.Mechanism, p.Explain())
+	}
+	for _, c := range p.Candidates {
+		if c.Name != "lrm" && c.Source == SourceAnalytic && c.SSE < p.SSE {
+			t.Errorf("%s (%g) beat the chosen lrm (%g)", c.Name, c.SSE, p.SSE)
+		}
+	}
+	x := rng.New(4).UniformVec(s.Domain(), 0, 10)
+	out, err := p.Prepared().Answer(x, privacy.Epsilon(1), rng.New(5))
+	if err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	if len(out) != s.Queries() {
+		t.Fatalf("answer length %d, want %d", len(out), s.Queries())
+	}
+}
+
+// TestNewSpecDenseAdapterMatchesNew: planning through the adapter is
+// the dense path — same winner, same digest, no SpecDesc.
+func TestNewSpecDenseAdapterMatchesNew(t *testing.T) {
+	w := workload.Prefix(24)
+	ps, err := NewSpec(workload.AsSpec(w), Options{})
+	if err != nil {
+		t.Fatalf("NewSpec: %v", err)
+	}
+	pd, err := New(w, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if ps.SpecDesc != "" {
+		t.Errorf("adapter plan has SpecDesc %q", ps.SpecDesc)
+	}
+	if ps.Digest() != pd.Digest() {
+		t.Errorf("adapter digest %s differs from dense digest %s", ps.Digest(), pd.Digest())
+	}
+}
+
+func TestSpecPlanRoundTrip(t *testing.T) {
+	s, err := workload.ParseSpec("kron:prefix(16)xprefix(16)")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	p, err := NewSpec(s, Options{})
+	if err != nil {
+		t.Fatalf("NewSpec: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"spec"`) {
+		t.Errorf("document does not carry the spec descriptor:\n%s", buf.String())
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.SpecDesc != p.SpecDesc || got.Digest() != p.Digest() {
+		t.Errorf("round trip lost the spec: desc %q digest %s, want %q %s",
+			got.SpecDesc, got.Digest(), p.SpecDesc, p.Digest())
+	}
+	// Tampering with the descriptor must break the self-check.
+	tampered := strings.Replace(buf.String(), "kron:prefix(16)xprefix(16)", "kron:prefix(61)xprefix(16)", 1)
+	if _, err := Decode(strings.NewReader(tampered)); err == nil {
+		t.Errorf("tampered spec descriptor accepted")
+	}
+}
+
+func TestNewSpecNoScorableCandidate(t *testing.T) {
+	// lrm alone on a full-rank implicit spec: skipped by the regime rule,
+	// so the plan must fail loudly with the reason.
+	s := workload.NewPrefixSpec(32)
+	_, err := NewSpec(s, Options{Mechanisms: []string{"lrm"}})
+	if err == nil || !strings.Contains(err.Error(), "full-rank regime") {
+		t.Fatalf("want a skip-reason error, got %v", err)
+	}
+}

@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec: whatever garbage the parser accepts must be a
+// well-formed spec that round-trips — Describe() re-parses to the same
+// digest, digests are deterministic, and the basic shape invariants
+// hold. Crashes and unbounded allocations are the other half of the
+// contract: the parser's dimension caps must hold for any input.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("prefix(16)")
+	f.Add("ranges(8)")
+	f.Add("identity(4)")
+	f.Add("total(9)")
+	f.Add("marginals(2,3,4;k=2)")
+	f.Add("kron:prefix(4)xranges(4)")
+	f.Add("kron:prefix(4)xkron:total(2)xidentity(3)")
+	f.Add("prefix(")
+	f.Add("kron:")
+	f.Add("marginals(;k=0)")
+	f.Add(strings.Repeat("kron:prefix(2)x", 40) + "prefix(2)")
+	f.Add("prefix(99999999999999999999)")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		if s.Queries() <= 0 || s.Domain() <= 0 {
+			t.Fatalf("%q parsed to an empty %d×%d spec", in, s.Queries(), s.Domain())
+		}
+		if s.Sensitivity() <= 0 || s.SquaredSum() <= 0 {
+			t.Fatalf("%q: non-positive sensitivity %g or mass %g", in, s.Sensitivity(), s.SquaredSum())
+		}
+		d1 := s.Digest()
+		if d1 == "" || d1 != s.Digest() {
+			t.Fatalf("%q: unstable digest", in)
+		}
+		desc := s.Describe()
+		s2, err := ParseSpec(desc)
+		if err != nil {
+			t.Fatalf("Describe() of %q is unparseable: %q: %v", in, desc, err)
+		}
+		if s2.Digest() != d1 {
+			t.Fatalf("%q: describe/re-parse changed the digest (%q → %s, was %s)", in, desc, s2.Digest(), d1)
+		}
+		if s2.Describe() != desc {
+			t.Fatalf("%q: Describe not a fixed point: %q → %q", in, desc, s2.Describe())
+		}
+	})
+}

@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"fmt"
+
+	"lrm/internal/mat"
+)
+
+// MaterializeSpec renders a spec as the dense workload it describes —
+// the bridge back from the implicit world, for small factors (the LRM's
+// per-factor decomposition), contract tests, and callers that need a
+// mechanism with no spec path. maxCells caps m·n; a spec past the cap
+// fails instead of allocating, which is the whole point of specs.
+func MaterializeSpec(s Spec, maxCells int) (*Workload, error) {
+	if s == nil {
+		return nil, fmt.Errorf("workload: nil spec")
+	}
+	if d, ok := s.(*DenseSpec); ok {
+		return d.Dense(), nil
+	}
+	m, n := s.Queries(), s.Domain()
+	if maxCells > 0 && (m > maxCells/n || m*n > maxCells) {
+		return nil, fmt.Errorf("workload: materializing %s needs %d×%d = %g cells (cap %d)",
+			s.Describe(), m, n, float64(m)*float64(n), maxCells)
+	}
+	w := mat.New(m, n)
+	x := make([]float64, n)
+	col := make([]float64, m)
+	for j := 0; j < n; j++ {
+		x[j] = 1
+		s.AnswerTo(col, x)
+		x[j] = 0
+		w.SetCol(j, col)
+	}
+	return FromMatrix(s.Describe(), w), nil
+}

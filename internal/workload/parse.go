@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The compact spec grammar the CLIs accept (and Describe emits):
+//
+//	prefix(N)                         n prefix sums
+//	ranges(N)                         all N(N+1)/2 contiguous ranges
+//	identity(N)                       one query per count
+//	total(N)                          the single total count
+//	marginals(d1,d2,…;k=K)            K-way marginals over a d-attribute grid
+//	kron:<factor>x<factor>x…          Kronecker product of factor specs
+//
+// e.g. kron:prefix(1024)xprefix(1024) is every 2-D prefix box over a
+// 1024×1024 grid: m = n = 1,048,576 and m·n ≈ 1.1·10¹² cells, served
+// without the matrix ever existing.
+
+// Parse limits. These bound what an untrusted string (a CLI flag, an
+// HTTP request) may ask this process to hold: per-spec m and n within
+// maxParseDim, so answer vectors stay allocatable, and factor counts
+// within maxKronFactors.
+const (
+	maxParseDim     = 1 << 26
+	maxKronFactors  = 8
+	maxMarginalDims = 16
+)
+
+// ParseSpec parses the compact workload-spec grammar above. Dense
+// workloads have no grammar form — load them from CSV and wrap with
+// AsSpec.
+func ParseSpec(s string) (Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("workload: empty spec")
+	}
+	if rest, ok := strings.CutPrefix(s, "kron:"); ok {
+		return parseKron(rest)
+	}
+	return parsePrimary(s)
+}
+
+// parseKron parses the x-joined factor list of a kron: spec. The split
+// respects parentheses, so marginals(2,3;k=1) survives as one factor
+// even though no current factor kind contains an 'x'.
+func parseKron(s string) (Spec, error) {
+	parts, err := splitTopLevel(s, 'x')
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) < 1 || (len(parts) == 1 && strings.TrimSpace(parts[0]) == "") {
+		return nil, fmt.Errorf("workload: kron: needs at least one factor")
+	}
+	if len(parts) > maxKronFactors {
+		return nil, fmt.Errorf("workload: kron: %d factors exceeds the maximum %d", len(parts), maxKronFactors)
+	}
+	factors := make([]Spec, len(parts))
+	m, n := 1, 1
+	for i, p := range parts {
+		f, err := parsePrimary(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("workload: kron factor %d: %w", i+1, err)
+		}
+		m, n = m*f.Queries(), n*f.Domain()
+		if m > maxParseDim || n > maxParseDim {
+			return nil, fmt.Errorf("workload: kron product exceeds %d queries or counts", maxParseDim)
+		}
+		factors[i] = f
+	}
+	return NewKronSpec(factors...), nil
+}
+
+// splitTopLevel splits s on sep at parenthesis depth zero. A separator
+// only counts immediately after a closing ')': every factor form ends
+// with one, so an 'x' inside a kind name (prefix!) never splits.
+func splitTopLevel(s string, sep byte) ([]string, error) {
+	var parts []string
+	depth, start := 0, 0
+	afterClose := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+			afterClose = false
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("workload: unbalanced ')' in spec %q", s)
+			}
+			afterClose = true
+		case sep:
+			if depth == 0 && afterClose {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+			afterClose = false
+		default:
+			afterClose = false
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("workload: unbalanced '(' in spec %q", s)
+	}
+	return append(parts, s[start:]), nil
+}
+
+// parsePrimary parses one kind(args) form.
+func parsePrimary(s string) (Spec, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return nil, unknownKind(s)
+	}
+	kind := strings.TrimSpace(s[:open])
+	args := s[open+1 : len(s)-1]
+	switch kind {
+	case "prefix":
+		n, err := parseSize(kind, args)
+		if err != nil {
+			return nil, err
+		}
+		return NewPrefixSpec(n), nil
+	case "ranges":
+		n, err := parseSize(kind, args)
+		if err != nil {
+			return nil, err
+		}
+		if m := n * (n + 1) / 2; m > maxParseDim {
+			return nil, fmt.Errorf("workload: ranges(%d) has %d queries, exceeding %d", n, m, maxParseDim)
+		}
+		return NewAllRangesSpec(n), nil
+	case "identity":
+		n, err := parseSize(kind, args)
+		if err != nil {
+			return nil, err
+		}
+		return NewIdentitySpec(n), nil
+	case "total":
+		n, err := parseSize(kind, args)
+		if err != nil {
+			return nil, err
+		}
+		return NewTotalSpec(n), nil
+	case "marginals":
+		return parseMarginals(args)
+	case "dense":
+		return nil, fmt.Errorf("workload: dense workloads have no spec form; load the CSV matrix and wrap it with AsSpec")
+	default:
+		return nil, unknownKind(kind)
+	}
+}
+
+func unknownKind(kind string) error {
+	return fmt.Errorf("workload: unknown spec kind %q (known: identity, kron, marginals, prefix, ranges, total)", kind)
+}
+
+// parseSize parses one positive bounded integer argument.
+func parseSize(kind, arg string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(arg))
+	if err != nil {
+		return 0, fmt.Errorf("workload: %s size %q: %w", kind, arg, err)
+	}
+	if n < 1 || n > maxParseDim {
+		return 0, fmt.Errorf("workload: %s size %d out of range 1..%d", kind, n, maxParseDim)
+	}
+	return n, nil
+}
+
+// parseMarginals parses "d1,d2,…;k=K".
+func parseMarginals(args string) (Spec, error) {
+	dimsPart, kPart, ok := strings.Cut(args, ";")
+	if !ok {
+		return nil, fmt.Errorf("workload: marginals needs the form marginals(d1,d2,…;k=K)")
+	}
+	kStr, ok := strings.CutPrefix(strings.TrimSpace(kPart), "k=")
+	if !ok {
+		return nil, fmt.Errorf("workload: marginals needs k=K after ';', got %q", kPart)
+	}
+	k, err := strconv.Atoi(strings.TrimSpace(kStr))
+	if err != nil {
+		return nil, fmt.Errorf("workload: marginals k %q: %w", kStr, err)
+	}
+	fields := strings.Split(dimsPart, ",")
+	if len(fields) > maxMarginalDims {
+		return nil, fmt.Errorf("workload: marginals over %d attributes exceeds the maximum %d", len(fields), maxMarginalDims)
+	}
+	dims := make([]int, len(fields))
+	n, m := 1, 0
+	for i, f := range fields {
+		d, err := parseSize("marginals dimension", f)
+		if err != nil {
+			return nil, err
+		}
+		dims[i] = d
+		n *= d
+		if n > maxParseDim {
+			return nil, fmt.Errorf("workload: marginals domain exceeds %d counts", maxParseDim)
+		}
+	}
+	if k < 1 || k > len(dims) {
+		return nil, fmt.Errorf("workload: marginals k=%d out of range 1..%d", k, len(dims))
+	}
+	// Bound the query count before constructing: Σ over C(d,k) subsets of
+	// their projection sizes.
+	for _, sub := range subsetsOf(len(dims), k) {
+		size := 1
+		for _, i := range sub {
+			size *= dims[i]
+		}
+		m += size
+		if m > maxParseDim {
+			return nil, fmt.Errorf("workload: marginals query count exceeds %d", maxParseDim)
+		}
+	}
+	return NewMarginalSpec(dims, k), nil
+}

@@ -29,29 +29,43 @@ func (w *Workload) WriteCSV(out io.Writer) error {
 }
 
 // ReadCSV reads a workload written by WriteCSV. Every row must have the
-// same number of coefficients.
+// same number of coefficients. Rows stream one at a time into the
+// coefficient buffer — the only allocation proportional to the input is
+// the matrix itself, never a second [][]string copy of the whole file.
 func ReadCSV(name string, in io.Reader) (*Workload, error) {
 	cr := csv.NewReader(in)
-	records, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("workload: reading csv: %w", err)
-	}
-	if len(records) == 0 {
-		return nil, fmt.Errorf("workload: empty csv")
-	}
-	n := len(records[0])
-	w := mat.New(len(records), n)
-	for i, rec := range records {
-		if len(rec) != n {
-			return nil, fmt.Errorf("workload: row %d has %d columns, want %d", i, len(rec), n)
+	cr.ReuseRecord = true
+	var (
+		data []float64
+		n    int
+		rows int
+	)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: reading csv: %w", err)
+		}
+		if rows == 0 {
+			n = len(rec)
+		} else if len(rec) != n {
+			return nil, fmt.Errorf("workload: row %d has %d columns, want %d", rows, len(rec), n)
 		}
 		for j, s := range rec {
 			v, err := strconv.ParseFloat(s, 64)
 			if err != nil {
-				return nil, fmt.Errorf("workload: row %d column %d: %w", i, j, err)
+				return nil, fmt.Errorf("workload: row %d column %d: %w", rows, j, err)
 			}
-			w.Set(i, j, v)
+			data = append(data, v)
 		}
+		rows++
 	}
-	return FromMatrix(name, w), nil
+	if rows == 0 {
+		return nil, fmt.Errorf("workload: empty csv")
+	}
+	var w mat.Dense
+	w.Reuse(rows, n, data)
+	return FromMatrix(name, &w), nil
 }

@@ -1,0 +1,287 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/mat"
+	"lrm/internal/rng"
+)
+
+// specCase pairs a spec with its materialized dense equivalent built by
+// the pre-existing dense generators.
+type specCase struct {
+	name  string
+	spec  Spec
+	dense *Workload
+}
+
+func specCases(t *testing.T) []specCase {
+	t.Helper()
+	src := rng.New(7)
+	rel := Related(12, 18, 3, src)
+	kronW := func(name string, ws ...*Workload) *Workload {
+		k := mat.Eye(1)
+		for _, w := range ws {
+			k = mat.Kron(k, w.W)
+		}
+		return FromMatrix(name, k)
+	}
+	kron2 := kronW("k2", Prefix(5), AllRanges(4))
+	kron3dense := kronW("k3", Prefix(3), Identity(4), Total(5))
+	return []specCase{
+		{"prefix", NewPrefixSpec(9), Prefix(9)},
+		{"ranges", NewAllRangesSpec(7), AllRanges(7)},
+		{"identity", NewIdentitySpec(6), Identity(6)},
+		{"total", NewTotalSpec(8), Total(8)},
+		{"dense", AsSpec(rel), rel},
+		{"kron2", NewKronSpec(NewPrefixSpec(5), NewAllRangesSpec(4)), kron2},
+		{"kron3", NewKronSpec(NewPrefixSpec(3), NewIdentitySpec(4), NewTotalSpec(5)), kron3dense},
+		{"kron-dense-factor", NewKronSpec(AsSpec(rel), NewPrefixSpec(3)), kronW("kd", rel, Prefix(3))},
+		{"marginals-2way", NewMarginalSpec([]int{4, 6}, 1), Marginal(4, 6)},
+		{"marginals-3attr-k2", NewMarginalSpec([]int{3, 4, 2}, 2), dense3AttrMarginals(t, []int{3, 4, 2}, 2)},
+	}
+}
+
+// dense3AttrMarginals builds the k-way marginal matrix the slow way:
+// stacked Kronecker blocks of identity/total factors.
+func dense3AttrMarginals(t *testing.T, dims []int, k int) *Workload {
+	t.Helper()
+	var blocks []*Workload
+	for _, sub := range subsetsOf(len(dims), k) {
+		inS := make(map[int]bool)
+		for _, i := range sub {
+			inS[i] = true
+		}
+		blk := mat.Eye(1)
+		for i, d := range dims {
+			var f *mat.Dense
+			if inS[i] {
+				f = mat.Eye(d)
+			} else {
+				f = Total(d).W
+			}
+			blk = mat.Kron(blk, f)
+		}
+		blocks = append(blocks, FromMatrix("blk", blk))
+	}
+	return Stack("marginals", blocks...)
+}
+
+const specTol = 1e-9
+
+func TestSpecMatchesDense(t *testing.T) {
+	for _, tc := range specCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			s, w := tc.spec, tc.dense
+			if s.Queries() != w.Queries() || s.Domain() != w.Domain() {
+				t.Fatalf("shape %dx%d, dense %dx%d", s.Queries(), s.Domain(), w.Queries(), w.Domain())
+			}
+			if got, want := s.Sensitivity(), w.Sensitivity(); math.Abs(got-want) > specTol*(1+want) {
+				t.Errorf("Sensitivity %g, dense %g", got, want)
+			}
+			if got, want := s.SquaredSum(), w.SquaredSum(); math.Abs(got-want) > specTol*(1+want) {
+				t.Errorf("SquaredSum %g, dense %g", got, want)
+			}
+
+			src := rng.New(int64(len(tc.name)))
+			x := src.UniformVec(s.Domain(), -2, 3)
+			got := s.AnswerTo(make([]float64, s.Queries()), x)
+			want := w.Answer(x)
+			scale := 1 + mat.VecNorm2(want)
+			for i := range got {
+				if math.Abs(got[i]-want[i]) > specTol*scale {
+					t.Fatalf("AnswerTo[%d] = %g, dense %g", i, got[i], want[i])
+				}
+			}
+
+			gotG := s.GramMulTo(make([]float64, s.Domain()), x)
+			wantG := mat.MulVecT(w.W, want)
+			scaleG := 1 + mat.VecNorm2(wantG)
+			for i := range gotG {
+				if math.Abs(gotG[i]-wantG[i]) > specTol*scaleG {
+					t.Fatalf("GramMulTo[%d] = %g, dense %g", i, gotG[i], wantG[i])
+				}
+			}
+
+			md, err := MaterializeSpec(s, 1<<20)
+			if err != nil {
+				t.Fatalf("MaterializeSpec: %v", err)
+			}
+			if !md.W.EqualApprox(w.W, specTol) {
+				t.Errorf("materialized matrix differs from dense generator")
+			}
+		})
+	}
+}
+
+func TestAnalyzeSpecMatchesDense(t *testing.T) {
+	for _, tc := range specCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := AnalyzeSpec(tc.spec)
+			if err != nil {
+				t.Fatalf("AnalyzeSpec: %v", err)
+			}
+			want, err := Analyze(tc.dense)
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			if got.Queries != want.Queries || got.Domain != want.Domain {
+				t.Fatalf("shape %dx%d vs %dx%d", got.Queries, got.Domain, want.Queries, want.Domain)
+			}
+			if got.Rank != want.Rank {
+				t.Errorf("Rank %d, dense analysis %d", got.Rank, want.Rank)
+			}
+			// Closed-form and Jacobi-SVD condition numbers agree to the
+			// factorization's accuracy, not bit-exactly.
+			if relErr(got.ConditionNumber, want.ConditionNumber) > 1e-6 {
+				t.Errorf("ConditionNumber %g, dense analysis %g", got.ConditionNumber, want.ConditionNumber)
+			}
+			if relErr(got.Sensitivity, want.Sensitivity) > specTol {
+				t.Errorf("Sensitivity %g, dense %g", got.Sensitivity, want.Sensitivity)
+			}
+			if relErr(got.LaplaceSSE, want.LaplaceSSE) > specTol || relErr(got.ResultsSSE, want.ResultsSSE) > specTol {
+				t.Errorf("SSEs (%g, %g), dense (%g, %g)", got.LaplaceSSE, got.ResultsSSE, want.LaplaceSSE, want.ResultsSSE)
+			}
+			if got.LowRank() != want.LowRank() {
+				t.Errorf("LowRank %v, dense %v", got.LowRank(), want.LowRank())
+			}
+		})
+	}
+}
+
+func relErr(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(1, math.Abs(b))
+}
+
+// TestAnalyzeGenericLanczos drives the no-closed-form estimator path
+// with an opaque wrapper and checks the estimates against the closed
+// form. Lanczos without reorthogonalization is an estimator, not a
+// factorization: the rank must match here (tiny well-separated
+// spectrum) but the condition number only to a few percent.
+type opaqueSpec struct{ Spec }
+
+func TestAnalyzeGenericLanczos(t *testing.T) {
+	inner := NewPrefixSpec(24)
+	got, err := AnalyzeSpec(opaqueSpec{inner})
+	if err != nil {
+		t.Fatalf("AnalyzeSpec: %v", err)
+	}
+	want, err := AnalyzeSpec(inner)
+	if err != nil {
+		t.Fatalf("AnalyzeSpec(inner): %v", err)
+	}
+	if got.Rank != want.Rank {
+		t.Errorf("estimated rank %d, closed form %d", got.Rank, want.Rank)
+	}
+	if relErr(got.ConditionNumber, want.ConditionNumber) > 5e-2 {
+		t.Errorf("estimated cond %g, closed form %g", got.ConditionNumber, want.ConditionNumber)
+	}
+	if got.LaplaceSSE != want.LaplaceSSE || got.ResultsSSE != want.ResultsSSE {
+		t.Errorf("closed-form SSEs must not depend on the estimator")
+	}
+}
+
+func TestSpecDigests(t *testing.T) {
+	specs := []Spec{
+		NewPrefixSpec(16),
+		NewPrefixSpec(17),
+		NewAllRangesSpec(16),
+		NewIdentitySpec(16),
+		NewTotalSpec(16),
+		NewKronSpec(NewPrefixSpec(16), NewPrefixSpec(4)),
+		NewKronSpec(NewPrefixSpec(4), NewPrefixSpec(16)),
+		NewMarginalSpec([]int{4, 4}, 1),
+		NewMarginalSpec([]int{4, 4}, 2),
+		AsSpec(Prefix(16)),
+	}
+	seen := map[string]string{}
+	for _, s := range specs {
+		d := s.Digest()
+		if prev, dup := seen[d]; dup {
+			t.Errorf("digest collision: %s and %s", prev, s.Describe())
+		}
+		seen[d] = s.Describe()
+		if d != s.Digest() {
+			t.Errorf("%s: digest not deterministic", s.Describe())
+		}
+		if fp := SpecFingerprint(s); fp != "spec-"+d {
+			t.Errorf("SpecFingerprint %q not namespaced", fp)
+		}
+	}
+	// Equal structure ⇒ equal digest, across construction routes.
+	a := NewKronSpec(NewPrefixSpec(8), NewPrefixSpec(9))
+	b := NewKronSpec(NewKronSpec(NewPrefixSpec(8)), NewPrefixSpec(9)) // flattened
+	if a.Digest() != b.Digest() {
+		t.Errorf("flattened kron digest differs")
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"prefix(64)",
+		"ranges(32)",
+		"identity(10)",
+		"total(10)",
+		"marginals(4,6,2;k=2)",
+		"kron:prefix(16)xprefix(8)",
+		"kron:prefix(4)xmarginals(3,3;k=1)xtotal(2)",
+	} {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		if s.Describe() != in {
+			t.Errorf("Describe %q, want %q", s.Describe(), in)
+		}
+		again, err := ParseSpec(s.Describe())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", s.Describe(), err)
+		}
+		if again.Digest() != s.Digest() {
+			t.Errorf("%q: digest changed across round trip", in)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"wavelet(64)",
+		"prefix(0)",
+		"prefix(-3)",
+		"prefix(99999999999)",
+		"prefix(4",
+		"prefix)4(",
+		"ranges(20000)", // m = n(n+1)/2 past the parse cap
+		"kron:",
+		"kron:prefix(4)x",
+		"kron:prefix(4)xwavelet(4)",
+		"kron:prefix(9000)xprefix(9000)", // product past the cap
+		"marginals(4,6)",
+		"marginals(4,6;k=3)",
+		"marginals(4,6;k=0)",
+		"dense(4)",
+		"dense:4x4:abc",
+	} {
+		if s, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) = %v, want error", in, s.Describe())
+		}
+	}
+}
+
+func TestParseSpecAcceptanceScale(t *testing.T) {
+	s, err := ParseSpec("kron:prefix(1024)xprefix(1024)")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if s.Queries() != 1<<20 || s.Domain() != 1<<20 {
+		t.Fatalf("got %d×%d, want 2^20×2^20", s.Queries(), s.Domain())
+	}
+	if cells := float64(s.Queries()) * float64(s.Domain()); cells < 1e12 {
+		t.Fatalf("only %g cells, acceptance needs ≥ 1e12", cells)
+	}
+}
