@@ -123,10 +123,16 @@ func compareBenchDocs(w io.Writer, oldDoc, newDoc *benchDocument, tol float64) e
 	}
 
 	fmt.Fprintf(w, "%-24s %14s %14s %9s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "gate")
+	var newNames []string
 	for _, nb := range newDoc.Benchmarks {
 		ob, ok := oldBy[nb.Name]
 		if !ok {
-			fmt.Fprintf(w, "%-24s %14s %14d %9s  %s\n", nb.Name, "-", nb.NsPerOp, "-", "new, skipped")
+			// A benchmark just added to the suite has no history to gate
+			// against; report it so the trajectory grows visibly, never
+			// fail on it (requiring baselines to be rewritten before a
+			// kernel can land would invert the workflow).
+			fmt.Fprintf(w, "%-24s %14s %14d %9s  %s\n", nb.Name, "-", nb.NsPerOp, "-", "new, no baseline")
+			newNames = append(newNames, nb.Name)
 			continue
 		}
 		if ob.NsPerOp <= 0 {
@@ -144,6 +150,11 @@ func compareBenchDocs(w io.Writer, oldDoc, newDoc *benchDocument, tol float64) e
 			}
 		}
 		fmt.Fprintf(w, "%-24s %14d %14d %+8.1f%%  %s\n", nb.Name, ob.NsPerOp, nb.NsPerOp, delta*100, verdict)
+	}
+
+	if len(newNames) > 0 {
+		fmt.Fprintf(w, "%d new benchmark(s) without a baseline, not gated: %s\n",
+			len(newNames), strings.Join(newNames, ", "))
 	}
 
 	if len(failures) > 0 {

@@ -90,8 +90,40 @@ func TestCompareSkipsBenchmarksNewInCandidate(t *testing.T) {
 	if err := compareBenchDocs(&out, benchDoc(older), benchDoc(fullDoc(100)), 0.30); err != nil {
 		t.Fatalf("new-in-candidate benchmark failed the gate: %v", err)
 	}
-	if !strings.Contains(out.String(), "new, skipped") {
+	if !strings.Contains(out.String(), "new, no baseline") {
 		t.Fatalf("report does not mark the new benchmark:\n%s", out.String())
+	}
+}
+
+// TestCompareNewBenchmarkReport: candidate-only benchmarks must be
+// called out by name in a non-failing summary — even when one of them is
+// tier-1 in the candidate (its absence from the baseline is the normal
+// state right after the benchmark lands; only absence from the candidate
+// gates). A regression elsewhere must still fail independently.
+func TestCompareNewBenchmarkReport(t *testing.T) {
+	older := fullDoc(100)
+	delete(older, "EngineAnswerMany") // tier-1, new in candidate
+	delete(older, "MatMul256")        // non-tier-1, new in candidate
+	var out bytes.Buffer
+	if err := compareBenchDocs(&out, benchDoc(older), benchDoc(fullDoc(100)), 0.30); err != nil {
+		t.Fatalf("candidate-only benchmarks tripped the gate: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "2 new benchmark(s) without a baseline, not gated: MatMul256, EngineAnswerMany") {
+		t.Fatalf("summary does not list the new benchmarks:\n%s", report)
+	}
+
+	// The summary must not mask real failures: regress a tier-1 kernel
+	// that does have a baseline and the gate still fails.
+	bad := fullDoc(100)
+	bad["MatMul512"] *= 2
+	out.Reset()
+	err := compareBenchDocs(&out, benchDoc(older), benchDoc(bad), 0.30)
+	if err == nil || !strings.Contains(err.Error(), "MatMul512") {
+		t.Fatalf("regression alongside new benchmarks not gated: %v", err)
+	}
+	if !strings.Contains(out.String(), "new, no baseline") {
+		t.Fatalf("new benchmarks not reported alongside the failure:\n%s", out.String())
 	}
 }
 

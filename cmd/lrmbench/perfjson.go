@@ -26,23 +26,35 @@ import (
 )
 
 // benchResult is one suite entry of the trajectory document.
+// KernelFamily names the GEMM micro-kernel family the dispatcher ran for
+// the benchmark's product shape (set where the suite pins one exact
+// shape — the MatMulN family; end-to-end entries span many shapes and
+// are covered by the document-level dispatch table instead).
 type benchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	GFLOPS      float64 `json:"gflops,omitempty"`
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	GFLOPS       float64 `json:"gflops,omitempty"`
+	KernelFamily string  `json:"kernel_family,omitempty"`
 }
 
-// benchDocument is the BENCH_*.json schema.
+// benchDocument is the BENCH_*.json schema. KernelTier is the widest
+// kernel family the host supports; KernelDispatch the post-calibration
+// shape-class → family table every benchmark below ran under; and
+// Calibration the raw measurements that produced it — so a committed
+// trajectory always says which kernels actually ran and why.
 type benchDocument struct {
-	Generated  time.Time     `json:"generated"`
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Benchmarks []benchResult `json:"benchmarks"`
+	Generated      time.Time                 `json:"generated"`
+	GoVersion      string                    `json:"go_version"`
+	GOOS           string                    `json:"goos"`
+	GOARCH         string                    `json:"goarch"`
+	GOMAXPROCS     int                       `json:"gomaxprocs"`
+	KernelTier     string                    `json:"kernel_tier,omitempty"`
+	KernelDispatch map[string]string         `json:"kernel_dispatch,omitempty"`
+	Calibration    []benchsuite.KernelTiming `json:"calibration,omitempty"`
+	Benchmarks     []benchResult             `json:"benchmarks"`
 }
 
 // record converts a testing.BenchmarkResult into a trajectory entry.
@@ -63,13 +75,22 @@ func record(name string, res testing.BenchmarkResult, flops float64) benchResult
 // writeBenchJSON runs the perf suite and writes the trajectory document
 // to path (conventionally BENCH_<label>.json at the repository root).
 func writeBenchJSON(path string) error {
+	// Calibrate the kernel-family dispatch first, exactly as a serving
+	// process would at startup: every benchmark below then runs under the
+	// measured table, and the document records both the table and the
+	// timings behind it.
+	calibration := benchsuite.CalibrateKernels()
 	doc := benchDocument{
-		Generated:  time.Now().UTC(),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Generated:      time.Now().UTC(),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		KernelTier:     mat.KernelTier(),
+		KernelDispatch: mat.KernelDispatch(),
+		Calibration:    calibration,
 	}
+	fmt.Fprintf(os.Stderr, "kernel tier %s, dispatch: %s\n", mat.KernelTier(), mat.KernelDispatchString())
 
 	for _, n := range benchsuite.MatMulSizes {
 		x, y, dst := benchsuite.MatMulOperands(n)
@@ -80,7 +101,9 @@ func writeBenchJSON(path string) error {
 			}
 		})
 		flops := 2 * float64(n) * float64(n) * float64(n)
-		doc.Benchmarks = append(doc.Benchmarks, record(fmt.Sprintf("MatMul%d", n), res, flops))
+		entry := record(fmt.Sprintf("MatMul%d", n), res, flops)
+		entry.KernelFamily = mat.KernelFamilyFor(n, n, n)
+		doc.Benchmarks = append(doc.Benchmarks, entry)
 	}
 
 	// End-to-end ALM decomposition on the ablation workload

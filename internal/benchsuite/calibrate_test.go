@@ -1,0 +1,87 @@
+package benchsuite
+
+import (
+	"testing"
+
+	"lrm/internal/mat"
+)
+
+// TestCalibShapesCoverClasses pins that the representative products hit
+// every shape class exactly once — a renumbering of the class grid or a
+// threshold change in mat's classifier breaks here, not silently in the
+// timing loop.
+func TestCalibShapesCoverClasses(t *testing.T) {
+	want := mat.KernelClasses()
+	seen := map[string]bool{}
+	for _, sh := range calibShapes {
+		class := mat.KernelClassFor(sh.m, sh.n, sh.k)
+		if seen[class] {
+			t.Errorf("shape %dx%dx%d: class %s already covered", sh.m, sh.k, sh.n, class)
+		}
+		seen[class] = true
+	}
+	for _, class := range want {
+		if !seen[class] {
+			t.Errorf("no calibration shape classifies as %s", class)
+		}
+	}
+}
+
+// TestCalibrateKernels is the calibration smoke test CI runs on stock
+// runners (with or without AVX-512, with or without asm at all): it must
+// never panic, must measure every selectable family for every class,
+// must flag exactly one winner per class, and must leave the dispatch
+// table naming only selectable families.
+func TestCalibrateKernels(t *testing.T) {
+	timings := CalibrateKernels()
+	families := mat.KernelFamilies()
+	classes := mat.KernelClasses()
+	if want := len(families) * len(classes); len(timings) != want {
+		t.Fatalf("got %d timings, want %d (%d families × %d classes)", len(timings), want, len(families), len(classes))
+	}
+	winners := map[string]int{}
+	for _, tm := range timings {
+		if tm.Best <= 0 {
+			t.Errorf("%s/%s: non-positive best time %v", tm.Class, tm.Family, tm.Best)
+		}
+		if tm.Winner {
+			winners[tm.Class]++
+		}
+	}
+	for _, class := range classes {
+		if winners[class] != 1 {
+			t.Errorf("class %s: %d winners, want exactly 1", class, winners[class])
+		}
+	}
+	selectable := map[string]bool{}
+	for _, f := range families {
+		selectable[f] = true
+	}
+	for class, fam := range mat.KernelDispatch() {
+		if !selectable[fam] {
+			t.Errorf("dispatch table names %s for %s, which is not selectable (have %v)", fam, class, families)
+		}
+	}
+}
+
+// TestCalibrationPreservesBits pins the property that makes measured
+// dispatch safe at all: whatever family calibration installs, a
+// column-exact product computes the same bits as before calibration.
+func TestCalibrationPreservesBits(t *testing.T) {
+	a := mat.New(130, 70)
+	ad := a.RawData()
+	for i := range ad {
+		ad[i] = float64(i%17)*0.125 - 0.5
+	}
+	b := mat.New(70, 66)
+	bd := b.RawData()
+	for i := range bd {
+		bd[i] = float64(i%19)*0.25 - 1
+	}
+	before := mat.MulColsTo(mat.New(130, 66), a, b)
+	CalibrateKernels()
+	after := mat.MulColsTo(mat.New(130, 66), a, b)
+	if !after.Equal(before) {
+		t.Fatal("column-exact product changed bits across kernel calibration")
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"lrm/internal/mat"
+	"lrm/internal/privacy"
+	"lrm/internal/rng"
+	"lrm/internal/workload"
+)
+
+// TestAnswerManyFusedOnePass pins the fused-noise property of AnswerMany:
+// the Laplace perturbation of the intermediate y = L·x happens inside the
+// first GEMM's per-tile epilogue (exactly one fused product per call) and
+// never as a separate AddLaplaceNoise sweep over y afterwards. The
+// counters are process-wide, so the deltas are measured around the call.
+func TestAnswerManyFusedOnePass(t *testing.T) {
+	w := workload.Related(12, 40, 3, rng.New(9))
+	m, _ := testMechanism(t, w.W)
+	for _, batch := range []int{1, 8, 64} {
+		x := mat.New(40, batch)
+		for j := 0; j < batch; j++ {
+			x.SetCol(j, rng.New(int64(batch+j)).UniformVec(40, 0, 20))
+		}
+		epiBefore := mat.FusedEpilogueRuns()
+		sweepsBefore := privacy.NoiseSweeps()
+		if _, err := m.AnswerMany(x, 1, rng.New(42)); err != nil {
+			t.Fatalf("B=%d: %v", batch, err)
+		}
+		if d := mat.FusedEpilogueRuns() - epiBefore; d != 1 {
+			t.Fatalf("B=%d: %d fused-epilogue products, want exactly 1 (noise fused into the first GEMM only)", batch, d)
+		}
+		if d := privacy.NoiseSweeps() - sweepsBefore; d != 0 {
+			t.Fatalf("B=%d: %d separate noise sweeps over the intermediate, want 0 — noise must ride the GEMM epilogue", batch, d)
+		}
+	}
+}
+
+// TestAnswerManyFusedMatchesLoop repeats the bit-identity contract at the
+// core layer with a batch wide enough to span multiple scheduler tiles in
+// both GEMM dimensions, so the fused epilogue's tile-order-independent
+// addition is exercised across rectangle boundaries.
+func TestAnswerManyFusedMatchesLoop(t *testing.T) {
+	w := workload.Related(20, 300, 4, rng.New(11))
+	m, _ := testMechanism(t, w.W)
+	const batch = 70
+	x := mat.New(300, batch)
+	for j := 0; j < batch; j++ {
+		x.SetCol(j, rng.New(int64(100+j)).UniformVec(300, 0, 20))
+	}
+	got, err := m.AnswerMany(x, 1, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loopSrc := rng.New(5)
+	want := mat.New(got.Rows(), batch)
+	col := make([]float64, 300)
+	for j := 0; j < batch; j++ {
+		for i := 0; i < 300; i++ {
+			col[i] = x.At(i, j)
+		}
+		ans, err := m.Answer(col, 1, loopSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.SetCol(j, ans)
+	}
+	if !got.Equal(want) {
+		t.Fatal("AnswerMany with fused noise differs bitwise from looping Answer per column")
+	}
+}

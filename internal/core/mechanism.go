@@ -77,10 +77,17 @@ func (m *Mechanism) Answer(x []float64, eps privacy.Epsilon, src *rng.Source) ([
 // streamed through register-blocked kernels — which is where the
 // mechanism's batch framing pays off at serving scale.
 //
+// The Laplace perturbation is fused into the first product: the noise
+// block is pre-drawn from the sequential stream and mixed into y = L·x
+// inside the GEMM's own output tiles (noiseFusedProduct), so the
+// intermediate is swept exactly once instead of getting a second
+// gather/noise/scatter pass after the product.
+//
 // The release is bit-identical to calling Answer on each column in
 // ascending order with the same source: MulColsTo guarantees column-exact
-// products, and the noise is drawn column by column in the same order the
-// loop would draw it.
+// products, the noise is drawn column by column in the same order the
+// loop would draw it, and each fused addition y[i][j] + noise[i][j] is
+// the same two operands the loop would add.
 func (m *Mechanism) AnswerMany(x *mat.Dense, eps privacy.Epsilon, src *rng.Source) (*mat.Dense, error) {
 	if err := eps.Validate(); err != nil {
 		return nil, err
@@ -96,33 +103,45 @@ func (m *Mechanism) AnswerMany(x *mat.Dense, eps privacy.Epsilon, src *rng.Sourc
 		return nil, errors.New("core: AnswerMany with no data columns")
 	}
 	cols := x.Cols()
-	y := mat.MulColsTo(mat.New(m.d.L.Rows(), cols), m.d.L, x)
-	buf := make([]float64, m.d.L.Rows())
-	if err := m.noiseColumns(y, buf, eps, src); err != nil {
+	y := mat.New(m.d.L.Rows(), cols)
+	if err := m.noiseFusedProduct(y, x, eps, src); err != nil {
 		return nil, err
 	}
 	return mat.MulColsTo(mat.New(m.d.B.Rows(), cols), m.d.B, y), nil
 }
 
-// noiseColumns is the AnswerMany epilogue between the two GEMMs: it
-// perturbs y (r×B) in place, drawing each column's Laplace noise in
-// ascending column order — the exact draw sequence a loop of per-column
-// Answer calls sharing one source would produce, which the bit-identity
-// contract with Answer requires. buf is the caller's r-length scratch.
+// noiseFusedProduct computes y = L·x and perturbs every element with
+// Laplace noise of scale Δ(B,L)/ε in one pass: the noise block is drawn
+// up front — column by column in ascending order, exactly the draw
+// sequence a loop of per-column Answer calls sharing one source would
+// produce, which the bit-identity contract with Answer requires — and
+// added inside the GEMM's per-tile epilogue while each output block is
+// still cache-hot. The epilogue touches disjoint rectangles exactly once
+// each and adds values that do not depend on tile order, so the result
+// is bit-identical across worker counts and kernel families, per the
+// MulColsEpiTo contract.
 //
-//lrm:noalloc — one gather/noise/scatter pass per column over caller buffers
-//lrm:sanitizer y — every column of y is Laplace-perturbed before return
-func (m *Mechanism) noiseColumns(y *mat.Dense, buf []float64, eps privacy.Epsilon, src *rng.Source) error {
-	cols := y.Cols()
+// The noise buffer is column-major (column j at noise[j·r : (j+1)·r]) so
+// each pre-draw fills a contiguous slice in stream order.
+//
+//lrm:sanitizer y — every element of y is Laplace-perturbed before return
+func (m *Mechanism) noiseFusedProduct(y, x *mat.Dense, eps privacy.Epsilon, src *rng.Source) error {
+	r, cols := y.Rows(), y.Cols()
+	noise := make([]float64, r*cols)
 	for j := 0; j < cols; j++ {
-		for i := range buf {
-			buf[i] = y.At(i, j)
-		}
-		if err := privacy.AddLaplaceNoise(buf, m.delta, eps, src); err != nil {
+		if err := privacy.DrawLaplaceNoise(noise[j*r:(j+1)*r], m.delta, eps, src); err != nil {
 			return err
 		}
-		y.SetCol(j, buf)
 	}
+	yd, yc := y.RawData(), y.Cols()
+	mat.MulColsEpiTo(y, m.d.L, x, func(r0, r1, c0, c1 int) {
+		for i := r0; i < r1; i++ {
+			row := yd[i*yc : i*yc+yc]
+			for j := c0; j < c1; j++ {
+				row[j] += noise[j*r+i]
+			}
+		}
+	})
 	return nil
 }
 

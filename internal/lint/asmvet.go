@@ -25,14 +25,21 @@ import (
 //   - kernels must be NOSPLIT (they are leaf functions on hot paths;
 //     a stack split inside a micro-kernel would wreck both latency and
 //     the no-alloc pins);
-//   - a function that touches Y registers must run VZEROUPPER before
-//     every RET, or the next SSE-encoded float op pays the AVX-SSE
-//     transition penalty — a silent 4× slowdown, exactly the class of
-//     regression the CI perf gate exists to catch.
+//   - a function that touches Y or Z registers must run VZEROUPPER
+//     before every RET, or the next SSE-encoded float op pays the
+//     AVX-SSE transition penalty — a silent 4× slowdown, exactly the
+//     class of regression the CI perf gate exists to catch. Z coverage
+//     is deliberately conservative: VZEROUPPER only architecturally
+//     matters for the lower sixteen register files, but a kernel using
+//     Z16–Z31 without dirtying Z0–Z15 is not a pattern this repository
+//     has, and the blanket rule cannot be silently outgrown.
 //
 // The analyzer reads Package.SFiles, which the go tool has already
-// filtered by build tags: under -tags noasm or a non-amd64 GOARCH the
-// file set is empty and the analyzer is a no-op, matching the build.
+// filtered by file-name GOARCH suffix and build tags: under -tags noasm
+// the file set is empty, and on amd64 builds the arm64 NEON kernels
+// (gemm_arm64.s) are filtered out, so the amd64-specific checks only
+// ever see amd64 assembly. (The ABI0 offset checks would agree anyway:
+// every kernel argument is 8 bytes on both architectures.)
 var AsmVet = &Analyzer{
 	Name: "asmvet",
 	Doc: "assembly TEXT blocks must agree with their Go prototypes " +
@@ -52,6 +59,7 @@ type asmFunc struct {
 	instrs  []asmInstr
 	refs    []fpRef
 	usesY   bool
+	usesZ   bool
 }
 
 type asmInstr struct {
@@ -69,6 +77,9 @@ var (
 	asmTextRx = regexp.MustCompile(`^TEXT\s+·([A-Za-z0-9_]+)\(SB\)\s*(?:,\s*([A-Z0-9|]+))?\s*,\s*\$(-?[0-9]+)(?:-([0-9]+))?`)
 	asmFPRx   = regexp.MustCompile(`([A-Za-z_][A-Za-z0-9_]*)\+([0-9]+)\(FP\)`)
 	asmYregRx = regexp.MustCompile(`\bY([0-9]|1[0-5])\b`)
+	// Z0–Z31: the AVX-512 register file. \b keeps mnemonics (JZ, CBZ)
+	// and labels from matching — the Z must start its own word.
+	asmZregRx = regexp.MustCompile(`\bZ([0-9]|[12][0-9]|3[01])\b`)
 )
 
 // parseAsmFile splits one assembly source into TEXT blocks.
@@ -114,6 +125,9 @@ func parseAsmFile(path string) ([]*asmFunc, error) {
 		if asmYregRx.MatchString(line) {
 			cur.usesY = true
 		}
+		if asmZregRx.MatchString(line) {
+			cur.usesZ = true
+		}
 	}
 	return fns, nil
 }
@@ -144,9 +158,11 @@ func abi0Layout(sig *types.Signature, sizes types.Sizes) (map[string]int64, int6
 }
 
 func runAsmVet(pp *ProgramPass) error {
-	// The declared frame layout is amd64's: the only assembly in the
-	// tree is _amd64.s, and the go tool only hands us those files when
-	// building for amd64, so the sizes are unconditional here.
+	// The declared frame layout is amd64's. The go tool filters SFiles
+	// by GOARCH file suffix, so on the amd64 hosts that run this suite
+	// only the _amd64.s kernels appear; and the layouts would agree on
+	// arm64 regardless — every kernel argument is an 8-byte scalar or
+	// pointer on both architectures.
 	sizes := types.SizesFor("gc", "amd64")
 	for _, pkg := range pp.Prog.Pkgs {
 		if len(pkg.SFiles) == 0 {
@@ -222,15 +238,22 @@ func checkAsmFunc(pp *ProgramPass, pkg *Package, fn *asmFunc, proto *ast.FuncDec
 				fn.name, ref.name, ref.offset, ref.name, want)
 		}
 	}
-	if fn.usesY {
+	if fn.usesY || fn.usesZ {
+		wide := "Y"
+		if fn.usesZ {
+			wide = "Z"
+			if fn.usesY {
+				wide = "Y/Z"
+			}
+		}
 		for i, in := range fn.instrs {
 			if in.op != "RET" {
 				continue
 			}
 			if i == 0 || fn.instrs[i-1].op != "VZEROUPPER" {
 				pp.ReportAt(at(in.line),
-					"·%s uses Y registers but returns without VZEROUPPER: the next SSE float op pays the AVX-SSE transition penalty",
-					fn.name)
+					"·%s uses %s registers but returns without VZEROUPPER: the next SSE float op pays the AVX-SSE transition penalty",
+					fn.name, wide)
 			}
 		}
 	}

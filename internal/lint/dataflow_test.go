@@ -146,20 +146,34 @@ func TestInjectedNoiseDeletion(t *testing.T) {
 	}
 }
 
-// TestInjectedBatchNoiseDeletion: same for the multi-RHS epilogue —
-// deleting the noiseColumns call between AnswerMany's two GEMMs.
+// TestInjectedBatchNoiseDeletion: same for the multi-RHS path, whose
+// noise rides the first GEMM's fused epilogue — deleting the noise
+// pre-draw inside noiseFusedProduct leaves a declared sanitizer that
+// never draws, which the sanitizer verifier must flag as vacuous.
 func TestInjectedBatchNoiseDeletion(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tree-wide uncached load shells out to go list")
 	}
 	prog := loadMutable(t)
-	deleteStmtCalling(t, prog, "lrm/internal/core.Mechanism.AnswerMany", "noiseColumns")
+	deleteStmtCalling(t, prog, "lrm/internal/core.Mechanism.noiseFusedProduct", "DrawLaplaceNoise")
 	diags, err := runSuite(prog, []*Analyzer{NoiseFlow})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(diags) == 0 {
-		t.Fatal("deleting the noiseColumns call in core.Mechanism.AnswerMany produced no findings")
+		t.Fatal("deleting the DrawLaplaceNoise pre-draw in core.Mechanism.noiseFusedProduct produced no findings")
+	}
+	named := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "noiseFusedProduct") && strings.Contains(d.Message, "vacuous") {
+			named = true
+		}
+	}
+	if !named {
+		t.Errorf("no finding names noiseFusedProduct as a vacuous sanitizer; got:")
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
 	}
 }
 

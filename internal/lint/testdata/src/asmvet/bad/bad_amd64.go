@@ -11,3 +11,7 @@ func scale(x []float64, s float64)
 
 // orphan has a prototype but no TEXT block.
 func orphan(n int64) int64 // want `orphan has no body and no TEXT block`
+
+// scale512 multiplies x by s with AVX-512 registers. Its TEXT block
+// reads s at the wrong offset and returns without VZEROUPPER.
+func scale512(x []float64, s float64)

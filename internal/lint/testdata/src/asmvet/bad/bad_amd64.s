@@ -17,3 +17,12 @@ TEXT ·scale(SB), $0-32 // want `missing NOSPLIT`
 // phantom has no Go prototype at all.
 TEXT ·phantom(SB), NOSPLIT, $0-8 // want `TEXT ·phantom has no bodyless Go declaration`
 	RET
+
+// scale512: Z-register (AVX-512) use without VZEROUPPER before RET, and
+// the s argument read at the wrong offset.
+TEXT ·scale512(SB), NOSPLIT, $0-32
+	MOVQ x+0(FP), AX
+	MOVSD s+16(FP), X1 // want `ABI0 places s at offset 24`
+	VMOVUPD (AX), Z0
+	VMOVUPD Z0, (AX)
+	RET // want `uses Z registers but returns without VZEROUPPER`

@@ -7,3 +7,6 @@ func dotVec(a, b []float64) (ret float64)
 
 // addOne returns n+1.
 func addOne(n int64) (ret int64)
+
+// dotVec512 returns the dot product of a and b via ZMM accumulators.
+func dotVec512(a, b []float64) (ret float64)

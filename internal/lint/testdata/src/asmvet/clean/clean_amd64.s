@@ -17,3 +17,13 @@ TEXT ·addOne(SB), NOSPLIT, $0-16
 	INCQ AX
 	MOVQ AX, ret+8(FP)
 	RET
+
+// dotVec512 mirrors an AVX-512 kernel: Z accumulators, correct ABI0
+// offsets, VZEROUPPER immediately before RET.
+TEXT ·dotVec512(SB), NOSPLIT, $0-56
+	MOVQ    a+0(FP), AX
+	MOVQ    b+24(FP), BX
+	VXORPD  Z0, Z0, Z0
+	MOVSD   X0, ret+48(FP)
+	VZEROUPPER
+	RET

@@ -66,7 +66,7 @@ func Mul(a, b *Dense) *Dense {
 func mulInto(out, a, b *Dense) {
 	gemmMain(out, a.rows, b.cols, a.cols,
 		aView{data: a.data, row: a.cols, k: 1},
-		b.data, b.cols, 1, false, false)
+		b.data, b.cols, 1, false, false, nil)
 }
 
 // MulABt returns a·bᵀ without materializing the transpose.
@@ -84,7 +84,7 @@ func MulABt(a, b *Dense) *Dense {
 func mulABtInto(out, a, b *Dense) {
 	gemmMain(out, a.rows, b.rows, a.cols,
 		aView{data: a.data, row: a.cols, k: 1},
-		b.data, 1, b.cols, false, false)
+		b.data, 1, b.cols, false, false, nil)
 }
 
 // MulAtB returns aᵀ·b without materializing the transpose.
@@ -103,7 +103,7 @@ func MulAtB(a, b *Dense) *Dense {
 func mulAtBInto(out, a, b *Dense) {
 	gemmMain(out, a.cols, b.cols, a.rows,
 		aView{data: a.data, row: 1, k: a.cols},
-		b.data, b.cols, 1, false, false)
+		b.data, b.cols, 1, false, false, nil)
 }
 
 // MulVec returns the matrix-vector product a·x.
@@ -134,7 +134,7 @@ func Gram(a *Dense) *Dense {
 func gramInto(out, a *Dense) {
 	gemmMain(out, a.cols, a.cols, a.rows,
 		aView{data: a.data, row: 1, k: a.cols},
-		a.data, a.cols, 1, true, false)
+		a.data, a.cols, 1, true, false, nil)
 	mirrorLower(out)
 }
 
@@ -153,7 +153,7 @@ func GramT(a *Dense) *Dense {
 func gramTInto(out, a *Dense) {
 	gemmMain(out, a.rows, a.rows, a.cols,
 		aView{data: a.data, row: a.cols, k: 1},
-		a.data, 1, a.cols, true, false)
+		a.data, 1, a.cols, true, false, nil)
 	mirrorLower(out)
 }
 

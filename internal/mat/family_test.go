@@ -1,0 +1,132 @@
+package mat
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestKernelFamilyBitEquality pins the cross-family contract that makes
+// measured dispatch safe: on AVX-512 hardware the AVX2 and AVX-512
+// families must produce bit-identical products on the fused path (both
+// are one IEEE FMA chain per element, with the same FMA/scalar row
+// partition because the 8-row tier falls back to the 4-row kernel for
+// short ranges), and every family — scalar included — must agree on the
+// column-exact path. Skips where only one family exists; CI's AVX-512
+// runners exercise it for real.
+func TestKernelFamilyBitEquality(t *testing.T) {
+	if !gemmUseAsm || !gemmUseAVX512 {
+		t.Skip("needs two asm kernel families (AVX2 and AVX-512) on this host")
+	}
+	saved := gemmFamilySnapshot()
+	defer saved.restore()
+
+	for _, sh := range gemmShapes {
+		a := randDenseSeed(t, sh.m, sh.k, int64(19*sh.m+sh.k))
+		b := randDenseSeed(t, sh.k, sh.n, int64(23*sh.n+sh.k))
+		name := fmt.Sprintf("%dx%dx%d", sh.m, sh.k, sh.n)
+
+		if err := SetKernelFamily("", "avx512"); err != nil {
+			t.Fatal(err)
+		}
+		fused512 := MulTo(New(sh.m, sh.n), a, b)
+		exact512 := MulColsTo(New(sh.m, sh.n), a, b)
+
+		if err := SetKernelFamily("", "avx2"); err != nil {
+			t.Fatal(err)
+		}
+		fused2 := MulTo(New(sh.m, sh.n), a, b)
+		exact2 := MulColsTo(New(sh.m, sh.n), a, b)
+
+		if !fused512.Equal(fused2) {
+			t.Fatalf("%s: fused product differs bitwise between avx512 and avx2 families", name)
+		}
+		if !exact512.Equal(exact2) {
+			t.Fatalf("%s: column-exact product differs bitwise between avx512 and avx2 families", name)
+		}
+
+		// Column-exact also matches the scalar kernels: dot-product
+		// rounding is the one true order on that path.
+		gemmUseAsm = false
+		exactScalar := MulColsTo(New(sh.m, sh.n), a, b)
+		gemmUseAsm = true
+		if !exact512.Equal(exactScalar) {
+			t.Fatalf("%s: column-exact product differs bitwise between asm and scalar kernels", name)
+		}
+	}
+}
+
+// TestKernelDispatchAPI covers the exported dispatch surface: the class
+// grid, family validation, per-class installs, and the dispatch snapshot.
+func TestKernelDispatchAPI(t *testing.T) {
+	saved := gemmFamilySnapshot()
+	defer saved.restore()
+
+	if err := SetKernelFamily("", "no-such-family"); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if err := SetKernelFamily("no-such-class", KernelTier()); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if !gemmUseAsm {
+		if got := KernelFamilyFor(64, 64, 64); got != "scalar" {
+			t.Fatalf("no-asm host dispatches %q, want scalar", got)
+		}
+		return
+	}
+	classes := KernelClasses()
+	if len(classes) != gemmNumClasses {
+		t.Fatalf("KernelClasses returned %d names, want %d", len(classes), gemmNumClasses)
+	}
+	fams := KernelFamilies()
+	if len(fams) == 0 {
+		t.Fatal("no selectable families on an asm host")
+	}
+	for _, fam := range fams {
+		if fam == "scalar" {
+			t.Fatal("scalar listed as selectable alongside asm families")
+		}
+	}
+	// Installing the narrowest family for one class must show up in the
+	// snapshot for that class only.
+	narrowest := fams[len(fams)-1]
+	if err := SetKernelFamily("", fams[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetKernelFamily("deep-narrow", narrowest); err != nil {
+		t.Fatal(err)
+	}
+	table := KernelDispatch()
+	if table["deep-narrow"] != narrowest {
+		t.Fatalf("deep-narrow dispatches %q after installing %q", table["deep-narrow"], narrowest)
+	}
+	if got := KernelFamilyFor(48, 1, 512); got != narrowest {
+		t.Fatalf("KernelFamilyFor(48,1,512) = %q, want %q", got, narrowest)
+	}
+	if KernelClassFor(48, 1, 512) != "deep-narrow" {
+		t.Fatalf("KernelClassFor(48,1,512) = %q, want deep-narrow", KernelClassFor(48, 1, 512))
+	}
+}
+
+// gemmFamilySnapshot captures the dispatch table and kernel gates so
+// tests that mutate them restore the host defaults.
+type familySnapshot struct {
+	table  [gemmNumClasses]int32
+	asm    bool
+	avx512 bool
+}
+
+func gemmFamilySnapshot() familySnapshot {
+	var s familySnapshot
+	for i := range gemmDispatch {
+		s.table[i] = gemmDispatch[i].Load()
+	}
+	s.asm, s.avx512 = gemmUseAsm, gemmUseAVX512
+	return s
+}
+
+func (s familySnapshot) restore() {
+	for i := range gemmDispatch {
+		gemmDispatch[i].Store(s.table[i])
+	}
+	gemmUseAsm, gemmUseAVX512 = s.asm, s.avx512
+}

@@ -1,5 +1,7 @@
 package mat
 
+import "sync/atomic"
+
 // Cache-blocked packed GEMM. Every dense product in the package (Mul,
 // MulABt, MulAtB, Gram, GramT) funnels into gemmMain, which:
 //
@@ -10,9 +12,12 @@ package mat
 //  2. walks a fixed grid of gemmTileRows×gemmTileCols output tiles whose
 //     working set (one packed panel + gemmMR operand rows) stays L1/L2
 //     resident, and
-//  3. computes each tile with a register-blocked micro-kernel: the
-//     AVX2+FMA 4×8 kernel on capable amd64 machines (gemm_amd64.s),
-//     scalar 4×4 blocks elsewhere.
+//  3. computes each tile with a register-blocked micro-kernel, chosen
+//     per product shape from the kernel-family dispatch table
+//     (gemmdispatch.go): the AVX-512 8×8 kernel on capable amd64
+//     machines (gemm_avx512_amd64.s), the AVX2+FMA 4×8 kernel
+//     (gemm_amd64.s), the NEON 4×8 kernel on arm64 (gemm_arm64.s), or
+//     scalar 4×4 blocks when no assembly tier applies.
 //
 // The left operand is addressed through an aView — two element strides
 // over the backing slice — so one driver serves A, Aᵀ (MulAtB, Gram) and
@@ -26,9 +31,10 @@ package mat
 // equality tests pin.
 
 const (
-	gemmMR       = 4   // micro-kernel rows
+	gemmMR       = 4   // 4-row micro-kernel rows
+	gemmMR8      = 8   // 8-row micro-kernel rows (the AVX-512 tier)
 	gemmNR       = 8   // packed panel width (micro-kernel cols)
-	gemmTileRows = 64  // output rows per scheduler tile
+	gemmTileRows = 64  // output rows per scheduler tile (multiple of gemmMR8)
 	gemmTileCols = 256 // output cols per scheduler tile (multiple of gemmNR)
 	packChunk    = 16  // panels packed per scheduler tile
 )
@@ -76,8 +82,34 @@ func packPanel(dst, src []float64, k, n, rowStride, colStride, p int) {
 	}
 }
 
-// gemmAsmKernel is the signature of the assembly 4×8 micro-kernels.
+// gemmAsmKernel is the signature of the assembly micro-kernels (4×8 and
+// 8×8 alike: the row count is the caller's contract, not the type's).
 type gemmAsmKernel = func(k int64, a *float64, aRowStride, aKStride int64, bp *float64, bKStride int64, c *float64, cRowStride int64)
+
+// TileEpilogue is a hook gemmMain runs once per scheduler tile, after
+// the tile's output block is fully computed, with the tile's rectangle
+// [r0,r1)×[c0,c1) in output coordinates. The grid partitions the output,
+// so across a product the hook observes every element exactly once; it
+// runs on whichever goroutine computed the tile, so it must be safe to
+// call concurrently for disjoint rectangles. Because each element's
+// value never depends on when its tile's epilogue runs, a per-element
+// epilogue op keeps the bit-identical-across-worker-counts guarantee.
+//
+// This is the fusion point for answer-path noise: AnswerMany's Laplace
+// perturbation of the intermediate runs inside the producing GEMM's
+// tiles (see MulColsEpiTo) instead of as a second sweep over the matrix.
+type TileEpilogue func(r0, r1, c0, c1 int)
+
+// fusedEpilogueRuns counts gemmMain products that ran with a fused tile
+// epilogue. Tests (and the CI fused-epilogue gate) difference it to
+// prove the one-pass claim: the noise pass happened inside the GEMM, not
+// as a separate sweep.
+var fusedEpilogueRuns atomic.Uint64
+
+// FusedEpilogueRuns returns the cumulative number of GEMM products
+// computed with a fused tile epilogue in this process. The counter never
+// resets.
+func FusedEpilogueRuns() uint64 { return fusedEpilogueRuns.Load() }
 
 // gemmMain computes dst = A·B (overwriting dst, which must be m×n with
 // contiguous rows): A is the aView, B is addressed as
@@ -95,16 +127,31 @@ type gemmAsmKernel = func(k int64, a *float64, aRowStride, aKStride int64, bp *f
 // (the MulColsTo guarantee), which the FMA kernel's fused rounding would
 // break.
 //
+// epi, when non-nil, runs once per scheduler tile after the tile's
+// output rectangle is complete (see TileEpilogue). Epilogues are not
+// supported on the triangular (upperOnly) grids — no caller needs them
+// there and the clipped per-panel row ranges would make the rectangle
+// a lie.
+//
 // Products below parallelThreshold run the identical tile grid inline on
 // the calling goroutine (no closures, no allocations — the ALM inner
 // loop's zero-alloc pin depends on this); larger ones draw tiles from
 // the persistent pool.
-func gemmMain(dst *Dense, m, n, k int, av aView, bdata []float64, bRow, bCol int, upperOnly, colExact bool) {
+func gemmMain(dst *Dense, m, n, k int, av aView, bdata []float64, bRow, bCol int, upperOnly, colExact bool, epi TileEpilogue) {
+	if epi != nil {
+		if upperOnly {
+			panic("mat: tile epilogue on a triangular grid")
+		}
+		fusedEpilogueRuns.Add(1)
+	}
 	if m <= 0 || n <= 0 {
 		return
 	}
 	if k <= 0 {
 		zero(dst.data)
+		if epi != nil {
+			epi(0, m, 0, n)
+		}
 		return
 	}
 	nPanels := (n + gemmNR - 1) / gemmNR
@@ -128,32 +175,31 @@ func gemmMain(dst *Dense, m, n, k int, av aView, bdata []float64, bRow, bCol int
 	tR := (m + gemmTileRows - 1) / gemmTileRows
 	tC := (nPanels + tilePanels - 1) / tilePanels
 	cd, ldc := dst.data, dst.cols
-	var asmKern gemmAsmKernel
-	if gemmUseAsm {
-		if colExact {
-			asmKern = gemmKernelMulAdd4x8
-		} else {
-			asmKern = gemmKernel4x8
-		}
-	}
+	sel := selectKernels(m, n, k, colExact)
 	if parallel {
 		forEachTile(tR*tC, func(t int) {
-			gemmTileRun(t, cd, ldc, m, n, k, av, packed, upperOnly, tC, asmKern)
+			gemmTileRun(t, cd, ldc, m, n, k, av, packed, upperOnly, tC, sel, epi)
 		})
 	} else {
 		for t := 0; t < tR*tC; t++ {
-			gemmTileRun(t, cd, ldc, m, n, k, av, packed, upperOnly, tC, asmKern)
+			gemmTileRun(t, cd, ldc, m, n, k, av, packed, upperOnly, tC, sel, epi)
 		}
 	}
 	putPackBuf(packed)
 }
 
 // gemmTileRun computes scheduler tile t of the fixed grid: output rows
-// [r0,r1) × panels [p0,p1). asmKern is the assembly micro-kernel for
-// full-width 4-row blocks, or nil to use the scalar kernels throughout.
+// [r0,r1) × panels [p0,p1). sel holds the selected assembly kernels —
+// kern8 for 8-row blocks (the AVX-512 tier), kern4 for 4-row blocks —
+// or nils to use the scalar kernels throughout. Row ranges shorter than
+// a kernel's height fall through to the next narrower kernel of the same
+// rounding class, so which rows run fused-FMA vs scalar arithmetic is a
+// function of the shape alone, identical in every asm family — the
+// property that keeps measured family dispatch bit-stable. epi, when
+// non-nil, runs after the tile completes with its output rectangle.
 //
 //lrm:noalloc — the kernel dispatch: one scheduler tile, stack state only
-func gemmTileRun(t int, cd []float64, ldc, m, n, k int, av aView, packed []float64, upperOnly bool, tC int, asmKern gemmAsmKernel) {
+func gemmTileRun(t int, cd []float64, ldc, m, n, k int, av aView, packed []float64, upperOnly bool, tC int, sel kernelSel, epi TileEpilogue) {
 	tilePanels := gemmTileCols / gemmNR
 	nPanels := (n + gemmNR - 1) / gemmNR
 	r0 := (t / tC) * gemmTileRows
@@ -181,22 +227,38 @@ func gemmTileRun(t int, cd []float64, ldc, m, n, k int, av aView, packed []float
 		pOff := p * k * gemmNR
 		i := r0
 		if pw == gemmNR {
-			if rLim-r0 >= gemmMR {
-				if asmKern != nil {
+			if rLim-r0 >= gemmMR8 && sel.kern8 != nil {
+				for ; i+gemmMR8 <= rLim; i += gemmMR8 {
+					sel.kern8(int64(k),
+						&av.data[i*av.row], int64(av.row*8), int64(av.k*8),
+						&packed[pOff], gemmNR*8,
+						&cd[i*ldc+j0], int64(ldc*8))
+				}
+				if i < rLim {
+					// Row tail: rerun the full micro-kernel on the last
+					// gemmMR8 rows. The overlapped rows are rewritten
+					// with bit-identical values (same panel, same
+					// k-order, same goroutine), which is far cheaper
+					// than an elementwise tail.
+					i = rLim - gemmMR8
+					sel.kern8(int64(k),
+						&av.data[i*av.row], int64(av.row*8), int64(av.k*8),
+						&packed[pOff], gemmNR*8,
+						&cd[i*ldc+j0], int64(ldc*8))
+					i = rLim
+				}
+			} else if rLim-r0 >= gemmMR {
+				if sel.kern4 != nil {
 					for ; i+gemmMR <= rLim; i += gemmMR {
-						asmKern(int64(k),
+						sel.kern4(int64(k),
 							&av.data[i*av.row], int64(av.row*8), int64(av.k*8),
 							&packed[pOff], gemmNR*8,
 							&cd[i*ldc+j0], int64(ldc*8))
 					}
 					if i < rLim {
-						// Row tail: rerun the full micro-kernel on the
-						// last gemmMR rows. The overlapped rows are
-						// rewritten with bit-identical values (same
-						// panel, same k-order, same goroutine), which is
-						// far cheaper than an elementwise tail.
+						// Same rerun trick at 4-row height.
 						i = rLim - gemmMR
-						asmKern(int64(k),
+						sel.kern4(int64(k),
 							&av.data[i*av.row], int64(av.row*8), int64(av.k*8),
 							&packed[pOff], gemmNR*8,
 							&cd[i*ldc+j0], int64(ldc*8))
@@ -224,6 +286,13 @@ func gemmTileRun(t int, cd []float64, ldc, m, n, k int, av aView, packed []float
 		if i < rLim {
 			gemmScalarTail(k, av.data, i*av.row, av.row, av.k, packed, pOff, cd, i*ldc+j0, ldc, rLim-i, pw)
 		}
+	}
+	if epi != nil {
+		c1 := p1 * gemmNR
+		if c1 > n {
+			c1 = n
+		}
+		epi(r0, r1, p0*gemmNR, c1)
 	}
 }
 

@@ -48,3 +48,7 @@ func detectAVX2FMA() bool {
 // const) so tests can force the scalar fallback and check both paths
 // against the oracle.
 var gemmUseAsm = detectAVX2FMA()
+
+// gemmArchFamily is the architecture's base assembly tier — what the
+// dispatcher falls back to when the AVX-512 tier is absent or disabled.
+const gemmArchFamily = famAVX2

@@ -1,11 +1,15 @@
-//go:build !amd64 || noasm
+//go:build (!amd64 && !arm64) || noasm
 
 package mat
 
-// Non-amd64 builds — and amd64 builds with the noasm tag, which CI uses
-// to exercise the portable fallback on stock runners — always use the
-// scalar micro-kernels in gemm.go.
+// Architectures without assembly micro-kernels — and any build with the
+// noasm tag, which CI uses to exercise the portable fallback on stock
+// runners — always use the scalar kernels in gemm.go.
 var gemmUseAsm = false
+
+// gemmArchFamily is never consulted while gemmUseAsm is false; famScalar
+// keeps the dispatch table honest if a test flips the gate.
+const gemmArchFamily = famScalar
 
 // gemmKernel4x8 is never called when gemmUseAsm is false; this stub only
 // satisfies the compiler.

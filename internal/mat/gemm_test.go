@@ -73,16 +73,20 @@ var gemmShapes = []struct{ m, k, n int }{
 // micro-kernel paths, with destinations pre-filled with garbage (the
 // kernels overwrite rather than accumulate).
 func TestGEMMOracle(t *testing.T) {
-	modes := []bool{false}
+	type mode struct{ asm, avx512 bool }
+	modes := []mode{{false, false}}
 	if gemmUseAsm {
-		modes = []bool{true, false}
+		modes = append(modes, mode{true, false})
 	}
-	savedAsm := gemmUseAsm
-	defer func() { gemmUseAsm = savedAsm }()
-	for _, asm := range modes {
-		gemmUseAsm = asm
+	if gemmUseAVX512 {
+		modes = append(modes, mode{true, true})
+	}
+	savedAsm, saved512 := gemmUseAsm, gemmUseAVX512
+	defer func() { gemmUseAsm, gemmUseAVX512 = savedAsm, saved512 }()
+	for _, md := range modes {
+		gemmUseAsm, gemmUseAVX512 = md.asm, md.avx512
 		for _, sh := range gemmShapes {
-			name := fmt.Sprintf("asm=%v/%dx%dx%d", asm, sh.m, sh.k, sh.n)
+			name := fmt.Sprintf("asm=%v/avx512=%v/%dx%dx%d", md.asm, md.avx512, sh.m, sh.k, sh.n)
 			a := randDenseSeed(t, sh.m, sh.k, int64(3*sh.m+5*sh.k+7*sh.n))
 			b := randDenseSeed(t, sh.k, sh.n, int64(11*sh.m+13*sh.k+17*sh.n))
 			garbage := func(r, c int) *Dense {
@@ -143,21 +147,29 @@ func TestGEMMSchedulingInvariance(t *testing.T) {
 		tC := (nPanels + tilePanels - 1) / tilePanels
 		av := aView{data: a.data, row: a.cols, k: 1}
 
-		var kern gemmAsmKernel
+		// Every kernel family available on this host runs the same grid:
+		// the scalar kernels, the 4-row asm tier, and (on AVX-512
+		// hardware) the 8-row tier with its 4-row fallback.
+		sels := []kernelSel{{}}
 		if gemmUseAsm {
-			kern = gemmKernel4x8
+			sels = append(sels, famKernels(gemmArchFamily, false))
 		}
-		ref := New(sh.m, sh.n)
-		for tl := 0; tl < tR*tC; tl++ {
-			gemmTileRun(tl, ref.data, ref.cols, sh.m, sh.n, sh.k, av, packed, false, tC, kern)
+		if gemmUseAVX512 {
+			sels = append(sels, famKernels(famAVX512, false))
 		}
-		for _, claimants := range []int{1, 2, 3, 8} {
-			got := New(sh.m, sh.n)
-			runTilesWithClaimants(claimants, tR*tC, func(tl int) {
-				gemmTileRun(tl, got.data, got.cols, sh.m, sh.n, sh.k, av, packed, false, tC, kern)
-			})
-			if !got.Equal(ref) {
-				t.Fatalf("%dx%dx%d: %d claimants disagree bitwise with serial grid", sh.m, sh.k, sh.n, claimants)
+		for _, sel := range sels {
+			ref := New(sh.m, sh.n)
+			for tl := 0; tl < tR*tC; tl++ {
+				gemmTileRun(tl, ref.data, ref.cols, sh.m, sh.n, sh.k, av, packed, false, tC, sel, nil)
+			}
+			for _, claimants := range []int{1, 2, 3, 8} {
+				got := New(sh.m, sh.n)
+				runTilesWithClaimants(claimants, tR*tC, func(tl int) {
+					gemmTileRun(tl, got.data, got.cols, sh.m, sh.n, sh.k, av, packed, false, tC, sel, nil)
+				})
+				if !got.Equal(ref) {
+					t.Fatalf("%dx%dx%d: %d claimants disagree bitwise with serial grid", sh.m, sh.k, sh.n, claimants)
+				}
 			}
 		}
 		putPackBuf(packed)

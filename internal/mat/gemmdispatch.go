@@ -1,0 +1,303 @@
+package mat
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Kernel-family dispatch. The packed GEMM has more than one capable
+// micro-kernel tier on modern hardware (AVX2+FMA 4×8 and AVX-512 8×8 on
+// amd64, NEON 4×8 on arm64), and which tier wins depends on the product
+// shape: wide multi-RHS products amortize the 8-row kernel's extra
+// broadcasts, skinny ones may not. Rather than hard-coding the choice,
+// gemmMain classifies every product by shape and looks the family up in a
+// small table that internal/benchsuite's startup micro-calibration fills
+// in from measured timings (Polynesia-style: pick the kernel per request
+// shape, measured). Before calibration the table holds the widest tier
+// the host supports.
+//
+// Determinism across families: the selectable asm families are
+// bit-compatible by construction, so calibration (or recalibration with
+// different timings) can never change results:
+//
+//   - fused path: every output element is one FMA chain in ascending k.
+//     IEEE FMA lane arithmetic is width-independent, and the 8-row tier
+//     reuses the 4-row kernel of the same rounding class for row ranges
+//     shorter than 8, so the set of rows handled by FMA vs the scalar
+//     row kernel is identical in every asm family (ranges of ≥4 rows are
+//     FMA, shorter ones scalar).
+//   - column-exact path (MulColsTo): every family rounds each step as a
+//     separate multiply and add in ascending k — the dot-product
+//     rounding — so all families, scalar included, agree bitwise.
+//
+// The scalar family is therefore never mixed into a dispatch table that
+// contains asm families: it is the whole table exactly when the build or
+// host has no asm kernels at all.
+
+// gemmFamilyID enumerates the micro-kernel tiers.
+type gemmFamilyID int32
+
+const (
+	famScalar gemmFamilyID = iota
+	famAVX2                // amd64 AVX2+FMA 4×8 kernels
+	famAVX512              // amd64 AVX-512 8×8 kernels (4×8 for short row ranges)
+	famNEON                // arm64 NEON 4×8 kernels
+)
+
+var famNames = map[gemmFamilyID]string{
+	famScalar: "scalar",
+	famAVX2:   "avx2",
+	famAVX512: "avx512",
+	famNEON:   "neon",
+}
+
+// Shape classes: products are classified by output width (narrow covers
+// the matrix-vector-like and small-batch right-hand sides) and by the
+// rows-vs-depth aspect of the left operand. The grid is deliberately
+// coarse — six entries a calibration can fill with a handful of timed
+// products — and classOf is a pure function of the shape, so dispatch
+// never depends on runtime load.
+const (
+	classSquareWide = iota
+	classSquareNarrow
+	classTallWide
+	classTallNarrow
+	classDeepWide
+	classDeepNarrow
+	gemmNumClasses
+)
+
+var classNames = [gemmNumClasses]string{
+	classSquareWide:   "square-wide",
+	classSquareNarrow: "square-narrow",
+	classTallWide:     "tall-wide",
+	classTallNarrow:   "tall-narrow",
+	classDeepWide:     "deep-wide",
+	classDeepNarrow:   "deep-narrow",
+}
+
+// gemmNarrowCols is the output width at or below which a product counts
+// as narrow: single vectors and small answer batches (B ≤ 16) behave like
+// a loop of mat-vecs, wider batches like a true GEMM.
+const gemmNarrowCols = 16
+
+// classOf classifies an m×k · k×n product. Pure function of the shape.
+func classOf(m, n, k int) int {
+	narrow := n <= gemmNarrowCols
+	switch {
+	case m >= 8*k: // tall: many output rows per unit of accumulation depth
+		if narrow {
+			return classTallNarrow
+		}
+		return classTallWide
+	case k >= 8*m: // deep: long accumulation chains over few output rows
+		if narrow {
+			return classDeepNarrow
+		}
+		return classDeepWide
+	default:
+		if narrow {
+			return classSquareNarrow
+		}
+		return classSquareWide
+	}
+}
+
+// gemmDispatch maps shape class → family. Entries are atomic so the
+// calibration can install winners while products are in flight; because
+// selectable families are bit-compatible, a racing product is merely
+// computed by the other tier, never differently.
+var gemmDispatch [gemmNumClasses]atomic.Int32
+
+func init() {
+	resetDispatch()
+}
+
+// resetDispatch points every class at the widest tier the host supports.
+func resetDispatch() {
+	best := int32(gemmBestFamily())
+	for i := range gemmDispatch {
+		gemmDispatch[i].Store(best)
+	}
+}
+
+// gemmBestFamily returns the widest asm tier currently enabled.
+func gemmBestFamily() gemmFamilyID {
+	if !gemmUseAsm {
+		return famScalar
+	}
+	if gemmUseAVX512 {
+		return famAVX512
+	}
+	return gemmArchFamily
+}
+
+// resolveFamily clamps a dispatch-table entry to the kernels that are
+// actually enabled right now (tests flip gemmUseAsm/gemmUseAVX512 to
+// force paths; the env kill switch clears gemmUseAVX512 at startup).
+func resolveFamily(class int) gemmFamilyID {
+	if !gemmUseAsm {
+		return famScalar
+	}
+	fam := gemmFamilyID(gemmDispatch[class].Load())
+	if fam == famAVX512 && !gemmUseAVX512 {
+		fam = gemmArchFamily
+	}
+	if fam == famScalar {
+		// A table can only hold scalar when no asm tier existed at reset;
+		// if asm came back (a test restored gemmUseAsm), prefer it.
+		fam = gemmArchFamily
+	}
+	return fam
+}
+
+// kernelSel is the kernel pair gemmTileRun drives: kern8 computes 8-row
+// blocks (nil outside the AVX-512 family), kern4 computes 4-row blocks,
+// both over full gemmNR-wide panels. Both nil selects the scalar kernels.
+type kernelSel struct {
+	kern8 gemmAsmKernel
+	kern4 gemmAsmKernel
+}
+
+// famKernels maps a family and rounding class to its kernel pair.
+func famKernels(fam gemmFamilyID, colExact bool) kernelSel {
+	switch fam {
+	case famAVX512:
+		if colExact {
+			return kernelSel{kern8: gemmKernelMulAdd8x8, kern4: gemmKernelMulAdd4x8}
+		}
+		return kernelSel{kern8: gemmKernel8x8, kern4: gemmKernel4x8}
+	case famAVX2, famNEON:
+		if colExact {
+			return kernelSel{kern4: gemmKernelMulAdd4x8}
+		}
+		return kernelSel{kern4: gemmKernel4x8}
+	default:
+		return kernelSel{}
+	}
+}
+
+// selectKernels is gemmMain's dispatch: shape class → family → kernels.
+func selectKernels(m, n, k int, colExact bool) kernelSel {
+	if !gemmUseAsm {
+		return kernelSel{}
+	}
+	return famKernels(resolveFamily(classOf(m, n, k)), colExact)
+}
+
+// KernelClasses returns the names of the shape classes the dispatcher
+// distinguishes, in table order.
+func KernelClasses() []string {
+	out := make([]string, gemmNumClasses)
+	copy(out, classNames[:])
+	return out
+}
+
+// KernelFamilies returns the kernel families selectable on this host,
+// widest first. When any asm tier is available the list contains only
+// asm families (they are mutually bit-compatible; the scalar kernels
+// round differently and are reserved for builds and hosts without asm).
+func KernelFamilies() []string {
+	if !gemmUseAsm {
+		return []string{famNames[famScalar]}
+	}
+	var out []string
+	if gemmUseAVX512 {
+		out = append(out, famNames[famAVX512])
+	}
+	out = append(out, famNames[gemmArchFamily])
+	return out
+}
+
+// KernelTier returns the widest kernel family enabled on this host —
+// what every class dispatches to before calibration.
+func KernelTier() string { return famNames[gemmBestFamily()] }
+
+// SetKernelFamily installs family as the dispatch choice for the named
+// shape class (or for every class when class is empty). Only families
+// reported by KernelFamilies are accepted: the selectable set is
+// bit-compatible by construction, so installing any member can never
+// change results — the property that makes measured (and therefore
+// run-to-run varying) calibration safe.
+func SetKernelFamily(class, family string) error {
+	var fam gemmFamilyID = -1
+	for id, name := range famNames {
+		if name == family {
+			fam = id
+		}
+	}
+	if fam < 0 {
+		return fmt.Errorf("mat: unknown kernel family %q", family)
+	}
+	ok := false
+	for _, name := range KernelFamilies() {
+		if name == family {
+			ok = true
+		}
+	}
+	if !ok {
+		return fmt.Errorf("mat: kernel family %q not selectable on this host (have %v)", family, KernelFamilies())
+	}
+	if class == "" {
+		for i := range gemmDispatch {
+			gemmDispatch[i].Store(int32(fam))
+		}
+		return nil
+	}
+	for i, name := range classNames {
+		if name == class {
+			gemmDispatch[i].Store(int32(fam))
+			return nil
+		}
+	}
+	return fmt.Errorf("mat: unknown kernel class %q (have %v)", class, KernelClasses())
+}
+
+// KernelDispatch returns a snapshot of the dispatch table: shape class →
+// family name. This is what lrmbench records in every BENCH artifact and
+// lrmserve reports in /stats, so a committed trajectory always says
+// which kernels actually ran.
+func KernelDispatch() map[string]string {
+	out := make(map[string]string, gemmNumClasses)
+	for i, name := range classNames {
+		out[name] = famNames[resolveFamily(i)]
+	}
+	return out
+}
+
+// KernelDispatchString renders the dispatch table as one sorted
+// "class=family" line for logs.
+func KernelDispatchString() string {
+	table := KernelDispatch()
+	keys := make([]string, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += k + "=" + table[k]
+	}
+	return s
+}
+
+// KernelFamilyFor reports the family the dispatcher would run for an
+// m×k · k×n product on the default (fused) path — the name recorded per
+// benchmark in the perf trajectory.
+func KernelFamilyFor(m, n, k int) string {
+	if !gemmUseAsm {
+		return famNames[famScalar]
+	}
+	return famNames[resolveFamily(classOf(m, n, k))]
+}
+
+// KernelClassFor reports the shape class an m×k · k×n product dispatches
+// under — the key calibration uses when installing a measured winner for
+// a representative product of that shape.
+func KernelClassFor(m, n, k int) string {
+	return classNames[classOf(m, n, k)]
+}

@@ -30,9 +30,9 @@ func LanczosSpectrum(n int, mul func(dst, x []float64), iters int, seed int64) [
 	if iters < 1 {
 		iters = 1
 	}
-	v := make([]float64, n)      // current basis vector
-	prev := make([]float64, n)   // previous basis vector
-	w := make([]float64, n)      // A·v workspace
+	v := make([]float64, n)    // current basis vector
+	prev := make([]float64, n) // previous basis vector
+	w := make([]float64, n)    // A·v workspace
 	alpha := make([]float64, 0, iters)
 	beta := make([]float64, 0, iters) // beta[j] couples steps j and j+1
 

@@ -23,6 +23,24 @@ package mat
 //
 // dst must not alias a or b, and must already be a.Rows()×b.Cols().
 func MulColsTo(dst, a, b *Dense) *Dense {
+	return MulColsEpiTo(dst, a, b, nil)
+}
+
+// MulColsEpiTo is MulColsTo with a fused per-tile epilogue: epi (when
+// non-nil) runs once per scheduler tile as soon as that tile's output
+// rectangle is complete, while the block is still cache-hot — instead of
+// the caller making a second sweep over dst afterwards. Across the
+// product the epilogue observes every element of dst exactly once (the
+// tile grid partitions the output); it may run concurrently for disjoint
+// rectangles and on any goroutine, so it must not assume order.
+//
+// An epilogue that applies a per-element update whose value does not
+// depend on tile order (adding a precomputed noise matrix, scaling,
+// clamping) preserves both of MulColsTo's contracts: column-exactness of
+// the product underneath, and bit-identical results across worker
+// counts. This is how core.Mechanism.AnswerMany fuses its Laplace-noise
+// pass into the GEMM that produces the intermediate.
+func MulColsEpiTo(dst, a, b *Dense, epi TileEpilogue) *Dense {
 	if a.cols != b.rows {
 		dimPanic("MulColsTo", a, b)
 	}
@@ -31,7 +49,7 @@ func MulColsTo(dst, a, b *Dense) *Dense {
 	noAlias("MulColsTo", dst, b)
 	gemmMain(dst, a.rows, b.cols, a.cols,
 		aView{data: a.data, row: a.cols, k: 1},
-		b.data, b.cols, 1, false, true)
+		b.data, b.cols, 1, false, true, epi)
 	return dst
 }
 

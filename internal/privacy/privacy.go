@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"lrm/internal/mat"
 	"lrm/internal/rng"
@@ -150,12 +151,47 @@ func AddLaplaceNoise(vals []float64, sensitivity float64, eps Epsilon, src *rng.
 	if sensitivity < 0 {
 		return fmt.Errorf("privacy: negative sensitivity %v", sensitivity)
 	}
+	noiseSweeps.Add(1)
 	scale := sensitivity / float64(eps)
 	for i := range vals {
 		vals[i] += src.Laplace(scale)
 	}
 	return nil
 }
+
+// DrawLaplaceNoise fills dst with i.i.d. Laplace draws of scale
+// sensitivity/ε, overwriting its contents, with exactly the validation
+// and draw sequence of AddLaplaceNoise (dst[i] gets the i-th draw from
+// src). It exists for fused answering paths that pre-draw a whole noise
+// block from the sequential stream and then mix it into answers inside
+// the GEMM's output tiles (core.Mechanism.AnswerMany): the draws stay in
+// stream order even though the additions happen tile by tile.
+//
+//lrm:sanitizer dst — dst is overwritten with pure Laplace noise
+func DrawLaplaceNoise(dst []float64, sensitivity float64, eps Epsilon, src *rng.Source) error {
+	if err := eps.Validate(); err != nil {
+		return err
+	}
+	if sensitivity < 0 {
+		return fmt.Errorf("privacy: negative sensitivity %v", sensitivity)
+	}
+	scale := sensitivity / float64(eps)
+	for i := range dst {
+		dst[i] = src.Laplace(scale)
+	}
+	return nil
+}
+
+// noiseSweeps counts AddLaplaceNoise calls process-wide. Together with
+// mat.FusedEpilogueRuns it lets tests pin the one-pass property of the
+// fused answering path: a batch release that fuses its noise into the
+// GEMM epilogue must not also make a separate AddLaplaceNoise sweep over
+// the intermediate.
+var noiseSweeps atomic.Uint64
+
+// NoiseSweeps returns the number of separate in-place noise sweeps
+// (AddLaplaceNoise calls) performed by this process so far.
+func NoiseSweeps() uint64 { return noiseSweeps.Load() }
 
 // LaplaceExpectedSSE returns the expected sum of squared errors of the
 // Laplace mechanism on m answers: 2·m·(sensitivity/ε)². Each Laplace
